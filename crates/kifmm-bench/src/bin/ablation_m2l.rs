@@ -1,0 +1,61 @@
+//! **Ablation — FFT M2L vs dense M2L** (paper footnote 5).
+//!
+//! "We could easily increase the flop rate by switching from the
+//! algorithmically fast, but implementationally slower FFT M2L
+//! translations to the slower direct evaluation. But the speed gains are
+//! negligible compared to the algorithmic savings."
+//!
+//! This binary measures both M2L paths on the same tree and reports the
+//! DownV phase's time, counted flops, and flop rate. The expected shape:
+//! dense M2L achieves a *higher flop rate* (clean GEMV streams) but burns
+//! *far more flops*, so the FFT path wins on time.
+//!
+//! `cargo run --release -p kifmm-bench --bin ablation_m2l`
+//! (`KIFMM_N` default 40 000).
+
+use kifmm::{Fmm, FmmOptions, Kernel, Laplace, M2lMode, Phase, Stokes};
+use kifmm_bench::env_usize;
+
+fn case<K: Kernel>(kernel: K, points: &[[f64; 3]], order: usize) {
+    let dens = kifmm::geom::random_densities(points.len(), K::SRC_DIM, 3);
+    let mut results = Vec::new();
+    for mode in [M2lMode::Fft, M2lMode::Direct] {
+        let fmm = Fmm::new(
+            kernel.clone(),
+            points,
+            FmmOptions { order, max_pts_per_leaf: 60, m2l_mode: mode, ..Default::default() },
+        );
+        // Warm the lazy dense cache outside the measurement.
+        let _ = fmm.evaluate(&dens);
+        let (_, stats) = fmm.evaluate_with_stats(&dens);
+        let secs = stats.seconds[Phase::DownV as usize];
+        let flops = stats.flops[Phase::DownV as usize];
+        println!(
+            "{:>8} p={order} {:>7} M2L: DownV {:>8.3}s {:>9} Mflop {:>9.0} Mflop/s",
+            K::NAME,
+            format!("{mode:?}"),
+            secs,
+            flops / 1_000_000,
+            flops as f64 / secs.max(1e-12) / 1e6
+        );
+        results.push((secs, flops));
+    }
+    let (fft, direct) = (&results[0], &results[1]);
+    println!(
+        "{:>8} p={order} summary: dense does {:.1}x the flops; FFT is {:.1}x faster in time\n",
+        K::NAME,
+        direct.1 as f64 / fft.1 as f64,
+        direct.0 / fft.0
+    );
+}
+
+fn main() {
+    let n = env_usize("KIFMM_N", 40_000);
+    println!(
+        "M2L ablation (paper footnote 5): FFT vs dense translation, N = {n}\n"
+    );
+    let points = kifmm::geom::sphere_grid(n, 8);
+    case(Laplace, &points, 4);
+    case(Laplace, &points, 6);
+    case(Stokes::new(1.0), &points, 4);
+}

@@ -1,0 +1,84 @@
+//! **Figure 4.2 — fixed-size scalability, per-stage breakdown.**
+//!
+//! Paper: for the Table 4.1 runs, the left column plots aggregate CPU
+//! cycles per particle split into Up/Comm/DownU/DownV/DownW/DownX/Eval
+//! (plus work efficiency), the right column MFlop/s per processor with
+//! flop-rate efficiency and max/min.
+//!
+//! This binary prints the same series numerically: aggregate CPU µs per
+//! particle per stage (multiply by the clock rate for cycles), work
+//! efficiency `T(1)/(P·T(P))`, and per-rank MFlop/s (avg/peak/min).
+//! `cargo run --release -p kifmm-bench --bin figure_4_2`.
+
+use kifmm::{FmmOptions, Kernel, Laplace, ModifiedLaplace, Phase, Point3, Stokes};
+use kifmm_bench::{
+    env_usize, phase_us_per_particle, rank_sweep, run_distributed, summarize, CommModel,
+};
+
+fn series<K: Kernel>(name: &str, kernel: K, points: &[Point3], ranks: &[usize], iters: usize) {
+    let n = points.len();
+    let opts = FmmOptions { order: 6, max_pts_per_leaf: 60, ..Default::default() };
+    let model = CommModel::default();
+    println!("\n=== {name} ===");
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>7} {:>9} {:>9} {:>9} {:>7}",
+        "P", "Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval", "workEff", "MF/s avg",
+        "MF/s max", "MF/s min", "flopEff"
+    );
+    let mut t1 = None;
+    let mut f1 = None;
+    for &p in ranks {
+        let metrics = run_distributed(kernel.clone(), points, p, opts, iters);
+        let row = summarize(&metrics, &model);
+        // Aggregate CPU µs/particle per stage; Comm reported from the model.
+        let mut us = phase_us_per_particle(&metrics, n);
+        us[Phase::Comm as usize] = row.comm * p as f64 * 1e6 / n as f64;
+        let t = row.total;
+        let t1v = *t1.get_or_insert(t);
+        let work_eff = t1v / (t * p as f64);
+        // Per-rank flop rates over each rank's own virtual time.
+        let rates: Vec<f64> = metrics
+            .iter()
+            .map(|m| {
+                let tm = m.compute_seconds() + model.time(m.eval_bytes, m.eval_msgs);
+                m.phases.total_flops() as f64 / tm.max(1e-12) / 1e6
+            })
+            .collect();
+        let avg = rates.iter().sum::<f64>() / p as f64;
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let f1v = *f1.get_or_insert(avg);
+        println!(
+            "{:>5} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>7.2} {:>9.1} {:>9.1} {:>9.1} {:>7.2}",
+            p, us[0], us[1], us[2], us[3], us[4], us[5], us[6], work_eff, avg, max, min,
+            avg / f1v
+        );
+    }
+}
+
+fn main() {
+    let n = env_usize("KIFMM_N", 48_000);
+    let iters = env_usize("KIFMM_ITERS", 1);
+    let ranks = rank_sweep(32);
+    println!(
+        "Figure 4.2 reproduction — fixed-size per-stage breakdown, N = {n}\n\
+         (aggregate CPU µs/particle per stage; paper plots cycles/particle)"
+    );
+    let uniform = kifmm::geom::sphere_grid(n, 8);
+    let clustered = kifmm::geom::corner_clusters(n, 2003);
+    series("Laplacian kernel, uniform particle distribution", Laplace, &uniform, &ranks, iters);
+    series(
+        "Modified Laplacian kernel, uniform particle distribution",
+        ModifiedLaplace::new(1.0),
+        &uniform,
+        &ranks,
+        iters,
+    );
+    series(
+        "Stokes kernel, non-uniform particle distribution",
+        Stokes::new(1.0),
+        &clustered,
+        &ranks,
+        iters,
+    );
+}

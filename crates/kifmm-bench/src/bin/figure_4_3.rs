@@ -1,0 +1,90 @@
+//! **Figure 4.3 — isogranular scalability, per-stage breakdown.**
+//!
+//! Paper: for the Table 4.2 runs, aggregate CPU cycles/particle per stage
+//! and MFlop/s per processor. The signature shapes: cycles/particle stays
+//! roughly flat (Laplace) or drifts down (Stokes on the 512-sphere set:
+//! rising local non-uniformity sheds M2L work); flop-rate efficiency
+//! stays high through the largest P.
+//!
+//! `cargo run --release -p kifmm-bench --bin figure_4_3`
+//! (`KIFMM_GRAIN`, `KIFMM_MAXP` as in table_4_2).
+
+use kifmm::{FmmOptions, Kernel, Laplace, Phase, Stokes};
+use kifmm_bench::{
+    env_usize, phase_us_per_particle, rank_sweep, run_distributed, summarize, CommModel,
+};
+
+fn series<K: Kernel>(
+    name: &str,
+    kernel: K,
+    make_points: impl Fn(usize) -> Vec<[f64; 3]>,
+    grain: usize,
+    ranks: &[usize],
+    iters: usize,
+) {
+    let opts = FmmOptions { order: 6, max_pts_per_leaf: 60, ..Default::default() };
+    let model = CommModel::default();
+    println!("\n=== {name} ===");
+    println!(
+        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>7}",
+        "P", "N", "Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval", "MF/s avg",
+        "MF/s min", "flopEff"
+    );
+    let mut f1 = None;
+    for &p in ranks {
+        let n = grain * p;
+        let points = make_points(n);
+        let metrics = run_distributed(kernel.clone(), &points, p, opts, iters);
+        let row = summarize(&metrics, &model);
+        let mut us = phase_us_per_particle(&metrics, n);
+        us[Phase::Comm as usize] = row.comm * p as f64 * 1e6 / n as f64;
+        let rates: Vec<f64> = metrics
+            .iter()
+            .map(|m| {
+                let t = m.compute_seconds() + model.time(m.eval_bytes, m.eval_msgs);
+                m.phases.total_flops() as f64 / t.max(1e-12) / 1e6
+            })
+            .collect();
+        let avg = rates.iter().sum::<f64>() / p as f64;
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let f1v = *f1.get_or_insert(avg);
+        println!(
+            "{:>5} {:>9} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>9.1} {:>9.1} {:>7.2}",
+            p, n, us[0], us[1], us[2], us[3], us[4], us[5], us[6], avg, min, avg / f1v
+        );
+    }
+}
+
+fn main() {
+    let grain = env_usize("KIFMM_GRAIN", 2_500);
+    let iters = env_usize("KIFMM_ITERS", 1);
+    let ranks = rank_sweep(32);
+    println!(
+        "Figure 4.3 reproduction — isogranular per-stage breakdown, \
+         {grain} particles/rank (aggregate CPU µs/particle per stage)"
+    );
+    series(
+        "Laplace kernel, uniform particle distribution",
+        Laplace,
+        |n| kifmm::geom::sphere_grid(n, 8),
+        grain,
+        &ranks,
+        iters,
+    );
+    series(
+        "Stokes kernel, uniform particle distribution",
+        Stokes::new(1.0),
+        |n| kifmm::geom::sphere_grid(n, 8),
+        grain,
+        &ranks,
+        iters,
+    );
+    series(
+        "Stokes kernel, non uniform particle distribution",
+        Stokes::new(1.0),
+        |n| kifmm::geom::corner_clusters(n, 2003),
+        grain,
+        &ranks,
+        iters,
+    );
+}

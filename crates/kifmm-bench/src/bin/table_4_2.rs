@@ -1,0 +1,68 @@
+//! **Table 4.2 — isogranular scalability.**
+//!
+//! Paper: 200 000 particles *per processor*, P = 1…2048; Laplace uniform,
+//! Stokes uniform, Stokes non-uniform. Total time should stay roughly
+//! flat (slightly decreasing — M2L work drops as the 512-sphere set turns
+//! locally non-uniform at scale), while tree Gen/Comm grows with P.
+//!
+//! Reproduction: `KIFMM_GRAIN` particles per rank (default 2 500), ranks
+//! up to `KIFMM_MAXP` (default 32).
+//! `cargo run --release -p kifmm-bench --bin table_4_2`.
+
+use kifmm::{FmmOptions, Kernel, Laplace, Stokes};
+use kifmm_bench::{
+    env_usize, print_table_header, print_table_row, rank_sweep, run_distributed, summarize,
+    CommModel,
+};
+
+fn series<K: Kernel>(
+    title: &str,
+    kernel: K,
+    make_points: impl Fn(usize) -> Vec<[f64; 3]>,
+    grain: usize,
+    ranks: &[usize],
+    iters: usize,
+) {
+    let opts = FmmOptions { order: 6, max_pts_per_leaf: 60, ..Default::default() };
+    let model = CommModel::default();
+    print_table_header(title);
+    for &p in ranks {
+        let points = make_points(grain * p);
+        let m = run_distributed(kernel.clone(), &points, p, opts, iters);
+        print_table_row(&summarize(&m, &model));
+    }
+}
+
+fn main() {
+    let grain = env_usize("KIFMM_GRAIN", 2_500);
+    let iters = env_usize("KIFMM_ITERS", 1);
+    let ranks = rank_sweep(32);
+    println!(
+        "Table 4.2 reproduction — isogranular scalability, {grain} particles/rank\n\
+         (paper: 200k/processor on up to 2048 CPUs)"
+    );
+    series(
+        "Laplacian kernel, uniform particle distribution",
+        Laplace,
+        |n| kifmm::geom::sphere_grid(n, 8),
+        grain,
+        &ranks,
+        iters,
+    );
+    series(
+        "Stokes kernel, uniform particle distribution",
+        Stokes::new(1.0),
+        |n| kifmm::geom::sphere_grid(n, 8),
+        grain,
+        &ranks,
+        iters,
+    );
+    series(
+        "Stokes kernel, non-uniform particle distribution",
+        Stokes::new(1.0),
+        |n| kifmm::geom::corner_clusters(n, 2003),
+        grain,
+        &ranks,
+        iters,
+    );
+}

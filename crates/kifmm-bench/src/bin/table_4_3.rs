@@ -1,0 +1,54 @@
+//! **Table 4.3 — largest runs.**
+//!
+//! Paper: 3000 processors, 512-sphere input, `s = 120` (doubled "to
+//! slightly reduce the costs of tree construction"), three problems —
+//! Laplace at 100 k and 230 k particles/CPU and Stokes at 230 k/CPU —
+//! i.e. 0.3 B / 0.69 B / 2.07 B unknowns, sustaining 1.13 Tflop/s.
+//!
+//! Reproduction: `KIFMM_MAXP` ranks (default 32) with `100 k/scale`- and
+//! `230 k/scale`-particle Laplace problems and a `230 k/scale`-particle
+//! Stokes problem, `s = 120`. Scale with
+//! `KIFMM_SCALE` (particles = base / scale, default 4).
+//! `cargo run --release -p kifmm-bench --bin table_4_3`.
+
+use kifmm::{FmmOptions, Kernel, Laplace, Stokes};
+use kifmm_bench::{env_usize, run_distributed, summarize, CommModel};
+
+fn run_case<K: Kernel>(label: &str, kernel: K, n: usize, p: usize, iters: usize) {
+    let opts = FmmOptions { order: 6, max_pts_per_leaf: 120, ..Default::default() };
+    let points = kifmm::geom::sphere_grid(n, 8);
+    let metrics = run_distributed(kernel, &points, p, opts, iters);
+    let row = summarize(&metrics, &CommModel::default());
+    let unknowns = n * K::SRC_DIM;
+    println!(
+        "{:>10} {:>9.3}M {:>9.3} {:>6.2} {:>8.4} {:>8.3} {:>9.3} {:>8.3} {:>8.3} {:>9.3}",
+        label,
+        unknowns as f64 / 1e6,
+        row.total,
+        row.ratio,
+        row.comm,
+        row.up,
+        row.down,
+        row.avg_gflops,
+        row.peak_gflops,
+        row.tree
+    );
+}
+
+fn main() {
+    let p = env_usize("KIFMM_MAXP", 32);
+    let scale = env_usize("KIFMM_SCALE", 4).max(1);
+    let iters = env_usize("KIFMM_ITERS", 1);
+    println!(
+        "Table 4.3 reproduction — largest runs, P = {p} virtual ranks, s = 120\n\
+         (paper: 3000 CPUs, 0.3/0.69/2.07 B unknowns; here scaled down by {scale}000×)\n"
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>6} {:>8} {:>8} {:>9} {:>8} {:>8} {:>9}",
+        "kernel", "unknowns", "Total(s)", "Ratio", "Comm", "Up", "Down", "Avg", "Peak",
+        "Gen/Comm"
+    );
+    run_case("Laplace", Laplace, 100_000 / scale, p, iters);
+    run_case("Laplace", Laplace, 230_000 / scale, p, iters);
+    run_case("Stokes", Stokes::new(1.0), 230_000 / scale, p, iters);
+}

@@ -1,0 +1,91 @@
+//! Direct `O(N²)` summation — the exact reference the FMM approximates,
+//! used for accuracy measurements and as the small-`N` baseline in the
+//! benches. Parallelized over targets with rayon (targets are
+//! embarrassingly parallel).
+
+use kifmm_kernels::{Kernel, Point3};
+use rayon::prelude::*;
+
+/// `u_i = Σ_j G(x_i, x_j) φ_j` with the self term excluded, exactly.
+pub fn direct_eval<K: Kernel>(kernel: &K, points: &[Point3], densities: &[f64]) -> Vec<f64> {
+    direct_eval_src_trg(kernel, points, densities, points)
+}
+
+/// Direct summation with distinct source and target sets.
+pub fn direct_eval_src_trg<K: Kernel>(
+    kernel: &K,
+    sources: &[Point3],
+    densities: &[f64],
+    targets: &[Point3],
+) -> Vec<f64> {
+    assert_eq!(densities.len(), sources.len() * K::SRC_DIM);
+    let mut out = vec![0.0; targets.len() * K::TRG_DIM];
+    // Chunk targets so rayon has useful grain without per-target overhead.
+    let chunk = 64;
+    out.par_chunks_mut(chunk * K::TRG_DIM)
+        .zip(targets.par_chunks(chunk))
+        .for_each(|(o, t)| kernel.p2p(t, sources, densities, o));
+    out
+}
+
+/// Relative ℓ² error between an approximation and a reference.
+pub fn rel_l2_error(approx: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(approx.len(), truth.len());
+    let num: f64 = approx.iter().zip(truth).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let den: f64 = truth.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kifmm_kernels::{Laplace, Stokes};
+
+    #[test]
+    fn two_body_laplace() {
+        let pts = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]];
+        let u = direct_eval(&Laplace, &pts, &[1.0, 2.0]);
+        let c = 1.0 / (4.0 * std::f64::consts::PI);
+        assert!((u[0] - 2.0 * c).abs() < 1e-15);
+        assert!((u[1] - c).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matches_sequential_summation() {
+        let pts: Vec<[f64; 3]> = (0..137)
+            .map(|i| {
+                let t = i as f64;
+                [t.sin(), (t * 0.7).cos(), (t * 0.3).sin()]
+            })
+            .collect();
+        let dens: Vec<f64> = (0..137 * 3).map(|i| (i as f64 * 0.01).cos()).collect();
+        let k = Stokes::default();
+        let par = direct_eval(&k, &pts, &dens);
+        let mut seq = vec![0.0; 137 * 3];
+        k.p2p(&pts, &pts, &dens, &mut seq);
+        for (a, b) in par.iter().zip(&seq) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn rel_error_basics() {
+        assert_eq!(rel_l2_error(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((rel_l2_error(&[1.1, 0.0], &[1.0, 0.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_l2_error(&[0.5], &[0.0]), 0.5);
+    }
+
+    #[test]
+    fn separate_targets() {
+        let src = [[0.0, 0.0, 0.0]];
+        let trg = [[2.0, 0.0, 0.0], [0.0, 4.0, 0.0]];
+        let u = direct_eval_src_trg(&Laplace, &src, &[8.0], &trg);
+        let c = 1.0 / (4.0 * std::f64::consts::PI);
+        assert!((u[0] - 4.0 * c).abs() < 1e-14);
+        assert!((u[1] - 2.0 * c).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,678 @@
+//! The kernel-independent FMM evaluator.
+//!
+//! [`Fmm::new`] builds the adaptive tree, interaction lists and per-level
+//! operators for a point set (sources ≡ targets, the setting of the paper's
+//! experiments, where the same discretization points carry densities and
+//! receive potentials across tens of Krylov iterations).
+//! [`Fmm::evaluate`] then computes `u_i = Σ_j G(x_i, x_j) φ_j` in `O(N)`:
+//!
+//! 1. **Upward pass** — S2M at leaves (evaluate the upward check potential
+//!    from the sources, invert to the upward equivalent density, eq. 2.1)
+//!    and M2M up the tree (eq. 2.3);
+//! 2. **Downward pass** — M2L over V lists (eq. 2.4, FFT-accelerated),
+//!    X-list sources onto downward check surfaces, L2L down the tree
+//!    (eq. 2.5);
+//! 3. **Leaf evaluation** — dense U-list interactions, W-list equivalent
+//!    densities, and the downward equivalent density, all evaluated at the
+//!    targets.
+
+use crate::m2l::M2lMode;
+use crate::operators::FIRST_FMM_LEVEL;
+use crate::precompute::{Precomputed, PrecomputeCache};
+use crate::stats::{Phase, PhaseStats};
+use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
+use kifmm_fft::C64;
+use kifmm_kernels::{Kernel, Point3};
+use kifmm_tree::{build_lists, InteractionLists, Octree, NO_NODE};
+use std::collections::HashMap;
+use crate::stats::thread_cpu_time;
+
+/// Evaluator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FmmOptions {
+    /// Surface discretization order `p` (points per cube edge). The
+    /// paper's 10⁻⁵-accuracy experiments correspond to `p = 6`.
+    pub order: usize,
+    /// Maximum points per leaf box (the paper's `s`; 60 in most
+    /// experiments, 120 in the 3000-processor runs).
+    pub max_pts_per_leaf: usize,
+    /// Depth cap for the octree.
+    pub max_level: u8,
+    /// M2L execution mode (FFT or dense).
+    pub m2l_mode: M2lMode,
+    /// Relative truncation for the check-to-equivalent pseudoinverses.
+    pub pinv_tol: f64,
+}
+
+impl Default for FmmOptions {
+    fn default() -> Self {
+        FmmOptions {
+            order: 6,
+            max_pts_per_leaf: 60,
+            max_level: 12,
+            m2l_mode: M2lMode::Fft,
+            pinv_tol: 1e-10,
+        }
+    }
+}
+
+impl FmmOptions {
+    /// Option set with surface order `p`.
+    pub fn with_order(order: usize) -> Self {
+        FmmOptions { order, ..Default::default() }
+    }
+}
+
+/// A prepared FMM: tree, lists and operators for one point set.
+pub struct Fmm<K: Kernel> {
+    pub(crate) kernel: K,
+    pub(crate) opts: FmmOptions,
+    /// The computation tree.
+    pub tree: Octree,
+    /// U/V/W/X lists per box.
+    pub lists: InteractionLists,
+    pub(crate) pre: std::sync::Arc<Precomputed<K>>,
+    /// Points permuted into Morton order (leaf ranges contiguous).
+    pub(crate) sorted_points: Vec<Point3>,
+    pub(crate) num_points: usize,
+}
+
+impl<K: Kernel> Fmm<K> {
+    /// Build tree, interaction lists and translation operators.
+    pub fn new(kernel: K, points: &[Point3], opts: FmmOptions) -> Self {
+        let cache = PrecomputeCache::new();
+        Self::with_cache(kernel, points, opts, &cache)
+    }
+
+    /// As [`Fmm::new`], but sharing particle-independent operator tables
+    /// through `cache` (parameter sweeps, virtual-rank benches).
+    pub fn with_cache(
+        kernel: K,
+        points: &[Point3],
+        opts: FmmOptions,
+        cache: &PrecomputeCache<K>,
+    ) -> Self {
+        assert!(opts.order >= 2, "surface order must be ≥ 2");
+        assert!(!points.is_empty(), "empty point set");
+        let tree = Octree::build(points, opts.max_pts_per_leaf, opts.max_level);
+        let lists = build_lists(&tree);
+        let depth = tree.depth();
+        let root_half = tree.domain.half;
+        let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
+        let sorted_points: Vec<Point3> =
+            tree.perm.iter().map(|&i| points[i as usize]).collect();
+        Fmm { kernel, opts, tree, lists, pre, sorted_points, num_points: points.len() }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.num_points
+    }
+
+    /// True when empty (never; construction requires points).
+    pub fn is_empty(&self) -> bool {
+        self.num_points == 0
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The options the evaluator was built with.
+    pub fn options(&self) -> &FmmOptions {
+        &self.opts
+    }
+
+    /// Evaluate potentials for `densities` (original point order,
+    /// `SRC_DIM` interleaved components per point). Returns `TRG_DIM`
+    /// components per point, original order.
+    pub fn evaluate(&self, densities: &[f64]) -> Vec<f64> {
+        self.evaluate_with_stats(densities).0
+    }
+
+    /// [`Fmm::evaluate`] plus per-phase timing/flop statistics.
+    pub fn evaluate_with_stats(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
+        assert_eq!(
+            densities.len(),
+            self.num_points * K::SRC_DIM,
+            "density vector must have SRC_DIM entries per point"
+        );
+        let mut stats = PhaseStats::new();
+        let n = self.num_points;
+        // Permute densities into Morton order.
+        let mut dens = vec![0.0; n * K::SRC_DIM];
+        for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
+            for c in 0..K::SRC_DIM {
+                dens[sorted_i * K::SRC_DIM + c] = densities[orig as usize * K::SRC_DIM + c];
+            }
+        }
+
+        let up = self.upward_pass(&dens, &mut stats);
+        let down = self.downward_pass(&up, &dens, &mut stats);
+        let pot = self.leaf_evaluation(&up, &down, &dens, &mut stats);
+
+        // Un-permute potentials.
+        let mut out = vec![0.0; n * K::TRG_DIM];
+        for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
+            for c in 0..K::TRG_DIM {
+                out[orig as usize * K::TRG_DIM + c] = pot[sorted_i * K::TRG_DIM + c];
+            }
+        }
+        (out, stats)
+    }
+
+    /// Upward equivalent densities for every box at level ≥ 2
+    /// (flat, node-major; unused levels stay zero).
+    pub(crate) fn upward_pass(&self, dens: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let cs = ns * K::TRG_DIM;
+        let mut up = vec![0.0; self.tree.num_nodes() * es];
+        let depth = self.tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return up;
+        }
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        let mut check = vec![0.0; cs];
+        for level in (FIRST_FMM_LEVEL..=depth).rev() {
+            let lops = self.pre.ops.at(level);
+            for &ni in &self.tree.levels[level as usize] {
+                let node = &self.tree.nodes[ni as usize];
+                check.fill(0.0);
+                if node.is_leaf() {
+                    // S2M: sources → upward check potential.
+                    let (pts, d) = self.leaf_data(ni, dens);
+                    let c = self.tree.domain.box_center(&node.key);
+                    let uc = surface_points(self.opts.order, RAD_OUTER, c, lops.box_half);
+                    self.kernel.p2p(&uc, pts, d, &mut check);
+                    flops += (pts.len() * ns) as u64 * self.kernel.flops_per_eval();
+                } else {
+                    // M2M: children equivalents → this check potential.
+                    for (oct, &ci) in node.children.iter().enumerate() {
+                        if ci == NO_NODE {
+                            continue;
+                        }
+                        let child_equiv = &up[ci as usize * es..(ci as usize + 1) * es];
+                        kifmm_linalg::gemv(1.0, &lops.ue2uc[oct], child_equiv, 1.0, &mut check);
+                        flops += 2 * (cs * es) as u64;
+                    }
+                }
+                // Invert to the upward equivalent density.
+                let slot = &mut up[ni as usize * es..(ni as usize + 1) * es];
+                kifmm_linalg::gemv(1.0, &lops.uc2ue, &check, 0.0, slot);
+                flops += 2 * (cs * es) as u64;
+            }
+        }
+        stats.add_seconds(Phase::Up, thread_cpu_time() - start);
+        stats.add_flops(Phase::Up, flops);
+        up
+    }
+
+    /// Downward equivalent densities (flat, node-major).
+    pub(crate) fn downward_pass(&self, up: &[f64], dens: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let cs = ns * K::TRG_DIM;
+        let nn = self.tree.num_nodes();
+        let mut down = vec![0.0; nn * es];
+        let depth = self.tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return down;
+        }
+        let mut check = vec![0.0; nn * cs];
+
+        // DownV: M2L translations, level by level.
+        for level in FIRST_FMM_LEVEL..=depth {
+            match self.opts.m2l_mode {
+                M2lMode::Fft => self.m2l_fft_level(level, up, &mut check, stats),
+                M2lMode::Direct => self.m2l_direct_level(level, up, &mut check, stats),
+            }
+        }
+
+        // DownX: coarser leaves' sources onto downward check surfaces.
+        let xstart = thread_cpu_time();
+        let mut xflops = 0u64;
+        for level in FIRST_FMM_LEVEL..=depth {
+            for &ni in &self.tree.levels[level as usize] {
+                if self.lists.x[ni as usize].is_empty() {
+                    continue;
+                }
+                let node = &self.tree.nodes[ni as usize];
+                let c = self.tree.domain.box_center(&node.key);
+                let half = self.pre.ops.at(level).box_half;
+                let dc = surface_points(self.opts.order, RAD_INNER, c, half);
+                let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
+                for &a in &self.lists.x[ni as usize] {
+                    let (pts, d) = self.leaf_data(a, dens);
+                    self.kernel.p2p(&dc, pts, d, slot);
+                    xflops += (pts.len() * ns) as u64 * self.kernel.flops_per_eval();
+                }
+            }
+        }
+        stats.add_seconds(Phase::DownX, thread_cpu_time() - xstart);
+        stats.add_flops(Phase::DownX, xflops);
+
+        // Eval (L2L part): parent-to-child translation + inversion,
+        // top-down so parents are final before children read them.
+        let lstart = thread_cpu_time();
+        let mut lflops = 0u64;
+        for level in FIRST_FMM_LEVEL..=depth {
+            let lops = self.pre.ops.at(level);
+            for &ni in &self.tree.levels[level as usize] {
+                let node = &self.tree.nodes[ni as usize];
+                if level > FIRST_FMM_LEVEL {
+                    let pi = node.parent as usize;
+                    let parent_equiv = &down[pi * es..(pi + 1) * es];
+                    let oct = node.key.octant() as usize;
+                    let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
+                    kifmm_linalg::gemv(1.0, &lops.de2dc[oct], parent_equiv, 1.0, slot);
+                    lflops += 2 * (cs * es) as u64;
+                }
+                let slot = &check[ni as usize * cs..(ni as usize + 1) * cs];
+                let out = &mut down[ni as usize * es..(ni as usize + 1) * es];
+                kifmm_linalg::gemv(1.0, &lops.dc2de, slot, 0.0, out);
+                lflops += 2 * (cs * es) as u64;
+            }
+        }
+        stats.add_seconds(Phase::Eval, thread_cpu_time() - lstart);
+        stats.add_flops(Phase::Eval, lflops);
+        down
+    }
+
+    /// FFT M2L over one level: forward-transform every source box used by
+    /// a V list, Hadamard-accumulate per target, inverse-transform.
+    fn m2l_fft_level(&self, level: u8, up: &[f64], check: &mut [f64], stats: &mut PhaseStats) {
+        let fft = self.pre.m2l_fft.as_ref().expect("FFT tables present in Fft mode");
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let cs = ns * K::TRG_DIM;
+        let g = fft.grid_len();
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+
+        // Which source boxes at this level feed some V list?
+        let mut needed: Vec<u32> = Vec::new();
+        for &ni in &self.tree.levels[level as usize] {
+            needed.extend_from_slice(&self.lists.v[ni as usize]);
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        if needed.is_empty() {
+            return;
+        }
+        let mut spectra: HashMap<u32, Vec<C64>> = HashMap::with_capacity(needed.len());
+        for &a in &needed {
+            let mut buf = vec![C64::ZERO; K::SRC_DIM * g];
+            fft.transform_source(&up[a as usize * es..(a as usize + 1) * es], &mut buf);
+            flops += fft.fft_flops(K::SRC_DIM);
+            spectra.insert(a, buf);
+        }
+        let mut acc = vec![C64::ZERO; K::TRG_DIM * g];
+        for &ni in &self.tree.levels[level as usize] {
+            let vlist = &self.lists.v[ni as usize];
+            if vlist.is_empty() {
+                continue;
+            }
+            acc.fill(C64::ZERO);
+            let bkey = self.tree.nodes[ni as usize].key;
+            for &a in vlist {
+                let akey = self.tree.nodes[a as usize].key;
+                let dir = bkey.offset_to(&akey);
+                flops += fft.accumulate(level, dir, &spectra[&a], &mut acc);
+            }
+            fft.extract_check(
+                level,
+                &mut acc,
+                &mut check[ni as usize * cs..(ni as usize + 1) * cs],
+            );
+            flops += fft.fft_flops(K::TRG_DIM);
+        }
+        stats.add_seconds(Phase::DownV, thread_cpu_time() - start);
+        stats.add_flops(Phase::DownV, flops);
+    }
+
+    /// Dense M2L over one level (ablation baseline).
+    fn m2l_direct_level(&self, level: u8, up: &[f64], check: &mut [f64], stats: &mut PhaseStats) {
+        let direct = self.pre.m2l_direct.as_ref().expect("direct tables present in Direct mode");
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let cs = ns * K::TRG_DIM;
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        for &ni in &self.tree.levels[level as usize] {
+            let bkey = self.tree.nodes[ni as usize].key;
+            let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
+            for &a in &self.lists.v[ni as usize] {
+                let akey = self.tree.nodes[a as usize].key;
+                let dir = bkey.offset_to(&akey);
+                flops += direct.apply(
+                    level,
+                    dir,
+                    &up[a as usize * es..(a as usize + 1) * es],
+                    slot,
+                );
+            }
+        }
+        stats.add_seconds(Phase::DownV, thread_cpu_time() - start);
+        stats.add_flops(Phase::DownV, flops);
+    }
+
+    /// Per-leaf evaluation: U (dense), W (equivalent densities), L2T.
+    fn leaf_evaluation(
+        &self,
+        up: &[f64],
+        down: &[f64],
+        dens: &[f64],
+        stats: &mut PhaseStats,
+    ) -> Vec<f64> {
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let mut pot = vec![0.0; self.num_points * K::TRG_DIM];
+        let kf = self.kernel.flops_per_eval();
+
+        let leaves: Vec<u32> = self.tree.leaves().collect();
+        // DownU: dense near interactions.
+        let ustart = thread_cpu_time();
+        let mut uflops = 0u64;
+        for &ni in &leaves {
+            let node = &self.tree.nodes[ni as usize];
+            let (trg, _) = self.leaf_data(ni, dens);
+            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
+            for &a in &self.lists.u[ni as usize] {
+                let (src, d) = self.leaf_data(a, dens);
+                self.kernel.p2p(trg, src, d, out);
+                uflops += (trg.len() * src.len()) as u64 * kf;
+            }
+        }
+        stats.add_seconds(Phase::DownU, thread_cpu_time() - ustart);
+        stats.add_flops(Phase::DownU, uflops);
+
+        // DownW: equivalent densities of finer separated boxes.
+        let wstart = thread_cpu_time();
+        let mut wflops = 0u64;
+        for &ni in &leaves {
+            if self.lists.w[ni as usize].is_empty() {
+                continue;
+            }
+            let node = &self.tree.nodes[ni as usize];
+            let (trg, _) = self.leaf_data(ni, dens);
+            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
+            for &a in &self.lists.w[ni as usize] {
+                let akey = self.tree.nodes[a as usize].key;
+                let ac = self.tree.domain.box_center(&akey);
+                let ah = self.tree.domain.box_half(akey.level);
+                let ue = surface_points(self.opts.order, RAD_INNER, ac, ah);
+                let equiv = &up[a as usize * es..(a as usize + 1) * es];
+                self.kernel.p2p(trg, &ue, equiv, out);
+                wflops += (trg.len() * ns) as u64 * kf;
+            }
+        }
+        stats.add_seconds(Phase::DownW, thread_cpu_time() - wstart);
+        stats.add_flops(Phase::DownW, wflops);
+
+        // Eval (L2T part): downward equivalent density at the targets.
+        let estart = thread_cpu_time();
+        let mut eflops = 0u64;
+        if self.tree.depth() >= FIRST_FMM_LEVEL {
+            for &ni in &leaves {
+                let node = &self.tree.nodes[ni as usize];
+                if node.key.level < FIRST_FMM_LEVEL {
+                    continue;
+                }
+                let (trg, _) = self.leaf_data(ni, dens);
+                let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+                let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
+                let c = self.tree.domain.box_center(&node.key);
+                let half = self.tree.domain.box_half(node.key.level);
+                let de = surface_points(self.opts.order, RAD_OUTER, c, half);
+                let equiv = &down[ni as usize * es..(ni as usize + 1) * es];
+                self.kernel.p2p(trg, &de, equiv, out);
+                eflops += (trg.len() * ns) as u64 * kf;
+            }
+        }
+        stats.add_seconds(Phase::Eval, thread_cpu_time() - estart);
+        stats.add_flops(Phase::Eval, eflops);
+        pot
+    }
+
+    /// Sorted points and density slice of a box.
+    pub(crate) fn leaf_data<'a>(&'a self, ni: u32, dens: &'a [f64]) -> (&'a [Point3], &'a [f64]) {
+        let node = &self.tree.nodes[ni as usize];
+        let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+        (&self.sorted_points[s..e], &dens[s * K::SRC_DIM..e * K::SRC_DIM])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::direct_eval;
+    use kifmm_kernels::{Laplace, ModifiedLaplace, Stokes};
+
+    fn rel_err(a: &[f64], b: &[f64]) -> f64 {
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        num / den
+    }
+
+    fn cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                std::array::from_fn(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+            })
+            .collect()
+    }
+
+    fn densities(n: usize, dim: usize) -> Vec<f64> {
+        (0..n * dim).map(|i| ((i * 31 % 101) as f64) / 101.0).collect()
+    }
+
+    #[test]
+    fn laplace_matches_direct_uniform() {
+        let pts = cloud(600, 17);
+        let dens = densities(600, 1);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        assert!(fmm.tree.depth() >= 2, "tree must be deep enough to exercise M2L");
+        let u = fmm.evaluate(&dens);
+        let truth = direct_eval(&Laplace, &pts, &dens);
+        let e = rel_err(&u, &truth);
+        assert!(e < 1e-5, "relative error {e}");
+    }
+
+    #[test]
+    fn laplace_accuracy_improves_with_order() {
+        let pts = cloud(400, 3);
+        let dens = densities(400, 1);
+        let truth = direct_eval(&Laplace, &pts, &dens);
+        let mut last = f64::INFINITY;
+        for p in [4usize, 6, 8] {
+            let fmm = Fmm::new(
+                Laplace,
+                &pts,
+                FmmOptions { order: p, max_pts_per_leaf: 15, ..Default::default() },
+            );
+            let e = rel_err(&fmm.evaluate(&dens), &truth);
+            assert!(e < last, "p={p}: error {e} should beat {last}");
+            last = e;
+        }
+        assert!(last < 1e-7, "p=8 error {last}");
+    }
+
+    #[test]
+    fn modified_laplace_matches_direct() {
+        let k = ModifiedLaplace::new(1.5);
+        let pts = cloud(500, 29);
+        let dens = densities(500, 1);
+        let fmm = Fmm::new(
+            k,
+            &pts,
+            FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        let u = fmm.evaluate(&dens);
+        let truth = direct_eval(&k, &pts, &dens);
+        let e = rel_err(&u, &truth);
+        assert!(e < 1e-5, "relative error {e}");
+    }
+
+    #[test]
+    fn stokes_matches_direct() {
+        let k = Stokes::new(0.8);
+        let pts = cloud(400, 41);
+        let dens = densities(400, 3);
+        let fmm = Fmm::new(
+            k,
+            &pts,
+            FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        let u = fmm.evaluate(&dens);
+        let truth = direct_eval(&k, &pts, &dens);
+        let e = rel_err(&u, &truth);
+        assert!(e < 1e-4, "relative error {e}");
+    }
+
+    #[test]
+    fn clustered_distribution_exercises_w_and_x() {
+        // Corner-clustered points force level jumps → nonempty W/X lists.
+        let mut pts = cloud(300, 5);
+        for p in cloud(300, 6) {
+            pts.push([0.95 + p[0] * 0.04, 0.95 + p[1] * 0.04, 0.95 + p[2] * 0.04]);
+        }
+        let dens = densities(600, 1);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 6, max_pts_per_leaf: 10, ..Default::default() },
+        );
+        let has_w = fmm.lists.w.iter().any(|w| !w.is_empty());
+        let has_x = fmm.lists.x.iter().any(|x| !x.is_empty());
+        assert!(has_w && has_x, "test geometry must exercise W and X lists");
+        let u = fmm.evaluate(&dens);
+        let truth = direct_eval(&Laplace, &pts, &dens);
+        let e = rel_err(&u, &truth);
+        assert!(e < 1e-5, "relative error {e}");
+    }
+
+    #[test]
+    fn direct_m2l_mode_matches_fft_mode() {
+        let pts = cloud(500, 77);
+        let dens = densities(500, 1);
+        let base = FmmOptions { order: 5, max_pts_per_leaf: 15, ..Default::default() };
+        let fft = Fmm::new(Laplace, &pts, FmmOptions { m2l_mode: M2lMode::Fft, ..base });
+        let dir = Fmm::new(Laplace, &pts, FmmOptions { m2l_mode: M2lMode::Direct, ..base });
+        let uf = fft.evaluate(&dens);
+        let ud = dir.evaluate(&dens);
+        // The two paths differ only by FFT round-off accumulated over the
+        // (2p)³ grids — far below the discretization error.
+        let e = rel_err(&uf, &ud);
+        assert!(e < 1e-9, "FFT and dense M2L must agree: {e}");
+    }
+
+    #[test]
+    fn shallow_tree_falls_back_to_dense() {
+        // Few points: depth < 2, everything goes through U lists.
+        let pts = cloud(50, 8);
+        let dens = densities(50, 1);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 4, max_pts_per_leaf: 60, ..Default::default() },
+        );
+        assert!(fmm.tree.depth() < 2);
+        let u = fmm.evaluate(&dens);
+        let truth = direct_eval(&Laplace, &pts, &dens);
+        let e = rel_err(&u, &truth);
+        assert!(e < 1e-13, "shallow tree is exact: {e}");
+    }
+
+    #[test]
+    fn linearity_of_evaluation() {
+        let pts = cloud(300, 15);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        let d1 = densities(300, 1);
+        let d2: Vec<f64> = (0..300).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let combined: Vec<f64> = d1.iter().zip(&d2).map(|(a, b)| 2.0 * a - 0.5 * b).collect();
+        let u1 = fmm.evaluate(&d1);
+        let u2 = fmm.evaluate(&d2);
+        let uc = fmm.evaluate(&combined);
+        for i in 0..300 {
+            let expect = 2.0 * u1[i] - 0.5 * u2[i];
+            assert!((uc[i] - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let pts = cloud(800, 21);
+        let dens = densities(800, 1);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        let (_, stats) = fmm.evaluate_with_stats(&dens);
+        assert!(stats.flops[Phase::Up as usize] > 0);
+        assert!(stats.flops[Phase::DownU as usize] > 0);
+        assert!(stats.flops[Phase::DownV as usize] > 0);
+        assert!(stats.flops[Phase::Eval as usize] > 0);
+        assert_eq!(stats.flops[Phase::Comm as usize], 0, "serial run has no comm");
+        assert!(stats.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn zero_density_gives_zero_potential() {
+        let pts = cloud(200, 33);
+        let fmm = Fmm::new(Laplace, &pts, FmmOptions::with_order(4));
+        let u = fmm.evaluate(&vec![0.0; 200]);
+        assert!(u.iter().all(|&v| v == 0.0));
+    }
+}
+
+#[cfg(test)]
+mod dipole_tests {
+    use super::*;
+    use crate::direct::{direct_eval, rel_l2_error};
+    use kifmm_kernels::LaplaceDipole;
+
+    /// Kernel-independence stress test: a kernel outside the paper's
+    /// evaluation set (rectangular 1×3 blocks, 1/r² decay, homogeneity
+    /// degree −2) runs through the identical machinery.
+    #[test]
+    fn laplace_dipole_matches_direct() {
+        let mut s = 77u64;
+        let pts: Vec<Point3> = (0..600)
+            .map(|_| {
+                std::array::from_fn(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+            })
+            .collect();
+        let dens: Vec<f64> = (0..600 * 3).map(|i| ((i * 19 % 23) as f64) / 23.0 - 0.4).collect();
+        let fmm = Fmm::new(
+            LaplaceDipole,
+            &pts,
+            FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        assert!(fmm.tree.depth() >= 2);
+        let u = fmm.evaluate(&dens);
+        let truth = direct_eval(&LaplaceDipole, &pts, &dens);
+        let e = rel_l2_error(&u, &truth);
+        assert!(e < 1e-4, "dipole kernel relative error {e}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Phase instrumentation: wall/CPU time and exact flop counts.
+//!
+//! The paper reports its scalability numbers per *stage* of the interaction
+//! calculation (Figures 4.2/4.3): `Up`, `Comm`, `DownU`, `DownV`, `DownW`,
+//! `DownX` and `Eval`. The evaluator charges every operation to one of
+//! these phases:
+//!
+//! * `Up` — S2M (source → upward check → upward equivalent) and M2M,
+//!   including the check-to-equivalent inversions;
+//! * `Comm` — message passing (zero in the shared-memory evaluator;
+//!   populated by `kifmm-parallel`);
+//! * `DownU` — dense near interactions (U lists);
+//! * `DownV` — M2L translations (FFT or direct);
+//! * `DownW` — W-list equivalent-to-target evaluations;
+//! * `DownX` — X-list source-to-check evaluations;
+//! * `Eval` — L2L (parent-to-child), downward check-to-equivalent
+//!   inversions, and the final L2T evaluation at the targets.
+
+use std::time::Instant;
+
+/// Seconds of CPU time consumed by the calling thread
+/// (`CLOCK_THREAD_CPUTIME_ID`).
+///
+/// The compute phases are timed with this clock rather than wall time:
+/// the bench harness runs many virtual MPI ranks as threads on a few
+/// cores, and thread CPU time stays meaningful under that oversubscription
+/// while wall time would charge a rank for time it spent descheduled. On a
+/// dedicated core the two clocks agree.
+pub fn thread_cpu_time() -> f64 {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // Safety: clock_gettime writes the timespec we hand it; the clock id
+    // is valid on all supported platforms.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0);
+    ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
+}
+
+/// The seven instrumented stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Upward pass (S2M + M2M).
+    Up = 0,
+    /// Communication (distributed driver only).
+    Comm = 1,
+    /// Dense near-field interactions.
+    DownU = 2,
+    /// M2L translations.
+    DownV = 3,
+    /// W-list evaluations.
+    DownW = 4,
+    /// X-list evaluations.
+    DownX = 5,
+    /// L2L + final target evaluation.
+    Eval = 6,
+}
+
+/// All phases, in reporting order.
+pub const PHASES: [Phase; 7] =
+    [Phase::Up, Phase::Comm, Phase::DownU, Phase::DownV, Phase::DownW, Phase::DownX, Phase::Eval];
+
+/// Short labels matching the paper's figures.
+pub const PHASE_NAMES: [&str; 7] = ["Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval"];
+
+/// Per-phase timing and flop accounting for one interaction calculation.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Wall-clock seconds per phase.
+    pub seconds: [f64; 7],
+    /// Exact counted floating-point operations per phase.
+    pub flops: [u64; 7],
+}
+
+impl PhaseStats {
+    /// New, zeroed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total seconds across phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Total flops across phases.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// Upward-pass seconds (the paper's `Up` column).
+    pub fn up_seconds(&self) -> f64 {
+        self.seconds[Phase::Up as usize]
+    }
+
+    /// Downward seconds (the paper's `Down` column: everything after the
+    /// communication step).
+    pub fn down_seconds(&self) -> f64 {
+        self.seconds[Phase::DownU as usize]
+            + self.seconds[Phase::DownV as usize]
+            + self.seconds[Phase::DownW as usize]
+            + self.seconds[Phase::DownX as usize]
+            + self.seconds[Phase::Eval as usize]
+    }
+
+    /// Aggregate flop rate in Gflop/s over the measured wall time.
+    pub fn gflops_rate(&self) -> f64 {
+        let t = self.total_seconds();
+        if t > 0.0 {
+            self.total_flops() as f64 / t / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulate another run's stats (used by the distributed driver to
+    /// merge rank-local stats).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        for i in 0..7 {
+            self.seconds[i] += other.seconds[i];
+            self.flops[i] += other.flops[i];
+        }
+    }
+
+    /// Charge `f(…)`'s wall time and returned flop count to `phase`.
+    pub fn timed<T>(&mut self, phase: Phase, f: impl FnOnce(&mut u64) -> T) -> T {
+        let start = Instant::now();
+        let mut flops = 0u64;
+        let out = f(&mut flops);
+        self.seconds[phase as usize] += start.elapsed().as_secs_f64();
+        self.flops[phase as usize] += flops;
+        out
+    }
+
+    /// Add flops to a phase without timing (inner loops time themselves at
+    /// a coarser granularity).
+    pub fn add_flops(&mut self, phase: Phase, flops: u64) {
+        self.flops[phase as usize] += flops;
+    }
+
+    /// Add seconds to a phase.
+    pub fn add_seconds(&mut self, phase: Phase, secs: f64) {
+        self.seconds[phase as usize] += secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut s = PhaseStats::new();
+        let v = s.timed(Phase::Up, |fl| {
+            *fl = 100;
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(s.flops[0], 100);
+        assert!(s.seconds[0] >= 0.0);
+        s.timed(Phase::Up, |fl| *fl = 50);
+        assert_eq!(s.flops[0], 150);
+    }
+
+    #[test]
+    fn down_and_totals() {
+        let mut s = PhaseStats::new();
+        s.add_seconds(Phase::DownU, 1.0);
+        s.add_seconds(Phase::DownV, 2.0);
+        s.add_seconds(Phase::Eval, 0.5);
+        s.add_seconds(Phase::Up, 4.0);
+        s.add_seconds(Phase::Comm, 1.5);
+        assert!((s.down_seconds() - 3.5).abs() < 1e-15);
+        assert!((s.total_seconds() - 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = PhaseStats::new();
+        a.add_flops(Phase::DownV, 10);
+        let mut b = PhaseStats::new();
+        b.add_flops(Phase::DownV, 5);
+        b.add_seconds(Phase::Comm, 2.0);
+        a.merge(&b);
+        assert_eq!(a.flops[Phase::DownV as usize], 15);
+        assert_eq!(a.seconds[Phase::Comm as usize], 2.0);
+    }
+
+    #[test]
+    fn gflops_rate_zero_time() {
+        let s = PhaseStats::new();
+        assert_eq!(s.gflops_rate(), 0.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Mixed-radix 1-D complex FFT with a Bluestein fallback.
+//!
+//! The M2L grids have side `2p` with `p` the surface order, so the lengths
+//! that actually occur are small and smooth (8, 12, 16, 20, …). The
+//! recursive Cooley–Tukey below handles any smooth length directly and
+//! falls back to Bluestein's algorithm for lengths with a prime factor
+//! larger than 13, making the planner total.
+
+use crate::c64::C64;
+
+/// A reusable FFT plan for a fixed length.
+pub struct FftPlan {
+    n: usize,
+    /// Twiddle table: `w[t] = e^{-2πi t / n}` (forward sign).
+    twiddle: Vec<C64>,
+    /// Prime factorization of `n`, smallest first.
+    factors: Vec<usize>,
+    /// Bluestein machinery when `n` has a prime factor > [`MAX_DIRECT_RADIX`].
+    bluestein: Option<Box<Bluestein>>,
+}
+
+/// Largest prime handled by direct mixed-radix butterflies.
+const MAX_DIRECT_RADIX: usize = 13;
+
+struct Bluestein {
+    /// Padded power-of-two length `m ≥ 2n − 1`.
+    m: usize,
+    /// Chirp `a_k = e^{-πi k²/n}`.
+    chirp: Vec<C64>,
+    /// FFT of the zero-padded conjugate chirp, premultiplied by `1/m`.
+    bhat: Vec<C64>,
+    /// Power-of-two sub-plan of length `m`.
+    sub: FftPlan,
+}
+
+impl FftPlan {
+    /// Plan an FFT of length `n` (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "FFT length must be positive");
+        let factors = factorize(n);
+        let bluestein = if factors.iter().any(|&f| f > MAX_DIRECT_RADIX) {
+            Some(Box::new(Bluestein::new(n)))
+        } else {
+            None
+        };
+        let twiddle = (0..n)
+            .map(|t| C64::cis(-2.0 * std::f64::consts::PI * t as f64 / n as f64))
+            .collect();
+        FftPlan { n, twiddle, factors, bluestein }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the plan length is 1.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform (`X_k = Σ_j x_j e^{-2πi jk/n}`),
+    /// unnormalized.
+    pub fn forward(&self, data: &mut [C64]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan");
+        if let Some(b) = &self.bluestein {
+            b.run(data, false);
+            return;
+        }
+        self.rec(data, 0, false);
+    }
+
+    /// In-place inverse transform, normalized by `1/n`
+    /// (`forward` then `inverse` is the identity).
+    pub fn inverse(&self, data: &mut [C64]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan");
+        if let Some(b) = &self.bluestein {
+            b.run(data, true);
+        } else {
+            self.rec(data, 0, true);
+        }
+        let inv = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// Unnormalized inverse (conjugate-exponent) transform.
+    pub fn inverse_unnormalized(&self, data: &mut [C64]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan");
+        if let Some(b) = &self.bluestein {
+            b.run(data, true);
+        } else {
+            self.rec(data, 0, true);
+        }
+    }
+
+    /// Twiddle lookup with direction. `t` is taken modulo `n` by the caller.
+    #[inline]
+    fn w(&self, t: usize, inverse: bool) -> C64 {
+        let w = self.twiddle[t % self.n];
+        if inverse {
+            w.conj()
+        } else {
+            w
+        }
+    }
+
+    /// Recursive decimation-in-time Cooley–Tukey on a contiguous slice.
+    /// `fdepth` indexes into the factor list (the product of the remaining
+    /// factors equals `data.len()`).
+    fn rec(&self, data: &mut [C64], fdepth: usize, inverse: bool) {
+        let len = data.len();
+        if len == 1 {
+            return;
+        }
+        let r = self.factors[fdepth];
+        let m = len / r;
+        // Gather the r interleaved subsequences into contiguous blocks and
+        // transform each recursively.
+        let mut scratch = vec![C64::ZERO; len];
+        for q in 0..r {
+            for k in 0..m {
+                scratch[q * m + k] = data[q + k * r];
+            }
+        }
+        for q in 0..r {
+            self.rec(&mut scratch[q * m..(q + 1) * m], fdepth + 1, inverse);
+        }
+        // Combine: X[k + p·m] = Σ_q w_len^{q(k+p·m)} A_q[k]; the shared
+        // length-n table is indexed by scaling with n/len.
+        let scale = self.n / len;
+        for p in 0..r {
+            for k in 0..m {
+                let mut acc = C64::ZERO;
+                for q in 0..r {
+                    let t = (q * (k + p * m)) % len;
+                    acc = acc.mul_add(self.w(t * scale, inverse), scratch[q * m + k]);
+                }
+                data[k + p * m] = acc;
+            }
+        }
+    }
+}
+
+impl Bluestein {
+    fn new(n: usize) -> Self {
+        let m = (2 * n - 1).next_power_of_two();
+        let mut chirp = Vec::with_capacity(n);
+        for k in 0..n {
+            // k² mod 2n to keep the angle argument small and exact.
+            let k2 = (k * k) % (2 * n);
+            chirp.push(C64::cis(-std::f64::consts::PI * k2 as f64 / n as f64));
+        }
+        let sub = FftPlan::new(m);
+        let mut b = vec![C64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            b[k] = chirp[k].conj();
+            b[m - k] = chirp[k].conj();
+        }
+        sub.forward(&mut b);
+        let invm = 1.0 / m as f64;
+        for v in &mut b {
+            *v = v.scale(invm);
+        }
+        Bluestein { m, chirp, bhat: b, sub }
+    }
+
+    /// DFT by chirp-z: x_k ← chirp-modulate, convolve with conjugate chirp,
+    /// demodulate. `inverse` conjugates the chirp (unnormalized inverse).
+    fn run(&self, data: &mut [C64], inverse: bool) {
+        let n = data.len();
+        let mut a = vec![C64::ZERO; self.m];
+        for k in 0..n {
+            let c = if inverse { self.chirp[k].conj() } else { self.chirp[k] };
+            a[k] = data[k] * c;
+        }
+        self.sub.forward(&mut a);
+        if inverse {
+            // Convolution kernel must also be conjugated for the inverse
+            // transform; conj(bhat) corresponds to the reversed spectrum,
+            // so build it on the fly from the forward spectrum.
+            for (av, bv) in a.iter_mut().zip(self.bhat.iter()) {
+                // conj(FFT(b)) = FFT(conj(b) reversed); here b is symmetric
+                // so conjugating the spectrum is exact.
+                *av = *av * bv.conj();
+            }
+        } else {
+            for (av, bv) in a.iter_mut().zip(self.bhat.iter()) {
+                *av = *av * *bv;
+            }
+        }
+        self.sub.inverse_unnormalized(&mut a);
+        for k in 0..n {
+            let c = if inverse { self.chirp[k].conj() } else { self.chirp[k] };
+            data[k] = a[k] * c;
+        }
+    }
+}
+
+/// Prime factorization, smallest factors first.
+fn factorize(mut n: usize) -> Vec<usize> {
+    let mut f = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n % d == 0 {
+            f.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        f.push(n);
+    }
+    if f.is_empty() {
+        f.push(1);
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[C64], inverse: bool) -> Vec<C64> {
+        let n = x.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        (0..n)
+            .map(|k| {
+                let mut s = C64::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let w = C64::cis(sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64);
+                    s = s.mul_add(w, v);
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize) -> Vec<C64> {
+        (0..n).map(|i| C64::new((i as f64).sin() + 0.3, (i as f64 * 0.7).cos())).collect()
+    }
+
+    fn assert_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_smooth_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 20, 24, 27, 32, 36, 48] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            FftPlan::new(n).forward(&mut y);
+            assert_close(&y, &naive_dft(&x, false), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_prime_sizes_via_bluestein() {
+        for n in [17usize, 19, 23, 29, 31, 37, 97] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            let plan = FftPlan::new(n);
+            assert!(plan.bluestein.is_some(), "n={n} should use Bluestein");
+            plan.forward(&mut y);
+            assert_close(&y, &naive_dft(&x, false), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [1usize, 4, 6, 12, 16, 17, 30, 64, 100] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            let plan = FftPlan::new(n);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            assert_close(&y, &x, 1e-10 * (n as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 24;
+        let x = ramp(n);
+        let mut y = x.clone();
+        FftPlan::new(n).forward(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();
+        assert!((ey - n as f64 * ex).abs() < 1e-9 * ey.abs());
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 12;
+        let mut x = vec![C64::ZERO; n];
+        x[0] = C64::ONE;
+        FftPlan::new(n).forward(&mut x);
+        for v in &x {
+            assert!((*v - C64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 20;
+        let a = ramp(n);
+        let b: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let plan = FftPlan::new(n);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fb = b.clone();
+        plan.forward(&mut fb);
+        let mut fab: Vec<C64> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
+        plan.forward(&mut fab);
+        for i in 0..n {
+            let expect = fa[i] + fb[i].scale(2.0);
+            assert!((fab[i] - expect).abs() < 1e-9);
+        }
+    }
+}

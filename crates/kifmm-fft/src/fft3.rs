@@ -1,0 +1,196 @@
+//! 3-D complex FFT built from 1-D plans.
+
+use crate::c64::C64;
+use crate::fft1d::FftPlan;
+
+/// A 3-D FFT over an `n0 × n1 × n2` row-major grid
+/// (index `(i, j, k) → (i·n1 + j)·n2 + k`).
+pub struct Fft3 {
+    dims: [usize; 3],
+    plans: [FftPlan; 3],
+}
+
+impl Fft3 {
+    /// Plan for the given grid dimensions.
+    pub fn new(dims: [usize; 3]) -> Self {
+        Fft3 {
+            dims,
+            plans: [FftPlan::new(dims[0]), FftPlan::new(dims[1]), FftPlan::new(dims[2])],
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// True when any dimension is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place forward transform (unnormalized).
+    pub fn forward(&self, data: &mut [C64]) {
+        self.apply(data, false);
+    }
+
+    /// In-place inverse transform, normalized by `1/(n0·n1·n2)`.
+    pub fn inverse(&self, data: &mut [C64]) {
+        self.apply(data, true);
+        let inv = 1.0 / self.len() as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    fn apply(&self, data: &mut [C64], inverse: bool) {
+        assert_eq!(data.len(), self.len(), "buffer must match grid size");
+        let [n0, n1, n2] = self.dims;
+        let run = |plan: &FftPlan, line: &mut [C64]| {
+            if inverse {
+                plan.inverse_unnormalized(line)
+            } else {
+                plan.forward(line)
+            }
+        };
+        // Axis 2 (contiguous lines).
+        for line in data.chunks_exact_mut(n2) {
+            run(&self.plans[2], line);
+        }
+        // Axis 1 (stride n2 within each i-slab).
+        let mut buf = vec![C64::ZERO; n1];
+        for i in 0..n0 {
+            let slab = &mut data[i * n1 * n2..(i + 1) * n1 * n2];
+            for k in 0..n2 {
+                for j in 0..n1 {
+                    buf[j] = slab[j * n2 + k];
+                }
+                run(&self.plans[1], &mut buf);
+                for j in 0..n1 {
+                    slab[j * n2 + k] = buf[j];
+                }
+            }
+        }
+        // Axis 0 (stride n1*n2).
+        let stride = n1 * n2;
+        let mut buf0 = vec![C64::ZERO; n0];
+        for jk in 0..stride {
+            for i in 0..n0 {
+                buf0[i] = data[i * stride + jk];
+            }
+            run(&self.plans[0], &mut buf0);
+            for i in 0..n0 {
+                data[i * stride + jk] = buf0[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(dims: [usize; 3]) -> Vec<C64> {
+        let n = dims[0] * dims[1] * dims[2];
+        (0..n)
+            .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos() - 0.4))
+            .collect()
+    }
+
+    fn naive_dft3(x: &[C64], dims: [usize; 3]) -> Vec<C64> {
+        let [n0, n1, n2] = dims;
+        let mut out = vec![C64::ZERO; x.len()];
+        let w = |num: usize, den: usize| {
+            C64::cis(-2.0 * std::f64::consts::PI * (num % den) as f64 / den as f64)
+        };
+        for a in 0..n0 {
+            for b in 0..n1 {
+                for c in 0..n2 {
+                    let mut s = C64::ZERO;
+                    for i in 0..n0 {
+                        for j in 0..n1 {
+                            for k in 0..n2 {
+                                let ww = w(a * i, n0) * w(b * j, n1) * w(c * k, n2);
+                                s = s.mul_add(ww, x[(i * n1 + j) * n2 + k]);
+                            }
+                        }
+                    }
+                    out[(a * n1 + b) * n2 + c] = s;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_3d() {
+        for dims in [[2usize, 3, 4], [4, 4, 4], [3, 5, 2], [1, 6, 4]] {
+            let x = grid(dims);
+            let mut y = x.clone();
+            Fft3::new(dims).forward(&mut y);
+            let expect = naive_dft3(&x, dims);
+            for (u, v) in y.iter().zip(&expect) {
+                assert!((*u - *v).abs() < 1e-9, "{dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for dims in [[4usize, 4, 4], [8, 8, 8], [2, 7, 5], [12, 12, 12]] {
+            let x = grid(dims);
+            let mut y = x.clone();
+            let plan = Fft3::new(dims);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (u, v) in y.iter().zip(&x) {
+                assert!((*u - *v).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_3d() {
+        // Circular convolution of two random grids: FFT path == direct path.
+        let dims = [4usize, 4, 4];
+        let (n0, n1, n2) = (dims[0], dims[1], dims[2]);
+        let a = grid(dims);
+        let b: Vec<C64> = grid(dims).iter().map(|v| v.conj().scale(0.5)).collect();
+        // Direct circular convolution.
+        let mut direct = vec![C64::ZERO; a.len()];
+        for i in 0..n0 {
+            for j in 0..n1 {
+                for k in 0..n2 {
+                    let mut s = C64::ZERO;
+                    for p in 0..n0 {
+                        for q in 0..n1 {
+                            for r in 0..n2 {
+                                let ai = (p * n1 + q) * n2 + r;
+                                let bi = (((i + n0 - p) % n0) * n1 + ((j + n1 - q) % n1)) * n2
+                                    + ((k + n2 - r) % n2);
+                                s = s.mul_add(a[ai], b[bi]);
+                            }
+                        }
+                    }
+                    direct[(i * n1 + j) * n2 + k] = s;
+                }
+            }
+        }
+        // FFT path.
+        let plan = Fft3::new(dims);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fb = b.clone();
+        plan.forward(&mut fb);
+        let mut fc: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
+        plan.inverse(&mut fc);
+        for (u, v) in fc.iter().zip(&direct) {
+            assert!((*u - *v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! FFT substrate for `kifmm-rs`.
+//!
+//! The SC'03 kernel-independent FMM accelerates its M2L translations with
+//! local FFTs (the paper used FFTW): equivalent densities live on regular
+//! cube-surface grids, so a multipole-to-local interaction is a discrete
+//! correlation that becomes a Hadamard product in frequency space. This
+//! crate provides the transforms from scratch:
+//!
+//! * [`C64`] — a minimal complex number type,
+//! * [`FftPlan`] — a cached mixed-radix (any smooth factor, Bluestein
+//!   fallback for large primes) complex FFT of any length,
+//! * [`Fft3`] — 3-D transforms built from 1-D plans,
+//! * [`conv`] — Hadamard-product helpers used by the M2L operator.
+
+pub mod c64;
+pub mod conv;
+pub mod fft1d;
+pub mod fft3;
+
+pub use c64::C64;
+pub use conv::{pointwise_mul, pointwise_mul_add};
+pub use fft1d::FftPlan;
+pub use fft3::Fft3;

@@ -1,0 +1,92 @@
+//! Property-based tests for the FFT substrate.
+
+use kifmm_fft::{C64, Fft3, FftPlan};
+use proptest::prelude::*;
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<C64>> {
+    proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), len..=len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| C64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 30, ..ProptestConfig::default() })]
+
+    /// Roundtrip for every length 1..=64 (smooth, prime, mixed).
+    #[test]
+    fn roundtrip_any_length(n in 1usize..=64, seed in 0u64..100) {
+        let x: Vec<C64> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed + 1) as f64;
+                C64::new((t * 0.01).sin(), (t * 0.007).cos())
+            })
+            .collect();
+        let plan = FftPlan::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-9 * (n as f64 + 1.0));
+        }
+    }
+
+    /// Parseval for random signals.
+    #[test]
+    fn parseval(x in signal(24)) {
+        let plan = FftPlan::new(24);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();
+        prop_assert!((ey - 24.0 * ex).abs() < 1e-8 * (1.0 + ey));
+    }
+
+    /// Time shift ⇔ spectral phase ramp.
+    #[test]
+    fn shift_theorem(x in signal(16), shift in 0usize..16) {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let shifted: Vec<C64> = (0..n).map(|i| x[(i + shift) % n]).collect();
+        let mut fs = shifted;
+        plan.forward(&mut fs);
+        for (k, (a, b)) in fs.iter().zip(&fx).enumerate() {
+            let phase = C64::cis(2.0 * std::f64::consts::PI * (k * shift % n) as f64 / n as f64);
+            let expect = *b * phase;
+            prop_assert!((*a - expect).abs() < 1e-8, "bin {k}");
+        }
+    }
+
+    /// 3-D convolution theorem on random grids.
+    #[test]
+    fn convolution_theorem(a in signal(27), b in signal(27)) {
+        let dims = [3usize, 3, 3];
+        let plan = Fft3::new(dims);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fb = b.clone();
+        plan.forward(&mut fb);
+        let mut prod: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
+        plan.inverse(&mut prod);
+        // Direct circular convolution.
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    let mut s = C64::ZERO;
+                    for p in 0..3 {
+                        for q in 0..3 {
+                            for r in 0..3 {
+                                let ai = (p * 3 + q) * 3 + r;
+                                let bi = (((i + 3 - p) % 3) * 3 + ((j + 3 - q) % 3)) * 3
+                                    + ((k + 3 - r) % 3);
+                                s = s.mul_add(a[ai], b[bi]);
+                            }
+                        }
+                    }
+                    let got = prod[(i * 3 + j) * 3 + k];
+                    prop_assert!((got - s).abs() < 1e-8 * (1.0 + s.abs()));
+                }
+            }
+        }
+    }
+}

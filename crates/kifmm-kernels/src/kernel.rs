@@ -1,0 +1,84 @@
+//! The kernel-independence boundary: the [`Kernel`] trait.
+
+use crate::Point3;
+
+/// A fundamental solution `G(x, y)` of a second-order constant-coefficient
+/// non-oscillatory elliptic PDE (the class the paper's method covers).
+///
+/// The FMM interacts with the PDE *only* through this trait: pairwise
+/// evaluation ([`eval`](Kernel::eval)) and a fused particle-to-particle
+/// accumulation ([`p2p`](Kernel::p2p)). Matrix-valued kernels (Stokes)
+/// declare `SRC_DIM`/`TRG_DIM > 1` and fill a `TRG_DIM × SRC_DIM` block per
+/// point pair.
+///
+/// Requirements inherited from the paper (§2): `G` satisfies the PDE away
+/// from the pole, is smooth away from the singularity, and the underlying
+/// interior/exterior Dirichlet problems are uniquely solvable — those
+/// properties are what make the equivalent-density construction valid, and
+/// they are the responsibility of the implementor.
+pub trait Kernel: Clone + Send + Sync + 'static {
+    /// Components of a source density (1 for scalar kernels, 3 for Stokes).
+    const SRC_DIM: usize;
+    /// Components of a target potential.
+    const TRG_DIM: usize;
+    /// Human-readable name used in reports.
+    const NAME: &'static str;
+
+    /// Degree `d` with `G(λ·r) = λ^d · G(r)` when the kernel is homogeneous
+    /// (Laplace and Stokes: `−1`), or `None` (modified Laplace, whose
+    /// screening length introduces a scale). Homogeneous kernels let the
+    /// FMM precompute translation operators at one reference level and
+    /// rescale; inhomogeneous ones get per-level operators.
+    fn homogeneity(&self) -> Option<f64>;
+
+    /// Exact flop count charged per `(target, source)` pair evaluation,
+    /// including the accumulation into the potential. Square roots,
+    /// divisions and exponentials count as one flop each (the convention
+    /// used by the paper-era Gflop/s reporting).
+    fn flops_per_eval(&self) -> u64;
+
+    /// Evaluate the `TRG_DIM × SRC_DIM` kernel block for the pair `(x, y)`
+    /// into `block` (row-major). A coincident pair (`|x − y| = 0`) must
+    /// produce a zero block: the N-body sums of the paper exclude the
+    /// self-interaction.
+    fn eval(&self, x: Point3, y: Point3, block: &mut [f64]);
+
+    /// Accumulate `u(x_i) += Σ_j G(x_i, y_j) φ_j` for all targets.
+    ///
+    /// `densities` has `SRC_DIM` interleaved components per source;
+    /// `potentials` has `TRG_DIM` per target. Implementations override this
+    /// with a fused loop — it is the `DownU` (dense interaction) microkernel
+    /// and dominates the flop count at small `s`.
+    fn p2p(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[f64],
+        potentials: &mut [f64],
+    ) {
+        debug_assert_eq!(densities.len(), sources.len() * Self::SRC_DIM);
+        debug_assert_eq!(potentials.len(), targets.len() * Self::TRG_DIM);
+        let mut block = vec![0.0; Self::TRG_DIM * Self::SRC_DIM];
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                self.eval(x, y, &mut block);
+                for a in 0..Self::TRG_DIM {
+                    let mut acc = 0.0;
+                    for b in 0..Self::SRC_DIM {
+                        acc += block[a * Self::SRC_DIM + b] * densities[si * Self::SRC_DIM + b];
+                    }
+                    potentials[ti * Self::TRG_DIM + a] += acc;
+                }
+            }
+        }
+    }
+}
+
+/// Squared distance plus the displacement, shared by all kernels.
+#[inline(always)]
+pub(crate) fn displacement(x: Point3, y: Point3) -> (f64, f64, f64, f64) {
+    let dx = x[0] - y[0];
+    let dy = x[1] - y[1];
+    let dz = x[2] - y[2];
+    (dx, dy, dz, dx * dx + dy * dy + dz * dz)
+}

@@ -1,0 +1,150 @@
+//! The 3-D Laplace single-layer kernel `G(x, y) = 1/(4π|x − y|)`.
+
+use crate::kernel::{displacement, Kernel};
+use crate::Point3;
+
+const FOUR_PI_INV: f64 = 1.0 / (4.0 * std::f64::consts::PI);
+
+/// Fundamental solution of `−Δu = 0` in 3-D.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Laplace;
+
+impl Kernel for Laplace {
+    const SRC_DIM: usize = 1;
+    const TRG_DIM: usize = 1;
+    const NAME: &'static str = "Laplace";
+
+    fn homogeneity(&self) -> Option<f64> {
+        Some(-1.0)
+    }
+
+    /// 3 subs + 3 muls + 2 adds (r²), 1 rsqrt, 1 scale, 2 for the
+    /// multiply-accumulate ⇒ 12.
+    fn flops_per_eval(&self) -> u64 {
+        12
+    }
+
+    #[inline]
+    fn eval(&self, x: Point3, y: Point3, block: &mut [f64]) {
+        let (_, _, _, r2) = displacement(x, y);
+        block[0] = if r2 == 0.0 { 0.0 } else { FOUR_PI_INV / r2.sqrt() };
+    }
+
+    fn p2p(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[f64],
+        potentials: &mut [f64],
+    ) {
+        debug_assert_eq!(densities.len(), sources.len());
+        debug_assert_eq!(potentials.len(), targets.len());
+        for (ti, &x) in targets.iter().enumerate() {
+            let mut acc = 0.0;
+            for (si, &y) in sources.iter().enumerate() {
+                let (_, _, _, r2) = displacement(x, y);
+                if r2 > 0.0 {
+                    acc += densities[si] / r2.sqrt();
+                }
+            }
+            potentials[ti] += FOUR_PI_INV * acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointwise_value() {
+        let k = Laplace;
+        let mut b = [0.0];
+        k.eval([1.0, 0.0, 0.0], [0.0, 0.0, 0.0], &mut b);
+        assert!((b[0] - FOUR_PI_INV).abs() < 1e-15);
+        k.eval([0.0, 2.0, 0.0], [0.0, 0.0, 0.0], &mut b);
+        assert!((b[0] - FOUR_PI_INV / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn self_interaction_is_zero() {
+        let k = Laplace;
+        let mut b = [1.0];
+        k.eval([0.3, 0.4, 0.5], [0.3, 0.4, 0.5], &mut b);
+        assert_eq!(b[0], 0.0);
+    }
+
+    #[test]
+    fn harmonic_away_from_pole() {
+        // Finite-difference Laplacian of u(x) = G(x, 0) vanishes off the pole.
+        let k = Laplace;
+        let h = 1e-4;
+        let u = |p: Point3| {
+            let mut b = [0.0];
+            k.eval(p, [0.0, 0.0, 0.0], &mut b);
+            b[0]
+        };
+        let c = [0.7, -0.4, 0.55];
+        let mut lap = -6.0 * u(c);
+        for d in 0..3 {
+            let mut p = c;
+            p[d] += h;
+            lap += u(p);
+            p[d] -= 2.0 * h;
+            lap += u(p);
+        }
+        lap /= h * h;
+        assert!(lap.abs() < 1e-4, "discrete Laplacian = {lap}");
+    }
+
+    #[test]
+    fn p2p_matches_generic_path() {
+        let k = Laplace;
+        let targets: Vec<Point3> = (0..5)
+            .map(|i| [i as f64 * 0.1, 0.2, -0.3 + i as f64 * 0.05])
+            .collect();
+        let sources: Vec<Point3> = (0..7)
+            .map(|i| [1.0 + i as f64 * 0.2, -0.1 * i as f64, 0.4])
+            .collect();
+        let dens: Vec<f64> = (0..7).map(|i| (i as f64).cos()).collect();
+        let mut fast = vec![0.0; 5];
+        k.p2p(&targets, &sources, &dens, &mut fast);
+        // Generic (eval-based) path from the trait default.
+        let mut slow = vec![0.0; 5];
+        struct Generic;
+        impl Clone for Generic {
+            fn clone(&self) -> Self {
+                Generic
+            }
+        }
+        impl Kernel for Generic {
+            const SRC_DIM: usize = 1;
+            const TRG_DIM: usize = 1;
+            const NAME: &'static str = "generic-laplace";
+            fn homogeneity(&self) -> Option<f64> {
+                Some(-1.0)
+            }
+            fn flops_per_eval(&self) -> u64 {
+                12
+            }
+            fn eval(&self, x: Point3, y: Point3, block: &mut [f64]) {
+                Laplace.eval(x, y, block)
+            }
+        }
+        Generic.p2p(&targets, &sources, &dens, &mut slow);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn superposition_and_decay() {
+        let k = Laplace;
+        let src = [[0.0, 0.0, 0.0]];
+        let mut u1 = vec![0.0];
+        k.p2p(&[[10.0, 0.0, 0.0]], &src, &[2.0], &mut u1);
+        let mut u2 = vec![0.0];
+        k.p2p(&[[20.0, 0.0, 0.0]], &src, &[2.0], &mut u2);
+        assert!((u1[0] / u2[0] - 2.0).abs() < 1e-12, "1/r decay");
+    }
+}

@@ -1,0 +1,34 @@
+//! Fundamental-solution kernels for the kernel-independent FMM.
+//!
+//! Appendix A of the SC'03 paper lists the elliptic PDEs and single-layer
+//! kernels the method is evaluated on; this crate implements all of them:
+//!
+//! | PDE | kernel |
+//! |---|---|
+//! | `−Δu = 0` | [`Laplace`]: `1/(4πr)` |
+//! | `αu − Δu = 0` | [`ModifiedLaplace`]: `e^{−λr}/(4πr)`, `λ = √α` |
+//! | `−μΔu + ∇p = 0, ∇·u = 0` | [`Stokes`]: `(1/(8πμ))(I/r + r⊗r/r³)` |
+//!
+//! The FMM core is generic over the [`Kernel`] trait: it only ever calls
+//! [`Kernel::eval`] / [`Kernel::p2p`], which is exactly the paper's notion
+//! of kernel independence — no analytic expansions anywhere.
+//!
+//! Every kernel declares an exact per-evaluation flop count so the bench
+//! harness can report the counted Gflop/s figures of Tables 4.1–4.3.
+
+pub mod assemble;
+pub mod kernel;
+pub mod laplace;
+pub mod laplace_dipole;
+pub mod modified_laplace;
+pub mod stokes;
+
+pub use assemble::assemble;
+pub use kernel::Kernel;
+pub use laplace::Laplace;
+pub use laplace_dipole::LaplaceDipole;
+pub use modified_laplace::ModifiedLaplace;
+pub use stokes::Stokes;
+
+/// Convenience alias: a 3-D point.
+pub type Point3 = [f64; 3];

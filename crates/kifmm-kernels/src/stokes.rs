@@ -1,0 +1,212 @@
+//! The 3-D Stokes single-layer (Stokeslet) kernel
+//! `G(x, y) = (1/(8πμ)) (I/r + r⊗r/r³)`.
+//!
+//! Fundamental solution of the velocity in `−μΔu + ∇p = 0, ∇·u = 0`
+//! (paper Appendix A) — the kernel behind the viscous-flow and
+//! fluid–structure problems that motivate the paper, including the 2.1
+//! billion-unknown runs of Table 4.3 (each particle carries 3 force
+//! components and receives 3 velocity components, hence "unknowns = 3N").
+
+use crate::kernel::{displacement, Kernel};
+use crate::Point3;
+
+/// The Stokeslet: 3×3 matrix-valued kernel mapping point forces to fluid
+/// velocities.
+#[derive(Clone, Copy, Debug)]
+pub struct Stokes {
+    /// Dynamic viscosity `μ > 0`.
+    pub mu: f64,
+}
+
+impl Stokes {
+    /// Stokeslet with viscosity `μ`.
+    pub fn new(mu: f64) -> Self {
+        assert!(mu > 0.0, "viscosity must be positive");
+        Stokes { mu }
+    }
+
+    #[inline]
+    fn prefactor(&self) -> f64 {
+        1.0 / (8.0 * std::f64::consts::PI * self.mu)
+    }
+}
+
+impl Default for Stokes {
+    fn default() -> Self {
+        Stokes::new(1.0)
+    }
+}
+
+impl Kernel for Stokes {
+    const SRC_DIM: usize = 3;
+    const TRG_DIM: usize = 3;
+    const NAME: &'static str = "Stokes";
+
+    fn homogeneity(&self) -> Option<f64> {
+        Some(-1.0)
+    }
+
+    /// Displacement + r² (8), rsqrt + 1/r³ (4), 9 tensor entries (~12),
+    /// 3×3 matvec accumulate (18) ⇒ 42 per pair (≈ the 3.5× Laplace work
+    /// ratio visible in the paper's per-kernel cycle counts).
+    fn flops_per_eval(&self) -> u64 {
+        42
+    }
+
+    #[inline]
+    fn eval(&self, x: Point3, y: Point3, block: &mut [f64]) {
+        debug_assert_eq!(block.len(), 9);
+        let (dx, dy, dz, r2) = displacement(x, y);
+        if r2 == 0.0 {
+            block.fill(0.0);
+            return;
+        }
+        let r = r2.sqrt();
+        let c = self.prefactor();
+        let inv_r = c / r;
+        let inv_r3 = c / (r2 * r);
+        block[0] = inv_r + dx * dx * inv_r3;
+        block[1] = dx * dy * inv_r3;
+        block[2] = dx * dz * inv_r3;
+        block[3] = block[1];
+        block[4] = inv_r + dy * dy * inv_r3;
+        block[5] = dy * dz * inv_r3;
+        block[6] = block[2];
+        block[7] = block[5];
+        block[8] = inv_r + dz * dz * inv_r3;
+    }
+
+    fn p2p(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[f64],
+        potentials: &mut [f64],
+    ) {
+        debug_assert_eq!(densities.len(), 3 * sources.len());
+        debug_assert_eq!(potentials.len(), 3 * targets.len());
+        let c = self.prefactor();
+        for (ti, &x) in targets.iter().enumerate() {
+            let (mut u0, mut u1, mut u2) = (0.0, 0.0, 0.0);
+            for (si, &y) in sources.iter().enumerate() {
+                let (dx, dy, dz, r2) = displacement(x, y);
+                if r2 == 0.0 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let inv_r = 1.0 / r;
+                let inv_r3 = inv_r / r2;
+                let f0 = densities[3 * si];
+                let f1 = densities[3 * si + 1];
+                let f2 = densities[3 * si + 2];
+                let rdotf = dx * f0 + dy * f1 + dz * f2;
+                let s = rdotf * inv_r3;
+                u0 += f0 * inv_r + dx * s;
+                u1 += f1 * inv_r + dy * s;
+                u2 += f2 * inv_r + dz * s;
+            }
+            potentials[3 * ti] += c * u0;
+            potentials[3 * ti + 1] += c * u1;
+            potentials[3 * ti + 2] += c * u2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn velocity(k: &Stokes, x: Point3, y: Point3, f: [f64; 3]) -> [f64; 3] {
+        let mut b = [0.0; 9];
+        k.eval(x, y, &mut b);
+        [
+            b[0] * f[0] + b[1] * f[1] + b[2] * f[2],
+            b[3] * f[0] + b[4] * f[1] + b[5] * f[2],
+            b[6] * f[0] + b[7] * f[1] + b[8] * f[2],
+        ]
+    }
+
+    #[test]
+    fn block_symmetric() {
+        let k = Stokes::default();
+        let mut b = [0.0; 9];
+        k.eval([0.3, 0.7, -0.2], [1.0, 0.1, 0.4], &mut b);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((b[3 * i + j] - b[3 * j + i]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn known_axis_value() {
+        // On the x-axis at distance r with force e_x:
+        // u_x = (1/(8πμ)) (1/r + r²/r³) = 2/(8πμ r).
+        let k = Stokes::new(2.0);
+        let u = velocity(&k, [3.0, 0.0, 0.0], [0.0; 3], [1.0, 0.0, 0.0]);
+        let expect = 2.0 / (8.0 * std::f64::consts::PI * 2.0 * 3.0);
+        assert!((u[0] - expect).abs() < 1e-15);
+        assert!(u[1].abs() < 1e-15 && u[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn divergence_free() {
+        // ∇·u = 0 away from the pole for any force direction.
+        let k = Stokes::default();
+        let f = [0.3, -1.1, 0.7];
+        let h = 1e-5;
+        let c = [0.8, 0.5, -0.6];
+        let mut div = 0.0;
+        for d in 0..3 {
+            let mut p = c;
+            p[d] += h;
+            let up = velocity(&k, p, [0.0; 3], f)[d];
+            p[d] -= 2.0 * h;
+            let um = velocity(&k, p, [0.0; 3], f)[d];
+            div += (up - um) / (2.0 * h);
+        }
+        assert!(div.abs() < 1e-8, "div u = {div}");
+    }
+
+    #[test]
+    fn self_interaction_zero_block() {
+        let k = Stokes::default();
+        let mut b = [1.0; 9];
+        k.eval([0.1, 0.2, 0.3], [0.1, 0.2, 0.3], &mut b);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn p2p_matches_eval_sum() {
+        let k = Stokes::new(0.7);
+        let targets = [[0.0, 0.0, 0.0], [0.2, -0.4, 0.9]];
+        let sources = [[1.0, 0.2, 0.0], [0.1, 1.5, -0.3], [-0.7, 0.0, 1.1]];
+        let dens = [0.5, -1.0, 0.25, 2.0, 0.0, -0.5, 1.0, 1.0, 1.0];
+        let mut fast = vec![0.0; 6];
+        k.p2p(&targets, &sources, &dens, &mut fast);
+        let mut block = [0.0; 9];
+        for (ti, &x) in targets.iter().enumerate() {
+            let mut expect = [0.0; 3];
+            for (si, &y) in sources.iter().enumerate() {
+                k.eval(x, y, &mut block);
+                for a in 0..3 {
+                    for bcomp in 0..3 {
+                        expect[a] += block[3 * a + bcomp] * dens[3 * si + bcomp];
+                    }
+                }
+            }
+            for a in 0..3 {
+                assert!((fast[3 * ti + a] - expect[a]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn viscosity_scales_inversely() {
+        let u1 = velocity(&Stokes::new(1.0), [2.0, 1.0, 0.0], [0.0; 3], [1.0, 0.0, 0.0]);
+        let u4 = velocity(&Stokes::new(4.0), [2.0, 1.0, 0.0], [0.0; 3], [1.0, 0.0, 0.0]);
+        for a in 0..3 {
+            assert!((u1[a] - 4.0 * u4[a]).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! BLAS-like building blocks.
+//!
+//! These are the only routines that appear in the FMM's inner loops outside
+//! of raw kernel evaluation, so they are written to vectorize: contiguous
+//! row-major access, 4-wide accumulator splitting for reductions, and a
+//! blocked `k`-outer GEMM that keeps the `b` row hot in cache.
+
+use crate::matrix::Mat;
+
+/// Dot product with four-way accumulator splitting (enables SIMD reduction).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for c in 0..chunks {
+        let i = 4 * c;
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in 4 * chunks..n {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// Euclidean norm, computed with scaling to avoid overflow/underflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let amax = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return amax;
+    }
+    let mut s = 0.0;
+    for &v in x {
+        let t = v / amax;
+        s += t * t;
+    }
+    amax * s.sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * A * x + beta * y` for row-major `A`.
+pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len(), "gemv: A.cols != x.len");
+    assert_eq!(a.rows(), y.len(), "gemv: A.rows != y.len");
+    for i in 0..a.rows() {
+        let r = dot(a.row(i), x);
+        y[i] = alpha * r + beta * y[i];
+    }
+}
+
+/// `y = alpha * A^T * x + beta * y` for row-major `A` (treats rows of `A` as
+/// update directions so memory access stays contiguous).
+pub fn gemv_t(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: A.rows != x.len");
+    assert_eq!(a.cols(), y.len(), "gemv_t: A.cols != y.len");
+    if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for i in 0..a.rows() {
+        axpy(alpha * x[i], a.row(i), y);
+    }
+}
+
+/// `C = alpha * A * B + beta * C`, all row-major.
+///
+/// Uses the `i-k-j` loop order: the innermost loop streams over a row of `B`
+/// and a row of `C`, both contiguous, which is the standard cache-friendly
+/// ordering for row-major GEMM.
+pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dims");
+    assert_eq!(c.rows(), a.rows(), "gemm: C rows");
+    assert_eq!(c.cols(), b.cols(), "gemm: C cols");
+    let (m, k) = (a.rows(), a.cols());
+    if beta != 1.0 {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+    for i in 0..m {
+        let arow = a.row(i);
+        // Split borrows: c row is disjoint from a and b.
+        let crow = c.row_mut(i);
+        for p in 0..k {
+            let aip = alpha * arow[p];
+            if aip == 0.0 {
+                continue;
+            }
+            axpy(aip, b.row(p), crow);
+        }
+    }
+}
+
+/// `C = alpha * A^T * B + beta * C`, all row-major.
+pub fn gemm_tn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn: inner dims");
+    assert_eq!(c.rows(), a.cols(), "gemm_tn: C rows");
+    assert_eq!(c.cols(), b.cols(), "gemm_tn: C cols");
+    if beta != 1.0 {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+    for p in 0..a.rows() {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for i in 0..a.cols() {
+            let w = alpha * arow[i];
+            if w == 0.0 {
+                continue;
+            }
+            axpy(w, brow, c.row_mut(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mm(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let y: Vec<f64> = (0..13).map(|i| (i * i) as f64 * 0.01).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrm2_scaling_safe() {
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        // Values whose squares overflow f64.
+        let big = 1e200;
+        assert!((nrm2(&[big, big]) - big * 2f64.sqrt()).abs() / big < 1e-14);
+    }
+
+    #[test]
+    fn gemv_and_transpose_agree_with_matmul() {
+        let a = Mat::from_fn(5, 7, |i, j| ((3 * i + j) % 5) as f64 - 2.0);
+        let x: Vec<f64> = (0..7).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![1.0; 5];
+        gemv(2.0, &a, &x, -1.0, &mut y);
+        for i in 0..5 {
+            let expect = 2.0 * dot(a.row(i), &x) - 1.0;
+            assert!((y[i] - expect).abs() < 1e-12);
+        }
+        let xt: Vec<f64> = (0..5).map(|i| (i as f64).cos()).collect();
+        let mut yt = vec![0.5; 7];
+        gemv_t(1.5, &a, &xt, 2.0, &mut yt);
+        let at = a.transpose();
+        for j in 0..7 {
+            let expect = 1.5 * dot(at.row(j), &xt) + 1.0;
+            assert!((yt[j] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = Mat::from_fn(6, 4, |i, j| (i as f64 - j as f64) * 0.5);
+        let b = Mat::from_fn(4, 9, |i, j| ((i * j) as f64).sqrt());
+        let c0 = Mat::from_fn(6, 9, |i, j| (i + j) as f64);
+        let mut c = c0.clone();
+        // expectation for alpha=1, beta=-0.5
+        let mut expect = naive_mm(&a, &b);
+        expect.add_scaled(-0.5, &c0);
+        gemm(1.0, &a, &b, -0.5, &mut c);
+        for (x, y) in c.as_slice().iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = Mat::from_fn(5, 3, |i, j| (2 * i + 3 * j) as f64 * 0.1);
+        let b = Mat::from_fn(5, 4, |i, j| (i as f64) - (j as f64) * 0.7);
+        let mut c = Mat::zeros(3, 4);
+        gemm_tn(1.0, &a, &b, 0.0, &mut c);
+        let expect = a.transpose().matmul(&b);
+        for (x, y) in c.as_slice().iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense linear algebra substrate for `kifmm-rs`.
+//!
+//! The kernel-independent FMM (Ying, Biros, Zorin & Langston, SC 2003)
+//! replaces analytic multipole expansions with *equivalent densities* that
+//! are obtained by inverting small, ill-conditioned integral-equation
+//! systems on check surfaces. The paper's implementation leaned on LAPACK /
+//! CXML for this; this crate provides the same functionality from scratch:
+//!
+//! * [`Mat`] — a row-major dense matrix with the usual arithmetic,
+//! * [`gemm`]/[`gemv`] — cache-friendly matrix products used by every FMM
+//!   translation,
+//! * [`svd()`](svd::svd) — a one-sided Jacobi SVD (backward stable, accurate for the
+//!   small systems KIFMM builds, up to ~10³ unknowns),
+//! * [`pinv()`](pinv::pinv) — the truncated-SVD pseudoinverse that regularizes the
+//!   check-to-equivalent inversions,
+//! * [`lu_factor`]/[`lu_solve`] — LU with partial pivoting for general
+//!   square solves,
+//! * [`lstsq`] — Householder-QR least squares.
+
+pub mod blas;
+pub mod lu;
+pub mod matrix;
+pub mod pinv;
+pub mod qr;
+pub mod svd;
+
+pub use blas::{axpy, dot, gemm, gemm_tn, gemv, gemv_t, nrm2};
+pub use lu::{lu_factor, lu_solve, LuFactors};
+pub use matrix::Mat;
+pub use pinv::{pinv, pinv_with_tol};
+pub use qr::{householder_qr, lstsq};
+pub use svd::{svd, Svd};

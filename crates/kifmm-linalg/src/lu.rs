@@ -1,0 +1,174 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for well-conditioned square solves (quadrature weights, small test
+//! systems); the ill-conditioned FMM inversions go through [`crate::pinv()`](crate::pinv::pinv)
+//! instead.
+
+use crate::matrix::Mat;
+
+/// Packed LU factors of a square matrix, `P A = L U`.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    /// `L` (unit lower, implicit diagonal) and `U` packed in one matrix.
+    pub lu: Mat,
+    /// Row permutation: row `i` of `U` came from row `piv[i]` of `A`.
+    pub piv: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    pub sign: f64,
+}
+
+/// Factor a square matrix. Returns `None` when a pivot is exactly zero
+/// (the matrix is singular to working precision).
+pub fn lu_factor(a: &Mat) -> Option<LuFactors> {
+    assert_eq!(a.rows(), a.cols(), "lu_factor: matrix must be square");
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut piv: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivoting: largest |entry| in column k at or below row k.
+        let mut p = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax == 0.0 {
+            return None;
+        }
+        if p != k {
+            swap_rows(&mut lu, p, k);
+            piv.swap(p, k);
+            sign = -sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            if m != 0.0 {
+                // Row update: rows are contiguous, split to satisfy borrowck.
+                let cols = lu.cols();
+                let data = lu.as_mut_slice();
+                let (head, tail) = data.split_at_mut(i * cols);
+                let krow = &head[k * cols..(k + 1) * cols];
+                let irow = &mut tail[..cols];
+                for j in (k + 1)..n {
+                    irow[j] -= m * krow[j];
+                }
+            }
+        }
+    }
+    Some(LuFactors { lu, piv, sign })
+}
+
+/// Solve `A x = b` from precomputed factors.
+pub fn lu_solve(f: &LuFactors, b: &[f64]) -> Vec<f64> {
+    let n = f.lu.rows();
+    assert_eq!(b.len(), n, "lu_solve: rhs length");
+    // Apply permutation.
+    let mut x: Vec<f64> = f.piv.iter().map(|&p| b[p]).collect();
+    // Forward substitution (unit lower).
+    for i in 1..n {
+        let mut s = x[i];
+        let row = f.lu.row(i);
+        for j in 0..i {
+            s -= row[j] * x[j];
+        }
+        x[i] = s;
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let row = f.lu.row(i);
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= row[j] * x[j];
+        }
+        x[i] = s / row[i];
+    }
+    x
+}
+
+impl LuFactors {
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+fn swap_rows(m: &mut Mat, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    let (head, tail) = data.split_at_mut(hi * cols);
+    head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Mat::from_vec(3, 3, vec![2., 1., 1., 4., -6., 0., -2., 7., 2.]);
+        let f = lu_factor(&a).expect("nonsingular");
+        let x = lu_solve(&f, &[5., -2., 9.]);
+        let r = a.matvec(&x);
+        assert!((r[0] - 5.0).abs() < 1e-12);
+        assert!((r[1] + 2.0).abs() < 1e-12);
+        assert!((r[2] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_matches_known() {
+        let a = Mat::from_vec(2, 2, vec![3., 8., 4., 6.]);
+        let f = lu_factor(&a).unwrap();
+        assert!((f.det() + 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_vec(2, 2, vec![1., 2., 2., 4.]);
+        assert!(lu_factor(&a).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_vec(2, 2, vec![0., 1., 1., 0.]);
+        let f = lu_factor(&a).unwrap();
+        let x = lu_solve(&f, &[3., 7.]);
+        assert_eq!(x, vec![7., 3.]);
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let n = 12;
+        let mut a = Mat::from_fn(n, n, |_, _| next());
+        // Diagonal dominance for a guaranteed-nonsingular test matrix.
+        for i in 0..n {
+            a[(i, i)] += 4.0;
+        }
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let b = a.matvec(&xt);
+        let x = lu_solve(&lu_factor(&a).unwrap(), &b);
+        for (u, v) in x.iter().zip(&xt) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

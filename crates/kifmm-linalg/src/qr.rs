@@ -1,0 +1,145 @@
+//! Householder QR and least squares.
+//!
+//! GMRES (in `kifmm-solver`) keeps its own rolling Givens rotations; this
+//! module provides the generic dense least-squares solve used in tests and
+//! by the boundary-integral setup code.
+
+use crate::matrix::Mat;
+
+/// QR factorization `A = Q R` of a tall matrix (`m ≥ n`), with `Q` returned
+/// explicitly (`m × n`, orthonormal columns) and `R` upper triangular
+/// (`n × n`).
+pub fn householder_qr(a: &Mat) -> (Mat, Mat) {
+    let (m, n) = a.shape();
+    assert!(m >= n, "householder_qr expects a tall matrix");
+    let mut r = a.clone();
+    // Store the Householder vectors to build Q afterwards.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // v = x + sign(x0)*||x|| e1 on the trailing column block.
+        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        let alpha = crate::blas::nrm2(&v);
+        if alpha == 0.0 {
+            vs.push(v);
+            continue;
+        }
+        let s = if v[0] >= 0.0 { alpha } else { -alpha };
+        v[0] += s;
+        let vn2 = crate::blas::dot(&v, &v);
+        // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
+        for j in k..n {
+            let mut w = 0.0;
+            for i in k..m {
+                w += v[i - k] * r[(i, j)];
+            }
+            let w = 2.0 * w / vn2;
+            for i in k..m {
+                r[(i, j)] -= w * v[i - k];
+            }
+        }
+        vs.push(v);
+    }
+    // R is the leading n×n upper triangle.
+    let mut rr = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            rr[(i, j)] = r[(i, j)];
+        }
+    }
+    // Q = H_0 H_1 ... H_{n-1} * [I; 0]: apply reflectors in reverse to the
+    // thin identity.
+    let mut q = Mat::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        if v.is_empty() {
+            continue;
+        }
+        let vn2 = crate::blas::dot(v, v);
+        if vn2 == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut w = 0.0;
+            for i in k..m {
+                w += v[i - k] * q[(i, j)];
+            }
+            let w = 2.0 * w / vn2;
+            for i in k..m {
+                q[(i, j)] -= w * v[i - k];
+            }
+        }
+    }
+    (q, rr)
+}
+
+/// Minimum-norm least squares `min ‖A x − b‖₂` for a tall full-rank `A`.
+pub fn lstsq(a: &Mat, b: &[f64]) -> Vec<f64> {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "lstsq: rhs length");
+    let (q, r) = householder_qr(a);
+    // x = R⁻¹ Qᵀ b
+    let mut qtb = vec![0.0; n];
+    crate::blas::gemv_t(1.0, &q, b, 0.0, &mut qtb);
+    // Back substitution on R.
+    let mut x = qtb;
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        x[i] = if d.abs() > 0.0 { s / d } else { 0.0 };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = Mat::from_fn(6, 4, |i, j| ((i * 3 + j * 7) % 11) as f64 - 5.0);
+        let (q, r) = householder_qr(&a);
+        let qr = q.matmul(&r);
+        for (x, y) in qr.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        // Orthonormal columns.
+        let qtq = q.transpose().matmul(&q);
+        for i in 0..4 {
+            for j in 0..4 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - e).abs() < 1e-12);
+            }
+        }
+        // R upper triangular.
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_exact_for_square() {
+        let a = Mat::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let x = lstsq(&a, &[5., 6.]);
+        let r = a.matvec(&x);
+        assert!((r[0] - 5.0).abs() < 1e-12 && (r[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual() {
+        // Overdetermined: fit a line through (0,1), (1,2), (2,2).
+        let a = Mat::from_vec(3, 2, vec![1., 0., 1., 1., 1., 2.]);
+        let b = [1., 2., 2.];
+        let x = lstsq(&a, &b);
+        // Normal-equation solution: intercept 7/6, slope 1/2.
+        assert!((x[0] - 7.0 / 6.0).abs() < 1e-12);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+    }
+}

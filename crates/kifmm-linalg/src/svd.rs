@@ -1,0 +1,252 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The check-to-equivalent systems KIFMM inverts are small (≤ ~10³) but
+//! severely ill-conditioned — the singular values decay geometrically, which
+//! is exactly the regime where Jacobi SVD shines: it computes even the tiny
+//! singular values to high *relative* accuracy, unlike bidiagonalization
+//! approaches. The O(n³) cost with a handful of sweeps is irrelevant here
+//! because every operator is precomputed once per tree level.
+
+use crate::matrix::Mat;
+
+/// Thin singular value decomposition `A = U Σ Vᵀ`.
+///
+/// For an `m × n` input with `k = min(m, n)`: `u` is `m × k` with
+/// orthonormal columns, `s` holds the `k` singular values in descending
+/// order, and `vt` is `k × n` with orthonormal rows.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m × k`.
+    pub u: Mat,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Transposed right singular vectors, `k × n`.
+    pub vt: Mat,
+}
+
+impl Svd {
+    /// Reconstruct `U Σ Vᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> Mat {
+        let k = self.s.len();
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..k {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+
+    /// 2-norm condition number `σ_max / σ_min` (∞ when `σ_min == 0`).
+    pub fn cond(&self) -> f64 {
+        match (self.s.first(), self.s.last()) {
+            (Some(&hi), Some(&lo)) if lo > 0.0 => hi / lo,
+            (Some(_), Some(_)) => f64::INFINITY,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Compute the thin SVD of `a` by one-sided Jacobi iteration.
+///
+/// Always converges for finite inputs; panics on NaN/∞ entries.
+pub fn svd(a: &Mat) -> Svd {
+    assert!(
+        a.as_slice().iter().all(|v| v.is_finite()),
+        "svd: input must be finite"
+    );
+    if a.rows() >= a.cols() {
+        svd_tall(a)
+    } else {
+        // SVD of the transpose, then swap the factors.
+        let t = svd_tall(&a.transpose());
+        Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() }
+    }
+}
+
+/// One-sided Jacobi on a tall (m ≥ n) matrix.
+///
+/// Works on `Gᵀ` so that the columns being orthogonalized are contiguous
+/// rows in memory; accumulates `Vᵀ` the same way.
+fn svd_tall(a: &Mat) -> Svd {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    let mut gt = a.transpose(); // n × m, row i == column i of A
+    let mut vt = Mat::eye(n); // row i == column i of V
+
+    let eps = f64::EPSILON;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gather the 2x2 Gram block of columns p, q.
+                let (app, aqq, apq) = {
+                    let gp = gt.row(p);
+                    let gq = gt.row(q);
+                    (crate::blas::dot(gp, gp), crate::blas::dot(gq, gq), crate::blas::dot(gp, gq))
+                };
+                if app == 0.0 || aqq == 0.0 {
+                    continue;
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation that zeroes the (p,q) Gram entry.
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let cs = 1.0 / (1.0 + t * t).sqrt();
+                let sn = cs * t;
+                rotate_rows(&mut gt, p, q, cs, sn);
+                rotate_rows(&mut vt, p, q, cs, sn);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Singular values are the column norms; sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n).map(|i| crate::blas::nrm2(gt.row(i))).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut u = Mat::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vt_sorted = Mat::zeros(n, n);
+    for (col, &i) in order.iter().enumerate() {
+        let sigma = norms[i];
+        s.push(sigma);
+        if sigma > 0.0 {
+            let inv = 1.0 / sigma;
+            for r in 0..m {
+                u[(r, col)] = gt[(i, r)] * inv;
+            }
+        } else {
+            // Null column: leave U column zero; it is never used because
+            // the pseudoinverse truncates zero singular values.
+        }
+        vt_sorted.row_mut(col).copy_from_slice(vt.row(i));
+    }
+    Svd { u, s, vt: vt_sorted }
+}
+
+/// Apply the rotation `[c -s; s c]` to rows `p`, `q` (mixing them).
+#[inline]
+fn rotate_rows(m: &mut Mat, p: usize, q: usize, cs: f64, sn: f64) {
+    debug_assert!(p < q);
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    let (head, tail) = data.split_at_mut(q * cols);
+    let rp = &mut head[p * cols..(p + 1) * cols];
+    let rq = &mut tail[..cols];
+    for (a, b) in rp.iter_mut().zip(rq.iter_mut()) {
+        let x = *a;
+        let y = *b;
+        *a = cs * x - sn * y;
+        *b = sn * x + cs * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_factorization(a: &Mat, tol: f64) {
+        let f = svd(a);
+        let r = f.reconstruct();
+        let scale = a.max_abs().max(1.0);
+        for (x, y) in r.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() <= tol * scale, "reconstruction off: {x} vs {y}");
+        }
+        // U'U = I, V'V = I on the thin factors.
+        let k = f.s.len();
+        let utu = f.u.transpose().matmul(&f.u);
+        let vvt = f.vt.matmul(&f.vt.transpose());
+        for i in 0..k {
+            for j in 0..k {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                // Zero singular values leave zero U columns.
+                if f.s[i] > 0.0 && f.s[j] > 0.0 {
+                    assert!((utu[(i, j)] - expect).abs() < 1e-10, "UtU[{i},{j}]");
+                }
+                assert!((vvt[(i, j)] - expect).abs() < 1e-10, "VVt[{i},{j}]");
+            }
+        }
+        // Descending order.
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut a = Mat::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -5.0;
+        a[(2, 2)] = 1.0;
+        let f = svd(&a);
+        assert!((f.s[0] - 5.0).abs() < 1e-12);
+        assert!((f.s[1] - 3.0).abs() < 1e-12);
+        assert!((f.s[2] - 1.0).abs() < 1e-12);
+        check_factorization(&a, 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // A = [[3, 0], [4, 5]] has singular values sqrt(45±... ) = (3√5, √5).
+        let a = Mat::from_vec(2, 2, vec![3., 0., 4., 5.]);
+        let f = svd(&a);
+        assert!((f.s[0] - 3.0 * 5f64.sqrt()).abs() < 1e-12);
+        assert!((f.s[1] - 5f64.sqrt()).abs() < 1e-12);
+        check_factorization(&a, 1e-13);
+    }
+
+    #[test]
+    fn tall_wide_and_random() {
+        let mut seed = 0x12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for &(m, n) in &[(7usize, 3usize), (3, 7), (10, 10), (1, 5), (5, 1)] {
+            let a = Mat::from_fn(m, n, |_, _| next());
+            check_factorization(&a, 1e-11);
+            let f = svd(&a);
+            assert_eq!(f.u.shape(), (m, m.min(n)));
+            assert_eq!(f.vt.shape(), (m.min(n), n));
+        }
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // Rank-1 outer product.
+        let u = [1.0, 2.0, -1.0, 0.5];
+        let v = [2.0, -3.0, 1.0];
+        let a = Mat::from_fn(4, 3, |i, j| u[i] * v[j]);
+        let f = svd(&a);
+        let nu = crate::blas::nrm2(&u);
+        let nv = crate::blas::nrm2(&v);
+        assert!((f.s[0] - nu * nv).abs() < 1e-10);
+        assert!(f.s[1].abs() < 1e-10);
+        assert!(f.s[2].abs() < 1e-10);
+        check_factorization(&a, 1e-11);
+    }
+
+    #[test]
+    fn ill_conditioned_hilbert() {
+        // Hilbert 8x8: condition ~1e10; reconstruction should still be good.
+        let a = Mat::from_fn(8, 8, |i, j| 1.0 / ((i + j + 1) as f64));
+        check_factorization(&a, 1e-12);
+        let f = svd(&a);
+        assert!(f.cond() > 1e9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Mat::zeros(4, 2);
+        let f = svd(&a);
+        assert!(f.s.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the linear algebra substrate.
+
+use kifmm_linalg::{gemv, gemv_t, householder_qr, lstsq, lu_factor, lu_solve, pinv, svd, Mat};
+use proptest::prelude::*;
+
+fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |v| Mat::from_vec(m, n, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn svd_reconstructs_any_matrix(a in mat_strategy(12)) {
+        let f = svd(&a);
+        let r = f.reconstruct();
+        let scale = a.max_abs().max(1.0);
+        for (x, y) in r.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9 * scale);
+        }
+        // Singular values nonnegative descending.
+        prop_assert!(f.s.iter().all(|&s| s >= 0.0));
+        prop_assert!(f.s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn pinv_satisfies_moore_penrose(a in mat_strategy(10)) {
+        let p = pinv(&a);
+        let apa = a.matmul(&p).matmul(&a);
+        let scale = a.max_abs().max(1.0);
+        for (x, y) in apa.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-7 * scale, "A A+ A = A");
+        }
+        let pap = p.matmul(&a).matmul(&p);
+        let pscale = p.max_abs().max(1.0);
+        for (x, y) in pap.as_slice().iter().zip(p.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-7 * pscale, "A+ A A+ = A+");
+        }
+    }
+
+    #[test]
+    fn lu_solves_diagonally_dominant(
+        v in proptest::collection::vec(-1.0f64..1.0, 36),
+        rhs in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let mut a = Mat::from_vec(6, 6, v);
+        for i in 0..6 {
+            let off: f64 = (0..6).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            a[(i, i)] = off + 1.0;
+        }
+        let f = lu_factor(&a).expect("diagonally dominant ⇒ nonsingular");
+        let x = lu_solve(&f, &rhs);
+        let r = a.matvec(&x);
+        for (u, w) in r.iter().zip(&rhs) {
+            prop_assert!((u - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemv_transpose_consistency(a in mat_strategy(9)) {
+        // x'(A y) == (A' x)' y for random vectors.
+        let (m, n) = a.shape();
+        let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut ay = vec![0.0; m];
+        gemv(1.0, &a, &y, 0.0, &mut ay);
+        let mut atx = vec![0.0; n];
+        gemv_t(1.0, &a, &x, 0.0, &mut atx);
+        let lhs: f64 = x.iter().zip(&ay).map(|(u, v)| u * v).sum();
+        let rhs: f64 = atx.iter().zip(&y).map(|(u, v)| u * v).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn qr_orthogonality(a in mat_strategy(10)) {
+        let (m, n) = a.shape();
+        prop_assume!(m >= n);
+        let (q, r) = householder_qr(&a);
+        let qr = q.matmul(&r);
+        let scale = a.max_abs().max(1.0);
+        for (x, y) in qr.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_columns(a in mat_strategy(8), seed in 0u64..50) {
+        let (m, n) = a.shape();
+        prop_assume!(m > n);
+        // Require decent conditioning so the solve is well posed.
+        let f = svd(&a);
+        prop_assume!(f.s[0] > 0.0 && f.s.last().unwrap() / f.s[0] > 1e-6);
+        let b: Vec<f64> = (0..m).map(|i| ((i as u64 * 37 + seed) % 11) as f64 - 5.0).collect();
+        let x = lstsq(&a, &b);
+        // Residual must be orthogonal to the column space: Aᵀ(b − Ax) = 0.
+        let ax = a.matvec(&x);
+        let res: Vec<f64> = b.iter().zip(&ax).map(|(u, v)| u - v).collect();
+        let mut atr = vec![0.0; n];
+        gemv_t(1.0, &a, &res, 0.0, &mut atr);
+        let bn = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
+        for v in atr {
+            prop_assert!(v.abs() < 1e-6 * bn, "normal equations violated: {v}");
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Collective operations, built on point-to-point messaging.
+//!
+//! The paper's tree construction leans on `MPI_Allreduce` over the global
+//! tree array (§3.1) and its owner assignment on an allreduce of "taken"
+//! flags (§3.2); the exchange steps need gathers/scatters. All collectives
+//! here use a rank-0 root with linear fan-in/fan-out — the same asymptotic
+//! traffic pattern the paper's own (admittedly non-scalable, see their §4
+//! discussion point 5) tree-construction phase exhibits.
+//!
+//! Every rank must call collectives in the same order; tags are drawn from
+//! a reserved per-rank sequence so collectives never collide with user
+//! messages.
+
+use crate::comm::Comm;
+use crate::datatypes::{decode_f64s, decode_u64s, encode_f64s, encode_u64s};
+
+/// Reduction operators for [`allreduce_f64`]/[`allreduce_u64`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Bitwise OR (rank-set masks; `f64` allreduce rejects it).
+    BitOr,
+}
+
+/// Block until every rank has entered the barrier.
+pub fn barrier(comm: &Comm) {
+    let tag = comm.next_collective_tag();
+    let root = 0;
+    if comm.rank() == root {
+        for src in 1..comm.size() {
+            comm.recv_raw(src, tag);
+        }
+        for dst in 1..comm.size() {
+            comm.send_raw(dst, tag, Vec::new());
+        }
+    } else {
+        comm.send_raw(root, tag, Vec::new());
+        comm.recv_raw(root, tag);
+    }
+}
+
+/// Broadcast `data` from `root`; returns the payload on every rank.
+pub fn bcast(comm: &Comm, root: usize, data: Vec<u8>) -> Vec<u8> {
+    let tag = comm.next_collective_tag();
+    if comm.rank() == root {
+        for dst in 0..comm.size() {
+            if dst != root {
+                comm.send_raw(dst, tag, data.clone());
+            }
+        }
+        data
+    } else {
+        comm.recv_raw(root, tag)
+    }
+}
+
+/// In-place elementwise allreduce over `f64` buffers of identical length.
+pub fn allreduce_f64(comm: &Comm, data: &mut [f64], op: ReduceOp) {
+    let tag = comm.next_collective_tag();
+    let root = 0;
+    if comm.rank() == root {
+        for src in 1..comm.size() {
+            let other = decode_f64s(&comm.recv_raw(src, tag));
+            assert_eq!(other.len(), data.len(), "allreduce length mismatch");
+            for (a, b) in data.iter_mut().zip(other) {
+                *a = match op {
+                    ReduceOp::Sum => *a + b,
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::BitOr => panic!("BitOr is only defined for integer reductions"),
+                };
+            }
+        }
+        let payload = encode_f64s(data);
+        for dst in 1..comm.size() {
+            comm.send_raw(dst, tag, payload.clone());
+        }
+    } else {
+        comm.send_raw(root, tag, encode_f64s(data));
+        let reduced = decode_f64s(&comm.recv_raw(root, tag));
+        data.copy_from_slice(&reduced);
+    }
+}
+
+/// In-place elementwise allreduce over `u64` buffers (the global tree
+/// array's point counts).
+pub fn allreduce_u64(comm: &Comm, data: &mut [u64], op: ReduceOp) {
+    let tag = comm.next_collective_tag();
+    let root = 0;
+    if comm.rank() == root {
+        for src in 1..comm.size() {
+            let other = decode_u64s(&comm.recv_raw(src, tag));
+            assert_eq!(other.len(), data.len(), "allreduce length mismatch");
+            for (a, b) in data.iter_mut().zip(other) {
+                *a = match op {
+                    ReduceOp::Sum => *a + b,
+                    ReduceOp::Max => (*a).max(b),
+                    ReduceOp::Min => (*a).min(b),
+                    ReduceOp::BitOr => *a | b,
+                };
+            }
+        }
+        let payload = encode_u64s(data);
+        for dst in 1..comm.size() {
+            comm.send_raw(dst, tag, payload.clone());
+        }
+    } else {
+        comm.send_raw(root, tag, encode_u64s(data));
+        let reduced = decode_u64s(&comm.recv_raw(root, tag));
+        data.copy_from_slice(&reduced);
+    }
+}
+
+/// Gather a variable-length payload from every rank onto all ranks;
+/// returns `size` payloads indexed by source rank.
+pub fn allgatherv(comm: &Comm, data: &[u8]) -> Vec<Vec<u8>> {
+    let tag = comm.next_collective_tag();
+    let root = 0;
+    if comm.rank() == root {
+        let mut all = vec![Vec::new(); comm.size()];
+        all[root] = data.to_vec();
+        for src in 1..comm.size() {
+            all[src] = comm.recv_raw(src, tag);
+        }
+        // Flatten with a length prefix per rank, then broadcast.
+        let mut flat = Vec::new();
+        for part in &all {
+            flat.extend_from_slice(&(part.len() as u64).to_le_bytes());
+            flat.extend_from_slice(part);
+        }
+        for dst in 1..comm.size() {
+            comm.send_raw(dst, tag, flat.clone());
+        }
+        all
+    } else {
+        comm.send_raw(root, tag, data.to_vec());
+        let flat = comm.recv_raw(root, tag);
+        split_length_prefixed(&flat, comm.size())
+    }
+}
+
+/// Personalized all-to-all: `send[d]` goes to rank `d`; returns the
+/// payloads received, indexed by source rank.
+pub fn alltoallv(comm: &Comm, send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    assert_eq!(send.len(), comm.size(), "one payload per destination");
+    let tag = comm.next_collective_tag();
+    let me = comm.rank();
+    let mut out = vec![Vec::new(); comm.size()];
+    for (dst, payload) in send.into_iter().enumerate() {
+        if dst == me {
+            out[me] = payload;
+        } else {
+            comm.send_raw(dst, tag, payload);
+        }
+    }
+    for src in 0..comm.size() {
+        if src != me {
+            out[src] = comm.recv_raw(src, tag);
+        }
+    }
+    out
+}
+
+fn split_length_prefixed(flat: &[u8], parts: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = 0usize;
+    for _ in 0..parts {
+        let len = u64::from_le_bytes(flat[cursor..cursor + 8].try_into().unwrap()) as usize;
+        cursor += 8;
+        out.push(flat[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    assert_eq!(cursor, flat.len(), "corrupt length-prefixed payload");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run;
+
+    #[test]
+    fn barrier_completes() {
+        run(4, |comm| {
+            for _ in 0..5 {
+                barrier(comm);
+            }
+        });
+    }
+
+    #[test]
+    fn bcast_delivers_everywhere() {
+        let out = run(5, |comm| {
+            let payload = if comm.rank() == 2 { b"hello".to_vec() } else { Vec::new() };
+            bcast(comm, 2, payload)
+        });
+        for o in out {
+            assert_eq!(o, b"hello");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_max_min() {
+        let out = run(6, |comm| {
+            let r = comm.rank() as f64;
+            let mut v = vec![r, -r, 1.0];
+            allreduce_f64(comm, &mut v, ReduceOp::Sum);
+            let mut w = vec![r];
+            allreduce_f64(comm, &mut w, ReduceOp::Max);
+            let mut m = vec![r];
+            allreduce_f64(comm, &mut m, ReduceOp::Min);
+            (v, w, m)
+        });
+        for (v, w, m) in out {
+            assert_eq!(v, vec![15.0, -15.0, 6.0]);
+            assert_eq!(w, vec![5.0]);
+            assert_eq!(m, vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_u64_tree_counts() {
+        // The paper's use case: summing local box point counts.
+        let out = run(4, |comm| {
+            let mut counts = vec![comm.rank() as u64; 8];
+            allreduce_u64(comm, &mut counts, ReduceOp::Sum);
+            counts
+        });
+        for c in out {
+            assert_eq!(c, vec![6u64; 8]);
+        }
+    }
+
+    #[test]
+    fn allreduce_bitor_rank_masks() {
+        let out = run(5, |comm| {
+            let mut mask = vec![1u64 << comm.rank()];
+            allreduce_u64(comm, &mut mask, ReduceOp::BitOr);
+            mask[0]
+        });
+        for m in out {
+            assert_eq!(m, 0b11111);
+        }
+    }
+
+    #[test]
+    fn allgatherv_variable_sizes() {
+        let out = run(4, |comm| {
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            allgatherv(comm, &mine)
+        });
+        for parts in out {
+            assert_eq!(parts.len(), 4);
+            for (r, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![r as u8; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_personalized() {
+        let out = run(3, |comm| {
+            let send: Vec<Vec<u8>> =
+                (0..3).map(|d| vec![(10 * comm.rank() + d) as u8; d + 1]).collect();
+            alltoallv(comm, send)
+        });
+        for (me, received) in out.into_iter().enumerate() {
+            for (src, payload) in received.into_iter().enumerate() {
+                assert_eq!(payload, vec![(10 * src + me) as u8; me + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p() {
+        run(3, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 42, b"user");
+            }
+            barrier(comm);
+            let mut v = vec![1.0];
+            allreduce_f64(comm, &mut v, ReduceOp::Sum);
+            assert_eq!(v[0], 3.0);
+            if comm.rank() == 1 {
+                assert_eq!(comm.recv(0, 42), b"user");
+            }
+        });
+    }
+}

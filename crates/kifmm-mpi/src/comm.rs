@@ -1,0 +1,290 @@
+//! Ranks, mailboxes and point-to-point messaging.
+//!
+//! [`run`] spawns one OS thread per rank and hands each a [`Comm`]. Send
+//! is eager-buffered (enqueue and return, like a buffered `MPI_Send`);
+//! receive blocks until a message matching `(source, tag)` arrives. This
+//! is exactly the messaging model the paper's Algorithm 1 needs, and the
+//! buffered semantics are what allow its computation/communication
+//! overlap: a rank can post all its gather sends and immediately proceed
+//! with the upward pass.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Message envelope key: (source rank, tag).
+type MatchKey = (usize, u64);
+
+/// One rank's mailbox.
+#[derive(Default)]
+struct Mailbox {
+    queues: Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>,
+    signal: Condvar,
+}
+
+/// State shared by all ranks of one run.
+pub(crate) struct Shared {
+    pub(crate) size: usize,
+    mailboxes: Vec<Mailbox>,
+    /// Total bytes pushed through p2p sends (collectives are built on p2p
+    /// and therefore included).
+    bytes_sent: AtomicU64,
+    messages_sent: AtomicU64,
+}
+
+/// Per-rank communication statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommStats {
+    /// Bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Messages this rank sent.
+    pub messages_sent: u64,
+    /// Wall-clock seconds this rank spent blocked in receive or
+    /// synchronizing inside collectives.
+    pub comm_seconds: f64,
+}
+
+/// A rank's handle to the communicator (one per thread; not shared).
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    /// Sequence numbers making collective tags unique per call site order.
+    collective_seq: std::cell::Cell<u64>,
+    stats: std::cell::Cell<CommStats>,
+}
+
+/// Tags at or above this value are reserved for collectives.
+pub const RESERVED_TAG_BASE: u64 = 1 << 60;
+
+impl Comm {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Statistics accumulated so far by this rank.
+    pub fn stats(&self) -> CommStats {
+        self.stats.get()
+    }
+
+    /// Send `data` to `dest` with `tag` (eager-buffered: returns
+    /// immediately).
+    pub fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        assert!(dest < self.size(), "destination rank out of range");
+        assert!(tag < RESERVED_TAG_BASE, "user tags must stay below the reserved range");
+        self.send_raw(dest, tag, data.to_vec());
+    }
+
+    pub(crate) fn send_raw(&self, dest: usize, tag: u64, data: Vec<u8>) {
+        let mut st = self.stats.get();
+        st.bytes_sent += data.len() as u64;
+        st.messages_sent += 1;
+        self.stats.set(st);
+        self.shared.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
+        let mb = &self.shared.mailboxes[dest];
+        let mut q = mb.queues.lock();
+        q.entry((self.rank, tag)).or_default().push_back(data);
+        drop(q);
+        mb.signal.notify_all();
+    }
+
+    /// Blocking receive of the next message from `source` with `tag`.
+    pub fn recv(&self, source: usize, tag: u64) -> Vec<u8> {
+        assert!(tag < RESERVED_TAG_BASE, "user tags must stay below the reserved range");
+        self.recv_raw(source, tag)
+    }
+
+    pub(crate) fn recv_raw(&self, source: usize, tag: u64) -> Vec<u8> {
+        let start = Instant::now();
+        let mb = &self.shared.mailboxes[self.rank];
+        let key = (source, tag);
+        let mut q = mb.queues.lock();
+        loop {
+            if let Some(queue) = q.get_mut(&key) {
+                if let Some(msg) = queue.pop_front() {
+                    let mut st = self.stats.get();
+                    st.comm_seconds += start.elapsed().as_secs_f64();
+                    self.stats.set(st);
+                    return msg;
+                }
+            }
+            mb.signal.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: take a waiting message from `(source, tag)` if
+    /// one is queued.
+    pub fn try_recv(&self, source: usize, tag: u64) -> Option<Vec<u8>> {
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut q = mb.queues.lock();
+        q.get_mut(&(source, tag)).and_then(|queue| queue.pop_front())
+    }
+
+    pub(crate) fn next_collective_tag(&self) -> u64 {
+        let seq = self.collective_seq.get();
+        self.collective_seq.set(seq + 1);
+        RESERVED_TAG_BASE + seq
+    }
+
+}
+
+/// Run `f` on `size` ranks (one thread each) and collect each rank's
+/// return value, ordered by rank.
+///
+/// Panics in any rank propagate after all threads are joined.
+pub fn run<R: Send>(size: usize, f: impl Fn(&Comm) -> R + Send + Sync) -> Vec<R> {
+    assert!(size >= 1, "need at least one rank");
+    let shared = Arc::new(Shared {
+        size,
+        mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+        bytes_sent: AtomicU64::new(0),
+        messages_sent: AtomicU64::new(0),
+    });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..size)
+            .map(|rank| {
+                let shared = shared.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let comm = Comm {
+                        rank,
+                        shared,
+                        collective_seq: std::cell::Cell::new(0),
+                        stats: std::cell::Cell::new(CommStats::default()),
+                    };
+                    f(&comm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, b"ping");
+                comm.recv(1, 8)
+            } else {
+                let m = comm.recv(0, 7);
+                assert_eq!(m, b"ping");
+                comm.send(0, 8, b"pong");
+                m
+            }
+        });
+        assert_eq!(out[0], b"pong");
+        assert_eq!(out[1], b"ping");
+    }
+
+    #[test]
+    fn messages_ordered_per_key() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u8 {
+                    comm.send(1, 1, &[i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| comm.recv(0, 1)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, b"five");
+                comm.send(1, 3, b"three");
+                vec![]
+            } else {
+                // Receive in the opposite order of sending.
+                let a = comm.recv(0, 3);
+                let b = comm.recv(0, 5);
+                vec![a, b]
+            }
+        });
+        assert_eq!(out[1], vec![b"three".to_vec(), b"five".to_vec()]);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        run(2, |comm| {
+            if comm.rank() == 1 {
+                // Wrong-source and wrong-tag probes never match.
+                assert!(comm.try_recv(1, 9).is_none());
+                assert!(comm.try_recv(0, 8).is_none());
+                // Poll until the message lands, without blocking.
+                let m = loop {
+                    if let Some(m) = comm.try_recv(0, 9) {
+                        break m;
+                    }
+                    std::thread::yield_now();
+                };
+                assert_eq!(m, b"x");
+                // Consumed: no duplicate delivery.
+                assert!(comm.try_recv(0, 9).is_none());
+            } else {
+                comm.send(1, 9, b"x");
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let out = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0u8; 100]);
+                comm.send(1, 2, &[0u8; 50]);
+            } else {
+                comm.recv(0, 1);
+                comm.recv(0, 2);
+            }
+            comm.stats()
+        });
+        assert_eq!(out[0].bytes_sent, 150);
+        assert_eq!(out[0].messages_sent, 2);
+        assert_eq!(out[1].bytes_sent, 0);
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run(1, |comm| comm.rank() + comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn many_to_one() {
+        let out = run(8, |comm| {
+            if comm.rank() == 0 {
+                let mut total = 0u64;
+                for src in 1..8 {
+                    let m = comm.recv(src, 4);
+                    total += m[0] as u64;
+                }
+                total
+            } else {
+                comm.send(0, 4, &[comm.rank() as u8]);
+                0
+            }
+        });
+        assert_eq!(out[0], (1..8).sum::<u64>());
+    }
+}

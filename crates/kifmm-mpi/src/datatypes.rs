@@ -1,0 +1,86 @@
+//! Typed payload helpers: encode/decode numeric slices to byte messages.
+
+use bytes::{Buf, BufMut};
+
+/// Encode `f64`s little-endian.
+pub fn encode_f64s(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for &x in v {
+        out.put_f64_le(x);
+    }
+    out
+}
+
+/// Decode `f64`s little-endian.
+pub fn decode_f64s(mut b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "payload is not a whole number of f64s");
+    let mut out = Vec::with_capacity(b.len() / 8);
+    while b.has_remaining() {
+        out.push(b.get_f64_le());
+    }
+    out
+}
+
+/// Encode `u64`s little-endian.
+pub fn encode_u64s(v: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for &x in v {
+        out.put_u64_le(x);
+    }
+    out
+}
+
+/// Decode `u64`s little-endian.
+pub fn decode_u64s(mut b: &[u8]) -> Vec<u64> {
+    assert_eq!(b.len() % 8, 0, "payload is not a whole number of u64s");
+    let mut out = Vec::with_capacity(b.len() / 8);
+    while b.has_remaining() {
+        out.push(b.get_u64_le());
+    }
+    out
+}
+
+/// Encode `u32`s little-endian.
+pub fn encode_u32s(v: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for &x in v {
+        out.put_u32_le(x);
+    }
+    out
+}
+
+/// Decode `u32`s little-endian.
+pub fn decode_u32s(mut b: &[u8]) -> Vec<u32> {
+    assert_eq!(b.len() % 4, 0, "payload is not a whole number of u32s");
+    let mut out = Vec::with_capacity(b.len() / 4);
+    while b.has_remaining() {
+        out.push(b.get_u32_le());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.25];
+        assert_eq!(decode_f64s(&encode_f64s(&v)), v);
+        assert!(decode_f64s(&[]).is_empty());
+    }
+
+    #[test]
+    fn u64_u32_roundtrip() {
+        let v = vec![0u64, 1, u64::MAX, 42];
+        assert_eq!(decode_u64s(&encode_u64s(&v)), v);
+        let w = vec![0u32, u32::MAX, 7];
+        assert_eq!(decode_u32s(&encode_u32s(&w)), w);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_payload_rejected() {
+        decode_f64s(&[1, 2, 3]);
+    }
+}

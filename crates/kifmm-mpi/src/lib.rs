@@ -1,0 +1,29 @@
+//! In-process message-passing substrate ("mini-MPI").
+//!
+//! The paper's parallel algorithm is expressed against MPI on the
+//! Pittsburgh Supercomputing Center's TCS-1 Alphaserver. This crate
+//! provides the same programming model with ranks as OS threads on one
+//! machine, so the *algorithm* — local essential trees, the level-by-level
+//! `Allreduce`d global tree array, the owner-coordinated gather/scatter of
+//! Algorithm 1, and the computation/communication overlap — runs
+//! unmodified:
+//!
+//! * [`run`] — spawn `P` ranks and collect their results;
+//! * [`Comm`] — tagged, eager-buffered [`Comm::send`]/[`Comm::recv`]
+//!   point-to-point messaging;
+//! * [`collectives`] — barrier, broadcast, allreduce, allgatherv,
+//!   alltoallv;
+//! * [`CommStats`] — per-rank bytes/messages/blocked-time accounting,
+//!   which the bench harness combines with a latency/bandwidth model of
+//!   the paper's Quadrics interconnect to produce virtual communication
+//!   times (see DESIGN.md).
+
+pub mod collectives;
+pub mod comm;
+pub mod datatypes;
+
+pub use collectives::{
+    allgatherv, allreduce_f64, allreduce_u64, alltoallv, barrier, bcast, ReduceOp,
+};
+pub use comm::{run, Comm, CommStats};
+pub use datatypes::{decode_f64s, decode_u32s, decode_u64s, encode_f64s, encode_u32s, encode_u64s};

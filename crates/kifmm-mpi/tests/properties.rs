@@ -1,0 +1,123 @@
+//! Property-based tests for the message-passing substrate: collectives
+//! must agree with their sequential definitions for arbitrary payloads and
+//! rank counts, and arbitrary p2p traffic patterns must deliver exactly
+//! once, in order.
+
+use kifmm_mpi::{allgatherv, allreduce_f64, allreduce_u64, alltoallv, run, ReduceOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allreduce_f64_matches_reference(
+        ranks in 1usize..6,
+        len in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic per-rank data derived from (rank, seed).
+        let data = |r: usize| -> Vec<f64> {
+            (0..len).map(|i| ((r * 31 + i * 7) as f64 + seed as f64 * 0.1).sin()).collect()
+        };
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            let expect: Vec<f64> = (0..len)
+                .map(|i| {
+                    let vals = (0..ranks).map(|r| data(r)[i]);
+                    match op {
+                        ReduceOp::Sum => vals.sum(),
+                        ReduceOp::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+                        ReduceOp::Min => vals.fold(f64::INFINITY, f64::min),
+                        ReduceOp::BitOr => unreachable!(),
+                    }
+                })
+                .collect();
+            let out = run(ranks, |comm| {
+                let mut v = data(comm.rank());
+                allreduce_f64(comm, &mut v, op);
+                v
+            });
+            for v in out {
+                for (a, b) in v.iter().zip(&expect) {
+                    prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()) * ranks as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_u64_sum_and_bitor(ranks in 1usize..7, len in 1usize..16) {
+        let out = run(ranks, |comm| {
+            let mut sum: Vec<u64> = (0..len as u64).map(|i| i + comm.rank() as u64).collect();
+            allreduce_u64(comm, &mut sum, ReduceOp::Sum);
+            let mut mask = vec![1u64 << comm.rank(); len];
+            allreduce_u64(comm, &mut mask, ReduceOp::BitOr);
+            (sum, mask)
+        });
+        let rank_sum: u64 = (0..ranks as u64).sum();
+        let full_mask = (1u64 << ranks) - 1;
+        for (sum, mask) in out {
+            for (i, &s) in sum.iter().enumerate() {
+                prop_assert_eq!(s, i as u64 * ranks as u64 + rank_sum);
+            }
+            prop_assert!(mask.iter().all(|&m| m == full_mask));
+        }
+    }
+
+    #[test]
+    fn alltoallv_delivers_exactly(ranks in 1usize..6, base in 0u8..200) {
+        let out = run(ranks, move |comm| {
+            let me = comm.rank();
+            let send: Vec<Vec<u8>> = (0..ranks)
+                .map(|d| vec![base.wrapping_add((me * 16 + d) as u8); (me + d) % 5 + 1])
+                .collect();
+            alltoallv(comm, send)
+        });
+        for (me, recv) in out.into_iter().enumerate() {
+            for (src, payload) in recv.into_iter().enumerate() {
+                prop_assert_eq!(payload.len(), (src + me) % 5 + 1);
+                let expect = base.wrapping_add((src * 16 + me) as u8);
+                prop_assert!(payload.iter().all(|&b| b == expect));
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_preserves_payloads(ranks in 1usize..6, scale in 1usize..8) {
+        let out = run(ranks, move |comm| {
+            let mine: Vec<u8> = (0..comm.rank() * scale + 1).map(|i| i as u8).collect();
+            allgatherv(comm, &mine)
+        });
+        for parts in out {
+            for (r, p) in parts.iter().enumerate() {
+                let expect: Vec<u8> = (0..r * scale + 1).map(|i| i as u8).collect();
+                prop_assert_eq!(p, &expect);
+            }
+        }
+    }
+
+    /// Random many-to-many p2p pattern: every rank sends a deterministic
+    /// sequence to every other; receivers observe exact FIFO order.
+    #[test]
+    fn p2p_fifo_per_channel(ranks in 2usize..6, msgs in 1usize..12) {
+        run(ranks, move |comm| {
+            let me = comm.rank();
+            for dst in 0..comm.size() {
+                if dst == me {
+                    continue;
+                }
+                for k in 0..msgs {
+                    comm.send(dst, 9, &[(me * 32 + k) as u8]);
+                }
+            }
+            for src in 0..comm.size() {
+                if src == me {
+                    continue;
+                }
+                for k in 0..msgs {
+                    let m = comm.recv(src, 9);
+                    assert_eq!(m, vec![(src * 32 + k) as u8], "FIFO violated");
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,694 @@
+//! The distributed interaction calculation (paper §3.2).
+//!
+//! Per evaluation, each rank:
+//!
+//! 1. posts its ghost-density gather sends (eager) — *overlapped with:*
+//! 2. the **upward computation**: partial upward equivalent densities for
+//!    every box it contributes to, "ignoring the existence of the other
+//!    processors" (redundant work near the root, as the paper accepts);
+//! 3. completes the ghost exchange and posts the partial-equivalent
+//!    gather sends — *overlapped with:*
+//! 4. the **dense (U-list) and X-list computations**, which only need
+//!    ghost sources;
+//! 5. completes the equivalent-density exchange (owners sum partials —
+//!    valid because every translation is linear in the sources);
+//! 6. runs the remaining **downward computation** (V via FFT, W, L2L,
+//!    L2T) with the globally summed equivalents.
+//!
+//! No synchronization happens inside the computation passes — only the
+//! two exchange steps communicate, matching the paper's "logically
+//! separated" design.
+
+use crate::exchange::{Combine, ExchangePlan, UserKind};
+use crate::global_tree::{build_distributed_tree, DistributedTree};
+use crate::ownership::Ownership;
+use kifmm_core::{
+    num_surface_points, surface_points, Fmm, FmmOptions, M2lMode, Phase, PhaseStats,
+    PrecomputeCache, Precomputed, FIRST_FMM_LEVEL, RAD_INNER, RAD_OUTER,
+};
+use kifmm_fft::C64;
+use kifmm_kernels::{Kernel, Point3};
+use kifmm_mpi::Comm;
+use kifmm_tree::{build_lists, InteractionLists, NO_NODE};
+use std::collections::HashMap;
+use kifmm_core::stats::thread_cpu_time;
+use std::time::Instant;
+
+/// Exchange tag salts (disjoint sub-spaces per payload kind).
+const SALT_POINTS: u64 = 0;
+const SALT_DENS: u64 = 1 << 32;
+const SALT_EQUIV: u64 = 2 << 32;
+
+/// A distributed FMM, built once per particle configuration and evaluated
+/// many times (the Krylov-iteration workload of the paper).
+pub struct ParallelFmm<K: Kernel> {
+    kernel: K,
+    opts: FmmOptions,
+    /// Globally agreed tree with rank-local point ranges.
+    pub dtree: DistributedTree,
+    /// Interaction lists (identical on every rank).
+    pub lists: InteractionLists,
+    /// Contributor/user masks and owners.
+    pub own: Ownership,
+    pre: std::sync::Arc<Precomputed<K>>,
+    /// Global source points of every leaf this rank uses (ghost geometry,
+    /// exchanged once at construction).
+    ghost_points: HashMap<u32, Vec<Point3>>,
+    /// Leaves participating in the source exchange (same on all ranks).
+    src_leaves: Vec<u32>,
+    /// Boxes participating in the equivalent exchange (same on all ranks).
+    equiv_boxes: Vec<u32>,
+    /// Wall seconds spent in tree construction, list building, ownership
+    /// and the ghost geometry exchange (the paper's "Tree Gen/Comm").
+    pub setup_seconds: f64,
+}
+
+impl<K: Kernel> ParallelFmm<K> {
+    /// Collective constructor: every rank passes its local points.
+    pub fn new(comm: &Comm, kernel: K, local_points: &[Point3], opts: FmmOptions) -> Self {
+        let cache = PrecomputeCache::new();
+        Self::with_cache(comm, kernel, local_points, opts, &cache)
+    }
+
+    /// As [`ParallelFmm::new`], but sharing the particle-independent
+    /// operator tables through `cache`. On a real cluster each rank holds
+    /// its own (identical) tables; virtual ranks co-hosted in one process
+    /// share them — the tables are immutable, so this changes memory
+    /// footprint, not results.
+    pub fn with_cache(
+        comm: &Comm,
+        kernel: K,
+        local_points: &[Point3],
+        opts: FmmOptions,
+        cache: &PrecomputeCache<K>,
+    ) -> Self {
+        let t0 = Instant::now();
+        let dtree =
+            build_distributed_tree(comm, local_points, opts.max_pts_per_leaf, opts.max_level);
+        let lists = build_lists(&dtree.tree);
+        let nn = dtree.tree.num_nodes();
+        let own = Ownership::build(
+            comm,
+            |b| dtree.tree.nodes[b].num_points(),
+            &dtree.global_counts,
+            &lists,
+            nn,
+        );
+        let depth = dtree.tree.depth();
+        let root_half = dtree.tree.domain.half;
+        // Tree/list/ownership construction counts toward Gen/Comm; the
+        // operator tables are particle-independent and shared.
+        let tree_seconds = t0.elapsed().as_secs_f64();
+        let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
+        let t1 = Instant::now();
+
+        // Exchange ghost geometry once (positions are fixed across the
+        // many interaction evaluations of a solve).
+        let src_leaves: Vec<u32> = dtree
+            .tree
+            .leaves()
+            .filter(|&b| own.has_src_users(b as usize))
+            .collect();
+        let equiv_boxes: Vec<u32> = (0..nn as u32)
+            .filter(|&b| {
+                own.has_equiv_users(b as usize)
+                    && dtree.tree.nodes[b as usize].key.level >= FIRST_FMM_LEVEL
+            })
+            .collect();
+        let point_payload = |b: u32| -> Vec<f64> {
+            let nd = &dtree.tree.nodes[b as usize];
+            dtree.sorted_points[nd.pt_start as usize..nd.pt_end as usize]
+                .iter()
+                .flat_map(|p| p.iter().copied())
+                .collect()
+        };
+        let plan = ExchangePlan::begin(
+            comm,
+            &own,
+            src_leaves.clone(),
+            SALT_POINTS,
+            Combine::Concat,
+            UserKind::Source,
+            point_payload,
+        );
+        let flat = plan.complete(comm, point_payload);
+        let ghost_points: HashMap<u32, Vec<Point3>> = flat
+            .into_iter()
+            .map(|(b, v)| {
+                let pts = v.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+                (b, pts)
+            })
+            .collect();
+
+        ParallelFmm {
+            kernel,
+            opts,
+            dtree,
+            lists,
+            own,
+            pre,
+            ghost_points,
+            src_leaves,
+            equiv_boxes,
+            setup_seconds: tree_seconds + t1.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Number of local points.
+    pub fn local_len(&self) -> usize {
+        self.dtree.sorted_points.len()
+    }
+
+    /// Predicted per-point workload (flops) for this rank's points, in
+    /// the caller's original local order — the "work estimates from a
+    /// previous time step" the paper proposes for better load balancing.
+    /// Feed into `kifmm_tree::partition_weighted_points` before the next
+    /// repartitioning.
+    pub fn point_work_estimates(&self) -> Vec<f64> {
+        kifmm_core::point_work_estimates(
+            &self.kernel,
+            &self.dtree.tree,
+            &self.lists,
+            self.opts.order,
+            |b| self.dtree.global_counts[b as usize] as f64,
+        )
+    }
+
+    /// One interaction calculation: local densities in (original local
+    /// order), local potentials out (original local order), with per-phase
+    /// statistics.
+    pub fn evaluate(&self, comm: &Comm, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
+        let n = self.local_len();
+        assert_eq!(densities.len(), n * K::SRC_DIM, "density length");
+        let mut stats = PhaseStats::new();
+        let tree = &self.dtree.tree;
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let cs = ns * K::TRG_DIM;
+        let depth = tree.depth();
+        let me = comm.rank();
+
+        // Morton-sort the local densities.
+        let mut dens = vec![0.0; n * K::SRC_DIM];
+        for (si, &orig) in tree.perm.iter().enumerate() {
+            for c in 0..K::SRC_DIM {
+                dens[si * K::SRC_DIM + c] = densities[orig as usize * K::SRC_DIM + c];
+            }
+        }
+
+        // 1. Ghost density gather sends (overlapped with the upward pass).
+        let dens_payload = |b: u32| -> Vec<f64> {
+            let nd = &tree.nodes[b as usize];
+            dens[nd.pt_start as usize * K::SRC_DIM..nd.pt_end as usize * K::SRC_DIM].to_vec()
+        };
+        let tcomm = Instant::now();
+        let dens_plan = ExchangePlan::begin(
+            comm,
+            &self.own,
+            self.src_leaves.clone(),
+            SALT_DENS,
+            Combine::Concat,
+            UserKind::Source,
+            dens_payload,
+        );
+        stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+
+        // 2. Upward pass on contributed boxes (partial equivalents).
+        let up = self.upward_pass(&dens, &mut stats);
+
+        // 3. Complete the ghost density exchange; post partial-equivalent
+        //    sends.
+        let tcomm = Instant::now();
+        let ghost_dens = dens_plan.complete(comm, dens_payload);
+        let equiv_payload = |b: u32| -> Vec<f64> {
+            up[b as usize * es..(b as usize + 1) * es].to_vec()
+        };
+        let equiv_plan = ExchangePlan::begin(
+            comm,
+            &self.own,
+            self.equiv_boxes.clone(),
+            SALT_EQUIV,
+            Combine::Sum,
+            UserKind::Equiv,
+            equiv_payload,
+        );
+        stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+
+        // 4. Overlapped computation: dense U-list interactions and X-list
+        //    check contributions (need only ghost sources).
+        let mut pot = vec![0.0; n * K::TRG_DIM];
+        let mut check = vec![0.0; tree.num_nodes() * cs];
+        self.dense_u_pass(&ghost_dens, &mut pot, &mut stats);
+        self.x_pass(&ghost_dens, &mut check, &mut stats);
+
+        // 5. Complete the equivalent exchange.
+        let tcomm = Instant::now();
+        let global_equiv = equiv_plan.complete(comm, equiv_payload);
+        stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+
+        // 6. Remaining downward computation.
+        if depth >= FIRST_FMM_LEVEL {
+            for level in FIRST_FMM_LEVEL..=depth {
+                self.m2l_level(level, &global_equiv, &mut check, &mut stats);
+            }
+            let down = self.l2l_pass(&check, &mut stats);
+            self.w_pass(&global_equiv, &mut pot, &mut stats);
+            self.l2t_pass(&down, &mut pot, &mut stats);
+        }
+
+        // Un-permute local potentials.
+        let mut out = vec![0.0; n * K::TRG_DIM];
+        for (si, &orig) in tree.perm.iter().enumerate() {
+            for c in 0..K::TRG_DIM {
+                out[orig as usize * K::TRG_DIM + c] = pot[si * K::TRG_DIM + c];
+            }
+        }
+        let _ = me;
+        (out, stats)
+    }
+
+    /// True when this rank holds points in `b`.
+    fn contributed(&self, b: u32) -> bool {
+        self.dtree.tree.nodes[b as usize].num_points() > 0
+    }
+
+    /// Partial upward equivalents from local sources only.
+    fn upward_pass(&self, dens: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
+        let tree = &self.dtree.tree;
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let cs = ns * K::TRG_DIM;
+        let mut up = vec![0.0; tree.num_nodes() * es];
+        let depth = tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return up;
+        }
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        let mut chk = vec![0.0; cs];
+        for level in (FIRST_FMM_LEVEL..=depth).rev() {
+            let lops = self.pre.ops.at(level);
+            for &ni in &tree.levels[level as usize] {
+                if !self.contributed(ni) {
+                    continue;
+                }
+                let node = &tree.nodes[ni as usize];
+                chk.fill(0.0);
+                if node.is_leaf() {
+                    let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+                    let pts = &self.dtree.sorted_points[s..e];
+                    let d = &dens[s * K::SRC_DIM..e * K::SRC_DIM];
+                    let c = tree.domain.box_center(&node.key);
+                    let uc = surface_points(self.opts.order, RAD_OUTER, c, lops.box_half);
+                    self.kernel.p2p(&uc, pts, d, &mut chk);
+                    flops += (pts.len() * ns) as u64 * self.kernel.flops_per_eval();
+                } else {
+                    for (oct, &ci) in node.children.iter().enumerate() {
+                        if ci == NO_NODE || !self.contributed(ci) {
+                            continue;
+                        }
+                        let child = &up[ci as usize * es..(ci as usize + 1) * es];
+                        kifmm_linalg::gemv(1.0, &lops.ue2uc[oct], child, 1.0, &mut chk);
+                        flops += 2 * (cs * es) as u64;
+                    }
+                }
+                let slot = &mut up[ni as usize * es..(ni as usize + 1) * es];
+                kifmm_linalg::gemv(1.0, &lops.uc2ue, &chk, 0.0, slot);
+                flops += 2 * (cs * es) as u64;
+            }
+        }
+        stats.add_seconds(Phase::Up, thread_cpu_time() - start);
+        stats.add_flops(Phase::Up, flops);
+        up
+    }
+
+    /// Dense U-list interactions on local targets from global ghost
+    /// sources.
+    fn dense_u_pass(
+        &self,
+        ghost_dens: &HashMap<u32, Vec<f64>>,
+        pot: &mut [f64],
+        stats: &mut PhaseStats,
+    ) {
+        let tree = &self.dtree.tree;
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        let kf = self.kernel.flops_per_eval();
+        for ni in tree.leaves() {
+            if !self.contributed(ni) {
+                continue;
+            }
+            let node = &tree.nodes[ni as usize];
+            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+            let trg = &self.dtree.sorted_points[s..e];
+            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
+            for &a in &self.lists.u[ni as usize] {
+                let src = &self.ghost_points[&a];
+                let d = &ghost_dens[&a];
+                self.kernel.p2p(trg, src, d, out);
+                flops += (trg.len() * src.len()) as u64 * kf;
+            }
+        }
+        stats.add_seconds(Phase::DownU, thread_cpu_time() - start);
+        stats.add_flops(Phase::DownU, flops);
+    }
+
+    /// X-list: global ghost sources of coarser leaves onto contributed
+    /// boxes' downward check surfaces.
+    fn x_pass(
+        &self,
+        ghost_dens: &HashMap<u32, Vec<f64>>,
+        check: &mut [f64],
+        stats: &mut PhaseStats,
+    ) {
+        let tree = &self.dtree.tree;
+        let ns = num_surface_points(self.opts.order);
+        let cs = ns * K::TRG_DIM;
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        let depth = tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return;
+        }
+        for level in FIRST_FMM_LEVEL..=depth {
+            for &ni in &tree.levels[level as usize] {
+                if !self.contributed(ni) || self.lists.x[ni as usize].is_empty() {
+                    continue;
+                }
+                let node = &tree.nodes[ni as usize];
+                let c = tree.domain.box_center(&node.key);
+                let half = self.pre.ops.at(level).box_half;
+                let dc = surface_points(self.opts.order, RAD_INNER, c, half);
+                let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
+                for &a in &self.lists.x[ni as usize] {
+                    let src = &self.ghost_points[&a];
+                    let d = &ghost_dens[&a];
+                    self.kernel.p2p(&dc, src, d, slot);
+                    flops += (src.len() * ns) as u64 * self.kernel.flops_per_eval();
+                }
+            }
+        }
+        stats.add_seconds(Phase::DownX, thread_cpu_time() - start);
+        stats.add_flops(Phase::DownX, flops);
+    }
+
+    /// M2L over one level for contributed targets, from globally summed
+    /// equivalents.
+    fn m2l_level(
+        &self,
+        level: u8,
+        global_equiv: &HashMap<u32, Vec<f64>>,
+        check: &mut [f64],
+        stats: &mut PhaseStats,
+    ) {
+        let tree = &self.dtree.tree;
+        let ns = num_surface_points(self.opts.order);
+        let cs = ns * K::TRG_DIM;
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        match self.opts.m2l_mode {
+            M2lMode::Fft => {
+                let fft = self.pre.m2l_fft.as_ref().expect("fft tables");
+                let g = fft.grid_len();
+                // Spectra for the V-list sources used at this level.
+                let mut needed: Vec<u32> = Vec::new();
+                for &ni in &tree.levels[level as usize] {
+                    if self.contributed(ni) {
+                        needed.extend_from_slice(&self.lists.v[ni as usize]);
+                    }
+                }
+                needed.sort_unstable();
+                needed.dedup();
+                if needed.is_empty() {
+                    return;
+                }
+                let mut spectra: HashMap<u32, Vec<C64>> = HashMap::with_capacity(needed.len());
+                for &a in &needed {
+                    let mut buf = vec![C64::ZERO; K::SRC_DIM * g];
+                    fft.transform_source(&global_equiv[&a], &mut buf);
+                    flops += fft.fft_flops(K::SRC_DIM);
+                    spectra.insert(a, buf);
+                }
+                let mut acc = vec![C64::ZERO; K::TRG_DIM * g];
+                for &ni in &tree.levels[level as usize] {
+                    if !self.contributed(ni) || self.lists.v[ni as usize].is_empty() {
+                        continue;
+                    }
+                    acc.fill(C64::ZERO);
+                    let bkey = tree.nodes[ni as usize].key;
+                    for &a in &self.lists.v[ni as usize] {
+                        let dir = bkey.offset_to(&tree.nodes[a as usize].key);
+                        flops += fft.accumulate(level, dir, &spectra[&a], &mut acc);
+                    }
+                    fft.extract_check(
+                        level,
+                        &mut acc,
+                        &mut check[ni as usize * cs..(ni as usize + 1) * cs],
+                    );
+                    flops += fft.fft_flops(K::TRG_DIM);
+                }
+            }
+            M2lMode::Direct => {
+                let direct = self.pre.m2l_direct.as_ref().expect("direct tables");
+                for &ni in &tree.levels[level as usize] {
+                    if !self.contributed(ni) {
+                        continue;
+                    }
+                    let bkey = tree.nodes[ni as usize].key;
+                    let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
+                    for &a in &self.lists.v[ni as usize] {
+                        let dir = bkey.offset_to(&tree.nodes[a as usize].key);
+                        flops += direct.apply(level, dir, &global_equiv[&a], slot);
+                    }
+                }
+            }
+        }
+        stats.add_seconds(Phase::DownV, thread_cpu_time() - start);
+        stats.add_flops(Phase::DownV, flops);
+    }
+
+    /// L2L + check-to-equivalent inversion, top-down over contributed
+    /// boxes.
+    fn l2l_pass(&self, check: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
+        let tree = &self.dtree.tree;
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let cs = ns * K::TRG_DIM;
+        let mut down = vec![0.0; tree.num_nodes() * es];
+        let depth = tree.depth();
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        let mut chk = vec![0.0; cs];
+        for level in FIRST_FMM_LEVEL..=depth {
+            let lops = self.pre.ops.at(level);
+            for &ni in &tree.levels[level as usize] {
+                if !self.contributed(ni) {
+                    continue;
+                }
+                let node = &tree.nodes[ni as usize];
+                chk.copy_from_slice(&check[ni as usize * cs..(ni as usize + 1) * cs]);
+                if level > FIRST_FMM_LEVEL {
+                    // Parent is contributed too (it contains this box's
+                    // points).
+                    let pi = node.parent as usize;
+                    let parent = &down[pi * es..(pi + 1) * es];
+                    let oct = node.key.octant() as usize;
+                    kifmm_linalg::gemv(1.0, &lops.de2dc[oct], parent, 1.0, &mut chk);
+                    flops += 2 * (cs * es) as u64;
+                }
+                let out = &mut down[ni as usize * es..(ni as usize + 1) * es];
+                kifmm_linalg::gemv(1.0, &lops.dc2de, &chk, 0.0, out);
+                flops += 2 * (cs * es) as u64;
+            }
+        }
+        stats.add_seconds(Phase::Eval, thread_cpu_time() - start);
+        stats.add_flops(Phase::Eval, flops);
+        down
+    }
+
+    /// W-list: global equivalents of finer separated boxes onto local
+    /// targets.
+    fn w_pass(
+        &self,
+        global_equiv: &HashMap<u32, Vec<f64>>,
+        pot: &mut [f64],
+        stats: &mut PhaseStats,
+    ) {
+        let tree = &self.dtree.tree;
+        let ns = num_surface_points(self.opts.order);
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        let kf = self.kernel.flops_per_eval();
+        for ni in tree.leaves() {
+            if !self.contributed(ni) || self.lists.w[ni as usize].is_empty() {
+                continue;
+            }
+            let node = &tree.nodes[ni as usize];
+            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+            let trg = &self.dtree.sorted_points[s..e];
+            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
+            for &a in &self.lists.w[ni as usize] {
+                let akey = tree.nodes[a as usize].key;
+                let ac = tree.domain.box_center(&akey);
+                let ah = tree.domain.box_half(akey.level);
+                let ue = surface_points(self.opts.order, RAD_INNER, ac, ah);
+                self.kernel.p2p(trg, &ue, &global_equiv[&a], out);
+                flops += (trg.len() * ns) as u64 * kf;
+            }
+        }
+        stats.add_seconds(Phase::DownW, thread_cpu_time() - start);
+        stats.add_flops(Phase::DownW, flops);
+    }
+
+    /// L2T: downward equivalents onto local targets.
+    fn l2t_pass(&self, down: &[f64], pot: &mut [f64], stats: &mut PhaseStats) {
+        let tree = &self.dtree.tree;
+        let ns = num_surface_points(self.opts.order);
+        let es = ns * K::SRC_DIM;
+        let start = thread_cpu_time();
+        let mut flops = 0u64;
+        let kf = self.kernel.flops_per_eval();
+        for ni in tree.leaves() {
+            if !self.contributed(ni) {
+                continue;
+            }
+            let node = &tree.nodes[ni as usize];
+            if node.key.level < FIRST_FMM_LEVEL {
+                continue;
+            }
+            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+            let trg = &self.dtree.sorted_points[s..e];
+            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
+            let c = tree.domain.box_center(&node.key);
+            let half = tree.domain.box_half(node.key.level);
+            let de = surface_points(self.opts.order, RAD_OUTER, c, half);
+            let equiv = &down[ni as usize * es..(ni as usize + 1) * es];
+            self.kernel.p2p(trg, &de, equiv, out);
+            flops += (trg.len() * ns) as u64 * kf;
+        }
+        stats.add_seconds(Phase::Eval, thread_cpu_time() - start);
+        stats.add_flops(Phase::Eval, flops);
+    }
+}
+
+/// Convenience: run a serial reference over the union of per-rank points
+/// (testing/benching helper).
+pub fn serial_reference<K: Kernel>(
+    kernel: K,
+    chunks: &[Vec<Point3>],
+    densities: &[Vec<f64>],
+    opts: FmmOptions,
+) -> Vec<Vec<f64>> {
+    let all_points: Vec<Point3> = chunks.iter().flatten().copied().collect();
+    let all_dens: Vec<f64> = densities.iter().flatten().copied().collect();
+    let fmm = Fmm::new(kernel, &all_points, opts);
+    let all_pot = fmm.evaluate(&all_dens);
+    // Split back per rank.
+    let mut out = Vec::with_capacity(chunks.len());
+    let mut cursor = 0;
+    for c in chunks {
+        let len = c.len() * K::TRG_DIM;
+        out.push(all_pot[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kifmm_core::rel_l2_error;
+    use kifmm_geom::{corner_clusters, random_densities, uniform_cube};
+    use kifmm_kernels::{Laplace, Stokes};
+    use kifmm_mpi::run;
+    use kifmm_tree::partition_points;
+
+    fn split_points(all: &[Point3], ranks: usize) -> Vec<Vec<Point3>> {
+        let part = partition_points(all, ranks);
+        part.groups.iter().map(|g| g.iter().map(|&i| all[i]).collect()).collect()
+    }
+
+    fn check_matches_serial<K: Kernel>(kernel: K, all: Vec<Point3>, ranks: usize, dim: usize) {
+        let chunks = split_points(&all, ranks);
+        let dens: Vec<Vec<f64>> = chunks
+            .iter()
+            .enumerate()
+            .map(|(r, c)| random_densities(c.len(), dim, r as u64 + 1))
+            .collect();
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
+        let serial = serial_reference(kernel.clone(), &chunks, &dens, opts);
+        let chunks2 = chunks.clone();
+        let dens2 = dens.clone();
+        let out = run(ranks, move |comm| {
+            let r = comm.rank();
+            let pfmm = ParallelFmm::new(comm, kernel.clone(), &chunks2[r], opts);
+            let (pot, stats) = pfmm.evaluate(comm, &dens2[r]);
+            (pot, stats.total_flops())
+        });
+        for (r, (pot, flops)) in out.into_iter().enumerate() {
+            let e = rel_l2_error(&pot, &serial[r]);
+            assert!(e < 1e-9, "rank {r}: parallel vs serial error {e}");
+            if !chunks[r].is_empty() {
+                assert!(flops > 0, "rank {r} did work");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_laplace_uniform() {
+        check_matches_serial(Laplace, uniform_cube(1200, 42), 4, 1);
+    }
+
+    #[test]
+    fn matches_serial_laplace_two_ranks() {
+        check_matches_serial(Laplace, uniform_cube(800, 7), 2, 1);
+    }
+
+    #[test]
+    fn matches_serial_laplace_nonuniform() {
+        check_matches_serial(Laplace, corner_clusters(1500, 3), 4, 1);
+    }
+
+    #[test]
+    fn matches_serial_stokes() {
+        check_matches_serial(Stokes::default(), uniform_cube(600, 11), 3, 3);
+    }
+
+    #[test]
+    fn single_rank_equals_serial_exactly() {
+        let all = uniform_cube(700, 23);
+        let dens = random_densities(700, 1, 5);
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 25, ..Default::default() };
+        let serial = Fmm::new(Laplace, &all, opts).evaluate(&dens);
+        let all2 = all.clone();
+        let dens2 = dens.clone();
+        let out = run(1, move |comm| {
+            let pfmm = ParallelFmm::new(comm, Laplace, &all2, opts);
+            pfmm.evaluate(comm, &dens2).0
+        });
+        let e = rel_l2_error(&out[0], &serial);
+        assert!(e < 1e-12, "single rank should match serial: {e}");
+    }
+
+    #[test]
+    fn repeated_evaluations_are_consistent() {
+        // The Krylov workload: many matvecs on the same ParallelFmm.
+        let all = uniform_cube(900, 99);
+        let chunks = split_points(&all, 3);
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
+        run(3, move |comm| {
+            let r = comm.rank();
+            let pfmm = ParallelFmm::new(comm, Laplace, &chunks[r], opts);
+            let d1 = random_densities(chunks[r].len(), 1, 100 + r as u64);
+            let (p1, _) = pfmm.evaluate(comm, &d1);
+            let (p1b, _) = pfmm.evaluate(comm, &d1);
+            assert_eq!(p1, p1b, "same densities, same potentials");
+            // Linearity across evaluations.
+            let d2: Vec<f64> = d1.iter().map(|v| 2.0 * v).collect();
+            let (p2, _) = pfmm.evaluate(comm, &d2);
+            for (a, b) in p2.iter().zip(&p1) {
+                assert!((a - 2.0 * b).abs() < 1e-12 * b.abs().max(1e-6));
+            }
+        });
+    }
+}

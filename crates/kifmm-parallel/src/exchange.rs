@@ -1,0 +1,269 @@
+//! Algorithm 1: owner-coordinated gather/scatter of per-box payloads.
+//!
+//! Two payload kinds flow through the same two-step pattern:
+//!
+//! * **leaf source geometry/densities** (ghost information): contributors
+//!   send their local slice to the owner, the owner *concatenates* (in
+//!   ascending rank order, so every rank assembles the identical global
+//!   list) and scatters to the source users;
+//! * **upward equivalent densities**: contributors send their partial
+//!   densities, the owner *sums* (the translations are linear in the
+//!   sources, so partial equivalents add) and scatters to the equivalent
+//!   users.
+//!
+//! The exchange is split into [`ExchangePlan::begin`] (all outgoing
+//! contributor sends — eager, returns immediately) and
+//! [`ExchangePlan::complete`] (owner combine + scatter + user receives).
+//! The driver places computation between the two, which is exactly the
+//! computation/communication overlap described in §3.2.
+
+use crate::ownership::Ownership;
+use kifmm_mpi::{decode_f64s, encode_f64s, Comm};
+use std::collections::HashMap;
+
+/// Tag namespaces (all below the collective-reserved range).
+pub const TAG_GATHER: u64 = 1 << 40;
+/// Scatter messages use a disjoint namespace from gathers.
+pub const TAG_SCATTER: u64 = 2 << 40;
+
+/// How the owner combines contributor payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combine {
+    /// Concatenate in ascending contributor-rank order (point lists).
+    Concat,
+    /// Elementwise sum (partial equivalent densities).
+    Sum,
+}
+
+/// Which user relation receives the combined payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UserKind {
+    /// U/X-list consumers of global sources.
+    Source,
+    /// V/W-list consumers of global equivalent densities.
+    Equiv,
+}
+
+/// A gather/scatter in flight (sends posted, receives outstanding).
+pub struct ExchangePlan<'a> {
+    own: &'a Ownership,
+    boxes: Vec<u32>,
+    tag_salt: u64,
+    combine: Combine,
+    users: UserKind,
+}
+
+impl<'a> ExchangePlan<'a> {
+    /// Post this rank's contributor sends for every box in `boxes` and
+    /// return the pending plan. `local_payload` is called only for boxes
+    /// this rank contributes to. `tag_salt` keeps concurrent exchanges
+    /// (points vs densities vs equivalents) in disjoint tag spaces.
+    pub fn begin(
+        comm: &Comm,
+        own: &'a Ownership,
+        boxes: Vec<u32>,
+        tag_salt: u64,
+        combine: Combine,
+        users: UserKind,
+        mut local_payload: impl FnMut(u32) -> Vec<f64>,
+    ) -> ExchangePlan<'a> {
+        let me = comm.rank();
+        for &b in &boxes {
+            let bi = b as usize;
+            if own.is_contributor(bi, me) && own.owner[bi] as usize != me {
+                let payload = encode_f64s(&local_payload(b));
+                comm.send(own.owner[bi] as usize, TAG_GATHER + tag_salt + b as u64, &payload);
+            }
+        }
+        ExchangePlan { own, boxes, tag_salt, combine, users }
+    }
+
+    /// Owner side: receive contributions, combine, scatter to users; user
+    /// side: receive the global payload. Returns the global payload for
+    /// every box this rank uses (and owns-and-uses). `local_payload` must
+    /// be the same function handed to [`ExchangePlan::begin`].
+    pub fn complete(
+        self,
+        comm: &Comm,
+        mut local_payload: impl FnMut(u32) -> Vec<f64>,
+    ) -> HashMap<u32, Vec<f64>> {
+        let me = comm.rank();
+        let mut global: HashMap<u32, Vec<f64>> = HashMap::new();
+        // Owner duties: gather + combine + scatter.
+        for &b in &self.boxes {
+            let bi = b as usize;
+            if self.own.owner[bi] as usize != me {
+                continue;
+            }
+            let mut combined: Option<Vec<f64>> = None;
+            for src in self.own.contributors(bi) {
+                let part = if src == me {
+                    local_payload(b)
+                } else {
+                    decode_f64s(&comm.recv(src, TAG_GATHER + self.tag_salt + b as u64))
+                };
+                combined = Some(match (combined, self.combine) {
+                    (None, _) => part,
+                    (Some(mut acc), Combine::Concat) => {
+                        acc.extend_from_slice(&part);
+                        acc
+                    }
+                    (Some(mut acc), Combine::Sum) => {
+                        assert_eq!(acc.len(), part.len(), "partial payload length mismatch");
+                        for (a, p) in acc.iter_mut().zip(part) {
+                            *a += p;
+                        }
+                        acc
+                    }
+                });
+            }
+            let combined = combined.expect("owner contributes, so at least one part");
+            let payload = encode_f64s(&combined);
+            for dst in self.user_ranks(bi) {
+                if dst != me {
+                    comm.send(dst, TAG_SCATTER + self.tag_salt + b as u64, &payload);
+                }
+            }
+            if self.is_user(bi, me) {
+                global.insert(b, combined);
+            }
+        }
+        // User duties: receive from owners.
+        for &b in &self.boxes {
+            let bi = b as usize;
+            let owner = self.own.owner[bi] as usize;
+            if owner != me && self.is_user(bi, me) {
+                let payload =
+                    decode_f64s(&comm.recv(owner, TAG_SCATTER + self.tag_salt + b as u64));
+                global.insert(b, payload);
+            }
+        }
+        global
+    }
+
+    fn user_ranks(&self, bi: usize) -> Vec<usize> {
+        match self.users {
+            UserKind::Source => self.own.src_users(bi),
+            UserKind::Equiv => self.own.equiv_users(bi),
+        }
+    }
+
+    fn is_user(&self, bi: usize, rank: usize) -> bool {
+        match self.users {
+            UserKind::Source => self.own.is_src_user(bi, rank),
+            UserKind::Equiv => self.own.is_equiv_user(bi, rank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_tree::build_distributed_tree;
+    use kifmm_geom::uniform_cube;
+    use kifmm_mpi::run;
+    use kifmm_tree::{build_lists, partition_points, MAX_LEVEL};
+
+    /// Ghost-point exchange: every rank ends up with the full global point
+    /// list of every leaf it uses.
+    #[test]
+    fn ghost_points_reconstruct_global_leaves() {
+        let all = uniform_cube(1500, 21);
+        let part = partition_points(&all, 3);
+        let chunks: Vec<Vec<[f64; 3]>> = part
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&i| all[i]).collect())
+            .collect();
+        run(3, |comm| {
+            let dt = build_distributed_tree(comm, &chunks[comm.rank()], 40, MAX_LEVEL);
+            let lists = build_lists(&dt.tree);
+            let nn = dt.tree.num_nodes();
+            let own = Ownership::build(
+                comm,
+                |b| dt.tree.nodes[b].num_points(),
+                &dt.global_counts,
+                &lists,
+                nn,
+            );
+            let leaves: Vec<u32> = dt
+                .tree
+                .leaves()
+                .filter(|&b| own.has_src_users(b as usize))
+                .collect();
+            let payload = |b: u32| -> Vec<f64> {
+                let nd = &dt.tree.nodes[b as usize];
+                dt.sorted_points[nd.pt_start as usize..nd.pt_end as usize]
+                    .iter()
+                    .flat_map(|p| p.iter().copied())
+                    .collect()
+            };
+            let plan = ExchangePlan::begin(
+                comm,
+                &own,
+                leaves.clone(),
+                0,
+                Combine::Concat,
+                UserKind::Source,
+                payload,
+            );
+            let global = plan.complete(comm, payload);
+            // Every used leaf's global list has exactly the global count.
+            for &b in &leaves {
+                if own.is_src_user(b as usize, comm.rank()) {
+                    let pts = &global[&b];
+                    assert_eq!(
+                        pts.len() as u64,
+                        3 * dt.global_counts[b as usize],
+                        "global leaf payload size"
+                    );
+                }
+            }
+        });
+    }
+
+    /// Sum combine: partial equivalents add to the global value.
+    #[test]
+    fn sum_combine_adds_partials() {
+        let all = uniform_cube(900, 8);
+        let part = partition_points(&all, 3);
+        let chunks: Vec<Vec<[f64; 3]>> = part
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&i| all[i]).collect())
+            .collect();
+        run(3, |comm| {
+            let dt = build_distributed_tree(comm, &chunks[comm.rank()], 30, MAX_LEVEL);
+            let lists = build_lists(&dt.tree);
+            let nn = dt.tree.num_nodes();
+            let own = Ownership::build(
+                comm,
+                |b| dt.tree.nodes[b].num_points(),
+                &dt.global_counts,
+                &lists,
+                nn,
+            );
+            let boxes: Vec<u32> =
+                (0..nn as u32).filter(|&b| own.has_equiv_users(b as usize)).collect();
+            // Fake partial payload: [local_count] so the global sum must be
+            // the global count.
+            let payload =
+                |b: u32| -> Vec<f64> { vec![dt.tree.nodes[b as usize].num_points() as f64] };
+            let plan = ExchangePlan::begin(
+                comm,
+                &own,
+                boxes.clone(),
+                7_000_000,
+                Combine::Sum,
+                UserKind::Equiv,
+                payload,
+            );
+            let global = plan.complete(comm, payload);
+            for &b in &boxes {
+                if own.is_equiv_user(b as usize, comm.rank()) {
+                    assert_eq!(global[&b][0], dt.global_counts[b as usize] as f64);
+                }
+            }
+        });
+    }
+}

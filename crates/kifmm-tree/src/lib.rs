@@ -1,0 +1,23 @@
+//! Octree substrate for the kernel-independent FMM.
+//!
+//! Implements the hierarchical computation tree of the SC'03 paper:
+//! [`MortonKey`]s ([Warren & Salmon]-style hashed keys along the Z-order
+//! curve), the adaptive [`Octree`] (boxes refined until they hold at most
+//! `s` points), the four adaptive interaction lists
+//! ([`build_lists`]: U/V/W/X), and the Morton-curve [`partition`]er used
+//! for distributing surface patches across ranks.
+//!
+//! (Warren & Salmon's SC'92/SC'93 parallel hashed octree papers are cited
+//! as references 23 and 24 in the reproduction target.)
+
+pub mod lists;
+pub mod morton;
+pub mod octree;
+pub mod partition;
+
+pub use lists::{build_lists, InteractionLists};
+pub use morton::{point_key, MortonKey, MAX_LEVEL};
+pub use octree::{Domain, Node, Octree, NO_NODE};
+pub use partition::{
+    partition_patches, partition_points, partition_weighted_points, split_by_weight, Partition,
+};

@@ -1,0 +1,400 @@
+//! Adaptive octree construction.
+//!
+//! The computation tree of the paper (§2.1): a cube large enough to contain
+//! all points, refined so that no box holds more than `s` points. Leaves
+//! exist only where points are — the tree is fully adaptive, with no 2:1
+//! balance constraint (the U/V/W/X lists of [`crate::lists`] handle
+//! arbitrary level jumps).
+
+use crate::morton::{point_key, MortonKey, MAX_LEVEL};
+use std::collections::HashMap;
+
+/// Sentinel for "no child".
+pub const NO_NODE: u32 = u32::MAX;
+
+/// The cubic computational domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Domain {
+    /// Cube center.
+    pub center: [f64; 3],
+    /// Half side length.
+    pub half: f64,
+}
+
+impl Domain {
+    /// Smallest axis-aligned cube containing all points (with a hair of
+    /// padding so boundary points land strictly inside).
+    pub fn containing(points: &[[f64; 3]]) -> Domain {
+        assert!(!points.is_empty(), "domain of an empty point set");
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for p in points {
+            for d in 0..3 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        let center = std::array::from_fn(|d| 0.5 * (lo[d] + hi[d]));
+        let mut half = (0..3).map(|d| 0.5 * (hi[d] - lo[d])).fold(0.0_f64, f64::max);
+        if half == 0.0 {
+            half = 0.5; // degenerate single-point cloud
+        }
+        Domain { center, half: half * (1.0 + 1e-12) }
+    }
+
+    /// Center of the box identified by `key`.
+    pub fn box_center(&self, key: &MortonKey) -> [f64; 3] {
+        let h = self.box_half(key.level);
+        std::array::from_fn(|d| {
+            self.center[d] - self.half + (2.0 * key.coords[d] as f64 + 1.0) * h
+        })
+    }
+
+    /// Half side length of boxes at `level`.
+    pub fn box_half(&self, level: u8) -> f64 {
+        self.half / (1u64 << level) as f64
+    }
+}
+
+/// One box of the tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The box identity.
+    pub key: MortonKey,
+    /// Index of the parent node ([`NO_NODE`] for the root).
+    pub parent: u32,
+    /// Child node index per octant; [`NO_NODE`] where no child exists
+    /// (empty octants are not materialized).
+    pub children: [u32; 8],
+    /// Start of this box's points in [`Octree::perm`].
+    pub pt_start: u32,
+    /// One past the end of this box's points in [`Octree::perm`].
+    pub pt_end: u32,
+}
+
+impl Node {
+    /// True when the box was not subdivided.
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(|&c| c == NO_NODE)
+    }
+
+    /// Number of points in the box's subtree.
+    pub fn num_points(&self) -> usize {
+        (self.pt_end - self.pt_start) as usize
+    }
+}
+
+/// An adaptive octree over a point set.
+///
+/// Points are not stored; the tree keeps a permutation [`Octree::perm`]
+/// sorting the caller's point indices into Morton order so that every box
+/// owns a contiguous index range.
+pub struct Octree {
+    /// The computational domain.
+    pub domain: Domain,
+    /// All boxes, root first, in level-by-level (BFS) order.
+    pub nodes: Vec<Node>,
+    /// `perm[i]` = original index of the i-th point in Morton order.
+    pub perm: Vec<u32>,
+    /// Node indices per level.
+    pub levels: Vec<Vec<u32>>,
+    /// Key → node index.
+    map: HashMap<MortonKey, u32>,
+}
+
+impl Octree {
+    /// Build the adaptive tree: subdivide while a box holds more than
+    /// `max_pts_per_leaf` points (the paper's `s`), up to `max_level`.
+    pub fn build(points: &[[f64; 3]], max_pts_per_leaf: usize, max_level: u8) -> Octree {
+        let domain = Domain::containing(points);
+        Self::build_in_domain(domain, points, max_pts_per_leaf, max_level)
+    }
+
+    /// Build within a caller-specified domain (the distributed driver uses
+    /// the globally agreed domain).
+    pub fn build_in_domain(
+        domain: Domain,
+        points: &[[f64; 3]],
+        max_pts_per_leaf: usize,
+        max_level: u8,
+    ) -> Octree {
+        assert!(max_pts_per_leaf >= 1, "s must be at least 1");
+        let max_level = max_level.min(MAX_LEVEL);
+        let n = points.len();
+        // Morton-sort the point indices by their max-depth codes.
+        let codes: Vec<u64> = points
+            .iter()
+            .map(|&p| point_key(p, domain.center, domain.half, MAX_LEVEL).morton_code())
+            .collect();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by_key(|&i| codes[i as usize]);
+
+        // Level-by-level construction (the same order the distributed
+        // algorithm materializes the global tree array in).
+        let mut nodes = vec![Node {
+            key: MortonKey::ROOT,
+            parent: NO_NODE,
+            children: [NO_NODE; 8],
+            pt_start: 0,
+            pt_end: n as u32,
+        }];
+        let mut levels: Vec<Vec<u32>> = vec![vec![0]];
+        let mut frontier: Vec<u32> = vec![0];
+        for level in 0..max_level {
+            let mut next = Vec::new();
+            for &ni in &frontier {
+                let (start, end, key) = {
+                    let nd = &nodes[ni as usize];
+                    (nd.pt_start, nd.pt_end, nd.key)
+                };
+                if (end - start) as usize <= max_pts_per_leaf {
+                    continue;
+                }
+                // Split the contiguous range into octants by code prefix.
+                let depth = level + 1;
+                let shift = 3 * (MAX_LEVEL - depth) as u32 + 5;
+                let octant_of = |pi: u32| ((codes[perm[pi as usize] as usize] >> shift) & 7) as u8;
+                let mut lo = start;
+                for oct in 0..8u8 {
+                    let mut hi = lo;
+                    while hi < end && octant_of(hi) == oct {
+                        hi += 1;
+                    }
+                    if hi > lo {
+                        let child_idx = nodes.len() as u32;
+                        nodes.push(Node {
+                            key: key.child(oct),
+                            parent: ni,
+                            children: [NO_NODE; 8],
+                            pt_start: lo,
+                            pt_end: hi,
+                        });
+                        nodes[ni as usize].children[oct as usize] = child_idx;
+                        next.push(child_idx);
+                        lo = hi;
+                    }
+                }
+                debug_assert_eq!(lo, end, "children must partition the parent range");
+            }
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next.clone());
+            frontier = next;
+        }
+
+        let map = nodes.iter().enumerate().map(|(i, nd)| (nd.key, i as u32)).collect();
+        Octree { domain, nodes, perm, levels, map }
+    }
+
+    /// Assemble a tree from prebuilt parts (used by the distributed driver,
+    /// whose box structure comes from globally `Allreduce`d counts while the
+    /// point ranges refer to rank-local points).
+    ///
+    /// Invariants assumed: `nodes[0]` is the root; `levels[l]` lists the
+    /// node indices of level `l`; child point ranges partition their
+    /// parent's range.
+    pub fn from_parts(
+        domain: Domain,
+        nodes: Vec<Node>,
+        perm: Vec<u32>,
+        levels: Vec<Vec<u32>>,
+    ) -> Octree {
+        let map = nodes.iter().enumerate().map(|(i, nd)| (nd.key, i as u32)).collect();
+        Octree { domain, nodes, perm, levels, map }
+    }
+
+    /// Number of boxes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth (deepest populated level).
+    pub fn depth(&self) -> u8 {
+        (self.levels.len() - 1) as u8
+    }
+
+    /// Node index for a key, if the box exists.
+    pub fn find(&self, key: &MortonKey) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// The deepest existing box containing `key` (i.e. `key` itself if
+    /// present, else its nearest existing ancestor; the root always exists).
+    pub fn deepest_ancestor(&self, key: &MortonKey) -> u32 {
+        let mut k = *key;
+        loop {
+            if let Some(i) = self.find(&k) {
+                return i;
+            }
+            k = k.parent().expect("root always exists");
+        }
+    }
+
+    /// Iterator over leaf node indices.
+    pub fn leaves(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.nodes.len() as u32).filter(move |&i| self.nodes[i as usize].is_leaf())
+    }
+
+    /// The original point indices owned by a box.
+    pub fn point_indices(&self, node: u32) -> &[u32] {
+        let nd = &self.nodes[node as usize];
+        &self.perm[nd.pt_start as usize..nd.pt_end as usize]
+    }
+
+    /// Same-level adjacent boxes that exist in the tree ("colleagues").
+    pub fn colleagues(&self, node: u32) -> Vec<u32> {
+        let key = self.nodes[node as usize].key;
+        key.neighbors().iter().filter_map(|k| self.find(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<[f64; 3]> {
+        // Deterministic pseudo-random cloud.
+        let mut seed = 0xabcdefu64;
+        (0..n)
+            .map(|_| {
+                std::array::from_fn(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn domain_contains_all_points() {
+        let pts = cloud(500);
+        let d = Domain::containing(&pts);
+        for p in &pts {
+            for dim in 0..3 {
+                assert!((p[dim] - d.center[dim]).abs() <= d.half);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_capacity_respected() {
+        let pts = cloud(2000);
+        let s = 40;
+        let t = Octree::build(&pts, s, MAX_LEVEL);
+        for i in t.leaves() {
+            assert!(t.nodes[i as usize].num_points() <= s, "leaf over capacity");
+        }
+        // Internal boxes exceed s (that is why they were split).
+        for (i, nd) in t.nodes.iter().enumerate() {
+            if !nd.is_leaf() {
+                assert!(nd.num_points() > s, "internal node {i} should exceed s");
+            }
+        }
+    }
+
+    #[test]
+    fn children_partition_parent_ranges() {
+        let pts = cloud(3000);
+        let t = Octree::build(&pts, 25, MAX_LEVEL);
+        for nd in &t.nodes {
+            if nd.is_leaf() {
+                continue;
+            }
+            let mut covered = 0;
+            let mut cursor = nd.pt_start;
+            for &c in &nd.children {
+                if c == NO_NODE {
+                    continue;
+                }
+                let ch = &t.nodes[c as usize];
+                assert_eq!(ch.pt_start, cursor, "child ranges must be contiguous");
+                cursor = ch.pt_end;
+                covered += ch.num_points();
+            }
+            assert_eq!(cursor, nd.pt_end);
+            assert_eq!(covered, nd.num_points());
+        }
+    }
+
+    #[test]
+    fn points_inside_their_boxes() {
+        let pts = cloud(1500);
+        let t = Octree::build(&pts, 30, MAX_LEVEL);
+        for (i, nd) in t.nodes.iter().enumerate() {
+            let c = t.domain.box_center(&nd.key);
+            let h = t.domain.box_half(nd.key.level);
+            for &pi in t.point_indices(i as u32) {
+                let p = pts[pi as usize];
+                for d in 0..3 {
+                    assert!(
+                        (p[d] - c[d]).abs() <= h * (1.0 + 1e-9),
+                        "point {pi} escapes box {i} in dim {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perm_is_permutation() {
+        let pts = cloud(800);
+        let t = Octree::build(&pts, 20, MAX_LEVEL);
+        let mut seen = vec![false; 800];
+        for &i in &t.perm {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn find_and_deepest_ancestor() {
+        let pts = cloud(1000);
+        let t = Octree::build(&pts, 10, MAX_LEVEL);
+        for (i, nd) in t.nodes.iter().enumerate() {
+            assert_eq!(t.find(&nd.key), Some(i as u32));
+        }
+        // A key far below any leaf resolves to an existing ancestor.
+        let leaf = t.leaves().next().unwrap();
+        let mut k = t.nodes[leaf as usize].key;
+        k = k.child(0).child(0);
+        let anc = t.deepest_ancestor(&k);
+        assert!(t.nodes[anc as usize].key.contains(&k));
+    }
+
+    #[test]
+    fn single_box_tree_when_under_capacity() {
+        let pts = cloud(10);
+        let t = Octree::build(&pts, 64, MAX_LEVEL);
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.nodes[0].is_leaf());
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn max_level_caps_depth() {
+        // Identical points cannot be separated: depth must stop at max_level.
+        let pts = vec![[0.25, 0.25, 0.25]; 100];
+        let t = Octree::build(&pts, 10, 4);
+        assert!(t.depth() <= 4);
+        for i in t.leaves() {
+            // The capacity cannot be honored here; all points share a leaf.
+            assert_eq!(t.nodes[i as usize].num_points(), 100);
+        }
+    }
+
+    #[test]
+    fn levels_index_is_consistent() {
+        let pts = cloud(1200);
+        let t = Octree::build(&pts, 15, MAX_LEVEL);
+        let mut count = 0;
+        for (l, idxs) in t.levels.iter().enumerate() {
+            for &i in idxs {
+                assert_eq!(t.nodes[i as usize].key.level as usize, l);
+                count += 1;
+            }
+        }
+        assert_eq!(count, t.num_nodes());
+    }
+}

@@ -1,0 +1,195 @@
+//! Morton-curve partitioning (paper §3.1).
+//!
+//! Input surface patches are ordered along the Morton space-filling curve
+//! by their centroids and then cut into contiguous groups of (nearly)
+//! equal weight, one group per processor. A direct point-level partitioner
+//! is also provided ("alternatively, we could use Morton curve partitioning
+//! directly on the particles").
+
+use crate::morton::{point_key, MAX_LEVEL};
+use crate::octree::Domain;
+use kifmm_geom::SurfacePatch;
+
+/// Assignment of items to `num_parts` contiguous Morton-curve segments.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// `groups[r]` = indices of the items owned by rank `r`.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Load imbalance: max group weight / average group weight.
+    pub fn imbalance(&self, weight: impl Fn(usize) -> f64) -> f64 {
+        let w: Vec<f64> =
+            self.groups.iter().map(|g| g.iter().map(|&i| weight(i)).sum()).collect();
+        let total: f64 = w.iter().sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let avg = total / w.len() as f64;
+        w.iter().fold(0.0_f64, |m, &v| m.max(v)) / avg
+    }
+}
+
+/// Partition weighted items, already ordered along the curve, into
+/// `num_parts` contiguous groups with nearly equal weight (greedy
+/// prefix-sum cuts).
+pub fn split_by_weight(weights: &[f64], num_parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(num_parts >= 1);
+    let total: f64 = weights.iter().sum();
+    let n = weights.len();
+    let mut cuts = Vec::with_capacity(num_parts);
+    let mut start = 0usize;
+    let mut acc = 0.0;
+    for part in 0..num_parts {
+        let target = total * (part as f64 + 1.0) / num_parts as f64;
+        let mut end = start;
+        // Advance while we are below this part's cumulative target; always
+        // leave enough items for the remaining parts when possible.
+        while end < n && (acc + weights[end] <= target || end == start) {
+            let remaining_parts = num_parts - part - 1;
+            if n - (end + 1) < remaining_parts && end > start {
+                break;
+            }
+            acc += weights[end];
+            end += 1;
+        }
+        if part == num_parts - 1 {
+            while end < n {
+                acc += weights[end];
+                end += 1;
+            }
+        }
+        cuts.push(start..end);
+        start = end;
+    }
+    cuts
+}
+
+/// Partition surface patches across `num_parts` ranks: sort by centroid
+/// Morton code, cut by weight.
+pub fn partition_patches(patches: &[SurfacePatch], num_parts: usize) -> Partition {
+    let all_points: Vec<[f64; 3]> =
+        patches.iter().flat_map(|p| p.points.iter().copied()).collect();
+    assert!(!all_points.is_empty(), "cannot partition empty input");
+    let domain = Domain::containing(&all_points);
+    let mut order: Vec<usize> = (0..patches.len()).collect();
+    order.sort_by_key(|&i| {
+        point_key(patches[i].centroid(), domain.center, domain.half, MAX_LEVEL).morton_code()
+    });
+    let weights: Vec<f64> = order.iter().map(|&i| patches[i].weight).collect();
+    let cuts = split_by_weight(&weights, num_parts);
+    Partition {
+        groups: cuts.into_iter().map(|r| r.map(|k| order[k]).collect()).collect(),
+    }
+}
+
+/// Partition points with per-point weights (e.g. the work estimates of
+/// `kifmm_core::point_work_estimates` from a previous evaluation — the
+/// paper's planned use of "workload information from previous time
+/// steps").
+pub fn partition_weighted_points(
+    points: &[[f64; 3]],
+    weights: &[f64],
+    num_parts: usize,
+) -> Partition {
+    assert!(!points.is_empty(), "cannot partition empty input");
+    assert_eq!(points.len(), weights.len(), "one weight per point");
+    let domain = Domain::containing(points);
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by_key(|&i| {
+        point_key(points[i], domain.center, domain.half, MAX_LEVEL).morton_code()
+    });
+    let w: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
+    let cuts = split_by_weight(&w, num_parts);
+    Partition {
+        groups: cuts.into_iter().map(|r| r.map(|k| order[k]).collect()).collect(),
+    }
+}
+
+/// Partition raw points directly (weight 1 each).
+pub fn partition_points(points: &[[f64; 3]], num_parts: usize) -> Partition {
+    assert!(!points.is_empty(), "cannot partition empty input");
+    let domain = Domain::containing(points);
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by_key(|&i| {
+        point_key(points[i], domain.center, domain.half, MAX_LEVEL).morton_code()
+    });
+    let weights = vec![1.0; points.len()];
+    let cuts = split_by_weight(&weights, num_parts);
+    Partition {
+        groups: cuts.into_iter().map(|r| r.map(|k| order[k]).collect()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kifmm_geom::{sphere_grid_patches, uniform_cube};
+
+    #[test]
+    fn split_exact_when_divisible() {
+        let w = vec![1.0; 12];
+        let cuts = split_by_weight(&w, 4);
+        assert_eq!(cuts, vec![0..3, 3..6, 6..9, 9..12]);
+    }
+
+    #[test]
+    fn split_covers_everything_once() {
+        let w: Vec<f64> = (0..37).map(|i| 1.0 + (i % 5) as f64).collect();
+        for parts in [1, 2, 3, 5, 8, 37, 50] {
+            let cuts = split_by_weight(&w, parts);
+            assert_eq!(cuts.len(), parts);
+            let mut expect = 0;
+            for c in &cuts {
+                assert_eq!(c.start, expect);
+                expect = c.end;
+            }
+            assert_eq!(expect, w.len());
+        }
+    }
+
+    #[test]
+    fn patch_partition_balances_weight() {
+        let patches: Vec<_> = sphere_grid_patches(8192, 8)
+            .into_iter()
+            .map(kifmm_geom::SurfacePatch::from_points)
+            .collect();
+        let p = partition_patches(&patches, 16);
+        assert_eq!(p.groups.len(), 16);
+        let total: usize = p.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 512);
+        let imb = p.imbalance(|i| patches[i].weight);
+        assert!(imb < 1.2, "imbalance {imb}");
+    }
+
+    #[test]
+    fn point_partition_is_contiguous_in_space() {
+        let pts = uniform_cube(4000, 9);
+        let p = partition_points(&pts, 8);
+        let total: usize = p.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 4000);
+        // Every point appears exactly once.
+        let mut seen = vec![false; 4000];
+        for g in &p.groups {
+            for &i in g {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Weight balance within one point.
+        for g in &p.groups {
+            assert!((g.len() as i64 - 500).abs() <= 1, "group size {}", g.len());
+        }
+    }
+
+    #[test]
+    fn more_parts_than_items() {
+        let w = vec![1.0; 3];
+        let cuts = split_by_weight(&w, 5);
+        assert_eq!(cuts.len(), 5);
+        let nonempty = cuts.iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(nonempty, 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for Morton keys and partitioning.
+
+use kifmm_tree::{point_key, split_by_weight, MortonKey, MAX_LEVEL};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = MortonKey> {
+    (0u8..=8).prop_flat_map(|level| {
+        let n = 1u32 << level;
+        (0..n, 0..n, 0..n).prop_map(move |(x, y, z)| MortonKey::new(level, [x, y, z]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parent_child_inverse(k in key_strategy(), oct in 0u8..8) {
+        prop_assume!(k.level < MAX_LEVEL);
+        let c = k.child(oct);
+        prop_assert_eq!(c.parent(), Some(k));
+        prop_assert_eq!(c.octant(), oct);
+        prop_assert!(k.contains(&c));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(a in key_strategy(), b in key_strategy()) {
+        prop_assert_eq!(a.is_adjacent(&b), b.is_adjacent(&a));
+    }
+
+    #[test]
+    fn ancestors_contain_and_are_adjacent(k in key_strategy(), lvl in 0u8..=8) {
+        prop_assume!(lvl <= k.level);
+        let a = k.ancestor_at(lvl);
+        prop_assert!(a.contains(&k));
+        // Overlapping closures ⇒ adjacent by the FMM definition.
+        prop_assert!(a.is_adjacent(&k));
+    }
+
+    #[test]
+    fn morton_codes_are_unique_per_key(a in key_strategy(), b in key_strategy()) {
+        if a != b {
+            prop_assert_ne!(a.morton_code(), b.morton_code());
+        } else {
+            prop_assert_eq!(a.morton_code(), b.morton_code());
+        }
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_distinct_same_level(k in key_strategy()) {
+        for n in k.neighbors() {
+            prop_assert_eq!(n.level, k.level);
+            prop_assert!(n != k);
+            prop_assert!(k.is_adjacent(&n));
+        }
+    }
+
+    #[test]
+    fn point_key_respects_containment(
+        x in -1.0f64..1.0, y in -1.0f64..1.0, z in -1.0f64..1.0,
+        level in 1u8..=10,
+    ) {
+        let k = point_key([x, y, z], [0.0; 3], 1.0, level);
+        // The key at a coarser level is the ancestor of the fine key.
+        let coarse = point_key([x, y, z], [0.0; 3], 1.0, level - 1);
+        prop_assert_eq!(k.parent().map(|p| p.ancestor_at(level - 1)), Some(coarse));
+    }
+
+    #[test]
+    fn split_by_weight_is_balanced(
+        weights in proptest::collection::vec(0.1f64..5.0, 1..200),
+        parts in 1usize..12,
+    ) {
+        let cuts = split_by_weight(&weights, parts);
+        prop_assert_eq!(cuts.len(), parts);
+        // Exact cover, in order.
+        let mut cursor = 0;
+        for c in &cuts {
+            prop_assert_eq!(c.start, cursor);
+            cursor = c.end;
+        }
+        prop_assert_eq!(cursor, weights.len());
+        // No part exceeds the ideal share by more than the largest item.
+        let total: f64 = weights.iter().sum();
+        let ideal = total / parts as f64;
+        let wmax = weights.iter().cloned().fold(0.0f64, f64::max);
+        for c in &cuts {
+            let w: f64 = weights[c.clone()].iter().sum();
+            prop_assert!(w <= ideal + wmax + 1e-9, "part weight {w} vs ideal {ideal}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # kifmm — a parallel kernel-independent fast multipole method
+//!
+//! A from-scratch Rust reproduction of **"A New Parallel Kernel-Independent
+//! Fast Multipole Method"** (Ying, Biros, Zorin & Langston, SC 2003):
+//! an `O(N)` evaluator for N-body potentials of non-oscillatory elliptic
+//! kernels that needs *only kernel evaluations* — no analytic expansions —
+//! plus the paper's MPI-style parallelization with overlapped computation
+//! and communication.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kifmm::{Fmm, FmmOptions, Laplace};
+//!
+//! // Sample points and unit densities.
+//! let points = kifmm::geom::uniform_cube(2000, 7);
+//! let densities = vec![1.0; points.len()];
+//!
+//! // Build the tree + translation operators once, evaluate repeatedly.
+//! let fmm = Fmm::new(Laplace, &points, FmmOptions::default());
+//! let potentials = fmm.evaluate(&densities);
+//! assert_eq!(potentials.len(), points.len());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`kernels`] | [`Laplace`], [`ModifiedLaplace`], [`Stokes`], the [`Kernel`] trait |
+//! | [`core`] | [`Fmm`], surfaces, translation operators, FFT M2L, phase stats |
+//! | [`tree`] | Morton keys, adaptive octrees, U/V/W/X lists, partitioning |
+//! | [`parallel`] | [`ParallelFmm`]: the distributed driver of paper §3 |
+//! | [`mpi`] | the in-process message-passing substrate |
+//! | [`solver`] | GMRES and FMM-backed boundary integral operators |
+//! | [`geom`] | the paper's particle distributions (512 spheres, corners) |
+//! | [`linalg`], [`fft`] | the numerical substrates (SVD/pinv, mixed-radix FFT) |
+
+pub use kifmm_core as core;
+pub use kifmm_fft as fft;
+pub use kifmm_geom as geom;
+pub use kifmm_kernels as kernels;
+pub use kifmm_linalg as linalg;
+pub use kifmm_mpi as mpi;
+pub use kifmm_parallel as parallel;
+pub use kifmm_solver as solver;
+pub use kifmm_tree as tree;
+
+pub use kifmm_core::{
+    direct_eval, rel_l2_error, Fmm, FmmOptions, M2lMode, Phase, PhaseStats, PHASES, PHASE_NAMES,
+};
+pub use kifmm_kernels::{Kernel, Laplace, ModifiedLaplace, Point3, Stokes};
+pub use kifmm_parallel::ParallelFmm;
+pub use kifmm_solver::{gmres, GmresOptions, SingleLayerOperator, SurfaceQuadrature};

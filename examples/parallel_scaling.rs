@@ -1,0 +1,64 @@
+//! Mini fixed-size scalability run: the distributed FMM on virtual MPI
+//! ranks, printing a Table-4.1-style summary.
+//!
+//! Ranks are threads on this machine, so per-phase *thread CPU time* is
+//! reported (valid under oversubscription) together with communication
+//! volume; see `kifmm-bench` for the full table reproductions with the
+//! calibrated communication model.
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use kifmm::parallel::ParallelFmm;
+use kifmm::tree::partition_points;
+use kifmm::{FmmOptions, Laplace, Phase};
+use kifmm_core::PrecomputeCache;
+use std::sync::Arc;
+
+fn main() {
+    let n = 40_000;
+    println!("fixed-size scalability, Laplace, N = {n} (512-sphere input)\n");
+    let all = kifmm::geom::sphere_grid(n, 8);
+    let opts = FmmOptions::default();
+
+    println!("  P   max-compute(s)  imbalance  comm(MB)  msgs   total-Mflop");
+    for ranks in [1usize, 2, 4, 8] {
+        let part = partition_points(&all, ranks);
+        let chunks: Vec<Vec<[f64; 3]>> = part
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&i| all[i]).collect())
+            .collect();
+        let cache = Arc::new(PrecomputeCache::new());
+        let chunks = Arc::new(chunks);
+        let out = kifmm::mpi::run(ranks, {
+            let chunks = chunks.clone();
+            let cache = cache.clone();
+            move |comm| {
+                let local = &chunks[comm.rank()];
+                let dens = kifmm::geom::random_densities(local.len(), 1, comm.rank() as u64);
+                let pfmm = ParallelFmm::with_cache(comm, Laplace, local, opts, &cache);
+                let (_, stats) = pfmm.evaluate(comm, &dens);
+                (stats, comm.stats())
+            }
+        });
+        let compute: Vec<f64> = out
+            .iter()
+            .map(|(s, _)| s.total_seconds() - s.seconds[Phase::Comm as usize])
+            .collect();
+        let max_c = compute.iter().cloned().fold(0.0f64, f64::max);
+        let min_c = compute.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+        let bytes: u64 = out.iter().map(|(_, c)| c.bytes_sent).sum();
+        let msgs: u64 = out.iter().map(|(_, c)| c.messages_sent).sum();
+        let flops: u64 = out.iter().map(|(s, _)| s.total_flops()).sum();
+        println!(
+            "  {ranks:<3} {max_c:>13.3}  {:>9.2}  {:>8.2}  {msgs:>5}  {:>11}",
+            max_c / min_c,
+            bytes as f64 / 1e6,
+            flops / 1_000_000
+        );
+    }
+    println!("\nmax-compute should drop ~1/P while comm volume grows — the");
+    println!("fixed-size tradeoff of the paper's Table 4.1. OK");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: evaluate Laplace potentials for 20,000 particles and verify
+//! against direct summation on a sample.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kifmm::{Fmm, FmmOptions, Laplace, Phase, PHASE_NAMES};
+use std::time::Instant;
+
+fn main() {
+    let n = 20_000;
+    println!("kifmm quickstart — Laplace kernel, N = {n}");
+
+    // The paper's first particle set: 512 spheres on an 8×8×8 grid.
+    let points = kifmm::geom::sphere_grid(n, 8);
+    let densities = kifmm::geom::random_densities(n, 1, 42);
+
+    // Build once (tree + interaction lists + translation operators)…
+    let t0 = Instant::now();
+    let fmm = Fmm::new(Laplace, &points, FmmOptions::default());
+    println!(
+        "setup: {:.2}s (tree depth {}, {} boxes)",
+        t0.elapsed().as_secs_f64(),
+        fmm.tree.depth(),
+        fmm.tree.num_nodes()
+    );
+
+    // …evaluate repeatedly (the Krylov-iteration workload of the paper).
+    let t1 = Instant::now();
+    let (potentials, stats) = fmm.evaluate_with_stats(&densities);
+    let elapsed = t1.elapsed().as_secs_f64();
+    println!(
+        "evaluate: {elapsed:.2}s wall, {} Mflop counted, {:.0} Mflop/s",
+        stats.total_flops() / 1_000_000,
+        stats.total_flops() as f64 / elapsed / 1e6
+    );
+    for ph in [Phase::Up, Phase::DownU, Phase::DownV, Phase::DownW, Phase::DownX, Phase::Eval] {
+        println!(
+            "  {:<6} {:>8.3}s  {:>10} Mflop",
+            PHASE_NAMES[ph as usize],
+            stats.seconds[ph as usize],
+            stats.flops[ph as usize] / 1_000_000
+        );
+    }
+
+    // Accuracy check against O(N²) truth on a 200-target sample.
+    let sample: Vec<[f64; 3]> = points.iter().step_by(n / 200).copied().collect();
+    let truth = kifmm::core::direct_eval_src_trg(&Laplace, &points, &densities, &sample);
+    let approx: Vec<f64> = (0..points.len())
+        .step_by(n / 200)
+        .map(|i| potentials[i])
+        .collect();
+    let err = kifmm::rel_l2_error(&approx[..truth.len().min(approx.len())], &truth[..truth.len().min(approx.len())]);
+    println!("relative error vs direct summation (200-point sample): {err:.2e}");
+    assert!(err < 1e-4, "accuracy regression");
+    println!("OK");
+}

@@ -1,0 +1,50 @@
+//! Screened Coulombic interactions (modified Laplace kernel) — one of the
+//! motivating applications the paper names in its introduction (molecular
+//! dynamics).
+//!
+//! Evaluates Yukawa potentials `e^{−λr}/(4πr)` over a corner-clustered,
+//! strongly non-uniform particle set for several screening lengths,
+//! showing the kernel independence of the method: the same FMM machinery
+//! runs an inhomogeneous kernel (per-level operator tables) with no
+//! analytic expansions anywhere.
+//!
+//! ```text
+//! cargo run --release --example screened_coulomb
+//! ```
+
+use kifmm::{Fmm, FmmOptions, ModifiedLaplace};
+use std::time::Instant;
+
+fn main() {
+    let n = 15_000;
+    println!("screened Coulomb (modified Laplace), N = {n}, corner-clustered\n");
+    let points = kifmm::geom::corner_clusters(n, 2026);
+    let densities = kifmm::geom::random_densities(n, 1, 7);
+
+    // Truth on a sample, per λ.
+    let sample_idx: Vec<usize> = (0..n).step_by(n / 100).collect();
+    let sample: Vec<[f64; 3]> = sample_idx.iter().map(|&i| points[i]).collect();
+
+    println!("  λ      u_max(sample)   rel-err    setup    evaluate");
+    for lambda in [0.1, 1.0, 5.0] {
+        let kernel = ModifiedLaplace::new(lambda);
+        let t0 = Instant::now();
+        let fmm = Fmm::new(kernel, &points, FmmOptions::default());
+        let setup = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let u = fmm.evaluate(&densities);
+        let eval = t1.elapsed().as_secs_f64();
+
+        let truth = kifmm::core::direct_eval_src_trg(&kernel, &points, &densities, &sample);
+        let approx: Vec<f64> = sample_idx.iter().map(|&i| u[i]).collect();
+        let err = kifmm::rel_l2_error(&approx, &truth);
+        let umax = truth.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        println!(
+            "  {lambda:<4}   {umax:>12.5e}   {err:.2e}   {setup:>5.2}s   {eval:>6.2}s"
+        );
+        assert!(err < 1e-4, "accuracy regression at λ = {lambda}");
+    }
+
+    println!("\nstronger screening ⇒ shorter range ⇒ smaller far-field potentials;");
+    println!("the FMM error stays at the p = 6 discretization level throughout. OK");
+}

@@ -1,0 +1,98 @@
+//! Sedimentation of rigid spheres in Stokes flow — the fluid–structure
+//! workload of the paper's Figure 4.1, at library scale.
+//!
+//! Two spheres fall under gravity through a viscous fluid. Each time step
+//! solves a boundary integral equation (single-layer ansatz, GMRES with
+//! FMM-accelerated matvecs — "tens of interaction calculations" per step,
+//! exactly the workload the paper's parallel design optimizes for), turns
+//! gravity into rigid-body velocities through the mobility relation, and
+//! advances the spheres.
+//!
+//! Physics checks printed along the way:
+//! * an isolated sphere reproduces the Stokes settling velocity
+//!   `U = F/(6πμR)`;
+//! * a nearby pair falls *faster* than an isolated sphere (the classic
+//!   two-body hydrodynamic interaction).
+//!
+//! ```text
+//! cargo run --release --example stokes_sedimentation
+//! ```
+
+use kifmm::solver::{net_force, rigid_body_velocity, SingleLayerOperator, SurfaceQuadrature};
+use kifmm::{FmmOptions, GmresOptions, Stokes};
+
+const MU: f64 = 1.0;
+const RADIUS: f64 = 0.3;
+const NODES_PER_SPHERE: usize = 300;
+/// Gravity force on each sphere (buoyancy-corrected weight).
+const F_GRAVITY: [f64; 3] = [0.0, 0.0, -1.0];
+
+/// Settling velocity of a set of spheres at the given centers: solve the
+/// resistance problem for a unit collective velocity, then scale so the
+/// net hydrodynamic drag balances gravity (valid for identical spheres
+/// moving together along z).
+fn settling_velocity(centers: &[[f64; 3]]) -> (f64, usize) {
+    let quads: Vec<SurfaceQuadrature> = centers
+        .iter()
+        .map(|&c| SurfaceQuadrature::sphere(c, RADIUS, NODES_PER_SPHERE))
+        .collect();
+    let quad = SurfaceQuadrature::union(&quads);
+    let op = SingleLayerOperator::new(
+        Stokes::new(MU),
+        quad.clone(),
+        FmmOptions { order: 6, max_pts_per_leaf: 50, ..Default::default() },
+    );
+    // Resistance problem: all spheres translate with unit velocity -z.
+    let mut bc = Vec::with_capacity(quad.len() * 3);
+    for (qi, q) in quads.iter().enumerate() {
+        let _ = qi;
+        bc.extend(rigid_body_velocity(q, [0.0; 3], [0.0, 0.0, -1.0], [0.0; 3]));
+    }
+    let res = op.solve(&bc, GmresOptions { tol: 1e-4, max_iter: 300, restart: 60 });
+    assert!(res.converged, "GMRES stalled: residual {}", res.residual);
+    // Net drag for the unit velocity; per-sphere share is drag/n.
+    let f = net_force(&quad, &res.x);
+    let drag_per_sphere = -f[2] / centers.len() as f64; // positive number
+    // Balance: |F_gravity| = drag_per_sphere · U.
+    (F_GRAVITY[2].abs() / drag_per_sphere.abs(), op.matvecs.get())
+}
+
+fn main() {
+    println!("Stokes sedimentation (paper Fig. 4.1 scenario, library scale)");
+    println!(
+        "spheres: R = {RADIUS}, μ = {MU}, {NODES_PER_SPHERE} quadrature nodes each\n"
+    );
+
+    // Reference: isolated sphere vs Stokes law.
+    let (u_single, matvecs) = settling_velocity(&[[0.0, 0.0, 0.0]]);
+    let u_stokes = F_GRAVITY[2].abs() / (6.0 * std::f64::consts::PI * MU * RADIUS);
+    println!(
+        "isolated sphere: U = {u_single:.4} (Stokes law {u_stokes:.4}, \
+         deviation {:.1}%, {matvecs} FMM matvecs)",
+        100.0 * (u_single - u_stokes).abs() / u_stokes
+    );
+
+    // Two interacting spheres falling side by side.
+    let gap = 3.0 * RADIUS;
+    let (u_pair, _) = settling_velocity(&[[-gap / 2.0, 0.0, 0.0], [gap / 2.0, 0.0, 0.0]]);
+    println!(
+        "sphere pair (gap {gap:.2}): U = {u_pair:.4} — {:.1}% faster than isolated",
+        100.0 * (u_pair / u_single - 1.0)
+    );
+    assert!(u_pair > u_single, "pair must settle faster (hydrodynamic interaction)");
+
+    // Time-step the pair: as they fall together the velocity stays higher
+    // than the isolated value; log a short trajectory.
+    println!("\n  t      z       U(t)");
+    let mut z = 0.0;
+    let dt = 0.2;
+    let centers = [[-gap / 2.0, 0.0, 0.0], [gap / 2.0, 0.0, 0.0]];
+    for step in 0..5 {
+        let shifted: Vec<[f64; 3]> =
+            centers.iter().map(|c| [c[0], c[1], c[2] + z]).collect();
+        let (u, _) = settling_velocity(&shifted);
+        println!("  {:>4.1}  {:>6.3}  {:>7.4}", step as f64 * dt, z, u);
+        z -= u * dt;
+    }
+    println!("\nOK");
+}

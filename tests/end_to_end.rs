@@ -1,0 +1,94 @@
+//! End-to-end accuracy: the full FMM pipeline against direct summation on
+//! the paper's two particle distributions, for all three kernels of
+//! Appendix A, at the paper's accuracy setting (relative error ~1e-5,
+//! `p = 6`).
+
+use kifmm::{direct_eval, rel_l2_error, Fmm, FmmOptions, Laplace, ModifiedLaplace, Stokes};
+
+const N: usize = 4000;
+
+fn check<K: kifmm::Kernel>(kernel: K, points: Vec<[f64; 3]>, tol: f64) {
+    let dens = kifmm::geom::random_densities(points.len(), K::SRC_DIM, 11);
+    let fmm = Fmm::new(
+        kernel.clone(),
+        &points,
+        FmmOptions { max_pts_per_leaf: 40, ..Default::default() },
+    );
+    assert!(fmm.tree.depth() >= 2, "workload must exercise the far field");
+    let approx = fmm.evaluate(&dens);
+    let truth = direct_eval(&kernel, &points, &dens);
+    let err = rel_l2_error(&approx, &truth);
+    assert!(err < tol, "{}: relative error {err} (tol {tol})", K::NAME);
+}
+
+#[test]
+fn laplace_sphere_grid() {
+    check(Laplace, kifmm::geom::sphere_grid(N, 8), 1e-5);
+}
+
+#[test]
+fn laplace_corner_clusters() {
+    check(Laplace, kifmm::geom::corner_clusters(N, 5), 1e-5);
+}
+
+#[test]
+fn modified_laplace_sphere_grid() {
+    check(ModifiedLaplace::new(1.0), kifmm::geom::sphere_grid(N, 8), 1e-5);
+}
+
+#[test]
+fn modified_laplace_strong_screening_corners() {
+    check(ModifiedLaplace::new(4.0), kifmm::geom::corner_clusters(N, 6), 1e-5);
+}
+
+#[test]
+fn stokes_sphere_grid() {
+    check(Stokes::new(1.0), kifmm::geom::sphere_grid(N, 8), 1e-4);
+}
+
+#[test]
+fn stokes_corner_clusters() {
+    check(Stokes::new(0.5), kifmm::geom::corner_clusters(N, 7), 1e-4);
+}
+
+/// The paper's headline accuracy claim: "the relative error in all
+/// experiments is 1e-5" at the default settings (p = 6, s = 60).
+#[test]
+fn paper_accuracy_setting() {
+    let points = kifmm::geom::sphere_grid(8000, 8);
+    let dens = kifmm::geom::random_densities(points.len(), 1, 3);
+    let fmm = Fmm::new(Laplace, &points, FmmOptions::default());
+    let approx = fmm.evaluate(&dens);
+    let truth = direct_eval(&Laplace, &points, &dens);
+    let err = rel_l2_error(&approx, &truth);
+    assert!(err < 1e-5, "paper setting must deliver 1e-5: got {err}");
+}
+
+/// FMM must beat direct summation asymptotically: counted flops grow
+/// far slower than quadratically. (The growth is a staircase, not a
+/// smooth line — whenever a size crosses a refinement threshold a whole
+/// tree level appears and V-list work jumps — so the assertion uses a
+/// 4× size span and compares against the O(N²) direct count.)
+#[test]
+fn linear_complexity_in_counted_flops() {
+    let opts = FmmOptions { order: 4, ..Default::default() };
+    let mut flops = Vec::new();
+    for n in [8000usize, 32000] {
+        let points = kifmm::geom::sphere_grid(n, 8);
+        let dens = vec![1.0; n];
+        let fmm = Fmm::new(Laplace, &points, opts);
+        let (_, stats) = fmm.evaluate_with_stats(&dens);
+        flops.push(stats.total_flops() as f64);
+    }
+    let ratio = flops[1] / flops[0];
+    assert!(ratio < 10.0, "4× points must cost ≪ 16× flops: ratio {ratio}");
+    // At 32k points the FMM is already a few× below direct summation and
+    // the gap widens linearly in N (the ~10⁵ flops/point here match the
+    // paper's ~10⁵ cycles/point scale).
+    let direct_flops = 32000.0f64 * 32000.0 * 12.0;
+    assert!(
+        flops[1] < direct_flops / 3.0,
+        "FMM ({}) must beat direct ({direct_flops})",
+        flops[1]
+    );
+}

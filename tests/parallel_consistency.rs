@@ -1,0 +1,135 @@
+//! Distributed-vs-serial consistency on the paper's workloads: the
+//! parallel driver must reproduce the serial evaluator's results for any
+//! rank count and distribution, and its communication accounting must
+//! behave (comm grows with P; phases populated).
+
+use kifmm::parallel::{serial_reference, ParallelFmm};
+use kifmm::tree::{partition_patches, partition_points};
+use kifmm::{rel_l2_error, FmmOptions, Laplace, Phase, Stokes};
+use kifmm_geom::SurfacePatch;
+
+fn split(all: &[[f64; 3]], ranks: usize) -> Vec<Vec<[f64; 3]>> {
+    partition_points(all, ranks)
+        .groups
+        .iter()
+        .map(|g| g.iter().map(|&i| all[i]).collect())
+        .collect()
+}
+
+fn run_case<K: kifmm::Kernel>(kernel: K, all: Vec<[f64; 3]>, ranks: usize) -> Vec<u64> {
+    let chunks = split(&all, ranks);
+    let dens: Vec<Vec<f64>> = chunks
+        .iter()
+        .enumerate()
+        .map(|(r, c)| kifmm::geom::random_densities(c.len(), K::SRC_DIM, r as u64))
+        .collect();
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
+    let serial = serial_reference(kernel.clone(), &chunks, &dens, opts);
+    let chunks2 = chunks.clone();
+    let dens2 = dens.clone();
+    let out = kifmm::mpi::run(ranks, move |comm| {
+        let r = comm.rank();
+        let pfmm = ParallelFmm::new(comm, kernel.clone(), &chunks2[r], opts);
+        let (pot, stats) = pfmm.evaluate(comm, &dens2[r]);
+        (pot, stats, comm.stats().bytes_sent)
+    });
+    let mut bytes = Vec::new();
+    for (r, (pot, stats, b)) in out.into_iter().enumerate() {
+        let e = rel_l2_error(&pot, &serial[r]);
+        assert!(e < 1e-9, "rank {r}/{ranks}: error {e}");
+        if ranks > 1 {
+            // Multi-rank runs must have communicated and accounted for it.
+            let comm_time: f64 = stats.seconds[Phase::Comm as usize];
+            assert!(comm_time >= 0.0);
+        }
+        bytes.push(b);
+    }
+    bytes
+}
+
+#[test]
+fn laplace_sphere_grid_2_and_4_ranks() {
+    let all = kifmm::geom::sphere_grid(3000, 8);
+    run_case(Laplace, all.clone(), 2);
+    run_case(Laplace, all, 4);
+}
+
+#[test]
+fn laplace_corner_clusters_5_ranks() {
+    run_case(Laplace, kifmm::geom::corner_clusters(2500, 17), 5);
+}
+
+#[test]
+fn stokes_nonuniform_3_ranks() {
+    run_case(Stokes::default(), kifmm::geom::corner_clusters(1500, 9), 3);
+}
+
+#[test]
+fn communication_grows_with_ranks() {
+    let all = kifmm::geom::sphere_grid(4000, 8);
+    let b2: u64 = run_case(Laplace, all.clone(), 2).iter().sum();
+    let b8: u64 = run_case(Laplace, all, 8).iter().sum();
+    assert!(b8 > b2, "8 ranks must move more data than 2 ({b8} vs {b2})");
+}
+
+#[test]
+fn patch_partitioned_input_matches_serial() {
+    // The paper's preferred partitioning granularity: surface patches.
+    let patches: Vec<SurfacePatch> = kifmm::geom::sphere_grid_patches(3000, 4)
+        .into_iter()
+        .map(SurfacePatch::from_points)
+        .collect();
+    let part = partition_patches(&patches, 3);
+    let chunks: Vec<Vec<[f64; 3]>> = part
+        .groups
+        .iter()
+        .map(|g| {
+            g.iter()
+                .flat_map(|&pi| patches[pi].points.iter().copied())
+                .collect()
+        })
+        .collect();
+    let dens: Vec<Vec<f64>> = chunks
+        .iter()
+        .enumerate()
+        .map(|(r, c)| kifmm::geom::random_densities(c.len(), 1, r as u64 + 40))
+        .collect();
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 25, ..Default::default() };
+    let serial = serial_reference(Laplace, &chunks, &dens, opts);
+    let chunks2 = chunks.clone();
+    let dens2 = dens.clone();
+    let out = kifmm::mpi::run(3, move |comm| {
+        let r = comm.rank();
+        let pfmm = ParallelFmm::new(comm, Laplace, &chunks2[r], opts);
+        pfmm.evaluate(comm, &dens2[r]).0
+    });
+    for (r, pot) in out.into_iter().enumerate() {
+        let e = rel_l2_error(&pot, &serial[r]);
+        assert!(e < 1e-9, "rank {r}: error {e}");
+    }
+}
+
+#[test]
+fn empty_rank_is_tolerated() {
+    // One rank holds no points at all (extreme imbalance).
+    let all = kifmm::geom::uniform_cube(1000, 31);
+    let mut chunks = split(&all, 2);
+    chunks.push(Vec::new());
+    let dens: Vec<Vec<f64>> = chunks
+        .iter()
+        .map(|c| kifmm::geom::random_densities(c.len(), 1, 1))
+        .collect();
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
+    let serial = serial_reference(Laplace, &chunks, &dens, opts);
+    let chunks2 = chunks.clone();
+    let dens2 = dens.clone();
+    let out = kifmm::mpi::run(3, move |comm| {
+        let r = comm.rank();
+        let pfmm = ParallelFmm::new(comm, Laplace, &chunks2[r], opts);
+        pfmm.evaluate(comm, &dens2[r]).0
+    });
+    for (r, pot) in out.into_iter().enumerate() {
+        let e = rel_l2_error(&pot, &serial[r]);
+        assert!(e < 1e-9 || pot.is_empty(), "rank {r}: error {e}");
+    }
+}

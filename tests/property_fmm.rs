@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) on the FMM's core contracts:
+//! accuracy against direct summation for arbitrary clouds, linearity,
+//! permutation invariance, and tree/list invariants under random input.
+
+use kifmm::tree::{build_lists, Octree};
+use kifmm::{direct_eval, rel_l2_error, Fmm, FmmOptions, Laplace};
+use proptest::prelude::*;
+
+/// Random point clouds: uniform boxes, anisotropic slabs, and clusters.
+fn cloud_strategy() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    let coord = -1.0f64..1.0f64;
+    let point = [coord.clone(), coord.clone(), coord];
+    // Between 64 and 400 points; optionally squash one axis to produce
+    // slab-like distributions with deep adaptive refinement.
+    (proptest::collection::vec(point, 64..400), 0u8..3).prop_map(|(mut pts, squash)| {
+        if squash > 0 {
+            let axis = (squash - 1) as usize;
+            for p in &mut pts {
+                p[axis] *= 0.05;
+            }
+        }
+        pts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whatever the cloud shape, p = 5 keeps the FMM within 1e-4 of truth.
+    #[test]
+    fn fmm_matches_direct_on_random_clouds(pts in cloud_strategy(), seed in 0u64..1000) {
+        let dens = kifmm::geom::random_densities(pts.len(), 1, seed);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 5, max_pts_per_leaf: 12, ..Default::default() },
+        );
+        let approx = fmm.evaluate(&dens);
+        let truth = direct_eval(&Laplace, &pts, &dens);
+        let err = rel_l2_error(&approx, &truth);
+        prop_assert!(err < 1e-4, "error {err}");
+    }
+
+    /// Evaluation is linear in the densities.
+    #[test]
+    fn evaluation_is_linear(pts in cloud_strategy(), a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let n = pts.len();
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 4, max_pts_per_leaf: 15, ..Default::default() },
+        );
+        let d1 = kifmm::geom::random_densities(n, 1, 1);
+        let d2 = kifmm::geom::random_densities(n, 1, 2);
+        let mix: Vec<f64> = d1.iter().zip(&d2).map(|(x, y)| a * x + b * y).collect();
+        let u1 = fmm.evaluate(&d1);
+        let u2 = fmm.evaluate(&d2);
+        let um = fmm.evaluate(&mix);
+        let scale = um.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-9);
+        for i in 0..n {
+            prop_assert!((um[i] - (a * u1[i] + b * u2[i])).abs() < 1e-9 * scale);
+        }
+    }
+
+    /// Shuffling the input point order permutes the output identically.
+    #[test]
+    fn permutation_invariance(pts in cloud_strategy(), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = pts.len();
+        let dens = kifmm::geom::random_densities(n, 1, 99);
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 10, ..Default::default() };
+        let base = Fmm::new(Laplace, &pts, opts).evaluate(&dens);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let pts2: Vec<[f64; 3]> = order.iter().map(|&i| pts[i]).collect();
+        let dens2: Vec<f64> = order.iter().map(|&i| dens[i]).collect();
+        let out2 = Fmm::new(Laplace, &pts2, opts).evaluate(&dens2);
+        let scale = base.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+        for (k, &i) in order.iter().enumerate() {
+            prop_assert!(
+                (out2[k] - base[i]).abs() < 1e-10 * scale,
+                "mismatch at {i}: {} vs {}",
+                out2[k],
+                base[i]
+            );
+        }
+    }
+
+    /// Octree invariants hold for arbitrary clouds (leaf capacity, point
+    /// conservation, list symmetries).
+    #[test]
+    fn tree_invariants(pts in cloud_strategy(), s in 4usize..40) {
+        let tree = Octree::build(&pts, s, 19);
+        // Point conservation at every internal node.
+        for nd in &tree.nodes {
+            if nd.is_leaf() {
+                prop_assert!(nd.num_points() <= s || nd.key.level == 19);
+            }
+        }
+        let total: usize = tree.leaves().map(|l| tree.nodes[l as usize].num_points()).sum();
+        prop_assert_eq!(total, pts.len());
+        // List symmetries.
+        let lists = build_lists(&tree);
+        for b in 0..tree.num_nodes() {
+            for &v in &lists.v[b] {
+                prop_assert!(lists.v[v as usize].contains(&(b as u32)));
+            }
+            for &w in &lists.w[b] {
+                prop_assert!(lists.x[w as usize].contains(&(b as u32)));
+            }
+        }
+    }
+}
+
+/// Degenerate inputs that proptest's generator would rarely hit.
+#[test]
+fn degenerate_colinear_points() {
+    let pts: Vec<[f64; 3]> = (0..300).map(|i| [i as f64 * 1e-3, 0.0, 0.0]).collect();
+    let dens = vec![1.0; 300];
+    let fmm = Fmm::new(
+        Laplace,
+        &pts,
+        FmmOptions { order: 4, max_pts_per_leaf: 10, ..Default::default() },
+    );
+    let approx = fmm.evaluate(&dens);
+    let truth = direct_eval(&Laplace, &pts, &dens);
+    let err = rel_l2_error(&approx, &truth);
+    assert!(err < 1e-4, "colinear cloud error {err}");
+}
+
+#[test]
+fn duplicate_points_capped_by_max_level() {
+    let mut pts = vec![[0.25, 0.25, 0.25]; 50];
+    pts.extend(kifmm::geom::uniform_cube(200, 4));
+    let dens = vec![1.0; pts.len()];
+    let fmm = Fmm::new(
+        Laplace,
+        &pts,
+        FmmOptions { order: 4, max_pts_per_leaf: 8, max_level: 6, ..Default::default() },
+    );
+    // Coincident points produce zero self-terms; still finite and accurate.
+    let approx = fmm.evaluate(&dens);
+    let truth = direct_eval(&Laplace, &pts, &dens);
+    let err = rel_l2_error(&approx, &truth);
+    assert!(err < 1e-3, "duplicate-point cloud error {err}");
+}

@@ -1,0 +1,97 @@
+//! Solver-stack integration: GMRES + FMM matvecs solving boundary
+//! integral equations with known physics.
+
+use kifmm::solver::{net_force, rigid_body_velocity, SingleLayerOperator, SurfaceQuadrature};
+use kifmm::{FmmOptions, GmresOptions, Laplace, Stokes};
+
+/// Capacitance of a sphere: solving `Sσ = 1` on a sphere of radius `R`
+/// with the Laplace single layer gives total charge `Q = 4πR` (in the
+/// `1/4π` kernel normalization, so `C = Q/V = 4πR`).
+#[test]
+fn sphere_capacitance() {
+    let radius = 1.3;
+    let q = SurfaceQuadrature::sphere([0.0; 3], radius, 600);
+    let op = SingleLayerOperator::new(
+        Laplace,
+        q.clone(),
+        FmmOptions { order: 6, max_pts_per_leaf: 40, ..Default::default() },
+    );
+    let bc = vec![1.0; q.len()];
+    let res = op.solve(&bc, GmresOptions { tol: 1e-6, max_iter: 200, restart: 50 });
+    assert!(res.converged, "residual {}", res.residual);
+    let total_charge: f64 =
+        res.x.iter().zip(&q.weights).map(|(s, w)| s * w).sum();
+    let expect = 4.0 * std::f64::consts::PI * radius;
+    let rel = (total_charge - expect).abs() / expect;
+    assert!(rel < 0.05, "capacitance {total_charge} vs {expect} (rel {rel})");
+}
+
+/// Torque-free rotation: a sphere spinning in Stokes flow experiences zero
+/// net force (the single-layer density integrates to zero force).
+#[test]
+fn rotating_sphere_has_no_net_force() {
+    let q = SurfaceQuadrature::sphere([0.0; 3], 1.0, 400);
+    let op = SingleLayerOperator::new(
+        Stokes::new(1.0),
+        q.clone(),
+        FmmOptions { order: 6, max_pts_per_leaf: 40, ..Default::default() },
+    );
+    let bc = rigid_body_velocity(&q, [0.0; 3], [0.0; 3], [0.0, 0.0, 1.5]);
+    let res = op.solve(&bc, GmresOptions { tol: 1e-4, max_iter: 300, restart: 60 });
+    assert!(res.converged, "residual {}", res.residual);
+    let f = net_force(&q, &res.x);
+    let scale = 6.0 * std::f64::consts::PI; // drag scale for comparison
+    for c in f {
+        assert!(c.abs() < 0.02 * scale, "net force must vanish: {f:?}");
+    }
+}
+
+/// The solution of the BIE reproduces the boundary condition at
+/// off-surface exterior points near the sphere (field extension check).
+#[test]
+fn exterior_field_decays() {
+    let q = SurfaceQuadrature::sphere([0.0; 3], 1.0, 500);
+    let op = SingleLayerOperator::new(
+        Laplace,
+        q.clone(),
+        FmmOptions { order: 6, max_pts_per_leaf: 40, ..Default::default() },
+    );
+    let bc = vec![1.0; q.len()];
+    let res = op.solve(&bc, GmresOptions { tol: 1e-6, max_iter: 200, restart: 50 });
+    assert!(res.converged);
+    // Exterior potential of the unit-potential sphere is R/r.
+    for r in [2.0, 4.0, 8.0] {
+        let u = op.evaluate_off_surface(&res.x, &[[r, 0.0, 0.0]]);
+        let expect = 1.0 / r;
+        // The ~5% offset is the Nyström quadrature bias (the density solves
+        // the *discrete* system, whose excluded self-term inflates σ).
+        assert!(
+            (u[0] - expect).abs() < 0.06 * expect,
+            "u({r}) = {} vs {expect}",
+            u[0]
+        );
+    }
+}
+
+/// Multi-body: two distant spheres at unit potential each behave like two
+/// isolated capacitors (weak interaction at large separation).
+#[test]
+fn two_distant_spheres_capacitance() {
+    let d = 20.0;
+    let a = SurfaceQuadrature::sphere([-d / 2.0, 0.0, 0.0], 1.0, 300);
+    let b = SurfaceQuadrature::sphere([d / 2.0, 0.0, 0.0], 1.0, 300);
+    let q = SurfaceQuadrature::union(&[a, b]);
+    let op = SingleLayerOperator::new(
+        Laplace,
+        q.clone(),
+        FmmOptions { order: 6, max_pts_per_leaf: 40, ..Default::default() },
+    );
+    let bc = vec![1.0; q.len()];
+    let res = op.solve(&bc, GmresOptions { tol: 1e-6, max_iter: 300, restart: 50 });
+    assert!(res.converged);
+    let total: f64 = res.x.iter().zip(&q.weights).map(|(s, w)| s * w).sum();
+    let isolated = 2.0 * 4.0 * std::f64::consts::PI;
+    // First-order interaction correction is ~1/d = 5%.
+    let rel = (total - isolated).abs() / isolated;
+    assert!(rel < 0.10, "two-sphere charge {total} vs 2×isolated {isolated} (rel {rel})");
+}
