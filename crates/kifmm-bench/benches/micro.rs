@@ -1,49 +1,95 @@
-//! Criterion micro-benchmarks for the performance-critical primitives:
-//! kernel P2P inner loops (the DownU microkernel), the M2L machinery
-//! (FFT transforms and Hadamard accumulation vs dense GEMV), the
-//! check-to-equivalent solves, and tree construction.
+//! Hand-rolled micro-benchmarks (no external harness) for the
+//! performance-critical primitives: kernel P2P inner loops (the DownU
+//! microkernel), the M2L machinery (FFT transforms and Hadamard
+//! accumulation vs dense GEMV), the check-to-equivalent solves, and tree
+//! construction.
+//!
+//! Each benchmark is timed with a warmup pass followed by adaptively many
+//! iterations (targeting ~0.3 s of measurement); median, min, and mean
+//! per-iteration times are printed. Run with
+//! `cargo bench -p kifmm-bench` — or filter by substring:
+//! `cargo bench -p kifmm-bench -- fft`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kifmm::core::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
 use kifmm::kernels::assemble;
 use kifmm::{Fmm, FmmOptions, Kernel, Laplace, ModifiedLaplace, Stokes};
+use std::time::{Duration, Instant};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("p2p");
+/// Time `f` and print one result row. Returns per-iteration medians so
+/// callers could derive throughput if they want.
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    // Warmup: run until ~50 ms has elapsed (at least once).
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm_iters == 0 || warm_start.elapsed() < Duration::from_millis(50) {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed() / warm_iters;
+    // Measure: enough iterations for ~0.3 s, in [5, 1000] samples.
+    let iters = (Duration::from_millis(300).as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(5, 1000) as usize;
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<34} median {:>12} | min {:>12} | mean {:>12} | {iters} iters",
+        fmt(median),
+        fmt(min),
+        fmt(mean)
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn bench_kernels(filter: &str) {
     let targets = kifmm::geom::uniform_cube(512, 1);
     let sources = kifmm::geom::uniform_cube(512, 2);
-    g.throughput(Throughput::Elements((512 * 512) as u64));
     macro_rules! bench_kernel {
         ($name:literal, $k:expr, $dim:expr) => {
             let dens = kifmm::geom::random_densities(512, $dim, 3);
             let mut out = vec![0.0; 512 * $dim];
-            g.bench_function($name, |b| {
-                b.iter(|| {
-                    out.fill(0.0);
-                    $k.p2p(&targets, &sources, &dens, &mut out);
-                    std::hint::black_box(&out);
-                })
+            bench(filter, $name, || {
+                out.fill(0.0);
+                $k.p2p(&targets, &sources, &dens, &mut out);
+                std::hint::black_box(&out);
             });
         };
     }
-    bench_kernel!("laplace_512x512", Laplace, 1);
-    bench_kernel!("mod_laplace_512x512", ModifiedLaplace::new(1.0), 1);
-    bench_kernel!("stokes_512x512", Stokes::new(1.0), 3);
-    g.finish();
+    bench_kernel!("p2p/laplace_512x512", Laplace, 1);
+    bench_kernel!("p2p/mod_laplace_512x512", ModifiedLaplace::new(1.0), 1);
+    bench_kernel!("p2p/stokes_512x512", Stokes::new(1.0), 3);
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft(filter: &str) {
     for m in [8usize, 12, 16] {
         let plan = kifmm::fft::Fft3::new([m, m, m]);
-        let mut data: Vec<kifmm::fft::C64> = (0..m * m * m)
-            .map(|i| kifmm::fft::C64::new((i as f64).sin(), 0.0))
-            .collect();
-        g.bench_function(format!("fft3_{m}cubed"), |b| {
-            b.iter(|| {
-                plan.forward(&mut data);
-                plan.inverse(&mut data);
-            })
+        let mut data: Vec<kifmm::fft::C64> =
+            (0..m * m * m).map(|i| kifmm::fft::C64::new((i as f64).sin(), 0.0)).collect();
+        bench(filter, &format!("fft/fft3_{m}cubed"), || {
+            plan.forward(&mut data);
+            plan.inverse(&mut data);
         });
     }
     // The M2L Hadamard accumulation (DownV inner loop).
@@ -52,72 +98,62 @@ fn bench_fft(c: &mut Criterion) {
         (0..gsz).map(|i| kifmm::fft::C64::new(i as f64, -(i as f64))).collect();
     let bv = a.clone();
     let mut acc = vec![kifmm::fft::C64::ZERO; gsz];
-    g.bench_function("hadamard_accumulate_1728", |b| {
-        b.iter(|| {
-            kifmm::fft::pointwise_mul_add(&mut acc, &a, &bv);
-            std::hint::black_box(&acc);
-        })
+    bench(filter, "fft/hadamard_accumulate_1728", || {
+        kifmm::fft::pointwise_mul_add(&mut acc, &a, &bv);
+        std::hint::black_box(&acc);
     });
-    g.finish();
 }
 
-fn bench_linalg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("linalg");
-    g.sample_size(10);
+fn bench_linalg(filter: &str) {
     // The check-system pseudoinverse (p = 6 Laplace: 152×152).
     let p = 6;
     let uc = surface_points(p, RAD_OUTER, [0.0; 3], 0.5);
     let ue = surface_points(p, RAD_INNER, [0.0; 3], 0.5);
     let k = assemble(&Laplace, &uc, &ue);
-    g.bench_function("pinv_152x152", |b| {
-        b.iter(|| std::hint::black_box(kifmm::linalg::pinv(&k)))
+    bench(filter, "linalg/pinv_152x152", || {
+        std::hint::black_box(kifmm::linalg::pinv(&k));
     });
     // The translation GEMV (M2M/L2L inner op).
     let ns = num_surface_points(p);
     let x: Vec<f64> = (0..ns).map(|i| (i as f64).sin()).collect();
     let mut y = vec![0.0; ns];
-    g.bench_function("gemv_152", |b| {
-        b.iter(|| {
-            kifmm::linalg::gemv(1.0, &k, &x, 0.0, &mut y);
-            std::hint::black_box(&y);
-        })
+    bench(filter, "linalg/gemv_152", || {
+        kifmm::linalg::gemv(1.0, &k, &x, 0.0, &mut y);
+        std::hint::black_box(&y);
     });
-    g.finish();
 }
 
-fn bench_tree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tree");
-    g.sample_size(10);
+fn bench_tree(filter: &str) {
     let pts = kifmm::geom::sphere_grid(100_000, 8);
-    g.bench_function("octree_build_100k_s60", |b| {
-        b.iter(|| std::hint::black_box(kifmm::tree::Octree::build(&pts, 60, 19)))
+    bench(filter, "tree/octree_build_100k_s60", || {
+        std::hint::black_box(kifmm::tree::Octree::build(&pts, 60, 19));
     });
     let tree = kifmm::tree::Octree::build(&pts, 60, 19);
-    g.bench_function("interaction_lists_100k", |b| {
-        b.iter(|| std::hint::black_box(kifmm::tree::build_lists(&tree)))
+    bench(filter, "tree/interaction_lists_100k", || {
+        std::hint::black_box(kifmm::tree::build_lists(&tree));
     });
-    g.finish();
 }
 
-fn bench_fmm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fmm");
-    g.sample_size(10);
+fn bench_fmm(filter: &str) {
     let pts = kifmm::geom::sphere_grid(10_000, 8);
     let dens = kifmm::geom::random_densities(10_000, 1, 1);
     let fmm = Fmm::new(Laplace, &pts, FmmOptions::default());
-    g.bench_function("evaluate_laplace_10k_p6", |b| {
-        b.iter(|| std::hint::black_box(fmm.evaluate(&dens)))
+    bench(filter, "fmm/evaluate_laplace_10k_p6", || {
+        std::hint::black_box(fmm.evaluate(&dens));
     });
-    let fmm4 = Fmm::new(
-        Laplace,
-        &pts,
-        FmmOptions { order: 4, ..Default::default() },
-    );
-    g.bench_function("evaluate_laplace_10k_p4", |b| {
-        b.iter(|| std::hint::black_box(fmm4.evaluate(&dens)))
+    let fmm4 = Fmm::new(Laplace, &pts, FmmOptions { order: 4, ..Default::default() });
+    bench(filter, "fmm/evaluate_laplace_10k_p4", || {
+        std::hint::black_box(fmm4.evaluate(&dens));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_fft, bench_linalg, bench_tree, bench_fmm);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <substr>` filters; `--bench`/`--exact` style flags
+    // from the libtest protocol are ignored.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-')).unwrap_or_default();
+    bench_kernels(&filter);
+    bench_fft(&filter);
+    bench_linalg(&filter);
+    bench_tree(&filter);
+    bench_fmm(&filter);
+}

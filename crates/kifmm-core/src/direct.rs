@@ -1,10 +1,9 @@
 //! Direct `O(N²)` summation — the exact reference the FMM approximates,
 //! used for accuracy measurements and as the small-`N` baseline in the
-//! benches. Parallelized over targets with rayon (targets are
-//! embarrassingly parallel).
+//! benches. Parallelized over targets with the in-tree runtime (targets
+//! are embarrassingly parallel).
 
 use kifmm_kernels::{Kernel, Point3};
-use rayon::prelude::*;
 
 /// `u_i = Σ_j G(x_i, x_j) φ_j` with the self term excluded, exactly.
 pub fn direct_eval<K: Kernel>(kernel: &K, points: &[Point3], densities: &[f64]) -> Vec<f64> {
@@ -20,11 +19,12 @@ pub fn direct_eval_src_trg<K: Kernel>(
 ) -> Vec<f64> {
     assert_eq!(densities.len(), sources.len() * K::SRC_DIM);
     let mut out = vec![0.0; targets.len() * K::TRG_DIM];
-    // Chunk targets so rayon has useful grain without per-target overhead.
+    // Chunk targets so tasks have useful grain without per-target overhead.
     let chunk = 64;
-    out.par_chunks_mut(chunk * K::TRG_DIM)
-        .zip(targets.par_chunks(chunk))
-        .for_each(|(o, t)| kernel.p2p(t, sources, densities, o));
+    kifmm_runtime::par_chunks_mut(&mut out, chunk * K::TRG_DIM, |i, o| {
+        let t = &targets[i * chunk..(i * chunk + o.len() / K::TRG_DIM)];
+        kernel.p2p(t, sources, densities, o);
+    });
     out
 }
 

@@ -239,7 +239,7 @@ pub struct M2lDirect<K: Kernel> {
     /// Cache: (level, direction) → `(n_s·TRG) × (n_s·SRC)` matrix. For
     /// homogeneous kernels the cache key uses level `u8::MAX` (reference)
     /// plus a per-level scale.
-    cache: parking_lot::Mutex<HashMap<(u8, [i32; 3]), std::sync::Arc<Mat>>>,
+    cache: std::sync::Mutex<HashMap<(u8, [i32; 3]), std::sync::Arc<Mat>>>,
     level_scale: Vec<(u8, f64)>,
     root_half: f64,
 }
@@ -265,7 +265,7 @@ impl<K: Kernel> M2lDirect<K> {
         M2lDirect {
             kernel: kernel.clone(),
             p,
-            cache: parking_lot::Mutex::new(HashMap::new()),
+            cache: std::sync::Mutex::new(HashMap::new()),
             level_scale,
             root_half,
         }
@@ -276,7 +276,10 @@ impl<K: Kernel> M2lDirect<K> {
     pub fn apply(&self, level: u8, dir: [i32; 3], equiv: &[f64], check: &mut [f64]) -> u64 {
         let (cache_level, scale) = self.level_scale[level as usize];
         let mat = {
-            let mut cache = self.cache.lock();
+            // Recover from poisoning: the map is consistent even if a
+            // concurrent assembler panicked.
+            let mut cache =
+                self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             cache
                 .entry((cache_level, dir))
                 .or_insert_with(|| {
@@ -392,6 +395,6 @@ mod tests {
         direct.apply(3, [2, 0, 0], &equiv, &mut check);
         direct.apply(4, [2, 0, 0], &equiv, &mut check);
         direct.apply(5, [2, 0, 0], &equiv, &mut check);
-        assert_eq!(direct.cache.lock().len(), 1, "homogeneous: one cached matrix");
+        assert_eq!(direct.cache.lock().unwrap().len(), 1, "homogeneous: one cached matrix");
     }
 }

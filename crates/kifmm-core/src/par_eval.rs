@@ -1,4 +1,4 @@
-//! Shared-memory parallel evaluation (rayon).
+//! Shared-memory parallel evaluation (in-tree `kifmm-runtime`).
 //!
 //! [`Fmm::evaluate_parallel`] runs the same passes as the serial
 //! [`Fmm::evaluate`] with intra-node data parallelism, exploiting two
@@ -27,13 +27,14 @@ use crate::stats::{Phase, PhaseStats};
 use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
 use kifmm_fft::C64;
 use kifmm_kernels::Kernel;
+use kifmm_runtime::{par_chunks2_mut, par_chunks_mut, par_chunks_mut_init, par_for_each, par_map};
 use kifmm_tree::NO_NODE;
-use rayon::prelude::*;
 use std::collections::HashMap;
 use std::time::Instant;
 
 impl<K: Kernel> Fmm<K> {
-    /// [`Fmm::evaluate`] with rayon data parallelism inside every phase.
+    /// [`Fmm::evaluate`] with data parallelism inside every phase
+    /// (worker threads from the in-tree `kifmm-runtime` pool).
     pub fn evaluate_parallel(&self, densities: &[f64]) -> Vec<f64> {
         self.evaluate_parallel_with_stats(densities).0
     }
@@ -75,7 +76,7 @@ impl<K: Kernel> Fmm<K> {
                 // is only read (children live at deeper indices).
                 let mut checks = vec![0.0; (le - ls) * cs];
                 let up_ro: &[f64] = &up;
-                checks.par_chunks_mut(cs).enumerate().for_each(|(i, chk)| {
+                par_chunks_mut(&mut checks, cs, |i, chk| {
                     let ni = (ls + i) as u32;
                     let node = &tree.nodes[ni as usize];
                     if node.is_leaf() {
@@ -96,12 +97,10 @@ impl<K: Kernel> Fmm<K> {
                     }
                 });
                 // Invert the whole level in parallel.
-                up[ls * es..le * es]
-                    .par_chunks_mut(es)
-                    .zip(checks.par_chunks(cs))
-                    .for_each(|(slot, chk)| {
-                        kifmm_linalg::gemv(1.0, &lops.uc2ue, chk, 0.0, slot);
-                    });
+                par_chunks_mut(&mut up[ls * es..le * es], es, |i, slot| {
+                    let chk = &checks[i * cs..(i + 1) * cs];
+                    kifmm_linalg::gemv(1.0, &lops.uc2ue, chk, 0.0, slot);
+                });
                 // Exact flop accounting (sequential scan; negligible).
                 for i in ls..le {
                     let node = &tree.nodes[i];
@@ -133,7 +132,7 @@ impl<K: Kernel> Fmm<K> {
             for level in FIRST_FMM_LEVEL..=depth {
                 let (ls, le) = self.level_range(level);
                 let half = self.pre.ops.at(level).box_half;
-                check[ls * cs..le * cs].par_chunks_mut(cs).enumerate().for_each(|(i, slot)| {
+                par_chunks_mut(&mut check[ls * cs..le * cs], cs, |i, slot| {
                     let ni = ls + i;
                     if self.lists.x[ni].is_empty() {
                         return;
@@ -172,20 +171,16 @@ impl<K: Kernel> Fmm<K> {
                 let (parents, rest) = down.split_at_mut(ls * es);
                 let level_down = &mut rest[..(le - ls) * es];
                 let level_check = &mut check[ls * cs..le * cs];
-                level_down
-                    .par_chunks_mut(es)
-                    .zip(level_check.par_chunks_mut(cs))
-                    .enumerate()
-                    .for_each(|(i, (out, chk))| {
-                        let node = &tree.nodes[ls + i];
-                        if level > FIRST_FMM_LEVEL {
-                            let pi = node.parent as usize;
-                            let parent = &parents[pi * es..(pi + 1) * es];
-                            let oct = node.key.octant() as usize;
-                            kifmm_linalg::gemv(1.0, &lops.de2dc[oct], parent, 1.0, chk);
-                        }
-                        kifmm_linalg::gemv(1.0, &lops.dc2de, chk, 0.0, out);
-                    });
+                par_chunks2_mut(level_down, es, level_check, cs, |i, out, chk| {
+                    let node = &tree.nodes[ls + i];
+                    if level > FIRST_FMM_LEVEL {
+                        let pi = node.parent as usize;
+                        let parent = &parents[pi * es..(pi + 1) * es];
+                        let oct = node.key.octant() as usize;
+                        kifmm_linalg::gemv(1.0, &lops.de2dc[oct], parent, 1.0, chk);
+                    }
+                    kifmm_linalg::gemv(1.0, &lops.dc2de, chk, 0.0, out);
+                });
                 let per_node = if level > FIRST_FMM_LEVEL { 4 } else { 2 };
                 l_flops += (le - ls) as u64 * per_node * (cs * es) as u64;
             }
@@ -315,7 +310,7 @@ impl<K: Kernel> Fmm<K> {
             rest = tail;
         }
         debug_assert!(rest.is_empty(), "leaves must partition the targets");
-        slices.into_par_iter().for_each(|(ni, trg, out)| f(ni, trg, out));
+        par_for_each(slices, |_, (ni, trg, out)| f(ni, trg, out));
     }
 
     /// Parallel FFT M2L over one level; returns the flop count.
@@ -335,38 +330,38 @@ impl<K: Kernel> Fmm<K> {
         if needed.is_empty() {
             return 0;
         }
-        // Forward transforms in parallel.
-        let spectra: HashMap<u32, Vec<C64>> = needed
-            .par_iter()
-            .map(|&a| {
-                let mut buf = vec![C64::ZERO; K::SRC_DIM * g];
-                fft.transform_source(&up[a as usize * es..(a as usize + 1) * es], &mut buf);
-                (a, buf)
-            })
-            .collect();
+        // Forward transforms in parallel (ordered par_map, then a cheap
+        // sequential collect into the lookup map).
+        let spectra: HashMap<u32, Vec<C64>> = par_map(needed.len(), |idx| {
+            let a = needed[idx];
+            let mut buf = vec![C64::ZERO; K::SRC_DIM * g];
+            fft.transform_source(&up[a as usize * es..(a as usize + 1) * es], &mut buf);
+            (a, buf)
+        })
+        .into_iter()
+        .collect();
         // Per-target accumulation with a reusable per-thread scratch.
         let tree = &self.tree;
         let mut flops = (needed.len() as u64) * fft.fft_flops(K::SRC_DIM);
-        check[ls * cs..le * cs]
-            .par_chunks_mut(cs)
-            .enumerate()
-            .for_each_init(
-                || vec![C64::ZERO; K::TRG_DIM * g],
-                |acc, (i, slot)| {
-                    let ni = ls + i;
-                    let vlist = &self.lists.v[ni];
-                    if vlist.is_empty() {
-                        return;
-                    }
-                    acc.fill(C64::ZERO);
-                    let bkey = tree.nodes[ni].key;
-                    for &a in vlist {
-                        let dir = bkey.offset_to(&tree.nodes[a as usize].key);
-                        fft.accumulate(level, dir, &spectra[&a], acc);
-                    }
-                    fft.extract_check(level, acc, slot);
-                },
-            );
+        par_chunks_mut_init(
+            &mut check[ls * cs..le * cs],
+            cs,
+            || vec![C64::ZERO; K::TRG_DIM * g],
+            |acc, i, slot| {
+                let ni = ls + i;
+                let vlist = &self.lists.v[ni];
+                if vlist.is_empty() {
+                    return;
+                }
+                acc.fill(C64::ZERO);
+                let bkey = tree.nodes[ni].key;
+                for &a in vlist {
+                    let dir = bkey.offset_to(&tree.nodes[a as usize].key);
+                    fft.accumulate(level, dir, &spectra[&a], acc);
+                }
+                fft.extract_check(level, acc, slot);
+            },
+        );
         for ni in ls..le {
             let nv = self.lists.v[ni].len() as u64;
             if nv > 0 {

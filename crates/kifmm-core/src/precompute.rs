@@ -16,9 +16,8 @@ use crate::fmm::FmmOptions;
 use crate::m2l::{M2lDirect, M2lFft, M2lMode};
 use crate::operators::{OperatorTable, FIRST_FMM_LEVEL};
 use kifmm_kernels::Kernel;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// All particle-independent tables for one FMM configuration.
 pub struct Precomputed<K: Kernel> {
@@ -85,7 +84,10 @@ impl<K: Kernel> PrecomputeCache<K> {
             opts.order,
             matches!(opts.m2l_mode, M2lMode::Fft),
         );
-        let mut map = self.map.lock();
+        // A poisoned lock only means some other cache user panicked
+        // mid-build; the map itself is always in a consistent state, so
+        // recover the guard rather than cascading the panic.
+        let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(key)
             .or_insert_with(|| Arc::new(Precomputed::build(kernel, opts, root_half, depth)))
             .clone()

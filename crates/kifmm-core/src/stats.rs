@@ -19,21 +19,15 @@
 use std::time::Instant;
 
 /// Seconds of CPU time consumed by the calling thread
-/// (`CLOCK_THREAD_CPUTIME_ID`).
+/// (`CLOCK_THREAD_CPUTIME_ID`, re-exported from the in-tree runtime's
+/// raw-syscall binding — no libc).
 ///
 /// The compute phases are timed with this clock rather than wall time:
 /// the bench harness runs many virtual MPI ranks as threads on a few
 /// cores, and thread CPU time stays meaningful under that oversubscription
 /// while wall time would charge a rank for time it spent descheduled. On a
 /// dedicated core the two clocks agree.
-pub fn thread_cpu_time() -> f64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
-    // Safety: clock_gettime writes the timespec we hand it; the clock id
-    // is valid on all supported platforms.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-    debug_assert_eq!(rc, 0);
-    ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
-}
+pub use kifmm_runtime::thread_cpu_time;
 
 /// The seven instrumented stages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

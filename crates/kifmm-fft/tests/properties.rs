@@ -1,19 +1,18 @@
 //! Property-based tests for the FFT substrate.
 
 use kifmm_fft::{C64, Fft3, FftPlan};
-use proptest::prelude::*;
+use kifmm_testkit::{check, prop_assert, Gen};
 
-fn signal(len: usize) -> impl Strategy<Value = Vec<C64>> {
-    proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), len..=len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| C64::new(re, im)).collect())
+fn signal(g: &mut Gen, len: usize) -> Vec<C64> {
+    (0..len).map(|_| C64::new(g.f64(-5.0, 5.0), g.f64(-5.0, 5.0))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 30, ..ProptestConfig::default() })]
-
-    /// Roundtrip for every length 1..=64 (smooth, prime, mixed).
-    #[test]
-    fn roundtrip_any_length(n in 1usize..=64, seed in 0u64..100) {
+/// Roundtrip for every length 1..=64 (smooth, prime, mixed).
+#[test]
+fn roundtrip_any_length() {
+    check("roundtrip_any_length", 30, |g| {
+        let n = g.usize(1, 65);
+        let seed = g.u64_range(0, 100);
         let x: Vec<C64> = (0..n)
             .map(|i| {
                 let t = (i as u64).wrapping_mul(seed + 1) as f64;
@@ -27,23 +26,30 @@ proptest! {
         for (a, b) in y.iter().zip(&x) {
             prop_assert!((*a - *b).abs() < 1e-9 * (n as f64 + 1.0));
         }
-    }
+    });
+}
 
-    /// Parseval for random signals.
-    #[test]
-    fn parseval(x in signal(24)) {
+/// Parseval for random signals.
+#[test]
+fn parseval() {
+    check("parseval", 30, |g| {
+        let x = signal(g, 24);
         let plan = FftPlan::new(24);
         let mut y = x.clone();
         plan.forward(&mut y);
         let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();
         prop_assert!((ey - 24.0 * ex).abs() < 1e-8 * (1.0 + ey));
-    }
+    });
+}
 
-    /// Time shift ⇔ spectral phase ramp.
-    #[test]
-    fn shift_theorem(x in signal(16), shift in 0usize..16) {
+/// Time shift ⇔ spectral phase ramp.
+#[test]
+fn shift_theorem() {
+    check("shift_theorem", 30, |g| {
         let n = 16;
+        let x = signal(g, n);
+        let shift = g.usize(0, n);
         let plan = FftPlan::new(n);
         let mut fx = x.clone();
         plan.forward(&mut fx);
@@ -55,11 +61,15 @@ proptest! {
             let expect = *b * phase;
             prop_assert!((*a - expect).abs() < 1e-8, "bin {k}");
         }
-    }
+    });
+}
 
-    /// 3-D convolution theorem on random grids.
-    #[test]
-    fn convolution_theorem(a in signal(27), b in signal(27)) {
+/// 3-D convolution theorem on random grids.
+#[test]
+fn convolution_theorem() {
+    check("convolution_theorem", 30, |g| {
+        let a = signal(g, 27);
+        let b = signal(g, 27);
         let dims = [3usize, 3, 3];
         let plan = Fft3::new(dims);
         let mut fa = a.clone();
@@ -88,5 +98,5 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }

@@ -1,14 +1,15 @@
 //! Point generators.
 
+use crate::rng::Rng;
 use crate::Point3;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Uniform random points in the cube `[−1, 1]³`.
 pub fn uniform_cube(n: usize, seed: u64) -> Vec<Point3> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
-        .map(|_| [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+        .map(|_| {
+            [rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)]
+        })
         .collect()
 }
 
@@ -16,8 +17,8 @@ pub fn uniform_cube(n: usize, seed: u64) -> Vec<Point3> {
 /// throughout the paper's experiments ("densities are chosen randomly from
 /// `[0, 1]`"). `components` is the kernel's source dimension.
 pub fn random_densities(n: usize, components: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
-    (0..n * components).map(|_| rng.gen_range(0.0..1.0)).collect()
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    (0..n * components).map(|_| rng.next_f64()).collect()
 }
 
 /// Latitude/longitude sampling of a sphere — deliberately non-uniform
@@ -33,14 +34,13 @@ pub fn latlong_sphere(center: Point3, radius: f64, n: usize) -> Vec<Point3> {
     // Choose rings ~ sqrt(n) and points per ring ~ sqrt(n).
     let rings = ((n as f64).sqrt().round() as usize).max(2);
     let per_ring = n.div_ceil(rings);
+    // The ring grid overshoots (rings · per_ring ≥ n); truncate to the
+    // requested count rather than returning the padded grid.
     let mut pts = Vec::with_capacity(rings * per_ring);
     for i in 0..rings {
         let theta = std::f64::consts::PI * (i as f64 + 0.5) / rings as f64;
         let (st, ct) = theta.sin_cos();
         for j in 0..per_ring {
-            if pts.len() == n {
-                break;
-            }
             let phi = 2.0 * std::f64::consts::PI * j as f64 / per_ring as f64;
             let (sp, cp) = phi.sin_cos();
             pts.push([
@@ -50,6 +50,8 @@ pub fn latlong_sphere(center: Point3, radius: f64, n: usize) -> Vec<Point3> {
             ]);
         }
     }
+    pts.truncate(n);
+    assert_eq!(pts.len(), n, "latlong_sphere must return exactly n points");
     pts
 }
 
@@ -126,7 +128,7 @@ pub fn sphere_grid_patches(total: usize, grid: usize) -> Vec<Vec<Point3>> {
 /// of `[−1, 1]³`. Each point is drawn at a power-law distance from a
 /// randomly chosen corner, giving strong local refinement.
 pub fn corner_clusters(n: usize, seed: u64) -> Vec<Point3> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xc0ffee);
     let corners: Vec<Point3> = (0..8)
         .map(|c| {
             [
@@ -138,17 +140,17 @@ pub fn corner_clusters(n: usize, seed: u64) -> Vec<Point3> {
         .collect();
     (0..n)
         .map(|_| {
-            let corner = corners[rng.gen_range(0..8usize)];
+            let corner = corners[rng.below(8)];
             // Power-law radius: heavy clustering at the corner, tail across
             // the cube.
-            let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+            let u: f64 = rng.next_f64().max(1e-12);
             let r = 0.9 * u * u * u;
             // Random direction pointing into the cube.
             let dir = loop {
                 let v = [
-                    rng.gen_range(-1.0f64..1.0),
-                    rng.gen_range(-1.0f64..1.0),
-                    rng.gen_range(-1.0f64..1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
                 ];
                 let n2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
                 if n2 > 1e-12 && n2 <= 1.0 {

@@ -15,12 +15,14 @@
 
 pub mod distributions;
 pub mod patch;
+pub mod rng;
 
 pub use distributions::{
     corner_clusters, ellipsoid_surface, fibonacci_sphere, latlong_sphere, random_densities,
     sphere_grid, sphere_grid_patches, uniform_cube,
 };
 pub use patch::SurfacePatch;
+pub use rng::Rng;
 
 /// A 3-D point (matches `kifmm_kernels::Point3`).
 pub type Point3 = [f64; 3];

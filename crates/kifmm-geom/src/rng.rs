@@ -1,0 +1,170 @@
+//! Deterministic in-tree PRNG: splitmix64 seeding + xoshiro256++.
+//!
+//! Replaces the `rand` crate for the hermetic build. The generators are
+//! the published reference algorithms (Blackman & Vigna): [`splitmix64`]
+//! expands a 64-bit seed into the 256-bit xoshiro state (and is a fine
+//! standalone mixer), and [`Rng`] is xoshiro256++ — fast, equidistributed
+//! in all 64-bit sub-sequences, with a 2²⁵⁶−1 period. Fixed-seed output
+//! is pinned by golden-value tests, so every distribution in this crate
+//! is reproducible byte-for-byte across platforms and releases.
+
+/// One step of the splitmix64 sequence: advances `state` and returns the
+/// mixed output.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed the 256-bit state from a 64-bit seed via splitmix64 (the
+    /// seeding procedure the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng { s: std::array::from_fn(|_| splitmix64(&mut sm)) }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with the full 53 bits of mantissa.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `usize` in `[0, n)` by rejection (no modulo bias).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        let n = n as u64;
+        // Reject the partial top interval so every residue is equally
+        // likely. Zone is the largest multiple of n that fits in u64.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            data.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// splitmix64 reference vectors (state 0 and the canonical 0x…42 seed
+    /// checked against the published reference implementation).
+    #[test]
+    fn splitmix64_golden() {
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(splitmix64(&mut s), 0x06c4_5d18_8009_454f);
+    }
+
+    /// Fixed-seed xoshiro256++ output, pinned so the distributions built
+    /// on it can never drift silently.
+    #[test]
+    fn xoshiro_golden() {
+        let mut rng = Rng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0x53175d61490b23df,
+                0x61da6f3dc380d507,
+                0x5c0fdf91ec9a7bfc,
+                0x02eebf8c3bbe5e1a,
+            ]
+        );
+        let mut rng = Rng::seed_from_u64(42);
+        let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![0xd0764d4f4476689f, 0x519e4174576f3791, 0xfbe07cfb0c24ed8c]
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_deterministic() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        // Golden first draw for seed 7 (pins the u64→f64 conversion too).
+        assert_eq!(a.next_f64(), 0.05536043647833311);
+        b.next_f64();
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, b.next_f64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_hits_everything() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 draws must hit all 8 residues");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements almost surely move");
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

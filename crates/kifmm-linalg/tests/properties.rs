@@ -1,20 +1,18 @@
 //! Property-based tests for the linear algebra substrate.
 
 use kifmm_linalg::{gemv, gemv_t, householder_qr, lstsq, lu_factor, lu_solve, pinv, svd, Mat};
-use proptest::prelude::*;
+use kifmm_testkit::{check, prop_assert, prop_assume, Gen};
 
-fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(-10.0f64..10.0, m * n)
-            .prop_map(move |v| Mat::from_vec(m, n, v))
-    })
+fn gen_mat(g: &mut Gen, max_dim: usize) -> Mat {
+    let m = g.usize(1, max_dim + 1);
+    let n = g.usize(1, max_dim + 1);
+    Mat::from_vec(m, n, g.vec_f64(-10.0, 10.0, m * n))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    #[test]
-    fn svd_reconstructs_any_matrix(a in mat_strategy(12)) {
+#[test]
+fn svd_reconstructs_any_matrix() {
+    check("svd_reconstructs_any_matrix", 40, |g| {
+        let a = gen_mat(g, 12);
         let f = svd(&a);
         let r = f.reconstruct();
         let scale = a.max_abs().max(1.0);
@@ -24,10 +22,13 @@ proptest! {
         // Singular values nonnegative descending.
         prop_assert!(f.s.iter().all(|&s| s >= 0.0));
         prop_assert!(f.s.windows(2).all(|w| w[0] >= w[1]));
-    }
+    });
+}
 
-    #[test]
-    fn pinv_satisfies_moore_penrose(a in mat_strategy(10)) {
+#[test]
+fn pinv_satisfies_moore_penrose() {
+    check("pinv_satisfies_moore_penrose", 40, |g| {
+        let a = gen_mat(g, 10);
         let p = pinv(&a);
         let apa = a.matmul(&p).matmul(&a);
         let scale = a.max_abs().max(1.0);
@@ -39,13 +40,14 @@ proptest! {
         for (x, y) in pap.as_slice().iter().zip(p.as_slice()) {
             prop_assert!((x - y).abs() < 1e-7 * pscale, "A+ A A+ = A+");
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_solves_diagonally_dominant(
-        v in proptest::collection::vec(-1.0f64..1.0, 36),
-        rhs in proptest::collection::vec(-5.0f64..5.0, 6),
-    ) {
+#[test]
+fn lu_solves_diagonally_dominant() {
+    check("lu_solves_diagonally_dominant", 40, |g| {
+        let v = g.vec_f64(-1.0, 1.0, 36);
+        let rhs = g.vec_f64(-5.0, 5.0, 6);
         let mut a = Mat::from_vec(6, 6, v);
         for i in 0..6 {
             let off: f64 = (0..6).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
@@ -57,10 +59,13 @@ proptest! {
         for (u, w) in r.iter().zip(&rhs) {
             prop_assert!((u - w).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gemv_transpose_consistency(a in mat_strategy(9)) {
+#[test]
+fn gemv_transpose_consistency() {
+    check("gemv_transpose_consistency", 40, |g| {
+        let a = gen_mat(g, 9);
         // x'(A y) == (A' x)' y for random vectors.
         let (m, n) = a.shape();
         let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).sin()).collect();
@@ -72,10 +77,13 @@ proptest! {
         let lhs: f64 = x.iter().zip(&ay).map(|(u, v)| u * v).sum();
         let rhs: f64 = atx.iter().zip(&y).map(|(u, v)| u * v).sum();
         prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
-    }
+    });
+}
 
-    #[test]
-    fn qr_orthogonality(a in mat_strategy(10)) {
+#[test]
+fn qr_orthogonality() {
+    check("qr_orthogonality", 40, |g| {
+        let a = gen_mat(g, 10);
         let (m, n) = a.shape();
         prop_assume!(m >= n);
         let (q, r) = householder_qr(&a);
@@ -84,10 +92,14 @@ proptest! {
         for (x, y) in qr.as_slice().iter().zip(a.as_slice()) {
             prop_assert!((x - y).abs() < 1e-9 * scale);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lstsq_residual_orthogonal_to_columns(a in mat_strategy(8), seed in 0u64..50) {
+#[test]
+fn lstsq_residual_orthogonal_to_columns() {
+    check("lstsq_residual_orthogonal_to_columns", 40, |g| {
+        let a = gen_mat(g, 8);
+        let seed = g.u64_range(0, 50);
         let (m, n) = a.shape();
         prop_assume!(m > n);
         // Require decent conditioning so the solve is well posed.
@@ -104,5 +116,5 @@ proptest! {
         for v in atr {
             prop_assert!(v.abs() < 1e-6 * bn, "normal equations violated: {v}");
         }
-    }
+    });
 }

@@ -7,11 +7,21 @@
 //! buffered semantics are what allow its computation/communication
 //! overlap: a rank can post all its gather sends and immediately proceed
 //! with the upward pass.
+//!
+//! ## Panic containment
+//!
+//! A panicking virtual rank must not deadlock peers blocked in [`Comm::recv`]
+//! waiting for a message that will now never arrive. Each rank body runs
+//! under `catch_unwind`: the first panic is stashed, an abort flag is
+//! raised, and every mailbox is signalled so blocked receivers wake and
+//! abort with a recognizable panic ("a peer rank panicked"). [`run`] then
+//! rethrows the *original* panic. Likewise a mailbox `Mutex` poisoned by a
+//! panic inside the lock is reported with a recognizable message instead
+//! of a bare `PoisonError` unwrap.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Message envelope key: (source rank, tag).
@@ -24,6 +34,16 @@ struct Mailbox {
     signal: Condvar,
 }
 
+impl Mailbox {
+    /// Lock the queues, converting a poisoned lock (a peer panicked while
+    /// holding it) into a recognizable panic rather than a bare unwrap.
+    fn lock(&self) -> MutexGuard<'_, HashMap<MatchKey, VecDeque<Vec<u8>>>> {
+        self.queues
+            .lock()
+            .unwrap_or_else(|_| panic!("kifmm-mpi: mailbox poisoned — a peer rank panicked"))
+    }
+}
+
 /// State shared by all ranks of one run.
 pub(crate) struct Shared {
     pub(crate) size: usize,
@@ -32,6 +52,9 @@ pub(crate) struct Shared {
     /// and therefore included).
     bytes_sent: AtomicU64,
     messages_sent: AtomicU64,
+    /// Raised when any rank panics, so peers blocked in `recv` abort
+    /// instead of waiting forever.
+    aborted: AtomicBool,
 }
 
 /// Per-rank communication statistics.
@@ -90,7 +113,7 @@ impl Comm {
         self.shared.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
         let mb = &self.shared.mailboxes[dest];
-        let mut q = mb.queues.lock();
+        let mut q = mb.lock();
         q.entry((self.rank, tag)).or_default().push_back(data);
         drop(q);
         mb.signal.notify_all();
@@ -106,7 +129,7 @@ impl Comm {
         let start = Instant::now();
         let mb = &self.shared.mailboxes[self.rank];
         let key = (source, tag);
-        let mut q = mb.queues.lock();
+        let mut q = mb.lock();
         loop {
             if let Some(queue) = q.get_mut(&key) {
                 if let Some(msg) = queue.pop_front() {
@@ -116,7 +139,18 @@ impl Comm {
                     return msg;
                 }
             }
-            mb.signal.wait(&mut q);
+            // Never sleep through a peer's panic: the message this rank is
+            // waiting for may now never be sent.
+            if self.shared.aborted.load(Ordering::Acquire) {
+                panic!(
+                    "kifmm-mpi: rank {} aborting recv(source={source}, tag={tag}) —                      a peer rank panicked",
+                    self.rank
+                );
+            }
+            q = mb
+                .signal
+                .wait(q)
+                .unwrap_or_else(|_| panic!("kifmm-mpi: mailbox poisoned — a peer rank panicked"));
         }
     }
 
@@ -124,7 +158,7 @@ impl Comm {
     /// one is queued.
     pub fn try_recv(&self, source: usize, tag: u64) -> Option<Vec<u8>> {
         let mb = &self.shared.mailboxes[self.rank];
-        let mut q = mb.queues.lock();
+        let mut q = mb.lock();
         q.get_mut(&(source, tag)).and_then(|queue| queue.pop_front())
     }
 
@@ -139,7 +173,9 @@ impl Comm {
 /// Run `f` on `size` ranks (one thread each) and collect each rank's
 /// return value, ordered by rank.
 ///
-/// Panics in any rank propagate after all threads are joined.
+/// If any rank panics, peers blocked in `recv` are woken and aborted (no
+/// deadlock), and the *first* rank's original panic payload is rethrown
+/// after all threads are joined.
 pub fn run<R: Send>(size: usize, f: impl Fn(&Comm) -> R + Send + Sync) -> Vec<R> {
     assert!(size >= 1, "need at least one rank");
     let shared = Arc::new(Shared {
@@ -147,28 +183,53 @@ pub fn run<R: Send>(size: usize, f: impl Fn(&Comm) -> R + Send + Sync) -> Vec<R>
         mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
         bytes_sent: AtomicU64::new(0),
         messages_sent: AtomicU64::new(0),
+        aborted: AtomicBool::new(false),
     });
-    std::thread::scope(|scope| {
+    // First panic payload across ranks (secondary "peer panicked" aborts
+    // are discarded in favor of the root cause).
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..size)
             .map(|rank| {
                 let shared = shared.clone();
                 let f = &f;
+                let first_panic = &first_panic;
                 scope.spawn(move || {
                     let comm = Comm {
                         rank,
-                        shared,
+                        shared: shared.clone(),
                         collective_seq: std::cell::Cell::new(0),
                         stats: std::cell::Cell::new(CommStats::default()),
                     };
-                    f(&comm)
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
+                        Ok(v) => Some(v),
+                        Err(payload) => {
+                            let mut slot =
+                                first_panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            slot.get_or_insert(payload);
+                            drop(slot);
+                            // Wake every blocked receiver so it can abort.
+                            shared.aborted.store(true, Ordering::Release);
+                            for mb in &shared.mailboxes {
+                                mb.signal.notify_all();
+                            }
+                            None
+                        }
+                    }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
-    })
+            .map(|h| h.join().expect("rank thread itself never panics"))
+            .collect::<Vec<_>>()
+    });
+    if let Some(payload) =
+        first_panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+    {
+        std::panic::resume_unwind(payload);
+    }
+    results.into_iter().map(|r| r.expect("no panic recorded, all ranks returned")).collect()
 }
 
 #[cfg(test)]
@@ -286,5 +347,46 @@ mod tests {
             }
         });
         assert_eq!(out[0], (1..8).sum::<u64>());
+    }
+
+    /// Satellite regression: a panicking rank must not deadlock peers
+    /// blocked in `recv`, and `run` must rethrow the *original* panic
+    /// payload, not a secondary "peer panicked" abort.
+    #[test]
+    fn rank_panic_does_not_deadlock_blocked_receivers() {
+        let res = std::panic::catch_unwind(|| {
+            run(4, |comm| {
+                if comm.rank() == 2 {
+                    panic!("rank 2 exploded");
+                }
+                // Every other rank blocks on a message rank 2 will never
+                // send; without abort signalling this waits forever.
+                comm.recv(2, 9);
+            });
+        });
+        let payload = res.expect_err("run must propagate the panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "rank 2 exploded");
+    }
+
+    /// The abort flag must also wake a receiver that was already asleep in
+    /// the condvar before the panic happened (rendezvous, then panic).
+    #[test]
+    fn late_panic_wakes_sleeping_receiver() {
+        let res = std::panic::catch_unwind(|| {
+            run(2, |comm| {
+                if comm.rank() == 1 {
+                    // Let rank 0 reach its recv first.
+                    comm.recv(0, 1);
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    panic!("late failure");
+                }
+                comm.send(1, 1, &[1]);
+                comm.recv(1, 2);
+            });
+        });
+        let payload = res.expect_err("run must propagate the panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "late failure");
     }
 }

@@ -1,62 +1,49 @@
 //! Typed payload helpers: encode/decode numeric slices to byte messages.
-
-use bytes::{Buf, BufMut};
+//! Plain `{to,from}_le_bytes` — no external byte-buffer crate.
 
 /// Encode `f64`s little-endian.
 pub fn encode_f64s(v: &[f64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(v.len() * 8);
     for &x in v {
-        out.put_f64_le(x);
+        out.extend_from_slice(&x.to_le_bytes());
     }
     out
 }
 
 /// Decode `f64`s little-endian.
-pub fn decode_f64s(mut b: &[u8]) -> Vec<f64> {
+pub fn decode_f64s(b: &[u8]) -> Vec<f64> {
     assert_eq!(b.len() % 8, 0, "payload is not a whole number of f64s");
-    let mut out = Vec::with_capacity(b.len() / 8);
-    while b.has_remaining() {
-        out.push(b.get_f64_le());
-    }
-    out
+    b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 /// Encode `u64`s little-endian.
 pub fn encode_u64s(v: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(v.len() * 8);
     for &x in v {
-        out.put_u64_le(x);
+        out.extend_from_slice(&x.to_le_bytes());
     }
     out
 }
 
 /// Decode `u64`s little-endian.
-pub fn decode_u64s(mut b: &[u8]) -> Vec<u64> {
+pub fn decode_u64s(b: &[u8]) -> Vec<u64> {
     assert_eq!(b.len() % 8, 0, "payload is not a whole number of u64s");
-    let mut out = Vec::with_capacity(b.len() / 8);
-    while b.has_remaining() {
-        out.push(b.get_u64_le());
-    }
-    out
+    b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 /// Encode `u32`s little-endian.
 pub fn encode_u32s(v: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(v.len() * 4);
     for &x in v {
-        out.put_u32_le(x);
+        out.extend_from_slice(&x.to_le_bytes());
     }
     out
 }
 
 /// Decode `u32`s little-endian.
-pub fn decode_u32s(mut b: &[u8]) -> Vec<u32> {
+pub fn decode_u32s(b: &[u8]) -> Vec<u32> {
     assert_eq!(b.len() % 4, 0, "payload is not a whole number of u32s");
-    let mut out = Vec::with_capacity(b.len() / 4);
-    while b.has_remaining() {
-        out.push(b.get_u32_le());
-    }
-    out
+    b.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 #[cfg(test)]
@@ -76,6 +63,13 @@ mod tests {
         assert_eq!(decode_u64s(&encode_u64s(&v)), v);
         let w = vec![0u32, u32::MAX, 7];
         assert_eq!(decode_u32s(&encode_u32s(&w)), w);
+    }
+
+    #[test]
+    fn byte_layout_is_little_endian() {
+        assert_eq!(encode_u32s(&[0x0403_0201]), vec![1, 2, 3, 4]);
+        assert_eq!(encode_u64s(&[1]), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(encode_f64s(&[1.0])[7], 0x3f);
     }
 
     #[test]

@@ -4,17 +4,14 @@
 //! once, in order.
 
 use kifmm_mpi::{allgatherv, allreduce_f64, allreduce_u64, alltoallv, run, ReduceOp};
-use proptest::prelude::*;
+use kifmm_testkit::{check, prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
-
-    #[test]
-    fn allreduce_f64_matches_reference(
-        ranks in 1usize..6,
-        len in 1usize..20,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn allreduce_f64_matches_reference() {
+    check("allreduce_f64_matches_reference", 20, |g| {
+        let ranks = g.usize(1, 6);
+        let len = g.usize(1, 20);
+        let seed = g.u64_range(0, 1000);
         // Deterministic per-rank data derived from (rank, seed).
         let data = |r: usize| -> Vec<f64> {
             (0..len).map(|i| ((r * 31 + i * 7) as f64 + seed as f64 * 0.1).sin()).collect()
@@ -42,10 +39,14 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn allreduce_u64_sum_and_bitor(ranks in 1usize..7, len in 1usize..16) {
+#[test]
+fn allreduce_u64_sum_and_bitor() {
+    check("allreduce_u64_sum_and_bitor", 20, |g| {
+        let ranks = g.usize(1, 7);
+        let len = g.usize(1, 16);
         let out = run(ranks, |comm| {
             let mut sum: Vec<u64> = (0..len as u64).map(|i| i + comm.rank() as u64).collect();
             allreduce_u64(comm, &mut sum, ReduceOp::Sum);
@@ -61,10 +62,14 @@ proptest! {
             }
             prop_assert!(mask.iter().all(|&m| m == full_mask));
         }
-    }
+    });
+}
 
-    #[test]
-    fn alltoallv_delivers_exactly(ranks in 1usize..6, base in 0u8..200) {
+#[test]
+fn alltoallv_delivers_exactly() {
+    check("alltoallv_delivers_exactly", 20, |g| {
+        let ranks = g.usize(1, 6);
+        let base = g.u8(0, 200);
         let out = run(ranks, move |comm| {
             let me = comm.rank();
             let send: Vec<Vec<u8>> = (0..ranks)
@@ -79,10 +84,14 @@ proptest! {
                 prop_assert!(payload.iter().all(|&b| b == expect));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn allgatherv_preserves_payloads(ranks in 1usize..6, scale in 1usize..8) {
+#[test]
+fn allgatherv_preserves_payloads() {
+    check("allgatherv_preserves_payloads", 20, |g| {
+        let ranks = g.usize(1, 6);
+        let scale = g.usize(1, 8);
         let out = run(ranks, move |comm| {
             let mine: Vec<u8> = (0..comm.rank() * scale + 1).map(|i| i as u8).collect();
             allgatherv(comm, &mine)
@@ -93,12 +102,16 @@ proptest! {
                 prop_assert_eq!(p, &expect);
             }
         }
-    }
+    });
+}
 
-    /// Random many-to-many p2p pattern: every rank sends a deterministic
-    /// sequence to every other; receivers observe exact FIFO order.
-    #[test]
-    fn p2p_fifo_per_channel(ranks in 2usize..6, msgs in 1usize..12) {
+/// Random many-to-many p2p pattern: every rank sends a deterministic
+/// sequence to every other; receivers observe exact FIFO order.
+#[test]
+fn p2p_fifo_per_channel() {
+    check("p2p_fifo_per_channel", 20, |g| {
+        let ranks = g.usize(2, 6);
+        let msgs = g.usize(1, 12);
         run(ranks, move |comm| {
             let me = comm.rank();
             for dst in 0..comm.size() {
@@ -119,5 +132,5 @@ proptest! {
                 }
             }
         });
-    }
+    });
 }

@@ -1,0 +1,329 @@
+//! # kifmm-runtime — in-tree shared-memory parallel runtime
+//!
+//! A small spawn-join fork/join layer over [`std::thread::scope`] that
+//! replaces rayon for the two shapes of data parallelism the FMM needs:
+//!
+//! * **chunked writes** — a flat output array split into disjoint chunks,
+//!   each written by exactly one task ([`par_chunks_mut`],
+//!   [`par_chunks2_mut`]);
+//! * **indexed reads** — an ordered map over `0..n`
+//!   ([`par_map`], [`par_index`], [`par_for_each`]).
+//!
+//! ## Determinism contract
+//!
+//! Every helper assigns output element `i` to exactly one task, and that
+//! task computes it with the same instruction sequence the serial loop
+//! would use. Worker threads race only over *which* index they claim next
+//! (an atomic counter), never over the contents of an element, so results
+//! are **bit-identical to the serial execution for any thread count** —
+//! the property `Fmm::evaluate_parallel` documents and tests.
+//!
+//! ## Pool model
+//!
+//! There is no persistent pool: each parallel region spawns workers under
+//! `std::thread::scope` and joins them before returning. That keeps
+//! borrowed (non-`'static`) closures safe without unsafe lifetime erasure
+//! and makes a panicking task propagate out of the call like a serial
+//! panic would. Region granularity in the FMM is a whole level or phase,
+//! so spawn cost is amortized over milliseconds of work. Thread count
+//! comes from `KIFMM_NUM_THREADS` (if set) or the machine's available
+//! parallelism.
+
+mod time;
+
+pub use time::thread_cpu_time;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Worker count used by the `par_*` helpers: `KIFMM_NUM_THREADS` if set
+/// (minimum 1), else [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("KIFMM_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Core fork/join loop: claim indices `0..n` off a shared counter with
+/// `threads` workers (the caller's thread is one of them), giving each
+/// worker one `init()` state for its lifetime.
+fn run_pool<S>(
+    threads: usize,
+    n: usize,
+    init: &(impl Fn() -> S + Sync),
+    f: &(impl Fn(&mut S, usize) + Sync),
+) {
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        for i in 0..n {
+            f(&mut state, i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let work = |next: &AtomicUsize| {
+        let mut state = init();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            f(&mut state, i);
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| work(&next));
+        }
+        work(&next);
+    });
+}
+
+/// Run `f(i)` for every `i` in `0..n`, in parallel.
+pub fn par_index(n: usize, f: impl Fn(usize) + Sync) {
+    run_pool(num_threads(), n, &|| (), &|(), i| f(i));
+}
+
+/// [`par_index`] with a per-worker scratch state: `init()` runs once per
+/// worker thread, and `f` receives that worker's `&mut S` (the rayon
+/// `for_each_init` pattern, used for reusable FFT accumulators).
+pub fn par_index_init<S>(n: usize, init: impl Fn() -> S + Sync, f: impl Fn(&mut S, usize) + Sync) {
+    run_pool(num_threads(), n, &init, &f);
+}
+
+/// Raw pointer that may cross thread boundaries. Safety rests on the
+/// index-claiming discipline of [`run_pool`]: each index is handed to
+/// exactly one task, and tasks only touch the disjoint region derived
+/// from their index.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper under edition-2021 disjoint capture, not the raw
+    /// pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Split `data` into chunks of `size` (last one may be short) and run
+/// `f(chunk_index, chunk)` on each in parallel. Equivalent to rayon's
+/// `par_chunks_mut(size).enumerate().for_each(...)`.
+pub fn par_chunks_mut<T: Send>(data: &mut [T], size: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    par_chunks_mut_init(data, size, || (), |(), i, c| f(i, c));
+}
+
+/// [`par_chunks_mut`] with a per-worker scratch state (see
+/// [`par_index_init`]).
+pub fn par_chunks_mut_init<T: Send, S>(
+    data: &mut [T],
+    size: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut [T]) + Sync,
+) {
+    assert!(size > 0, "chunk size must be positive");
+    let len = data.len();
+    let base = SyncPtr(data.as_mut_ptr());
+    run_pool(num_threads(), len.div_ceil(size), &init, &|state, i| {
+        let start = i * size;
+        let end = (start + size).min(len);
+        // Safety: chunk i covers [i*size, min((i+1)*size, len)); chunks are
+        // pairwise disjoint and each index is claimed by exactly one task.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(state, i, chunk);
+    });
+}
+
+/// Chunk two mutable slices in lockstep and run `f(i, a_chunk, b_chunk)`
+/// on each pair in parallel (rayon's zipped `par_chunks_mut`). Both
+/// slices must split into the same number of chunks.
+pub fn par_chunks2_mut<A: Send, B: Send>(
+    a: &mut [A],
+    size_a: usize,
+    b: &mut [B],
+    size_b: usize,
+    f: impl Fn(usize, &mut [A], &mut [B]) + Sync,
+) {
+    assert!(size_a > 0 && size_b > 0, "chunk sizes must be positive");
+    let (la, lb) = (a.len(), b.len());
+    let n = la.div_ceil(size_a);
+    assert_eq!(n, lb.div_ceil(size_b), "slices must chunk into the same task count");
+    let pa = SyncPtr(a.as_mut_ptr());
+    let pb = SyncPtr(b.as_mut_ptr());
+    run_pool(num_threads(), n, &|| (), &|(), i| {
+        let (sa, sb) = (i * size_a, i * size_b);
+        let (ea, eb) = ((sa + size_a).min(la), (sb + size_b).min(lb));
+        // Safety: as in `par_chunks_mut_init` — disjoint chunks, one task
+        // per index, for both slices.
+        let ca = unsafe { std::slice::from_raw_parts_mut(pa.get().add(sa), ea - sa) };
+        let cb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(sb), eb - sb) };
+        f(i, ca, cb);
+    });
+}
+
+/// Compute `f(i)` for `0..n` in parallel and return the results in index
+/// order (rayon's indexed `par_iter().map().collect()`).
+pub fn par_map<O: Send>(n: usize, f: impl Fn(usize) -> O + Sync) -> Vec<O> {
+    let mut out: Vec<Option<O>> = std::iter::repeat_with(|| None).take(n).collect();
+    par_chunks_mut(&mut out, 1, |i, slot| slot[0] = Some(f(i)));
+    out.into_iter().map(|o| o.expect("every slot filled")).collect()
+}
+
+/// Consume `items`, running `f(i, item)` on each in parallel (rayon's
+/// `into_par_iter().for_each`, for items that are not `Clone` — e.g.
+/// disjoint `&mut` sub-slices).
+pub fn par_for_each<I: Send>(items: Vec<I>, f: impl Fn(usize, I) + Sync) {
+    let mut items: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    par_chunks_mut(&mut items, 1, |i, slot| f(i, slot[0].take().expect("item taken once")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Serial reference for the chunked-sum workload used below.
+    fn serial_fill(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.1).sin() + (i as f64).sqrt()).collect()
+    }
+
+    #[test]
+    fn chunks_bit_identical_to_serial_any_thread_count() {
+        let n = 1037;
+        let expect = serial_fill(n);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut out = vec![0.0f64; n];
+            let len = out.len();
+            // Exercise the explicit-thread path through run_pool.
+            let base = SyncPtr(out.as_mut_ptr());
+            run_pool(threads, len.div_ceil(16), &|| (), &|(), c| {
+                let start = c * 16;
+                let end = (start + 16).min(len);
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    let i = start + j;
+                    *v = (i as f64 * 0.1).sin() + (i as f64).sqrt();
+                }
+            });
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_everything_once() {
+        let mut data = vec![0u32; 503];
+        par_chunks_mut(&mut data, 7, |_, c| {
+            for v in c {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_ragged_tail_and_empty() {
+        let mut data = vec![0usize; 10];
+        let mut sizes = Vec::new();
+        let sizes_ref = std::sync::Mutex::new(&mut sizes);
+        par_chunks_mut(&mut data, 4, |i, c| sizes_ref.lock().unwrap().push((i, c.len())));
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![(0, 4), (1, 4), (2, 2)]);
+        let mut empty: Vec<f64> = Vec::new();
+        par_chunks_mut(&mut empty, 4, |_, _| panic!("no chunks on empty input"));
+    }
+
+    #[test]
+    fn par_chunks2_mut_pairs_line_up() {
+        let mut a = vec![0usize; 12];
+        let mut b = vec![0usize; 6];
+        par_chunks2_mut(&mut a, 4, &mut b, 2, |i, ca, cb| {
+            for v in ca.iter_mut() {
+                *v = i + 1;
+            }
+            for v in cb.iter_mut() {
+                *v = 10 * (i + 1);
+            }
+        });
+        assert_eq!(a, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+        assert_eq!(b, vec![10, 10, 20, 20, 30, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same task count")]
+    fn par_chunks2_mut_rejects_mismatch() {
+        let (mut a, mut b) = (vec![0; 8], vec![0; 8]);
+        par_chunks2_mut(&mut a, 4, &mut b, 3, |_, _: &mut [i32], _: &mut [i32]| {});
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(1000, |i| i * i);
+        assert_eq!(out, (0..1000).map(|i| i * i).collect::<Vec<_>>());
+        assert!(par_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_for_each_consumes_disjoint_mut_slices() {
+        let mut data = vec![0u8; 9];
+        let mut parts: Vec<&mut [u8]> = Vec::new();
+        let mut rest: &mut [u8] = &mut data;
+        for _ in 0..3 {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(3);
+            parts.push(head);
+            rest = tail;
+        }
+        par_for_each(parts, |i, part| part.fill(i as u8 + 1));
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn init_state_is_per_worker_and_reused() {
+        // Each worker's state counts its own tasks; the total must be n.
+        let total = AtomicU64::new(0);
+        struct Tally<'a>(u64, &'a AtomicU64);
+        impl Drop for Tally<'_> {
+            fn drop(&mut self) {
+                self.1.fetch_add(self.0, Ordering::Relaxed);
+            }
+        }
+        par_index_init(257, || Tally(0, &total), |t, _| t.0 += 1);
+        assert_eq!(total.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let hit = std::panic::catch_unwind(|| {
+            par_index(100, |i| {
+                if i == 37 {
+                    panic!("task 37 failed");
+                }
+            });
+        });
+        assert!(hit.is_err(), "panic in a task must propagate to the caller");
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_cpu_time_advances_and_is_monotonic() {
+        let t0 = thread_cpu_time();
+        // Burn a little CPU; volatile-ish accumulation so it isn't elided.
+        let mut acc = 0.0f64;
+        for i in 0..2_000_000u64 {
+            acc += (i as f64).sqrt();
+        }
+        std::hint::black_box(acc);
+        let t1 = thread_cpu_time();
+        assert!(t1 >= t0, "thread CPU clock went backwards: {t0} -> {t1}");
+        assert!(t1 - t0 < 60.0, "implausible CPU time delta: {}", t1 - t0);
+    }
+}

@@ -1,75 +1,97 @@
 //! Property-based tests for Morton keys and partitioning.
 
+use kifmm_testkit::{check, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, Gen};
 use kifmm_tree::{point_key, split_by_weight, MortonKey, MAX_LEVEL};
-use proptest::prelude::*;
 
-fn key_strategy() -> impl Strategy<Value = MortonKey> {
-    (0u8..=8).prop_flat_map(|level| {
-        let n = 1u32 << level;
-        (0..n, 0..n, 0..n).prop_map(move |(x, y, z)| MortonKey::new(level, [x, y, z]))
-    })
+fn gen_key(g: &mut Gen) -> MortonKey {
+    let level = g.u8(0, 9);
+    let n = 1u32 << level;
+    let x = g.usize(0, n as usize) as u32;
+    let y = g.usize(0, n as usize) as u32;
+    let z = g.usize(0, n as usize) as u32;
+    MortonKey::new(level, [x, y, z])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn parent_child_inverse(k in key_strategy(), oct in 0u8..8) {
+#[test]
+fn parent_child_inverse() {
+    check("parent_child_inverse", 64, |g| {
+        let k = gen_key(g);
+        let oct = g.u8(0, 8);
         prop_assume!(k.level < MAX_LEVEL);
         let c = k.child(oct);
         prop_assert_eq!(c.parent(), Some(k));
         prop_assert_eq!(c.octant(), oct);
         prop_assert!(k.contains(&c));
-    }
+    });
+}
 
-    #[test]
-    fn adjacency_is_symmetric(a in key_strategy(), b in key_strategy()) {
+#[test]
+fn adjacency_is_symmetric() {
+    check("adjacency_is_symmetric", 64, |g| {
+        let a = gen_key(g);
+        let b = gen_key(g);
         prop_assert_eq!(a.is_adjacent(&b), b.is_adjacent(&a));
-    }
+    });
+}
 
-    #[test]
-    fn ancestors_contain_and_are_adjacent(k in key_strategy(), lvl in 0u8..=8) {
+#[test]
+fn ancestors_contain_and_are_adjacent() {
+    check("ancestors_contain_and_are_adjacent", 64, |g| {
+        let k = gen_key(g);
+        let lvl = g.u8(0, 9);
         prop_assume!(lvl <= k.level);
         let a = k.ancestor_at(lvl);
         prop_assert!(a.contains(&k));
         // Overlapping closures ⇒ adjacent by the FMM definition.
         prop_assert!(a.is_adjacent(&k));
-    }
+    });
+}
 
-    #[test]
-    fn morton_codes_are_unique_per_key(a in key_strategy(), b in key_strategy()) {
+#[test]
+fn morton_codes_are_unique_per_key() {
+    check("morton_codes_are_unique_per_key", 64, |g| {
+        let a = gen_key(g);
+        let b = gen_key(g);
         if a != b {
             prop_assert_ne!(a.morton_code(), b.morton_code());
         } else {
             prop_assert_eq!(a.morton_code(), b.morton_code());
         }
-    }
+    });
+}
 
-    #[test]
-    fn neighbors_are_adjacent_distinct_same_level(k in key_strategy()) {
+#[test]
+fn neighbors_are_adjacent_distinct_same_level() {
+    check("neighbors_are_adjacent_distinct_same_level", 64, |g| {
+        let k = gen_key(g);
         for n in k.neighbors() {
             prop_assert_eq!(n.level, k.level);
             prop_assert!(n != k);
             prop_assert!(k.is_adjacent(&n));
         }
-    }
+    });
+}
 
-    #[test]
-    fn point_key_respects_containment(
-        x in -1.0f64..1.0, y in -1.0f64..1.0, z in -1.0f64..1.0,
-        level in 1u8..=10,
-    ) {
+#[test]
+fn point_key_respects_containment() {
+    check("point_key_respects_containment", 64, |g| {
+        let x = g.f64(-1.0, 1.0);
+        let y = g.f64(-1.0, 1.0);
+        let z = g.f64(-1.0, 1.0);
+        let level = g.u8(1, 11);
         let k = point_key([x, y, z], [0.0; 3], 1.0, level);
         // The key at a coarser level is the ancestor of the fine key.
         let coarse = point_key([x, y, z], [0.0; 3], 1.0, level - 1);
         prop_assert_eq!(k.parent().map(|p| p.ancestor_at(level - 1)), Some(coarse));
-    }
+    });
+}
 
-    #[test]
-    fn split_by_weight_is_balanced(
-        weights in proptest::collection::vec(0.1f64..5.0, 1..200),
-        parts in 1usize..12,
-    ) {
+#[test]
+fn split_by_weight_is_balanced() {
+    check("split_by_weight_is_balanced", 64, |g| {
+        let len = g.usize(1, 200);
+        let weights = g.vec_f64(0.1, 5.0, len);
+        let parts = g.usize(1, 12);
         let cuts = split_by_weight(&weights, parts);
         prop_assert_eq!(cuts.len(), parts);
         // Exact cover, in order.
@@ -87,5 +109,5 @@ proptest! {
             let w: f64 = weights[c.clone()].iter().sum();
             prop_assert!(w <= ideal + wmax + 1e-9, "part weight {w} vs ideal {ideal}");
         }
-    }
+    });
 }

@@ -1,0 +1,37 @@
+#!/bin/bash
+# Tier-1 verification gate: the workspace must build and pass its tests
+# fully offline (empty registry), and no manifest may reintroduce a
+# registry (non-path) dependency — the build is hermetic by design.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# 1. Dependency audit: inside any [dependencies*] section of any manifest,
+#    every entry must be either `<crate>.workspace = true` or a
+#    `{ path = ... }` table; `version`/`git`/registry-style requirements
+#    fail the gate. The workspace table itself may only hold path deps.
+fail=0
+while IFS= read -r -d '' manifest; do
+    bad=$(awk '
+        /^\[/ { indep = ($0 ~ /^\[(workspace\.)?dependencies/ || $0 ~ /^\[dev-dependencies/ || $0 ~ /^\[build-dependencies/) ; next }
+        indep && NF && $0 !~ /^#/ {
+            if ($0 ~ /\.workspace *= *true/) next
+            if ($0 ~ /path *= */ && $0 !~ /(version|git|registry) *= */) next
+            print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "non-path dependency found:"
+        echo "$bad"
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*' -print0)
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: registry dependencies are not allowed (hermetic build)"
+    exit 1
+fi
+echo "dependency audit: OK (path-only)"
+
+# 2. Offline release build + full test suite.
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+echo "verify: ALL OK"

@@ -1,34 +1,34 @@
-//! Property-based tests (proptest) on the FMM's core contracts:
-//! accuracy against direct summation for arbitrary clouds, linearity,
-//! permutation invariance, and tree/list invariants under random input.
+//! Property-based tests on the FMM's core contracts: accuracy against
+//! direct summation for arbitrary clouds, linearity, permutation
+//! invariance, and tree/list invariants under random input.
 
 use kifmm::tree::{build_lists, Octree};
 use kifmm::{direct_eval, rel_l2_error, Fmm, FmmOptions, Laplace};
-use proptest::prelude::*;
+use kifmm_testkit::{check, prop_assert, prop_assert_eq, Gen};
 
-/// Random point clouds: uniform boxes, anisotropic slabs, and clusters.
-fn cloud_strategy() -> impl Strategy<Value = Vec<[f64; 3]>> {
-    let coord = -1.0f64..1.0f64;
-    let point = [coord.clone(), coord.clone(), coord];
-    // Between 64 and 400 points; optionally squash one axis to produce
-    // slab-like distributions with deep adaptive refinement.
-    (proptest::collection::vec(point, 64..400), 0u8..3).prop_map(|(mut pts, squash)| {
-        if squash > 0 {
-            let axis = (squash - 1) as usize;
-            for p in &mut pts {
-                p[axis] *= 0.05;
+/// Random point clouds: uniform boxes and anisotropic slabs. Between 64
+/// and 400 points; optionally squash one axis to produce slab-like
+/// distributions with deep adaptive refinement.
+fn gen_cloud(g: &mut Gen) -> Vec<[f64; 3]> {
+    let n = g.usize(64, 400);
+    let squash = g.u8(0, 3);
+    (0..n)
+        .map(|_| {
+            let mut p = [g.f64(-1.0, 1.0), g.f64(-1.0, 1.0), g.f64(-1.0, 1.0)];
+            if squash > 0 {
+                p[(squash - 1) as usize] *= 0.05;
             }
-        }
-        pts
-    })
+            p
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Whatever the cloud shape, p = 5 keeps the FMM within 1e-4 of truth.
-    #[test]
-    fn fmm_matches_direct_on_random_clouds(pts in cloud_strategy(), seed in 0u64..1000) {
+/// Whatever the cloud shape, p = 5 keeps the FMM within 1e-4 of truth.
+#[test]
+fn fmm_matches_direct_on_random_clouds() {
+    check("fmm_matches_direct_on_random_clouds", 12, |g| {
+        let pts = gen_cloud(g);
+        let seed = g.u64_range(0, 1000);
         let dens = kifmm::geom::random_densities(pts.len(), 1, seed);
         let fmm = Fmm::new(
             Laplace,
@@ -39,11 +39,16 @@ proptest! {
         let truth = direct_eval(&Laplace, &pts, &dens);
         let err = rel_l2_error(&approx, &truth);
         prop_assert!(err < 1e-4, "error {err}");
-    }
+    });
+}
 
-    /// Evaluation is linear in the densities.
-    #[test]
-    fn evaluation_is_linear(pts in cloud_strategy(), a in -3.0f64..3.0, b in -3.0f64..3.0) {
+/// Evaluation is linear in the densities.
+#[test]
+fn evaluation_is_linear() {
+    check("evaluation_is_linear", 12, |g| {
+        let pts = gen_cloud(g);
+        let a = g.f64(-3.0, 3.0);
+        let b = g.f64(-3.0, 3.0);
         let n = pts.len();
         let fmm = Fmm::new(
             Laplace,
@@ -60,20 +65,21 @@ proptest! {
         for i in 0..n {
             prop_assert!((um[i] - (a * u1[i] + b * u2[i])).abs() < 1e-9 * scale);
         }
-    }
+    });
+}
 
-    /// Shuffling the input point order permutes the output identically.
-    #[test]
-    fn permutation_invariance(pts in cloud_strategy(), seed in 0u64..100) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Shuffling the input point order permutes the output identically.
+#[test]
+fn permutation_invariance() {
+    check("permutation_invariance", 12, |g| {
+        let pts = gen_cloud(g);
         let n = pts.len();
         let dens = kifmm::geom::random_densities(n, 1, 99);
         let opts = FmmOptions { order: 4, max_pts_per_leaf: 10, ..Default::default() };
         let base = Fmm::new(Laplace, &pts, opts).evaluate(&dens);
 
         let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        g.shuffle(&mut order);
         let pts2: Vec<[f64; 3]> = order.iter().map(|&i| pts[i]).collect();
         let dens2: Vec<f64> = order.iter().map(|&i| dens[i]).collect();
         let out2 = Fmm::new(Laplace, &pts2, opts).evaluate(&dens2);
@@ -86,12 +92,16 @@ proptest! {
                 base[i]
             );
         }
-    }
+    });
+}
 
-    /// Octree invariants hold for arbitrary clouds (leaf capacity, point
-    /// conservation, list symmetries).
-    #[test]
-    fn tree_invariants(pts in cloud_strategy(), s in 4usize..40) {
+/// Octree invariants hold for arbitrary clouds (leaf capacity, point
+/// conservation, list symmetries).
+#[test]
+fn tree_invariants() {
+    check("tree_invariants", 12, |g| {
+        let pts = gen_cloud(g);
+        let s = g.usize(4, 40);
         let tree = Octree::build(&pts, s, 19);
         // Point conservation at every internal node.
         for nd in &tree.nodes {
@@ -111,10 +121,10 @@ proptest! {
                 prop_assert!(lists.x[w as usize].contains(&(b as u32)));
             }
         }
-    }
+    });
 }
 
-/// Degenerate inputs that proptest's generator would rarely hit.
+/// Degenerate inputs that a random cloud generator would rarely hit.
 #[test]
 fn degenerate_colinear_points() {
     let pts: Vec<[f64; 3]> = (0..300).map(|i| [i as f64 * 1e-3, 0.0, 0.0]).collect();
