@@ -139,12 +139,69 @@ fn bench_fmm(filter: &str) {
     let dens = kifmm::geom::random_densities(10_000, 1, 1);
     let fmm = Fmm::new(Laplace, &pts, FmmOptions::default());
     bench(filter, "fmm/evaluate_laplace_10k_p6", || {
-        std::hint::black_box(fmm.evaluate(&dens));
+        std::hint::black_box(fmm.eval(&dens).potentials);
     });
     let fmm4 = Fmm::new(Laplace, &pts, FmmOptions { order: 4, ..Default::default() });
     bench(filter, "fmm/evaluate_laplace_10k_p4", || {
-        std::hint::black_box(fmm4.evaluate(&dens));
+        std::hint::black_box(fmm4.eval(&dens).potentials);
     });
+}
+
+/// Median wall seconds of one full evaluation (1 warmup + 9 samples).
+fn median_eval(fmm: &Fmm<Laplace>, dens: &[f64]) -> f64 {
+    std::hint::black_box(fmm.eval(dens).potentials);
+    let mut s: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(fmm.eval(dens).potentials);
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+fn bench_trace(filter: &str) {
+    use kifmm::trace::{RankTracer, Tracer};
+    let rt = RankTracer::disabled();
+    bench(filter, "trace/disabled_span+counter_x1k", || {
+        for i in 0..1000u64 {
+            let _s = rt.span("Up", "bench");
+            rt.add(kifmm::Counter::Flops, i);
+        }
+    });
+    if !"trace/zero_cost_when_disabled".contains(filter) {
+        return;
+    }
+    // Zero-cost-when-disabled assertion #1: a disabled span + counter pair
+    // must be branch-cheap — no lock, no allocation, no clock read.
+    let reps = 1_000_000u64;
+    let t = Instant::now();
+    for i in 0..reps {
+        let _s = rt.span("Up", "assert");
+        rt.add(kifmm::Counter::Flops, i);
+        std::hint::black_box(&rt);
+    }
+    let per_op = t.elapsed().as_secs_f64() / reps as f64;
+    println!("trace/disabled_per_op              {:>8.2} ns per span+add", per_op * 1e9);
+    assert!(
+        per_op < 50e-9,
+        "disabled tracing must be branch-cheap, measured {:.1} ns/op",
+        per_op * 1e9
+    );
+    // Assertion #2: even *enabled* coarse per-phase tracing stays in the
+    // noise of a real evaluation, so the disabled path certainly does.
+    let pts = kifmm::geom::sphere_grid(5_000, 8);
+    let dens = kifmm::geom::random_densities(5_000, 1, 1);
+    let base = Fmm::builder(Laplace).points(&pts).order(4).build();
+    let traced =
+        Fmm::builder(Laplace).points(&pts).order(4).trace(Tracer::enabled()).build();
+    let ratio = median_eval(&traced, &dens) / median_eval(&base, &dens);
+    println!("trace/eval_overhead                {ratio:>8.3} x (enabled / disabled)");
+    // Wall-clock medians on a shared host are noisy; the bound only has
+    // to catch a per-cell cost creeping into the hot loops (which would
+    // show up as 2x+), not certify the ~1.00 typical reading.
+    assert!(ratio < 1.25, "tracing overhead out of bounds: {ratio:.3}x");
 }
 
 fn main() {
@@ -156,4 +213,5 @@ fn main() {
     bench_linalg(&filter);
     bench_tree(&filter);
     bench_fmm(&filter);
+    bench_trace(&filter);
 }

@@ -41,7 +41,7 @@ fn run_with_partition<K: Kernel>(
             let local = &chunks[r];
             let dens = kifmm::geom::random_densities(local.len(), K::SRC_DIM, r as u64);
             let pfmm = ParallelFmm::with_cache(comm, kernel.clone(), local, opts, &cache);
-            let (_, stats) = pfmm.evaluate(comm, &dens);
+            let stats = pfmm.eval(comm, &dens).stats;
             let compute = stats.total_seconds() - stats.seconds[kifmm::Phase::Comm as usize];
             (compute, pfmm.point_work_estimates())
         }

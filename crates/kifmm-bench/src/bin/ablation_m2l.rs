@@ -26,8 +26,8 @@ fn case<K: Kernel>(kernel: K, points: &[[f64; 3]], order: usize) {
             FmmOptions { order, max_pts_per_leaf: 60, m2l_mode: mode, ..Default::default() },
         );
         // Warm the lazy dense cache outside the measurement.
-        let _ = fmm.evaluate(&dens);
-        let (_, stats) = fmm.evaluate_with_stats(&dens);
+        let _ = fmm.eval(&dens);
+        let stats = fmm.eval(&dens).stats;
         let secs = stats.seconds[Phase::DownV as usize];
         let flops = stats.flops[Phase::DownV as usize];
         println!(

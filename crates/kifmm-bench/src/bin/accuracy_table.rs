@@ -27,7 +27,8 @@ fn sweep<K: Kernel>(kernel: K, points: &[[f64; 3]], orders: &[usize]) {
         );
         let setup = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let (u, stats) = fmm.evaluate_with_stats(&dens);
+        let report = fmm.eval(&dens);
+        let (u, stats) = (report.potentials, report.stats);
         let eval = t1.elapsed().as_secs_f64();
         let err = rel_l2_error(&u, &truth);
         println!(

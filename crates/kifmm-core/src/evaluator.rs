@@ -1,0 +1,217 @@
+//! The unified evaluation API: [`Evaluator`], [`EvalReport`] and
+//! [`FmmBuilder`].
+//!
+//! The legacy surface grew one entry point per execution strategy
+//! (`evaluate`, `evaluate_with_stats`, `evaluate_parallel`, …), each with
+//! its own return shape. Everything now funnels through one verb:
+//!
+//! ```
+//! use kifmm_core::{Evaluator, Fmm};
+//! use kifmm_kernels::Laplace;
+//!
+//! let points: Vec<[f64; 3]> = (0..300)
+//!     .map(|i| {
+//!         let t = i as f64;
+//!         [(t * 0.37).sin(), (t * 0.73).cos(), (t * 0.11).sin()]
+//!     })
+//!     .collect();
+//! let fmm = Fmm::builder(Laplace).points(&points).order(4).build();
+//! let report = fmm.eval(&vec![1.0; points.len()]);
+//! assert_eq!(report.potentials.len(), points.len());
+//! assert!(report.stats.total_flops() > 0);
+//! ```
+//!
+//! A report carries the potentials, the per-phase [`PhaseStats`], and the
+//! [`Tracer`] that observed the run — disabled by default (and then free:
+//! every tracing operation short-circuits on one branch), or attached via
+//! [`FmmBuilder::trace`] to capture per-rank span timelines exportable as
+//! chrome-trace JSON.
+
+use crate::fmm::{Fmm, FmmOptions};
+use crate::m2l::M2lMode;
+use crate::precompute::PrecomputeCache;
+use crate::stats::PhaseStats;
+use kifmm_kernels::{Kernel, Point3};
+use kifmm_trace::Tracer;
+
+/// The result of one interaction-calculation run.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Potentials: `TRG_DIM` interleaved components per point, in the
+    /// caller's original point order.
+    pub potentials: Vec<f64>,
+    /// Per-phase seconds and exact flop counts.
+    pub stats: PhaseStats,
+    /// The tracer that observed the run (disabled unless one was
+    /// attached; export with [`Tracer::chrome_trace_json`]).
+    pub trace: Tracer,
+}
+
+/// Anything that evaluates `u_i = Σ_j G(x_i, x_j) φ_j` over a fixed
+/// point set: the shared-memory [`Fmm`] or a comm-bound distributed
+/// driver.
+pub trait Evaluator {
+    /// Evaluate potentials for `densities` (`src_dim()` interleaved
+    /// components per point, original point order).
+    fn eval(&self, densities: &[f64]) -> EvalReport;
+
+    /// Number of points the evaluator was built over.
+    fn num_points(&self) -> usize;
+
+    /// Density components per point.
+    fn src_dim(&self) -> usize;
+
+    /// Potential components per point.
+    fn trg_dim(&self) -> usize;
+}
+
+/// Builder for [`Fmm`] (see [`Fmm::builder`]): options, execution
+/// strategy and observability in one fluent chain.
+///
+/// ```
+/// use kifmm_core::{Fmm, M2lMode};
+/// use kifmm_kernels::Laplace;
+/// use kifmm_trace::Tracer;
+///
+/// let points = vec![[0.1, 0.2, 0.3], [-0.4, 0.5, -0.6], [0.7, -0.8, 0.9]];
+/// let fmm = Fmm::builder(Laplace)
+///     .points(&points)
+///     .order(4)
+///     .m2l(M2lMode::Fft)
+///     .trace(Tracer::enabled())
+///     .build();
+/// assert!(fmm.trace().is_enabled());
+/// ```
+pub struct FmmBuilder<'a, K: Kernel> {
+    kernel: K,
+    points: Option<&'a [Point3]>,
+    opts: FmmOptions,
+    trace: Tracer,
+    parallel: bool,
+    cache: Option<&'a PrecomputeCache<K>>,
+}
+
+impl<'a, K: Kernel> FmmBuilder<'a, K> {
+    pub(crate) fn new(kernel: K) -> Self {
+        FmmBuilder {
+            kernel,
+            points: None,
+            opts: FmmOptions::default(),
+            trace: Tracer::disabled(),
+            parallel: false,
+            cache: None,
+        }
+    }
+
+    /// The point set (sources ≡ targets). Required.
+    pub fn points(mut self, points: &'a [Point3]) -> Self {
+        self.points = Some(points);
+        self
+    }
+
+    /// Surface discretization order `p` (default 6).
+    pub fn order(mut self, order: usize) -> Self {
+        self.opts.order = order;
+        self
+    }
+
+    /// Maximum points per leaf box (the paper's `s`; default 60).
+    pub fn max_pts_per_leaf(mut self, s: usize) -> Self {
+        self.opts.max_pts_per_leaf = s;
+        self
+    }
+
+    /// Octree depth cap.
+    pub fn max_level(mut self, level: u8) -> Self {
+        self.opts.max_level = level;
+        self
+    }
+
+    /// M2L execution mode (default FFT).
+    pub fn m2l(mut self, mode: M2lMode) -> Self {
+        self.opts.m2l_mode = mode;
+        self
+    }
+
+    /// Pseudoinverse truncation tolerance.
+    pub fn pinv_tol(mut self, tol: f64) -> Self {
+        self.opts.pinv_tol = tol;
+        self
+    }
+
+    /// Replace the whole option set at once.
+    pub fn options(mut self, opts: FmmOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Attach a tracer; [`Evaluator::eval`] records per-phase spans into
+    /// it. Default: [`Tracer::disabled`] (zero-cost).
+    pub fn trace(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Use the shared-memory parallel evaluation path (worker threads
+    /// from the in-tree runtime pool; results stay bit-identical to the
+    /// serial path).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Share particle-independent operator tables through `cache`
+    /// (parameter sweeps, virtual-rank benches).
+    pub fn cache(mut self, cache: &'a PrecomputeCache<K>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Decompose the builder for drivers that construct something other
+    /// than a shared-memory [`Fmm`] (e.g. the distributed driver's
+    /// `build_parallel`). Returns
+    /// `(kernel, points, options, tracer, parallel, cache)`.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (K, Option<&'a [Point3]>, FmmOptions, Tracer, bool, Option<&'a PrecomputeCache<K>>)
+    {
+        (self.kernel, self.points, self.opts, self.trace, self.parallel, self.cache)
+    }
+
+    /// Build the evaluator: tree, interaction lists and translation
+    /// operators.
+    ///
+    /// # Panics
+    /// If [`FmmBuilder::points`] was never supplied (or the point set is
+    /// empty — construction requires points).
+    pub fn build(self) -> Fmm<K> {
+        let points = self.points.expect("FmmBuilder::points(..) is required before build()");
+        let mut fmm = match self.cache {
+            Some(cache) => Fmm::with_cache(self.kernel, points, self.opts, cache),
+            None => Fmm::new(self.kernel, points, self.opts),
+        };
+        fmm.set_trace(self.trace);
+        fmm.set_parallel_eval(self.parallel);
+        fmm
+    }
+}
+
+impl<K: Kernel> Evaluator for Fmm<K> {
+    fn eval(&self, densities: &[f64]) -> EvalReport {
+        Fmm::eval(self, densities)
+    }
+
+    fn num_points(&self) -> usize {
+        self.len()
+    }
+
+    fn src_dim(&self) -> usize {
+        K::SRC_DIM
+    }
+
+    fn trg_dim(&self) -> usize {
+        K::TRG_DIM
+    }
+}

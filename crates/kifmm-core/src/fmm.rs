@@ -4,7 +4,7 @@
 //! operators for a point set (sources ≡ targets, the setting of the paper's
 //! experiments, where the same discretization points carry densities and
 //! receive potentials across tens of Krylov iterations).
-//! [`Fmm::evaluate`] then computes `u_i = Σ_j G(x_i, x_j) φ_j` in `O(N)`:
+//! [`Fmm::eval`] then computes `u_i = Σ_j G(x_i, x_j) φ_j` in `O(N)`:
 //!
 //! 1. **Upward pass** — S2M at leaves (evaluate the upward check potential
 //!    from the sources, invert to the upward equivalent density, eq. 2.1)
@@ -16,6 +16,7 @@
 //!    densities, and the downward equivalent density, all evaluated at the
 //!    targets.
 
+use crate::evaluator::{EvalReport, FmmBuilder};
 use crate::m2l::M2lMode;
 use crate::operators::FIRST_FMM_LEVEL;
 use crate::precompute::{Precomputed, PrecomputeCache};
@@ -23,6 +24,7 @@ use crate::stats::{Phase, PhaseStats};
 use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
 use kifmm_fft::C64;
 use kifmm_kernels::{Kernel, Point3};
+use kifmm_trace::{Counter, RankTracer, Tracer};
 use kifmm_tree::{build_lists, InteractionLists, Octree, NO_NODE};
 use std::collections::HashMap;
 use crate::stats::thread_cpu_time;
@@ -75,9 +77,19 @@ pub struct Fmm<K: Kernel> {
     /// Points permuted into Morton order (leaf ranges contiguous).
     pub(crate) sorted_points: Vec<Point3>,
     pub(crate) num_points: usize,
+    /// Observability sink ([`Tracer::disabled`] unless one is attached).
+    pub(crate) trace: Tracer,
+    /// Route [`Fmm::eval`] through the shared-memory parallel path.
+    pub(crate) parallel_eval: bool,
 }
 
 impl<K: Kernel> Fmm<K> {
+    /// Start a fluent [`FmmBuilder`]:
+    /// `Fmm::builder(kernel).points(&pts).order(6).build()`.
+    pub fn builder<'a>(kernel: K) -> FmmBuilder<'a, K> {
+        FmmBuilder::new(kernel)
+    }
+
     /// Build tree, interaction lists and translation operators.
     pub fn new(kernel: K, points: &[Point3], opts: FmmOptions) -> Self {
         let cache = PrecomputeCache::new();
@@ -101,7 +113,34 @@ impl<K: Kernel> Fmm<K> {
         let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
         let sorted_points: Vec<Point3> =
             tree.perm.iter().map(|&i| points[i as usize]).collect();
-        Fmm { kernel, opts, tree, lists, pre, sorted_points, num_points: points.len() }
+        Fmm {
+            kernel,
+            opts,
+            tree,
+            lists,
+            pre,
+            sorted_points,
+            num_points: points.len(),
+            trace: Tracer::disabled(),
+            parallel_eval: false,
+        }
+    }
+
+    /// Attach (or detach, with [`Tracer::disabled`]) an observability
+    /// sink; subsequent [`Fmm::eval`] calls record per-phase spans.
+    pub fn set_trace(&mut self, trace: Tracer) {
+        self.trace = trace;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn trace(&self) -> &Tracer {
+        &self.trace
+    }
+
+    /// Route [`Fmm::eval`] through the shared-memory parallel path
+    /// (bit-identical results; wall-clock phase timing).
+    pub fn set_parallel_eval(&mut self, parallel: bool) {
+        self.parallel_eval = parallel;
     }
 
     /// Number of points.
@@ -125,20 +164,43 @@ impl<K: Kernel> Fmm<K> {
     }
 
     /// Evaluate potentials for `densities` (original point order,
-    /// `SRC_DIM` interleaved components per point). Returns `TRG_DIM`
-    /// components per point, original order.
-    pub fn evaluate(&self, densities: &[f64]) -> Vec<f64> {
-        self.evaluate_with_stats(densities).0
+    /// `SRC_DIM` interleaved components per point). The report carries
+    /// `TRG_DIM` components per point in the original order, the
+    /// per-phase statistics, and the attached tracer.
+    ///
+    /// Runs the serial path unless the shared-memory parallel path was
+    /// selected ([`FmmBuilder::parallel`] / [`Fmm::set_parallel_eval`]).
+    pub fn eval(&self, densities: &[f64]) -> EvalReport {
+        let (potentials, stats) = if self.parallel_eval {
+            self.eval_parallel_impl(densities)
+        } else {
+            self.eval_serial_impl(densities)
+        };
+        EvalReport { potentials, stats, trace: self.trace.clone() }
     }
 
-    /// [`Fmm::evaluate`] plus per-phase timing/flop statistics.
+    /// Deprecated shim over [`Fmm::eval`].
+    #[deprecated(note = "use `eval(densities).potentials` (see the Evaluator trait)")]
+    pub fn evaluate(&self, densities: &[f64]) -> Vec<f64> {
+        self.eval_serial_impl(densities).0
+    }
+
+    /// Deprecated shim over [`Fmm::eval`].
+    #[deprecated(note = "use `eval(densities)` and read `.potentials` / `.stats`")]
     pub fn evaluate_with_stats(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
+        self.eval_serial_impl(densities)
+    }
+
+    /// The serial evaluation pipeline (tracing through the attached
+    /// tracer's rank-0 buffer).
+    pub(crate) fn eval_serial_impl(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
         assert_eq!(
             densities.len(),
             self.num_points * K::SRC_DIM,
             "density vector must have SRC_DIM entries per point"
         );
         let mut stats = PhaseStats::new();
+        let rt = self.trace.rank(0);
         let n = self.num_points;
         // Permute densities into Morton order.
         let mut dens = vec![0.0; n * K::SRC_DIM];
@@ -148,9 +210,9 @@ impl<K: Kernel> Fmm<K> {
             }
         }
 
-        let up = self.upward_pass(&dens, &mut stats);
-        let down = self.downward_pass(&up, &dens, &mut stats);
-        let pot = self.leaf_evaluation(&up, &down, &dens, &mut stats);
+        let up = self.upward_pass(&dens, &mut stats, &rt);
+        let down = self.downward_pass(&up, &dens, &mut stats, &rt);
+        let pot = self.leaf_evaluation(&up, &down, &dens, &mut stats, &rt);
 
         // Un-permute potentials.
         let mut out = vec![0.0; n * K::TRG_DIM];
@@ -164,7 +226,12 @@ impl<K: Kernel> Fmm<K> {
 
     /// Upward equivalent densities for every box at level ≥ 2
     /// (flat, node-major; unused levels stay zero).
-    pub(crate) fn upward_pass(&self, dens: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
+    pub(crate) fn upward_pass(
+        &self,
+        dens: &[f64],
+        stats: &mut PhaseStats,
+        rt: &RankTracer,
+    ) -> Vec<f64> {
         let ns = num_surface_points(self.opts.order);
         let es = ns * K::SRC_DIM;
         let cs = ns * K::TRG_DIM;
@@ -173,11 +240,14 @@ impl<K: Kernel> Fmm<K> {
         if depth < FIRST_FMM_LEVEL {
             return up;
         }
+        let _span = rt.span("Up", "Up");
         let start = thread_cpu_time();
         let mut flops = 0u64;
+        let mut cells = 0u64;
         let mut check = vec![0.0; cs];
         for level in (FIRST_FMM_LEVEL..=depth).rev() {
             let lops = self.pre.ops.at(level);
+            cells += self.tree.levels[level as usize].len() as u64;
             for &ni in &self.tree.levels[level as usize] {
                 let node = &self.tree.nodes[ni as usize];
                 check.fill(0.0);
@@ -207,11 +277,19 @@ impl<K: Kernel> Fmm<K> {
         }
         stats.add_seconds(Phase::Up, thread_cpu_time() - start);
         stats.add_flops(Phase::Up, flops);
+        rt.add(Counter::Flops, flops);
+        rt.add(Counter::CellsTouched, cells);
         up
     }
 
     /// Downward equivalent densities (flat, node-major).
-    pub(crate) fn downward_pass(&self, up: &[f64], dens: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
+    pub(crate) fn downward_pass(
+        &self,
+        up: &[f64],
+        dens: &[f64],
+        stats: &mut PhaseStats,
+        rt: &RankTracer,
+    ) -> Vec<f64> {
         let ns = num_surface_points(self.opts.order);
         let es = ns * K::SRC_DIM;
         let cs = ns * K::TRG_DIM;
@@ -224,14 +302,18 @@ impl<K: Kernel> Fmm<K> {
         let mut check = vec![0.0; nn * cs];
 
         // DownV: M2L translations, level by level.
+        let v_flops_before = stats.flops[Phase::DownV as usize];
         for level in FIRST_FMM_LEVEL..=depth {
+            let _v = rt.span("DownV", "m2l").with_n(level as u64);
             match self.opts.m2l_mode {
                 M2lMode::Fft => self.m2l_fft_level(level, up, &mut check, stats),
                 M2lMode::Direct => self.m2l_direct_level(level, up, &mut check, stats),
             }
         }
+        rt.add(Counter::Flops, stats.flops[Phase::DownV as usize] - v_flops_before);
 
         // DownX: coarser leaves' sources onto downward check surfaces.
+        let xspan = rt.span("DownX", "x-list");
         let xstart = thread_cpu_time();
         let mut xflops = 0u64;
         for level in FIRST_FMM_LEVEL..=depth {
@@ -253,9 +335,12 @@ impl<K: Kernel> Fmm<K> {
         }
         stats.add_seconds(Phase::DownX, thread_cpu_time() - xstart);
         stats.add_flops(Phase::DownX, xflops);
+        rt.add(Counter::Flops, xflops);
+        drop(xspan);
 
         // Eval (L2L part): parent-to-child translation + inversion,
         // top-down so parents are final before children read them.
+        let lspan = rt.span("Eval", "l2l");
         let lstart = thread_cpu_time();
         let mut lflops = 0u64;
         for level in FIRST_FMM_LEVEL..=depth {
@@ -278,6 +363,8 @@ impl<K: Kernel> Fmm<K> {
         }
         stats.add_seconds(Phase::Eval, thread_cpu_time() - lstart);
         stats.add_flops(Phase::Eval, lflops);
+        rt.add(Counter::Flops, lflops);
+        drop(lspan);
         down
     }
 
@@ -366,6 +453,7 @@ impl<K: Kernel> Fmm<K> {
         down: &[f64],
         dens: &[f64],
         stats: &mut PhaseStats,
+        rt: &RankTracer,
     ) -> Vec<f64> {
         let ns = num_surface_points(self.opts.order);
         let es = ns * K::SRC_DIM;
@@ -373,7 +461,9 @@ impl<K: Kernel> Fmm<K> {
         let kf = self.kernel.flops_per_eval();
 
         let leaves: Vec<u32> = self.tree.leaves().collect();
+        rt.add(Counter::CellsTouched, leaves.len() as u64);
         // DownU: dense near interactions.
+        let uspan = rt.span("DownU", "u-list");
         let ustart = thread_cpu_time();
         let mut uflops = 0u64;
         for &ni in &leaves {
@@ -389,8 +479,11 @@ impl<K: Kernel> Fmm<K> {
         }
         stats.add_seconds(Phase::DownU, thread_cpu_time() - ustart);
         stats.add_flops(Phase::DownU, uflops);
+        rt.add(Counter::Flops, uflops);
+        drop(uspan);
 
         // DownW: equivalent densities of finer separated boxes.
+        let wspan = rt.span("DownW", "w-list");
         let wstart = thread_cpu_time();
         let mut wflops = 0u64;
         for &ni in &leaves {
@@ -413,8 +506,11 @@ impl<K: Kernel> Fmm<K> {
         }
         stats.add_seconds(Phase::DownW, thread_cpu_time() - wstart);
         stats.add_flops(Phase::DownW, wflops);
+        rt.add(Counter::Flops, wflops);
+        drop(wspan);
 
         // Eval (L2T part): downward equivalent density at the targets.
+        let espan = rt.span("Eval", "l2t");
         let estart = thread_cpu_time();
         let mut eflops = 0u64;
         if self.tree.depth() >= FIRST_FMM_LEVEL {
@@ -436,6 +532,8 @@ impl<K: Kernel> Fmm<K> {
         }
         stats.add_seconds(Phase::Eval, thread_cpu_time() - estart);
         stats.add_flops(Phase::Eval, eflops);
+        rt.add(Counter::Flops, eflops);
+        drop(espan);
         pot
     }
 
@@ -485,7 +583,7 @@ mod tests {
             FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
         );
         assert!(fmm.tree.depth() >= 2, "tree must be deep enough to exercise M2L");
-        let u = fmm.evaluate(&dens);
+        let u = fmm.eval(&dens).potentials;
         let truth = direct_eval(&Laplace, &pts, &dens);
         let e = rel_err(&u, &truth);
         assert!(e < 1e-5, "relative error {e}");
@@ -503,7 +601,7 @@ mod tests {
                 &pts,
                 FmmOptions { order: p, max_pts_per_leaf: 15, ..Default::default() },
             );
-            let e = rel_err(&fmm.evaluate(&dens), &truth);
+            let e = rel_err(&fmm.eval(&dens).potentials, &truth);
             assert!(e < last, "p={p}: error {e} should beat {last}");
             last = e;
         }
@@ -520,7 +618,7 @@ mod tests {
             &pts,
             FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
         );
-        let u = fmm.evaluate(&dens);
+        let u = fmm.eval(&dens).potentials;
         let truth = direct_eval(&k, &pts, &dens);
         let e = rel_err(&u, &truth);
         assert!(e < 1e-5, "relative error {e}");
@@ -536,7 +634,7 @@ mod tests {
             &pts,
             FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
         );
-        let u = fmm.evaluate(&dens);
+        let u = fmm.eval(&dens).potentials;
         let truth = direct_eval(&k, &pts, &dens);
         let e = rel_err(&u, &truth);
         assert!(e < 1e-4, "relative error {e}");
@@ -558,7 +656,7 @@ mod tests {
         let has_w = fmm.lists.w.iter().any(|w| !w.is_empty());
         let has_x = fmm.lists.x.iter().any(|x| !x.is_empty());
         assert!(has_w && has_x, "test geometry must exercise W and X lists");
-        let u = fmm.evaluate(&dens);
+        let u = fmm.eval(&dens).potentials;
         let truth = direct_eval(&Laplace, &pts, &dens);
         let e = rel_err(&u, &truth);
         assert!(e < 1e-5, "relative error {e}");
@@ -571,8 +669,8 @@ mod tests {
         let base = FmmOptions { order: 5, max_pts_per_leaf: 15, ..Default::default() };
         let fft = Fmm::new(Laplace, &pts, FmmOptions { m2l_mode: M2lMode::Fft, ..base });
         let dir = Fmm::new(Laplace, &pts, FmmOptions { m2l_mode: M2lMode::Direct, ..base });
-        let uf = fft.evaluate(&dens);
-        let ud = dir.evaluate(&dens);
+        let uf = fft.eval(&dens).potentials;
+        let ud = dir.eval(&dens).potentials;
         // The two paths differ only by FFT round-off accumulated over the
         // (2p)³ grids — far below the discretization error.
         let e = rel_err(&uf, &ud);
@@ -590,7 +688,7 @@ mod tests {
             FmmOptions { order: 4, max_pts_per_leaf: 60, ..Default::default() },
         );
         assert!(fmm.tree.depth() < 2);
-        let u = fmm.evaluate(&dens);
+        let u = fmm.eval(&dens).potentials;
         let truth = direct_eval(&Laplace, &pts, &dens);
         let e = rel_err(&u, &truth);
         assert!(e < 1e-13, "shallow tree is exact: {e}");
@@ -607,9 +705,9 @@ mod tests {
         let d1 = densities(300, 1);
         let d2: Vec<f64> = (0..300).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let combined: Vec<f64> = d1.iter().zip(&d2).map(|(a, b)| 2.0 * a - 0.5 * b).collect();
-        let u1 = fmm.evaluate(&d1);
-        let u2 = fmm.evaluate(&d2);
-        let uc = fmm.evaluate(&combined);
+        let u1 = fmm.eval(&d1).potentials;
+        let u2 = fmm.eval(&d2).potentials;
+        let uc = fmm.eval(&combined).potentials;
         for i in 0..300 {
             let expect = 2.0 * u1[i] - 0.5 * u2[i];
             assert!((uc[i] - expect).abs() < 1e-9 * expect.abs().max(1.0));
@@ -625,7 +723,7 @@ mod tests {
             &pts,
             FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() },
         );
-        let (_, stats) = fmm.evaluate_with_stats(&dens);
+        let stats = fmm.eval(&dens).stats;
         assert!(stats.flops[Phase::Up as usize] > 0);
         assert!(stats.flops[Phase::DownU as usize] > 0);
         assert!(stats.flops[Phase::DownV as usize] > 0);
@@ -638,7 +736,7 @@ mod tests {
     fn zero_density_gives_zero_potential() {
         let pts = cloud(200, 33);
         let fmm = Fmm::new(Laplace, &pts, FmmOptions::with_order(4));
-        let u = fmm.evaluate(&vec![0.0; 200]);
+        let u = fmm.eval(&vec![0.0; 200]).potentials;
         assert!(u.iter().all(|&v| v == 0.0));
     }
 }
@@ -670,7 +768,7 @@ mod dipole_tests {
             FmmOptions { order: 6, max_pts_per_leaf: 20, ..Default::default() },
         );
         assert!(fmm.tree.depth() >= 2);
-        let u = fmm.evaluate(&dens);
+        let u = fmm.eval(&dens).potentials;
         let truth = direct_eval(&LaplaceDipole, &pts, &dens);
         let e = rel_l2_error(&u, &truth);
         assert!(e < 1e-4, "dipole kernel relative error {e}");

@@ -11,7 +11,7 @@
 //! `kifmm_kernels::Kernel`.
 //!
 //! ```
-//! use kifmm_core::{Fmm, FmmOptions};
+//! use kifmm_core::{Evaluator, Fmm};
 //! use kifmm_kernels::Laplace;
 //!
 //! let points: Vec<[f64; 3]> = (0..500)
@@ -21,12 +21,13 @@
 //!     })
 //!     .collect();
 //! let densities = vec![1.0; points.len()];
-//! let fmm = Fmm::new(Laplace, &points, FmmOptions::default());
-//! let potentials = fmm.evaluate(&densities);
-//! assert_eq!(potentials.len(), points.len());
+//! let fmm = Fmm::builder(Laplace).points(&points).build();
+//! let report = fmm.eval(&densities);
+//! assert_eq!(report.potentials.len(), points.len());
 //! ```
 
 pub mod direct;
+pub mod evaluator;
 pub mod fmm;
 pub mod m2l;
 pub mod operators;
@@ -38,6 +39,7 @@ pub mod targets;
 pub mod work;
 
 pub use direct::{direct_eval, direct_eval_src_trg, rel_l2_error};
+pub use evaluator::{EvalReport, Evaluator, FmmBuilder};
 pub use fmm::{Fmm, FmmOptions};
 pub use m2l::{v_list_directions, M2lDirect, M2lFft, M2lMode};
 pub use operators::{LevelOps, OperatorTable, FIRST_FMM_LEVEL};

@@ -1,8 +1,8 @@
 //! Shared-memory parallel evaluation (in-tree `kifmm-runtime`).
 //!
-//! [`Fmm::evaluate_parallel`] runs the same passes as the serial
-//! [`Fmm::evaluate`] with intra-node data parallelism, exploiting two
-//! structural facts:
+//! Selected with `Fmm::builder(..).parallel(true)`, this path runs the
+//! same passes as the serial [`Fmm::eval`] with intra-node data
+//! parallelism, exploiting two structural facts:
 //!
 //! * boxes of one level occupy a **contiguous index range** (BFS
 //!   construction), so the flat node-major equivalent/check arrays can be
@@ -28,23 +28,35 @@ use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
 use kifmm_fft::C64;
 use kifmm_kernels::Kernel;
 use kifmm_runtime::{par_chunks2_mut, par_chunks_mut, par_chunks_mut_init, par_for_each, par_map};
+use kifmm_trace::Counter;
 use kifmm_tree::NO_NODE;
 use std::collections::HashMap;
 use std::time::Instant;
 
 impl<K: Kernel> Fmm<K> {
-    /// [`Fmm::evaluate`] with data parallelism inside every phase
-    /// (worker threads from the in-tree `kifmm-runtime` pool).
+    /// Deprecated shim over the parallel path; prefer
+    /// `Fmm::builder(..).parallel(true)` and [`Fmm::eval`].
+    #[deprecated(note = "build with FmmBuilder::parallel(true) and call eval()")]
     pub fn evaluate_parallel(&self, densities: &[f64]) -> Vec<f64> {
-        self.evaluate_parallel_with_stats(densities).0
+        self.eval_parallel_impl(densities).0
     }
 
-    /// [`Fmm::evaluate_with_stats`], parallel. Phase seconds are
-    /// wall-clock; flop counts are exact and identical to the serial path.
+    /// Deprecated shim over the parallel path; prefer
+    /// `Fmm::builder(..).parallel(true)` and [`Fmm::eval`].
+    #[deprecated(note = "build with FmmBuilder::parallel(true) and call eval()")]
     pub fn evaluate_parallel_with_stats(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
+        self.eval_parallel_impl(densities)
+    }
+
+    /// The fork-join evaluation pipeline. Phase seconds are wall-clock
+    /// (work spreads across the pool; per-thread CPU time would
+    /// under-count); flop counts are exact and identical to the serial
+    /// path.
+    pub(crate) fn eval_parallel_impl(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
         let n = self.len();
         assert_eq!(densities.len(), n * K::SRC_DIM, "density length");
         let mut stats = PhaseStats::new();
+        let rt = self.trace.rank(0);
         let tree = &self.tree;
         let ns = num_surface_points(self.options().order);
         let es = ns * K::SRC_DIM;
@@ -67,6 +79,7 @@ impl<K: Kernel> Fmm<K> {
 
         if depth >= FIRST_FMM_LEVEL {
             // ---- Upward pass -------------------------------------------------
+            let span = rt.span("Up", "Up");
             let t = Instant::now();
             let mut up_flops = 0u64;
             for level in (FIRST_FMM_LEVEL..=depth).rev() {
@@ -116,17 +129,22 @@ impl<K: Kernel> Fmm<K> {
             }
             stats.add_seconds(Phase::Up, t.elapsed().as_secs_f64());
             stats.add_flops(Phase::Up, up_flops);
+            rt.add(Counter::Flops, up_flops);
+            drop(span);
 
             // ---- DownV: FFT M2L ---------------------------------------------
             let t = Instant::now();
             let mut v_flops = 0u64;
             for level in FIRST_FMM_LEVEL..=depth {
+                let _v = rt.span("DownV", "m2l").with_n(level as u64);
                 v_flops += self.m2l_fft_level_parallel(level, &up, &mut check);
             }
             stats.add_seconds(Phase::DownV, t.elapsed().as_secs_f64());
             stats.add_flops(Phase::DownV, v_flops);
+            rt.add(Counter::Flops, v_flops);
 
             // ---- DownX --------------------------------------------------------
+            let span = rt.span("DownX", "x-list");
             let t = Instant::now();
             let mut x_flops = 0u64;
             for level in FIRST_FMM_LEVEL..=depth {
@@ -160,8 +178,11 @@ impl<K: Kernel> Fmm<K> {
             }
             stats.add_seconds(Phase::DownX, t.elapsed().as_secs_f64());
             stats.add_flops(Phase::DownX, x_flops);
+            rt.add(Counter::Flops, x_flops);
+            drop(span);
 
             // ---- Eval: L2L + inversion, level by level ------------------------
+            let span = rt.span("Eval", "l2l");
             let t = Instant::now();
             let mut l_flops = 0u64;
             for level in FIRST_FMM_LEVEL..=depth {
@@ -186,12 +207,16 @@ impl<K: Kernel> Fmm<K> {
             }
             stats.add_seconds(Phase::Eval, t.elapsed().as_secs_f64());
             stats.add_flops(Phase::Eval, l_flops);
+            rt.add(Counter::Flops, l_flops);
+            drop(span);
         }
 
         // ---- Leaf phases: U, W, L2T ------------------------------------------
         let mut pot = vec![0.0; n * K::TRG_DIM];
         let leaves = self.leaves_by_point_order();
+        rt.add(Counter::CellsTouched, leaves.len() as u64);
 
+        let uspan = rt.span("DownU", "u-list");
         let t = Instant::now();
         self.for_each_leaf_parallel(&leaves, &mut pot, |ni, trg, out| {
             for &a in &self.lists.u[ni as usize] {
@@ -217,7 +242,10 @@ impl<K: Kernel> Fmm<K> {
             .sum();
         stats.add_seconds(Phase::DownU, t.elapsed().as_secs_f64());
         stats.add_flops(Phase::DownU, u_flops);
+        rt.add(Counter::Flops, u_flops);
+        drop(uspan);
 
+        let wspan = rt.span("DownW", "w-list");
         let t = Instant::now();
         self.for_each_leaf_parallel(&leaves, &mut pot, |ni, trg, out| {
             for &a in &self.lists.w[ni as usize] {
@@ -240,7 +268,10 @@ impl<K: Kernel> Fmm<K> {
             .sum();
         stats.add_seconds(Phase::DownW, t.elapsed().as_secs_f64());
         stats.add_flops(Phase::DownW, w_flops);
+        rt.add(Counter::Flops, w_flops);
+        drop(wspan);
 
+        let espan = rt.span("Eval", "l2t");
         let t = Instant::now();
         let mut e_flops = 0u64;
         if depth >= FIRST_FMM_LEVEL {
@@ -263,6 +294,8 @@ impl<K: Kernel> Fmm<K> {
         }
         stats.add_seconds(Phase::Eval, t.elapsed().as_secs_f64());
         stats.add_flops(Phase::Eval, e_flops);
+        rt.add(Counter::Flops, e_flops);
+        drop(espan);
 
         // Un-permute.
         let mut out = vec![0.0; n * K::TRG_DIM];
@@ -395,13 +428,14 @@ mod tests {
     fn parallel_equals_serial_laplace() {
         let pts = cloud(1500, 4);
         let dens: Vec<f64> = (0..1500).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
-        let fmm = Fmm::new(
+        let mut fmm = Fmm::new(
             Laplace,
             &pts,
             FmmOptions { order: 5, max_pts_per_leaf: 20, ..Default::default() },
         );
-        let serial = fmm.evaluate(&dens);
-        let parallel = fmm.evaluate_parallel(&dens);
+        let serial = fmm.eval(&dens).potentials;
+        fmm.set_parallel_eval(true);
+        let parallel = fmm.eval(&dens).potentials;
         assert_eq!(serial, parallel, "parallel path must be bit-identical");
     }
 
@@ -412,25 +446,32 @@ mod tests {
             pts.push([0.9 + p[0] * 0.05, 0.9 + p[1] * 0.05, 0.9 + p[2] * 0.05]);
         }
         let dens = kifmm_geom::random_densities(800, 3, 3);
-        let fmm = Fmm::new(
-            Stokes::default(),
-            &pts,
-            FmmOptions { order: 4, max_pts_per_leaf: 12, ..Default::default() },
-        );
-        assert_eq!(fmm.evaluate(&dens), fmm.evaluate_parallel(&dens));
+        let fmm = Fmm::builder(Stokes::default())
+            .points(&pts)
+            .order(4)
+            .max_pts_per_leaf(12)
+            .build();
+        let par = Fmm::builder(Stokes::default())
+            .points(&pts)
+            .order(4)
+            .max_pts_per_leaf(12)
+            .parallel(true)
+            .build();
+        assert_eq!(fmm.eval(&dens).potentials, par.eval(&dens).potentials);
     }
 
     #[test]
     fn parallel_flop_counts_match_serial() {
         let pts = cloud(1200, 77);
         let dens = vec![1.0; 1200];
-        let fmm = Fmm::new(
+        let mut fmm = Fmm::new(
             Laplace,
             &pts,
             FmmOptions { order: 4, max_pts_per_leaf: 15, ..Default::default() },
         );
-        let (_, s) = fmm.evaluate_with_stats(&dens);
-        let (_, p) = fmm.evaluate_parallel_with_stats(&dens);
+        let s = fmm.eval(&dens).stats;
+        fmm.set_parallel_eval(true);
+        let p = fmm.eval(&dens).stats;
         assert_eq!(s.flops, p.flops, "flop accounting must agree exactly");
     }
 
@@ -438,7 +479,9 @@ mod tests {
     fn parallel_shallow_tree() {
         let pts = cloud(40, 3);
         let dens = vec![1.0; 40];
-        let fmm = Fmm::new(Laplace, &pts, FmmOptions::with_order(4));
-        assert_eq!(fmm.evaluate(&dens), fmm.evaluate_parallel(&dens));
+        let mut fmm = Fmm::new(Laplace, &pts, FmmOptions::with_order(4));
+        let serial = fmm.eval(&dens).potentials;
+        fmm.set_parallel_eval(true);
+        assert_eq!(serial, fmm.eval(&dens).potentials);
     }
 }

@@ -16,8 +16,6 @@
 //! * `Eval` — L2L (parent-to-child), downward check-to-equivalent
 //!   inversions, and the final L2T evaluation at the targets.
 
-use std::time::Instant;
-
 /// Seconds of CPU time consumed by the calling thread
 /// (`CLOCK_THREAD_CPUTIME_ID`, re-exported from the in-tree runtime's
 /// raw-syscall binding — no libc).
@@ -49,20 +47,29 @@ pub enum Phase {
     Eval = 6,
 }
 
+impl Phase {
+    /// Number of instrumented phases.
+    pub const COUNT: usize = 7;
+}
+
 /// All phases, in reporting order.
-pub const PHASES: [Phase; 7] =
+pub const PHASES: [Phase; Phase::COUNT] =
     [Phase::Up, Phase::Comm, Phase::DownU, Phase::DownV, Phase::DownW, Phase::DownX, Phase::Eval];
 
 /// Short labels matching the paper's figures.
-pub const PHASE_NAMES: [&str; 7] = ["Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval"];
+pub const PHASE_NAMES: [&str; Phase::COUNT] =
+    ["Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval"];
 
 /// Per-phase timing and flop accounting for one interaction calculation.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseStats {
-    /// Wall-clock seconds per phase.
-    pub seconds: [f64; 7],
+    /// Seconds charged per phase. Compute phases charge **thread-CPU
+    /// time** (see [`thread_cpu_time`]); the parallel evaluator's
+    /// fork-join stages and the distributed driver's `Comm` phase charge
+    /// wall-clock time and document that choice at the charging site.
+    pub seconds: [f64; Phase::COUNT],
     /// Exact counted floating-point operations per phase.
-    pub flops: [u64; 7],
+    pub flops: [u64; Phase::COUNT],
 }
 
 impl PhaseStats {
@@ -109,18 +116,21 @@ impl PhaseStats {
     /// Accumulate another run's stats (used by the distributed driver to
     /// merge rank-local stats).
     pub fn merge(&mut self, other: &PhaseStats) {
-        for i in 0..7 {
+        for i in 0..PHASES.len() {
             self.seconds[i] += other.seconds[i];
             self.flops[i] += other.flops[i];
         }
     }
 
-    /// Charge `f(…)`'s wall time and returned flop count to `phase`.
+    /// Charge `f(…)`'s thread-CPU time and returned flop count to
+    /// `phase`. Producers that deliberately want wall time (fork-join
+    /// stages, communication waits) use [`PhaseStats::add_seconds`] with
+    /// their own clock instead.
     pub fn timed<T>(&mut self, phase: Phase, f: impl FnOnce(&mut u64) -> T) -> T {
-        let start = Instant::now();
+        let start = thread_cpu_time();
         let mut flops = 0u64;
         let out = f(&mut flops);
-        self.seconds[phase as usize] += start.elapsed().as_secs_f64();
+        self.seconds[phase as usize] += (thread_cpu_time() - start).max(0.0);
         self.flops[phase as usize] += flops;
         out
     }
@@ -183,5 +193,29 @@ mod tests {
     fn gflops_rate_zero_time() {
         let s = PhaseStats::new();
         assert_eq!(s.gflops_rate(), 0.0);
+    }
+
+    #[test]
+    fn timed_charges_cpu_not_wall() {
+        // The documented clock: a sleeping thread consumes no thread-CPU
+        // time, so timed() must not charge the 20 ms nap to the phase.
+        let mut s = PhaseStats::new();
+        s.timed(Phase::Comm, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        });
+        assert!(
+            s.seconds[Phase::Comm as usize] < 0.010,
+            "sleep charged to phase: {}s",
+            s.seconds[Phase::Comm as usize]
+        );
+    }
+
+    #[test]
+    fn phase_count_matches_tables() {
+        assert_eq!(PHASES.len(), Phase::COUNT);
+        assert_eq!(PHASE_NAMES.len(), Phase::COUNT);
+        for (i, p) in PHASES.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+        }
     }
 }

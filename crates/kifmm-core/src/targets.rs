@@ -39,8 +39,9 @@ impl<K: Kernel> Fmm<K> {
             }
         }
         let mut stats = crate::stats::PhaseStats::new();
-        let up = self.upward_pass(&dens, &mut stats);
-        let down = self.downward_pass(&up, &dens, &mut stats);
+        let rt = self.trace.rank(0);
+        let up = self.upward_pass(&dens, &mut stats, &rt);
+        let down = self.downward_pass(&up, &dens, &mut stats, &rt);
 
         let mut out = vec![0.0; targets.len() * K::TRG_DIM];
         let domain = tree.domain;
@@ -152,7 +153,7 @@ mod tests {
             &srcs,
             FmmOptions { order: 5, max_pts_per_leaf: 20, ..Default::default() },
         );
-        let via_eval = fmm.evaluate(&dens);
+        let via_eval = fmm.eval(&dens).potentials;
         let via_at = fmm.evaluate_at(&dens, &srcs);
         let e = rel_l2_error(&via_at, &via_eval);
         assert!(e < 1e-12, "consistency between evaluate and evaluate_at: {e}");

@@ -187,7 +187,7 @@ mod tests {
             fmm.tree.nodes[b as usize].num_points() as f64
         });
         let predicted: f64 = w.iter().sum();
-        let (_, stats) = fmm.evaluate_with_stats(&dens);
+        let stats = fmm.eval(&dens).stats;
         let measured = stats.total_flops() as f64;
         let ratio = predicted / measured;
         assert!(

@@ -19,6 +19,7 @@
 //! panic inside the lock is reported with a recognizable message instead
 //! of a bare `PoisonError` unwrap.
 
+use kifmm_trace::{Counter, RankTracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -64,9 +65,26 @@ pub struct CommStats {
     pub bytes_sent: u64,
     /// Messages this rank sent.
     pub messages_sent: u64,
+    /// Bytes this rank received.
+    pub bytes_received: u64,
+    /// Messages this rank received.
+    pub messages_received: u64,
     /// Wall-clock seconds this rank spent blocked in receive or
     /// synchronizing inside collectives.
     pub comm_seconds: f64,
+}
+
+/// Traffic between this rank and one peer (see [`Comm::peer_traffic`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Bytes sent to the peer.
+    pub bytes_sent: u64,
+    /// Messages sent to the peer.
+    pub messages_sent: u64,
+    /// Bytes received from the peer.
+    pub bytes_received: u64,
+    /// Messages received from the peer.
+    pub messages_received: u64,
 }
 
 /// A rank's handle to the communicator (one per thread; not shared).
@@ -76,6 +94,11 @@ pub struct Comm {
     /// Sequence numbers making collective tags unique per call site order.
     collective_seq: std::cell::Cell<u64>,
     stats: std::cell::Cell<CommStats>,
+    /// Per-peer traffic, indexed by peer rank.
+    peers: std::cell::RefCell<Vec<PeerTraffic>>,
+    /// Observability hook: byte/message counters charged per send/recv
+    /// (a disabled tracer unless [`Comm::attach_tracer`] was called).
+    tracer: std::cell::RefCell<RankTracer>,
 }
 
 /// Tags at or above this value are reserved for collectives.
@@ -97,6 +120,17 @@ impl Comm {
         self.stats.get()
     }
 
+    /// Traffic between this rank and every peer, indexed by peer rank.
+    pub fn peer_traffic(&self) -> Vec<PeerTraffic> {
+        self.peers.borrow().clone()
+    }
+
+    /// Attach a rank tracer: every subsequent send/receive charges the
+    /// `BytesSent`/`MessagesSent`/`BytesRecv`/`MessagesRecv` counters.
+    pub fn attach_tracer(&self, tracer: RankTracer) {
+        *self.tracer.borrow_mut() = tracer;
+    }
+
     /// Send `data` to `dest` with `tag` (eager-buffered: returns
     /// immediately).
     pub fn send(&self, dest: usize, tag: u64, data: &[u8]) {
@@ -106,11 +140,22 @@ impl Comm {
     }
 
     pub(crate) fn send_raw(&self, dest: usize, tag: u64, data: Vec<u8>) {
+        let len = data.len() as u64;
         let mut st = self.stats.get();
-        st.bytes_sent += data.len() as u64;
+        st.bytes_sent += len;
         st.messages_sent += 1;
         self.stats.set(st);
-        self.shared.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        {
+            let mut peers = self.peers.borrow_mut();
+            peers[dest].bytes_sent += len;
+            peers[dest].messages_sent += 1;
+        }
+        {
+            let tr = self.tracer.borrow();
+            tr.add(Counter::BytesSent, len);
+            tr.add(Counter::MessagesSent, 1);
+        }
+        self.shared.bytes_sent.fetch_add(len, Ordering::Relaxed);
         self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
         let mb = &self.shared.mailboxes[dest];
         let mut q = mb.lock();
@@ -136,6 +181,7 @@ impl Comm {
                     let mut st = self.stats.get();
                     st.comm_seconds += start.elapsed().as_secs_f64();
                     self.stats.set(st);
+                    self.count_received(source, msg.len() as u64);
                     return msg;
                 }
             }
@@ -159,7 +205,28 @@ impl Comm {
     pub fn try_recv(&self, source: usize, tag: u64) -> Option<Vec<u8>> {
         let mb = &self.shared.mailboxes[self.rank];
         let mut q = mb.lock();
-        q.get_mut(&(source, tag)).and_then(|queue| queue.pop_front())
+        let msg = q.get_mut(&(source, tag)).and_then(|queue| queue.pop_front());
+        drop(q);
+        if let Some(m) = &msg {
+            self.count_received(source, m.len() as u64);
+        }
+        msg
+    }
+
+    /// Charge one delivered message to the receive-side accounting.
+    fn count_received(&self, source: usize, len: u64) {
+        let mut st = self.stats.get();
+        st.bytes_received += len;
+        st.messages_received += 1;
+        self.stats.set(st);
+        {
+            let mut peers = self.peers.borrow_mut();
+            peers[source].bytes_received += len;
+            peers[source].messages_received += 1;
+        }
+        let tr = self.tracer.borrow();
+        tr.add(Counter::BytesRecv, len);
+        tr.add(Counter::MessagesRecv, 1);
     }
 
     pub(crate) fn next_collective_tag(&self) -> u64 {
@@ -200,6 +267,8 @@ pub fn run<R: Send>(size: usize, f: impl Fn(&Comm) -> R + Send + Sync) -> Vec<R>
                         shared: shared.clone(),
                         collective_seq: std::cell::Cell::new(0),
                         stats: std::cell::Cell::new(CommStats::default()),
+                        peers: std::cell::RefCell::new(vec![PeerTraffic::default(); size]),
+                        tracer: std::cell::RefCell::new(RankTracer::disabled()),
                     };
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
                         Ok(v) => Some(v),
@@ -347,6 +416,55 @@ mod tests {
             }
         });
         assert_eq!(out[0], (1..8).sum::<u64>());
+    }
+
+    /// Receive-side and per-peer traffic accounting: every delivered
+    /// message is charged to both the aggregate stats and the
+    /// sender-indexed [`PeerTraffic`] table, and an attached tracer sees
+    /// the same byte/message totals.
+    #[test]
+    fn peer_traffic_and_recv_accounting() {
+        let tracer = kifmm_trace::Tracer::enabled();
+        let out = run(3, {
+            let tracer = tracer.clone();
+            move |comm| {
+                comm.attach_tracer(tracer.rank(comm.rank()));
+                if comm.rank() == 0 {
+                    comm.send(1, 7, &[0u8; 10]);
+                    comm.send(2, 7, &[0u8; 20]);
+                    comm.send(2, 8, &[0u8; 5]);
+                    (comm.stats(), comm.peer_traffic())
+                } else {
+                    let from0: Vec<Vec<u8>> = if comm.rank() == 1 {
+                        vec![comm.recv(0, 7)]
+                    } else {
+                        vec![comm.recv(0, 7), comm.recv(0, 8)]
+                    };
+                    let _ = from0;
+                    (comm.stats(), comm.peer_traffic())
+                }
+            }
+        });
+        let (st0, peers0) = &out[0];
+        assert_eq!(st0.bytes_sent, 35);
+        assert_eq!(st0.messages_sent, 3);
+        assert_eq!(st0.bytes_received, 0);
+        assert_eq!(peers0[1], PeerTraffic { bytes_sent: 10, messages_sent: 1, ..Default::default() });
+        assert_eq!(peers0[2], PeerTraffic { bytes_sent: 25, messages_sent: 2, ..Default::default() });
+        let (st2, peers2) = &out[2];
+        assert_eq!(st2.bytes_received, 25);
+        assert_eq!(st2.messages_received, 2);
+        assert_eq!(
+            peers2[0],
+            PeerTraffic { bytes_received: 25, messages_received: 2, ..Default::default() }
+        );
+        // Tracer counters agree with the stats totals.
+        use kifmm_trace::Counter;
+        assert_eq!(tracer.counter_total(Counter::BytesSent), 35);
+        assert_eq!(tracer.counter_total(Counter::MessagesSent), 3);
+        assert_eq!(tracer.counter_total(Counter::BytesRecv), 35);
+        assert_eq!(tracer.counter_total(Counter::MessagesRecv), 3);
+        assert_eq!(tracer.rank_counter(2, Counter::BytesRecv), 25);
     }
 
     /// Satellite regression: a panicking rank must not deadlock peers

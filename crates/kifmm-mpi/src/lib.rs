@@ -25,5 +25,5 @@ pub mod datatypes;
 pub use collectives::{
     allgatherv, allreduce_f64, allreduce_u64, alltoallv, barrier, bcast, ReduceOp,
 };
-pub use comm::{run, Comm, CommStats};
+pub use comm::{run, Comm, CommStats, PeerTraffic};
 pub use datatypes::{decode_f64s, decode_u32s, decode_u64s, encode_f64s, encode_u32s, encode_u64s};

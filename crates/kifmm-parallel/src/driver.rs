@@ -23,12 +23,14 @@ use crate::exchange::{Combine, ExchangePlan, UserKind};
 use crate::global_tree::{build_distributed_tree, DistributedTree};
 use crate::ownership::Ownership;
 use kifmm_core::{
-    num_surface_points, surface_points, Fmm, FmmOptions, M2lMode, Phase, PhaseStats,
-    PrecomputeCache, Precomputed, FIRST_FMM_LEVEL, RAD_INNER, RAD_OUTER,
+    num_surface_points, surface_points, EvalReport, Evaluator, Fmm, FmmBuilder, FmmOptions,
+    M2lMode, Phase, PhaseStats, PrecomputeCache, Precomputed, FIRST_FMM_LEVEL, RAD_INNER,
+    RAD_OUTER,
 };
 use kifmm_fft::C64;
 use kifmm_kernels::{Kernel, Point3};
 use kifmm_mpi::Comm;
+use kifmm_trace::{Counter, Tracer};
 use kifmm_tree::{build_lists, InteractionLists, NO_NODE};
 use std::collections::HashMap;
 use kifmm_core::stats::thread_cpu_time;
@@ -38,6 +40,11 @@ use std::time::Instant;
 const SALT_POINTS: u64 = 0;
 const SALT_DENS: u64 = 1 << 32;
 const SALT_EQUIV: u64 = 2 << 32;
+
+/// Async-event ids for the two in-flight exchanges of one evaluation
+/// (rendered as overlap arrows on the chrome-trace timeline).
+const ASYNC_DENS: u64 = 1;
+const ASYNC_EQUIV: u64 = 2;
 
 /// A distributed FMM, built once per particle configuration and evaluated
 /// many times (the Krylov-iteration workload of the paper).
@@ -61,6 +68,9 @@ pub struct ParallelFmm<K: Kernel> {
     /// Wall seconds spent in tree construction, list building, ownership
     /// and the ghost geometry exchange (the paper's "Tree Gen/Comm").
     pub setup_seconds: f64,
+    /// Observability sink; disabled by default (see
+    /// [`ParallelFmm::set_trace`]).
+    trace: Tracer,
 }
 
 impl<K: Kernel> ParallelFmm<K> {
@@ -151,7 +161,20 @@ impl<K: Kernel> ParallelFmm<K> {
             src_leaves,
             equiv_boxes,
             setup_seconds: tree_seconds + t1.elapsed().as_secs_f64(),
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer shared by all ranks; each [`ParallelFmm::eval`]
+    /// records its rank's span timeline and comm counters into it.
+    pub fn set_trace(&mut self, trace: Tracer) {
+        self.trace = trace;
+    }
+
+    /// The attached tracer (disabled unless [`ParallelFmm::set_trace`]
+    /// was called).
+    pub fn trace(&self) -> &Tracer {
+        &self.trace
     }
 
     /// Number of local points.
@@ -174,10 +197,22 @@ impl<K: Kernel> ParallelFmm<K> {
         )
     }
 
+    /// Deprecated tuple-returning entry point.
+    #[deprecated(note = "use `ParallelFmm::eval`, which returns an `EvalReport`")]
+    pub fn evaluate(&self, comm: &Comm, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
+        let report = self.eval(comm, densities);
+        (report.potentials, report.stats)
+    }
+
     /// One interaction calculation: local densities in (original local
     /// order), local potentials out (original local order), with per-phase
-    /// statistics.
-    pub fn evaluate(&self, comm: &Comm, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
+    /// statistics and (if a tracer is attached) this rank's span timeline.
+    ///
+    /// Span structure per rank: the two exchanges appear both as `Comm`
+    /// spans (the blocking begin/complete work) and as async begin/end
+    /// pairs (`dens-exchange`, `equiv-exchange`) so the chrome-trace view
+    /// shows the computation they overlap with.
+    pub fn eval(&self, comm: &Comm, densities: &[f64]) -> EvalReport {
         let n = self.local_len();
         assert_eq!(densities.len(), n * K::SRC_DIM, "density length");
         let mut stats = PhaseStats::new();
@@ -186,7 +221,8 @@ impl<K: Kernel> ParallelFmm<K> {
         let es = ns * K::SRC_DIM;
         let cs = ns * K::TRG_DIM;
         let depth = tree.depth();
-        let me = comm.rank();
+        let rt = self.trace.rank(comm.rank());
+        comm.attach_tracer(rt.clone());
 
         // Morton-sort the local densities.
         let mut dens = vec![0.0; n * K::SRC_DIM];
@@ -202,6 +238,8 @@ impl<K: Kernel> ParallelFmm<K> {
             dens[nd.pt_start as usize * K::SRC_DIM..nd.pt_end as usize * K::SRC_DIM].to_vec()
         };
         let tcomm = Instant::now();
+        rt.async_begin("dens-exchange", ASYNC_DENS);
+        let span = rt.span("Comm", "dens-gather");
         let dens_plan = ExchangePlan::begin(
             comm,
             &self.own,
@@ -211,18 +249,28 @@ impl<K: Kernel> ParallelFmm<K> {
             UserKind::Source,
             dens_payload,
         );
+        drop(span);
         stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
 
         // 2. Upward pass on contributed boxes (partial equivalents).
+        let span = rt.span("Up", "Up");
+        let f0 = stats.total_flops();
         let up = self.upward_pass(&dens, &mut stats);
+        rt.add(Counter::Flops, stats.total_flops() - f0);
+        drop(span);
 
         // 3. Complete the ghost density exchange; post partial-equivalent
         //    sends.
         let tcomm = Instant::now();
+        let span = rt.span("Comm", "dens-complete");
         let ghost_dens = dens_plan.complete(comm, dens_payload);
+        drop(span);
+        rt.async_end("dens-exchange", ASYNC_DENS);
         let equiv_payload = |b: u32| -> Vec<f64> {
             up[b as usize * es..(b as usize + 1) * es].to_vec()
         };
+        rt.async_begin("equiv-exchange", ASYNC_EQUIV);
+        let span = rt.span("Comm", "equiv-gather");
         let equiv_plan = ExchangePlan::begin(
             comm,
             &self.own,
@@ -232,39 +280,78 @@ impl<K: Kernel> ParallelFmm<K> {
             UserKind::Equiv,
             equiv_payload,
         );
+        drop(span);
         stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
 
         // 4. Overlapped computation: dense U-list interactions and X-list
         //    check contributions (need only ghost sources).
         let mut pot = vec![0.0; n * K::TRG_DIM];
         let mut check = vec![0.0; tree.num_nodes() * cs];
+        if rt.is_enabled() {
+            let touched = tree.leaves().filter(|&b| self.contributed(b)).count();
+            rt.add(Counter::CellsTouched, touched as u64);
+        }
+        let span = rt.span("DownU", "u-list");
+        let f0 = stats.total_flops();
         self.dense_u_pass(&ghost_dens, &mut pot, &mut stats);
+        rt.add(Counter::Flops, stats.total_flops() - f0);
+        drop(span);
+        let span = rt.span("DownX", "x-list");
+        let f0 = stats.total_flops();
         self.x_pass(&ghost_dens, &mut check, &mut stats);
+        rt.add(Counter::Flops, stats.total_flops() - f0);
+        drop(span);
 
         // 5. Complete the equivalent exchange.
         let tcomm = Instant::now();
+        let span = rt.span("Comm", "equiv-complete");
         let global_equiv = equiv_plan.complete(comm, equiv_payload);
+        drop(span);
+        rt.async_end("equiv-exchange", ASYNC_EQUIV);
         stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
 
         // 6. Remaining downward computation.
         if depth >= FIRST_FMM_LEVEL {
             for level in FIRST_FMM_LEVEL..=depth {
+                let span = rt.span("DownV", "m2l").with_n(level as u64);
+                let f0 = stats.total_flops();
                 self.m2l_level(level, &global_equiv, &mut check, &mut stats);
+                rt.add(Counter::Flops, stats.total_flops() - f0);
+                drop(span);
             }
+            let span = rt.span("Eval", "l2l");
+            let f0 = stats.total_flops();
             let down = self.l2l_pass(&check, &mut stats);
+            rt.add(Counter::Flops, stats.total_flops() - f0);
+            drop(span);
+            let span = rt.span("DownW", "w-list");
+            let f0 = stats.total_flops();
             self.w_pass(&global_equiv, &mut pot, &mut stats);
+            rt.add(Counter::Flops, stats.total_flops() - f0);
+            drop(span);
+            let span = rt.span("Eval", "l2t");
+            let f0 = stats.total_flops();
             self.l2t_pass(&down, &mut pot, &mut stats);
+            rt.add(Counter::Flops, stats.total_flops() - f0);
+            drop(span);
         }
 
-        // Un-permute local potentials.
+        // Un-permute local potentials ("scatter" back to caller order).
+        let span = rt.span("Eval", "scatter");
         let mut out = vec![0.0; n * K::TRG_DIM];
         for (si, &orig) in tree.perm.iter().enumerate() {
             for c in 0..K::TRG_DIM {
                 out[orig as usize * K::TRG_DIM + c] = pot[si * K::TRG_DIM + c];
             }
         }
-        let _ = me;
-        (out, stats)
+        drop(span);
+        EvalReport { potentials: out, stats, trace: self.trace.clone() }
+    }
+
+    /// Bind to a communicator, yielding an [`Evaluator`]: the distributed
+    /// analogue of a shared-memory [`Fmm`], usable by generic solver code.
+    pub fn bind<'c>(&'c self, comm: &'c Comm) -> BoundParallelFmm<'c, K> {
+        BoundParallelFmm { fmm: self, comm }
     }
 
     /// True when this rank holds points in `b`.
@@ -571,6 +658,62 @@ impl<K: Kernel> ParallelFmm<K> {
     }
 }
 
+/// A [`ParallelFmm`] bound to its communicator (see [`ParallelFmm::bind`]):
+/// implements [`Evaluator`] over this rank's local points.
+pub struct BoundParallelFmm<'c, K: Kernel> {
+    fmm: &'c ParallelFmm<K>,
+    comm: &'c Comm,
+}
+
+impl<K: Kernel> Evaluator for BoundParallelFmm<'_, K> {
+    fn eval(&self, densities: &[f64]) -> EvalReport {
+        self.fmm.eval(self.comm, densities)
+    }
+
+    fn num_points(&self) -> usize {
+        self.fmm.local_len()
+    }
+
+    fn src_dim(&self) -> usize {
+        K::SRC_DIM
+    }
+
+    fn trg_dim(&self) -> usize {
+        K::TRG_DIM
+    }
+}
+
+/// Distributed construction from the same fluent [`FmmBuilder`] chain that
+/// builds a shared-memory [`Fmm`]:
+///
+/// ```ignore
+/// let pfmm = Fmm::builder(Laplace)
+///     .points(&local_points)
+///     .order(6)
+///     .trace(tracer.clone())
+///     .build_parallel(comm);
+/// let report = pfmm.bind(comm).eval(&local_densities);
+/// ```
+pub trait BuildParallel<K: Kernel> {
+    /// Collective constructor: every rank calls this with its local
+    /// points. The builder's tracer carries over; `parallel(..)` (the
+    /// shared-memory thread toggle) is irrelevant here and ignored.
+    fn build_parallel(self, comm: &Comm) -> ParallelFmm<K>;
+}
+
+impl<K: Kernel> BuildParallel<K> for FmmBuilder<'_, K> {
+    fn build_parallel(self, comm: &Comm) -> ParallelFmm<K> {
+        let (kernel, points, opts, trace, _parallel, cache) = self.into_parts();
+        let points = points.expect("FmmBuilder::points(..) is required before build_parallel()");
+        let mut pfmm = match cache {
+            Some(cache) => ParallelFmm::with_cache(comm, kernel, points, opts, cache),
+            None => ParallelFmm::new(comm, kernel, points, opts),
+        };
+        pfmm.set_trace(trace);
+        pfmm
+    }
+}
+
 /// Convenience: run a serial reference over the union of per-rank points
 /// (testing/benching helper).
 pub fn serial_reference<K: Kernel>(
@@ -582,7 +725,7 @@ pub fn serial_reference<K: Kernel>(
     let all_points: Vec<Point3> = chunks.iter().flatten().copied().collect();
     let all_dens: Vec<f64> = densities.iter().flatten().copied().collect();
     let fmm = Fmm::new(kernel, &all_points, opts);
-    let all_pot = fmm.evaluate(&all_dens);
+    let all_pot = fmm.eval(&all_dens).potentials;
     // Split back per rank.
     let mut out = Vec::with_capacity(chunks.len());
     let mut cursor = 0;
@@ -622,8 +765,8 @@ mod tests {
         let out = run(ranks, move |comm| {
             let r = comm.rank();
             let pfmm = ParallelFmm::new(comm, kernel.clone(), &chunks2[r], opts);
-            let (pot, stats) = pfmm.evaluate(comm, &dens2[r]);
-            (pot, stats.total_flops())
+            let report = pfmm.eval(comm, &dens2[r]);
+            (report.potentials, report.stats.total_flops())
         });
         for (r, (pot, flops)) in out.into_iter().enumerate() {
             let e = rel_l2_error(&pot, &serial[r]);
@@ -659,15 +802,71 @@ mod tests {
         let all = uniform_cube(700, 23);
         let dens = random_densities(700, 1, 5);
         let opts = FmmOptions { order: 4, max_pts_per_leaf: 25, ..Default::default() };
-        let serial = Fmm::new(Laplace, &all, opts).evaluate(&dens);
+        let serial = Fmm::new(Laplace, &all, opts).eval(&dens).potentials;
         let all2 = all.clone();
         let dens2 = dens.clone();
         let out = run(1, move |comm| {
             let pfmm = ParallelFmm::new(comm, Laplace, &all2, opts);
-            pfmm.evaluate(comm, &dens2).0
+            pfmm.eval(comm, &dens2).potentials
         });
         let e = rel_l2_error(&out[0], &serial);
         assert!(e < 1e-12, "single rank should match serial: {e}");
+    }
+
+    /// Builder construction + comm binding + tracing: every rank records
+    /// an "Up" span, comm byte counters are nonzero for >1 rank, and the
+    /// async overlap events come in matched begin/end pairs.
+    #[test]
+    fn builder_bind_and_trace() {
+        let all = uniform_cube(800, 77);
+        let chunks = split_points(&all, 3);
+        let tracer = Tracer::enabled();
+        let tracer2 = tracer.clone();
+        let chunks2 = chunks.clone();
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 25, ..Default::default() };
+        let serial = serial_reference(
+            Laplace,
+            &chunks,
+            &chunks.iter().map(|c| vec![1.0; c.len()]).collect::<Vec<_>>(),
+            opts,
+        );
+        let out = run(3, move |comm| {
+            let r = comm.rank();
+            let pfmm = Fmm::builder(Laplace)
+                .points(&chunks2[r])
+                .options(opts)
+                .trace(tracer2.clone())
+                .build_parallel(comm);
+            let bound = pfmm.bind(comm);
+            assert_eq!(bound.num_points(), chunks2[r].len());
+            assert_eq!(bound.src_dim(), 1);
+            bound.eval(&vec![1.0; chunks2[r].len()]).potentials
+        });
+        for (r, pot) in out.iter().enumerate() {
+            let e = rel_l2_error(pot, &serial[r]);
+            assert!(e < 1e-9, "rank {r} builder path error {e}");
+        }
+        let per_rank = tracer.span_records();
+        assert_eq!(per_rank.len(), 3, "one span track per rank");
+        for (r, spans) in per_rank.iter().enumerate() {
+            assert!(
+                spans.iter().any(|s| s.name == "Up"),
+                "rank {r} recorded the upward span"
+            );
+            let sent = tracer.rank_counter(r, kifmm_trace::Counter::BytesSent);
+            assert!(sent > 0, "rank {r} sent bytes during the exchanges");
+        }
+        use kifmm_trace::Counter;
+        assert!(tracer.counter_total(Counter::Flops) > 0);
+        assert_eq!(
+            tracer.counter_total(Counter::BytesSent),
+            tracer.counter_total(Counter::BytesRecv),
+            "everything sent was received"
+        );
+        assert_eq!(
+            tracer.counter_total(Counter::MessagesSent),
+            tracer.counter_total(Counter::MessagesRecv),
+        );
     }
 
     #[test]
@@ -680,12 +879,12 @@ mod tests {
             let r = comm.rank();
             let pfmm = ParallelFmm::new(comm, Laplace, &chunks[r], opts);
             let d1 = random_densities(chunks[r].len(), 1, 100 + r as u64);
-            let (p1, _) = pfmm.evaluate(comm, &d1);
-            let (p1b, _) = pfmm.evaluate(comm, &d1);
+            let p1 = pfmm.eval(comm, &d1).potentials;
+            let p1b = pfmm.eval(comm, &d1).potentials;
             assert_eq!(p1, p1b, "same densities, same potentials");
             // Linearity across evaluations.
             let d2: Vec<f64> = d1.iter().map(|v| 2.0 * v).collect();
-            let (p2, _) = pfmm.evaluate(comm, &d2);
+            let p2 = pfmm.eval(comm, &d2).potentials;
             for (a, b) in p2.iter().zip(&p1) {
                 assert!((a - 2.0 * b).abs() < 1e-12 * b.abs().max(1e-6));
             }

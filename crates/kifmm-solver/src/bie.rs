@@ -94,7 +94,7 @@ impl<K: Kernel> SingleLayerOperator<K> {
             .map(|(i, &v)| v * self.quad.weights[i / K::SRC_DIM])
             .collect();
         self.matvecs.set(self.matvecs.get() + 1);
-        self.fmm.evaluate(&weighted)
+        self.fmm.eval(&weighted).potentials
     }
 
     /// Solve the first-kind equation `Sφ = u_bc` by GMRES.

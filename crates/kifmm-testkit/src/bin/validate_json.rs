@@ -1,0 +1,174 @@
+//! CI gate for the tracing artifacts.
+//!
+//! ```text
+//! validate_json <file>                      # parse check only
+//! validate_json <file> --bench-summary     # kifmm-bench-v1 invariants
+//! validate_json <file> --chrome [min_ranks]# chrome-trace invariants
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first violated invariant, so
+//! `scripts/verify.sh` can gate on artifact shape without serde or
+//! python in the image.
+
+use kifmm_testkit::json::Json;
+use std::process::ExitCode;
+
+const PHASE_KEYS: [&str; 7] = ["Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("validate_json: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or_else(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    match args.get(1).map(String::as_str) {
+        None => Ok(format!("{path}: valid JSON")),
+        Some("--bench-summary") => {
+            check_bench_summary(&doc).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!("{path}: valid kifmm-bench-v1 summary"))
+        }
+        Some("--chrome") => {
+            let min_ranks: usize = match args.get(2) {
+                Some(v) => v.parse().map_err(|_| usage())?,
+                None => 1,
+            };
+            let ranks = check_chrome(&doc, min_ranks).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!("{path}: valid chrome trace with {ranks} rank tracks"))
+        }
+        Some(other) => Err(format!("unknown mode '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: validate_json <file> [--bench-summary | --chrome [min_ranks]]".to_string()
+}
+
+/// `BENCH_*.json` invariants: schema tag, all seven phase keys with
+/// non-negative seconds, and — when ranks > 1 — nonzero comm bytes.
+fn check_bench_summary(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'schema'")?;
+    if schema != "kifmm-bench-v1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    for key in ["bench"] {
+        doc.get(key).and_then(Json::as_str).ok_or(format!("missing string field '{key}'"))?;
+    }
+    for key in ["n", "order", "ranks", "tree_depth", "total_seconds", "total_flops", "gflops"] {
+        doc.get(key).and_then(Json::as_f64).ok_or(format!("missing numeric field '{key}'"))?;
+    }
+    let phases = doc.get("phases").ok_or("missing 'phases' object")?;
+    for key in PHASE_KEYS {
+        let p = phases.get(key).ok_or(format!("missing phase '{key}'"))?;
+        let secs = p
+            .get("seconds")
+            .and_then(Json::as_f64)
+            .ok_or(format!("phase '{key}' missing 'seconds'"))?;
+        if !(secs >= 0.0) {
+            return Err(format!("phase '{key}' has negative seconds {secs}"));
+        }
+        p.get("flops").and_then(Json::as_f64).ok_or(format!("phase '{key}' missing 'flops'"))?;
+        p.get("gflops")
+            .and_then(Json::as_f64)
+            .ok_or(format!("phase '{key}' missing 'gflops'"))?;
+    }
+    let ranks = doc.get("ranks").and_then(Json::as_f64).unwrap_or(0.0);
+    let comm = doc.get("comm").ok_or("missing 'comm' object")?;
+    let bytes = comm
+        .get("bytes_sent")
+        .and_then(Json::as_f64)
+        .ok_or("missing 'comm.bytes_sent'")?;
+    comm.get("messages_sent").and_then(Json::as_f64).ok_or("missing 'comm.messages_sent'")?;
+    if ranks > 1.0 && bytes <= 0.0 {
+        return Err(format!("ranks={ranks} but comm.bytes_sent={bytes} (expected > 0)"));
+    }
+    Ok(())
+}
+
+/// Chrome-trace invariants: well-formed events, at least `min_ranks`
+/// distinct rank tracks carrying complete ("X") spans with non-negative
+/// durations, an "Up" phase span somewhere, and — when more than one
+/// rank is expected — async comm bars ("b"/"e") demonstrating overlap.
+fn check_chrome(doc: &Json, min_ranks: usize) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'traceEvents' array")?;
+    let mut rank_tids: Vec<f64> = Vec::new();
+    let mut saw_up = false;
+    let mut async_begins = 0usize;
+    let mut async_ends = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing 'ph'"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing 'name'"))?;
+        match ph {
+            "X" => {
+                let tid = ev
+                    .get("tid")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: X without 'tid'"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: X without 'dur'"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: X without 'ts'"))?;
+                if dur < 0.0 || ts < 0.0 {
+                    return Err(format!("event {i} '{name}': negative ts/dur ({ts}/{dur})"));
+                }
+                if !rank_tids.contains(&tid) {
+                    rank_tids.push(tid);
+                }
+                if name == "Up" {
+                    saw_up = true;
+                }
+            }
+            "b" => async_begins += 1,
+            "e" => async_ends += 1,
+            "M" | "I" => {}
+            other => return Err(format!("event {i} '{name}': unknown ph '{other}'")),
+        }
+    }
+    if rank_tids.len() < min_ranks {
+        return Err(format!(
+            "only {} rank tracks with spans (expected >= {min_ranks})",
+            rank_tids.len()
+        ));
+    }
+    if !saw_up {
+        return Err("no 'Up' phase span in any rank track".to_string());
+    }
+    if min_ranks > 1 {
+        if async_begins == 0 {
+            return Err("no async comm begin events ('ph':'b') — overlap not captured".into());
+        }
+        if async_begins != async_ends {
+            return Err(format!(
+                "unbalanced async events: {async_begins} begins vs {async_ends} ends"
+            ));
+        }
+    }
+    Ok(rank_tids.len())
+}

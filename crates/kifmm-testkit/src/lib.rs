@@ -23,6 +23,8 @@
 
 use kifmm_geom::rng::{splitmix64, Rng};
 
+pub mod json;
+
 /// Per-case input generator: thin convenience layer over [`Rng`].
 pub struct Gen {
     rng: Rng,

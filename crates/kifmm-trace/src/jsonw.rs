@@ -1,0 +1,59 @@
+//! Minimal JSON writing helpers (hermetic build: no serde).
+//!
+//! Only what the two exporters need: string escaping and finite-number
+//! formatting. Rust's shortest-round-trip `f64` display is valid JSON for
+//! every finite value; non-finite values are clamped to `0` so an
+//! exporter can never emit an unparseable document.
+
+/// Append `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite `f64` (non-finite clamps to 0).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` gives the shortest representation that round-trips; it
+        // always contains a '.' or exponent, never "inf"/"NaN" here.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn clamps_non_finite() {
+        let mut s = String::new();
+        push_f64(&mut s, f64::INFINITY);
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "00");
+        s.clear();
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+    }
+}

@@ -1,0 +1,188 @@
+//! The flat `BENCH_*.json` summary schema.
+//!
+//! One document per benchmark configuration, designed so a plot script
+//! (or `scripts/verify.sh`) can consume a perf trajectory without parsing
+//! human tables:
+//!
+//! ```json
+//! {
+//!   "schema": "kifmm-bench-v1",
+//!   "bench": "parallel_scaling",
+//!   "n": 40000, "order": 6, "ranks": 4, "tree_depth": 5,
+//!   "phases": {
+//!     "Up":    {"seconds": 0.81, "flops": 123456, "gflops": 0.15},
+//!     "Comm":  {"seconds": 0.02, "flops": 0,      "gflops": 0.0},
+//!     ...
+//!   },
+//!   "total_seconds": 1.9, "total_flops": 456789, "gflops": 0.24,
+//!   "comm": {"bytes_sent": 1048576, "messages_sent": 96},
+//!   "extra": {"iterations": 1}
+//! }
+//! ```
+//!
+//! `phases` keys are the paper's seven stages in reporting order; the
+//! per-phase `gflops` rate is `flops / seconds / 1e9` (0 when the phase
+//! took no measurable time). Seconds are whatever clock the producer
+//! charged (thread-CPU for the virtual-rank harness — see
+//! `kifmm-core::stats`).
+
+use crate::jsonw::{push_f64, push_str_lit};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier embedded in every document.
+pub const SCHEMA: &str = "kifmm-bench-v1";
+
+/// One phase line of the summary.
+#[derive(Clone, Debug)]
+pub struct PhaseLine {
+    /// Phase name (`"Up"`, `"Comm"`, …).
+    pub name: String,
+    /// Seconds charged to the phase.
+    pub seconds: f64,
+    /// Counted flops charged to the phase.
+    pub flops: u64,
+}
+
+/// A complete `BENCH_*.json` document.
+#[derive(Clone, Debug)]
+pub struct BenchSummary {
+    /// Benchmark name; the artifact file is `BENCH_<bench>.json`.
+    pub bench: String,
+    /// Global particle count.
+    pub n: usize,
+    /// Surface order `p`.
+    pub order: usize,
+    /// Virtual rank count.
+    pub ranks: usize,
+    /// Octree depth of the run.
+    pub tree_depth: usize,
+    /// Per-phase accounting, in reporting order.
+    pub phases: Vec<PhaseLine>,
+    /// Bytes pushed through the message-passing substrate.
+    pub comm_bytes: u64,
+    /// Messages pushed through the message-passing substrate.
+    pub comm_messages: u64,
+    /// Freeform numeric extras (`iterations`, model parameters, …).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl BenchSummary {
+    /// Total seconds across phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Total flops across phases.
+    pub fn total_flops(&self) -> u64 {
+        self.phases.iter().map(|p| p.flops).sum()
+    }
+
+    /// Serialize to the `kifmm-bench-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1 << 10);
+        o.push_str("{\n  \"schema\":");
+        push_str_lit(&mut o, SCHEMA);
+        o.push_str(",\n  \"bench\":");
+        push_str_lit(&mut o, &self.bench);
+        o.push_str(&format!(
+            ",\n  \"n\":{},\n  \"order\":{},\n  \"ranks\":{},\n  \"tree_depth\":{}",
+            self.n, self.order, self.ranks, self.tree_depth
+        ));
+        o.push_str(",\n  \"phases\":{");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("\n    ");
+            push_str_lit(&mut o, &p.name);
+            o.push_str(":{\"seconds\":");
+            push_f64(&mut o, p.seconds);
+            o.push_str(&format!(",\"flops\":{},\"gflops\":", p.flops));
+            push_f64(&mut o, rate(p.flops, p.seconds));
+            o.push('}');
+        }
+        o.push_str("\n  }");
+        let (ts, tf) = (self.total_seconds(), self.total_flops());
+        o.push_str(",\n  \"total_seconds\":");
+        push_f64(&mut o, ts);
+        o.push_str(&format!(",\n  \"total_flops\":{tf},\n  \"gflops\":"));
+        push_f64(&mut o, rate(tf, ts));
+        o.push_str(&format!(
+            ",\n  \"comm\":{{\"bytes_sent\":{},\"messages_sent\":{}}}",
+            self.comm_bytes, self.comm_messages
+        ));
+        o.push_str(",\n  \"extra\":{");
+        for (i, (k, v)) in self.extra.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            push_str_lit(&mut o, k);
+            o.push(':');
+            push_f64(&mut o, *v);
+        }
+        o.push_str("}\n}\n");
+        o
+    }
+
+    /// Write `BENCH_<bench>.json` into `dir` (created if missing) and
+    /// return the artifact path.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn rate(flops: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        flops as f64 / seconds / 1e9
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSummary {
+        BenchSummary {
+            bench: "unit".into(),
+            n: 100,
+            order: 4,
+            ranks: 2,
+            tree_depth: 3,
+            phases: vec![
+                PhaseLine { name: "Up".into(), seconds: 0.5, flops: 1_000_000_000 },
+                PhaseLine { name: "Comm".into(), seconds: 0.0, flops: 0 },
+            ],
+            comm_bytes: 42,
+            comm_messages: 7,
+            extra: vec![("iterations".into(), 3.0)],
+        }
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let s = sample();
+        assert_eq!(s.total_flops(), 1_000_000_000);
+        assert!((s.total_seconds() - 0.5).abs() < 1e-15);
+        let j = s.to_json();
+        assert!(j.contains("\"gflops\":2.0"), "{j}");
+        assert!(j.contains("\"bytes_sent\":42"));
+        assert!(j.contains("\"schema\":\"kifmm-bench-v1\""));
+    }
+
+    #[test]
+    fn writes_artifact_file() {
+        let dir = std::env::temp_dir().join("kifmm_trace_summary_test");
+        let path = sample().write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, sample().to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,141 @@
+//! Round-trip the chrome-trace exporter through the hand-rolled JSON
+//! parser in `kifmm-testkit` and check the structural invariants the
+//! viewer relies on: every span event is well-formed, durations are
+//! non-negative, and spans are *strictly nested* per rank (a child's
+//! wall interval lies inside its parent's — the RAII guards make this
+//! true by construction, and the export must preserve it).
+
+use kifmm_testkit::json::Json;
+use kifmm_trace::{Counter, Tracer};
+
+/// Build a tracer with a realistic little span forest on two ranks.
+fn traced_run() -> Tracer {
+    let t = Tracer::enabled();
+    for rank in 0..2usize {
+        let rt = t.rank(rank);
+        rt.async_begin("dens-exchange", 1);
+        {
+            let _up = rt.span("Up", "Up");
+            {
+                let _s2m = rt.span("Up", "s2m");
+            }
+            {
+                let _m2m = rt.span("Up", "m2m").with_n(3);
+            }
+        }
+        rt.async_end("dens-exchange", 1);
+        {
+            let _v = rt.span("DownV", "m2l").with_n(2);
+        }
+        rt.add(Counter::Flops, 1000 + rank as u64);
+        rt.add(Counter::BytesSent, 64);
+    }
+    t
+}
+
+/// Collected "X" events for one tid: (ts, dur, name), in document order.
+fn spans_by_tid(doc: &Json) -> Vec<(f64, Vec<(f64, f64, String)>)> {
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let mut by_tid: Vec<(f64, Vec<(f64, f64, String)>)> = Vec::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid");
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+        let name = ev.get("name").and_then(Json::as_str).expect("name").to_string();
+        match by_tid.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, v)) => v.push((ts, dur, name)),
+            None => by_tid.push((tid, vec![(ts, dur, name)])),
+        }
+    }
+    by_tid
+}
+
+#[test]
+fn export_is_valid_json_with_nested_nonnegative_spans() {
+    let t = traced_run();
+    let text = t.chrome_trace_json();
+    let doc = Json::parse(&text).expect("exporter must emit valid JSON");
+
+    let by_tid = spans_by_tid(&doc);
+    assert_eq!(by_tid.len(), 2, "one span track per rank");
+
+    for (tid, spans) in &by_tid {
+        assert_eq!(spans.len(), 4, "rank {tid}: Up, s2m, m2m, m2l");
+        // Non-negative timestamps and durations.
+        for (ts, dur, name) in spans {
+            assert!(*ts >= 0.0 && *dur >= 0.0, "rank {tid} span {name}: ts={ts} dur={dur}");
+        }
+        // Strict nesting: spans are exported in open (pre-order) order, so
+        // walking with an interval stack must never find a span that
+        // straddles its enclosing span's boundary.
+        let mut stack: Vec<(f64, f64)> = Vec::new();
+        // Tolerate 1 ns of float round-off from the µs conversion.
+        let eps = 1e-3;
+        for (ts, dur, name) in spans {
+            while let Some(&(_, pend)) = stack.last() {
+                if *ts >= pend - eps {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(pstart, pend)) = stack.last() {
+                assert!(
+                    *ts >= pstart - eps && ts + dur <= pend + eps,
+                    "rank {tid} span {name} [{ts}, {}] straddles parent [{pstart}, {pend}]",
+                    ts + dur
+                );
+            }
+            stack.push((*ts, ts + dur));
+        }
+    }
+}
+
+#[test]
+fn export_carries_metadata_async_and_counters() {
+    let t = traced_run();
+    let doc = Json::parse(&t.chrome_trace_json()).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+    let mut thread_names = Vec::new();
+    let mut async_ids = Vec::new();
+    let mut counter_flops = Vec::new();
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") if ev.get("name").and_then(Json::as_str) == Some("thread_name") => {
+                let name = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string();
+                thread_names.push(name);
+            }
+            Some("b") | Some("e") => {
+                async_ids.push(ev.get("id").and_then(Json::as_str).unwrap().to_string());
+            }
+            Some("I") => {
+                let f = ev
+                    .get("args")
+                    .and_then(|a| a.get("flops"))
+                    .and_then(Json::as_f64)
+                    .unwrap();
+                counter_flops.push(f);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(thread_names, vec!["rank 0", "rank 1"]);
+    // Async ids are namespaced per rank so bars never pair across ranks.
+    assert_eq!(async_ids, vec!["r0-1", "r0-1", "r1-1", "r1-1"]);
+    assert_eq!(counter_flops, vec![1000.0, 1001.0]);
+}
+
+#[test]
+fn disabled_tracer_exports_empty_valid_document() {
+    let doc = Json::parse(&Tracer::disabled().chrome_trace_json()).unwrap();
+    assert_eq!(doc.get("traceEvents").and_then(Json::as_arr).unwrap().len(), 0);
+}

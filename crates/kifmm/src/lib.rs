@@ -10,17 +10,22 @@
 //! ## Quick start
 //!
 //! ```
-//! use kifmm::{Fmm, FmmOptions, Laplace};
+//! use kifmm::{Fmm, Laplace};
 //!
 //! // Sample points and unit densities.
 //! let points = kifmm::geom::uniform_cube(2000, 7);
 //! let densities = vec![1.0; points.len()];
 //!
 //! // Build the tree + translation operators once, evaluate repeatedly.
-//! let fmm = Fmm::new(Laplace, &points, FmmOptions::default());
-//! let potentials = fmm.evaluate(&densities);
-//! assert_eq!(potentials.len(), points.len());
+//! let fmm = Fmm::builder(Laplace).points(&points).build();
+//! let report = fmm.eval(&densities);
+//! assert_eq!(report.potentials.len(), points.len());
+//! assert!(report.stats.total_flops() > 0);
 //! ```
+//!
+//! Attach a [`Tracer`] via [`FmmBuilder::trace`] to capture per-rank span
+//! timelines, byte/message counters, and a Perfetto-loadable chrome-trace
+//! export — see the [`trace`] module and DESIGN.md's "Observability".
 //!
 //! ## Crate map
 //!
@@ -34,6 +39,7 @@
 //! | [`solver`] | GMRES and FMM-backed boundary integral operators |
 //! | [`geom`] | the paper's particle distributions (512 spheres, corners) |
 //! | [`linalg`], [`fft`] | the numerical substrates (SVD/pinv, mixed-radix FFT) |
+//! | [`trace`] | spans, counters, chrome-trace export, `BENCH_*.json` summaries |
 
 pub use kifmm_core as core;
 pub use kifmm_fft as fft;
@@ -43,11 +49,15 @@ pub use kifmm_linalg as linalg;
 pub use kifmm_mpi as mpi;
 pub use kifmm_parallel as parallel;
 pub use kifmm_solver as solver;
+pub use kifmm_trace as trace;
 pub use kifmm_tree as tree;
 
 pub use kifmm_core::{
-    direct_eval, rel_l2_error, Fmm, FmmOptions, M2lMode, Phase, PhaseStats, PHASES, PHASE_NAMES,
+    direct_eval, rel_l2_error, EvalReport, Evaluator, Fmm, FmmBuilder, FmmOptions, M2lMode,
+    Phase, PhaseStats, PHASES, PHASE_NAMES,
 };
 pub use kifmm_kernels::{Kernel, Laplace, ModifiedLaplace, Point3, Stokes};
-pub use kifmm_parallel::ParallelFmm;
+pub use kifmm_mpi::PeerTraffic;
+pub use kifmm_parallel::{BoundParallelFmm, BuildParallel, ParallelFmm};
 pub use kifmm_solver::{gmres, GmresOptions, SingleLayerOperator, SurfaceQuadrature};
+pub use kifmm_trace::{BenchSummary, Counter, Tracer};

@@ -1,5 +1,12 @@
 //! Mini fixed-size scalability run: the distributed FMM on virtual MPI
-//! ranks, printing a Table-4.1-style summary.
+//! ranks, printing a Table-4.1-style summary and emitting the
+//! observability artifacts:
+//!
+//! * `BENCH_parallel_scaling_P<ranks>.json` — the flat `kifmm-bench-v1`
+//!   summary, built from the *same* merged `PhaseStats` the table prints;
+//! * `TRACE_parallel_scaling_P4.json` — a chrome-trace timeline (one
+//!   track per virtual rank, async arrows for the overlapped exchanges);
+//!   load it at <https://ui.perfetto.dev>.
 //!
 //! Ranks are threads on this machine, so per-phase *thread CPU time* is
 //! reported (valid under oversubscription) together with communication
@@ -8,16 +15,21 @@
 //!
 //! ```text
 //! cargo run --release --example parallel_scaling
+//! KIFMM_N=4000 KIFMM_BENCH_DIR=target/bench cargo run --release --example parallel_scaling
 //! ```
 
 use kifmm::parallel::ParallelFmm;
 use kifmm::tree::partition_points;
-use kifmm::{FmmOptions, Laplace, Phase};
+use kifmm::{BenchSummary, FmmOptions, Laplace, Phase, Tracer, PHASE_NAMES};
 use kifmm_core::PrecomputeCache;
+use kifmm_trace::PhaseLine;
 use std::sync::Arc;
 
 fn main() {
-    let n = 40_000;
+    let n: usize =
+        std::env::var("KIFMM_N").ok().and_then(|v| v.parse().ok()).unwrap_or(40_000);
+    let bench_dir =
+        std::env::var("KIFMM_BENCH_DIR").unwrap_or_else(|_| "target/bench-artifacts".into());
     println!("fixed-size scalability, Laplace, N = {n} (512-sphere input)\n");
     let all = kifmm::geom::sphere_grid(n, 8);
     let opts = FmmOptions::default();
@@ -32,32 +44,72 @@ fn main() {
             .collect();
         let cache = Arc::new(PrecomputeCache::new());
         let chunks = Arc::new(chunks);
+        let tracer = Tracer::enabled();
         let out = kifmm::mpi::run(ranks, {
             let chunks = chunks.clone();
             let cache = cache.clone();
+            let tracer = tracer.clone();
             move |comm| {
                 let local = &chunks[comm.rank()];
                 let dens = kifmm::geom::random_densities(local.len(), 1, comm.rank() as u64);
-                let pfmm = ParallelFmm::with_cache(comm, Laplace, local, opts, &cache);
-                let (_, stats) = pfmm.evaluate(comm, &dens);
-                (stats, comm.stats())
+                let mut pfmm = ParallelFmm::with_cache(comm, Laplace, local, opts, &cache);
+                pfmm.set_trace(tracer.clone());
+                let report = pfmm.eval(comm, &dens);
+                (report.stats, comm.stats(), pfmm.dtree.tree.depth())
             }
         });
         let compute: Vec<f64> = out
             .iter()
-            .map(|(s, _)| s.total_seconds() - s.seconds[Phase::Comm as usize])
+            .map(|(s, _, _)| s.total_seconds() - s.seconds[Phase::Comm as usize])
             .collect();
         let max_c = compute.iter().cloned().fold(0.0f64, f64::max);
         let min_c = compute.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
-        let bytes: u64 = out.iter().map(|(_, c)| c.bytes_sent).sum();
-        let msgs: u64 = out.iter().map(|(_, c)| c.messages_sent).sum();
-        let flops: u64 = out.iter().map(|(s, _)| s.total_flops()).sum();
+        let bytes: u64 = out.iter().map(|(_, c, _)| c.bytes_sent).sum();
+        let msgs: u64 = out.iter().map(|(_, c, _)| c.messages_sent).sum();
+        let flops: u64 = out.iter().map(|(s, _, _)| s.total_flops()).sum();
         println!(
             "  {ranks:<3} {max_c:>13.3}  {:>9.2}  {:>8.2}  {msgs:>5}  {:>11}",
             max_c / min_c,
             bytes as f64 / 1e6,
             flops / 1_000_000
         );
+
+        // The BENCH summary is built from the very stats printed above, so
+        // the artifact and the table can never drift apart.
+        let mut merged = kifmm::PhaseStats::new();
+        for (s, _, _) in &out {
+            merged.merge(s);
+        }
+        let summary = BenchSummary {
+            bench: format!("parallel_scaling_P{ranks}"),
+            n,
+            order: opts.order,
+            ranks,
+            tree_depth: out[0].2 as usize,
+            phases: PHASE_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| PhaseLine {
+                    name: (*name).into(),
+                    seconds: merged.seconds[i],
+                    flops: merged.flops[i],
+                })
+                .collect(),
+            comm_bytes: bytes,
+            comm_messages: msgs,
+            extra: vec![("iterations".into(), 1.0)],
+        };
+        match summary.write_to(&bench_dir) {
+            Ok(path) => println!("      wrote {}", path.display()),
+            Err(e) => eprintln!("      BENCH write failed: {e}"),
+        }
+        if ranks == 4 {
+            let path = std::path::Path::new(&bench_dir).join("TRACE_parallel_scaling_P4.json");
+            match std::fs::write(&path, tracer.chrome_trace_json()) {
+                Ok(()) => println!("      wrote {} (open in ui.perfetto.dev)", path.display()),
+                Err(e) => eprintln!("      TRACE write failed: {e}"),
+            }
+        }
     }
     println!("\nmax-compute should drop ~1/P while comm volume grows — the");
     println!("fixed-size tradeoff of the paper's Table 4.1. OK");

@@ -28,7 +28,8 @@ fn main() {
 
     // …evaluate repeatedly (the Krylov-iteration workload of the paper).
     let t1 = Instant::now();
-    let (potentials, stats) = fmm.evaluate_with_stats(&densities);
+    let report = fmm.eval(&densities);
+    let (potentials, stats) = (report.potentials, report.stats);
     let elapsed = t1.elapsed().as_secs_f64();
     println!(
         "evaluate: {elapsed:.2}s wall, {} Mflop counted, {:.0} Mflop/s",

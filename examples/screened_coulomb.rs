@@ -32,7 +32,7 @@ fn main() {
         let fmm = Fmm::new(kernel, &points, FmmOptions::default());
         let setup = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let u = fmm.evaluate(&densities);
+        let u = fmm.eval(&densities).potentials;
         let eval = t1.elapsed().as_secs_f64();
 
         let truth = kifmm::core::direct_eval_src_trg(&kernel, &points, &densities, &sample);

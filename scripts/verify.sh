@@ -34,4 +34,19 @@ echo "dependency audit: OK (path-only)"
 # 2. Offline release build + full test suite.
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# 3. Observability artifact gate: a tiny distributed run must emit
+#    BENCH_*.json summaries with all seven phase keys (nonzero comm bytes
+#    for ranks > 1) and a chrome trace with one track per virtual rank.
+artifacts=$(mktemp -d)
+trap 'rm -rf "$artifacts"' EXIT
+KIFMM_N=3000 KIFMM_BENCH_DIR="$artifacts" \
+    cargo run -q --release --offline --example parallel_scaling > /dev/null
+validate="target/release/validate_json"
+cargo build -q --release --offline -p kifmm-testkit --bin validate_json
+for p in 1 2 4 8; do
+    "$validate" "$artifacts/BENCH_parallel_scaling_P$p.json" --bench-summary
+done
+"$validate" "$artifacts/TRACE_parallel_scaling_P4.json" --chrome 4
+echo "artifact gate: OK"
 echo "verify: ALL OK"

@@ -15,7 +15,7 @@ fn check<K: kifmm::Kernel>(kernel: K, points: Vec<[f64; 3]>, tol: f64) {
         FmmOptions { max_pts_per_leaf: 40, ..Default::default() },
     );
     assert!(fmm.tree.depth() >= 2, "workload must exercise the far field");
-    let approx = fmm.evaluate(&dens);
+    let approx = fmm.eval(&dens).potentials;
     let truth = direct_eval(&kernel, &points, &dens);
     let err = rel_l2_error(&approx, &truth);
     assert!(err < tol, "{}: relative error {err} (tol {tol})", K::NAME);
@@ -58,7 +58,7 @@ fn paper_accuracy_setting() {
     let points = kifmm::geom::sphere_grid(8000, 8);
     let dens = kifmm::geom::random_densities(points.len(), 1, 3);
     let fmm = Fmm::new(Laplace, &points, FmmOptions::default());
-    let approx = fmm.evaluate(&dens);
+    let approx = fmm.eval(&dens).potentials;
     let truth = direct_eval(&Laplace, &points, &dens);
     let err = rel_l2_error(&approx, &truth);
     assert!(err < 1e-5, "paper setting must deliver 1e-5: got {err}");
@@ -77,7 +77,7 @@ fn linear_complexity_in_counted_flops() {
         let points = kifmm::geom::sphere_grid(n, 8);
         let dens = vec![1.0; n];
         let fmm = Fmm::new(Laplace, &points, opts);
-        let (_, stats) = fmm.evaluate_with_stats(&dens);
+        let stats = fmm.eval(&dens).stats;
         flops.push(stats.total_flops() as f64);
     }
     let ratio = flops[1] / flops[0];

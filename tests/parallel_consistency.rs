@@ -30,7 +30,8 @@ fn run_case<K: kifmm::Kernel>(kernel: K, all: Vec<[f64; 3]>, ranks: usize) -> Ve
     let out = kifmm::mpi::run(ranks, move |comm| {
         let r = comm.rank();
         let pfmm = ParallelFmm::new(comm, kernel.clone(), &chunks2[r], opts);
-        let (pot, stats) = pfmm.evaluate(comm, &dens2[r]);
+        let report = pfmm.eval(comm, &dens2[r]);
+        let (pot, stats) = (report.potentials, report.stats);
         (pot, stats, comm.stats().bytes_sent)
     });
     let mut bytes = Vec::new();
@@ -101,7 +102,7 @@ fn patch_partitioned_input_matches_serial() {
     let out = kifmm::mpi::run(3, move |comm| {
         let r = comm.rank();
         let pfmm = ParallelFmm::new(comm, Laplace, &chunks2[r], opts);
-        pfmm.evaluate(comm, &dens2[r]).0
+        pfmm.eval(comm, &dens2[r]).potentials
     });
     for (r, pot) in out.into_iter().enumerate() {
         let e = rel_l2_error(&pot, &serial[r]);
@@ -126,7 +127,7 @@ fn empty_rank_is_tolerated() {
     let out = kifmm::mpi::run(3, move |comm| {
         let r = comm.rank();
         let pfmm = ParallelFmm::new(comm, Laplace, &chunks2[r], opts);
-        pfmm.evaluate(comm, &dens2[r]).0
+        pfmm.eval(comm, &dens2[r]).potentials
     });
     for (r, pot) in out.into_iter().enumerate() {
         let e = rel_l2_error(&pot, &serial[r]);

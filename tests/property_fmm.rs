@@ -35,7 +35,7 @@ fn fmm_matches_direct_on_random_clouds() {
             &pts,
             FmmOptions { order: 5, max_pts_per_leaf: 12, ..Default::default() },
         );
-        let approx = fmm.evaluate(&dens);
+        let approx = fmm.eval(&dens).potentials;
         let truth = direct_eval(&Laplace, &pts, &dens);
         let err = rel_l2_error(&approx, &truth);
         prop_assert!(err < 1e-4, "error {err}");
@@ -58,9 +58,9 @@ fn evaluation_is_linear() {
         let d1 = kifmm::geom::random_densities(n, 1, 1);
         let d2 = kifmm::geom::random_densities(n, 1, 2);
         let mix: Vec<f64> = d1.iter().zip(&d2).map(|(x, y)| a * x + b * y).collect();
-        let u1 = fmm.evaluate(&d1);
-        let u2 = fmm.evaluate(&d2);
-        let um = fmm.evaluate(&mix);
+        let u1 = fmm.eval(&d1).potentials;
+        let u2 = fmm.eval(&d2).potentials;
+        let um = fmm.eval(&mix).potentials;
         let scale = um.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-9);
         for i in 0..n {
             prop_assert!((um[i] - (a * u1[i] + b * u2[i])).abs() < 1e-9 * scale);
@@ -76,13 +76,13 @@ fn permutation_invariance() {
         let n = pts.len();
         let dens = kifmm::geom::random_densities(n, 1, 99);
         let opts = FmmOptions { order: 4, max_pts_per_leaf: 10, ..Default::default() };
-        let base = Fmm::new(Laplace, &pts, opts).evaluate(&dens);
+        let base = Fmm::new(Laplace, &pts, opts).eval(&dens).potentials;
 
         let mut order: Vec<usize> = (0..n).collect();
         g.shuffle(&mut order);
         let pts2: Vec<[f64; 3]> = order.iter().map(|&i| pts[i]).collect();
         let dens2: Vec<f64> = order.iter().map(|&i| dens[i]).collect();
-        let out2 = Fmm::new(Laplace, &pts2, opts).evaluate(&dens2);
+        let out2 = Fmm::new(Laplace, &pts2, opts).eval(&dens2).potentials;
         let scale = base.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
         for (k, &i) in order.iter().enumerate() {
             prop_assert!(
@@ -134,7 +134,7 @@ fn degenerate_colinear_points() {
         &pts,
         FmmOptions { order: 4, max_pts_per_leaf: 10, ..Default::default() },
     );
-    let approx = fmm.evaluate(&dens);
+    let approx = fmm.eval(&dens).potentials;
     let truth = direct_eval(&Laplace, &pts, &dens);
     let err = rel_l2_error(&approx, &truth);
     assert!(err < 1e-4, "colinear cloud error {err}");
@@ -151,7 +151,7 @@ fn duplicate_points_capped_by_max_level() {
         FmmOptions { order: 4, max_pts_per_leaf: 8, max_level: 6, ..Default::default() },
     );
     // Coincident points produce zero self-terms; still finite and accurate.
-    let approx = fmm.evaluate(&dens);
+    let approx = fmm.eval(&dens).potentials;
     let truth = direct_eval(&Laplace, &pts, &dens);
     let err = rel_l2_error(&approx, &truth);
     assert!(err < 1e-3, "duplicate-point cloud error {err}");

@@ -1,0 +1,170 @@
+//! Cross-crate observability integration: the tracer wired through the
+//! serial evaluator, the shared-memory parallel evaluator, and the
+//! distributed driver must (a) produce deterministic span trees for
+//! deterministic runs, (b) export chrome-trace JSON whose structure
+//! survives a round trip through the hand-rolled parser, and (c) yield
+//! `BENCH_*.json` summaries that agree exactly with the `PhaseStats`
+//! returned to the caller.
+
+use kifmm::parallel::ParallelFmm;
+use kifmm::tree::partition_points;
+use kifmm::{
+    BenchSummary, Counter, Evaluator, Fmm, FmmOptions, Laplace, Tracer, PHASE_NAMES,
+};
+use kifmm_testkit::json::Json;
+use kifmm_trace::PhaseLine;
+
+fn points(n: usize, seed: u64) -> Vec<[f64; 3]> {
+    kifmm::geom::uniform_cube(n, seed)
+}
+
+/// Structural span sequence for every rank the tracer saw.
+fn span_keys(t: &Tracer) -> Vec<Vec<(u64, u32, &'static str, &'static str, Option<u64>)>> {
+    t.span_records()
+        .iter()
+        .map(|spans| spans.iter().map(|s| s.structural_key()).collect())
+        .collect()
+}
+
+#[test]
+fn serial_span_tree_is_deterministic() {
+    let pts = points(700, 5);
+    let dens = vec![1.0; pts.len()];
+    let keys: Vec<_> = (0..2)
+        .map(|_| {
+            let tracer = Tracer::enabled();
+            let fmm = Fmm::builder(Laplace)
+                .points(&pts)
+                .order(4)
+                .trace(tracer.clone())
+                .build();
+            let report = fmm.eval(&dens);
+            assert!(report.trace.is_enabled());
+            span_keys(&tracer)
+        })
+        .collect();
+    assert!(!keys[0][0].is_empty(), "serial eval recorded spans");
+    assert_eq!(keys[0], keys[1], "identical runs, identical span trees");
+}
+
+/// With one worker thread the shared-memory parallel evaluator must also
+/// record an identical span tree run-to-run (the fork-join stages become
+/// sequential, so even counter interleavings are fixed).
+#[test]
+fn parallel_eval_span_tree_is_deterministic_single_thread() {
+    std::env::set_var("KIFMM_NUM_THREADS", "1");
+    let pts = points(900, 11);
+    let dens = vec![1.0; pts.len()];
+    let runs: Vec<_> = (0..2)
+        .map(|_| {
+            let tracer = Tracer::enabled();
+            let fmm = Fmm::builder(Laplace)
+                .points(&pts)
+                .order(4)
+                .parallel(true)
+                .trace(tracer.clone())
+                .build();
+            let report = fmm.eval(&dens);
+            (span_keys(&tracer), tracer.counter_total(Counter::Flops), report.potentials)
+        })
+        .collect();
+    assert!(!runs[0].0[0].is_empty(), "parallel eval recorded spans");
+    assert_eq!(runs[0].0, runs[1].0, "identical span trees across runs");
+    assert_eq!(runs[0].1, runs[1].1, "identical flop counters across runs");
+    assert_eq!(runs[0].2, runs[1].2, "bit-identical potentials");
+    std::env::remove_var("KIFMM_NUM_THREADS");
+}
+
+/// Distributed run: one chrome-trace track per rank, balanced async
+/// overlap events, nonzero comm counters, and a parseable export.
+#[test]
+fn distributed_chrome_trace_round_trips() {
+    let all = points(1200, 3);
+    let part = partition_points(&all, 3);
+    let chunks: Vec<Vec<[f64; 3]>> =
+        part.groups.iter().map(|g| g.iter().map(|&i| all[i]).collect()).collect();
+    let tracer = Tracer::enabled();
+    let tracer2 = tracer.clone();
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
+    kifmm::mpi::run(3, move |comm| {
+        let r = comm.rank();
+        let mut pfmm = ParallelFmm::new(comm, Laplace, &chunks[r], opts);
+        pfmm.set_trace(tracer2.clone());
+        let report = pfmm.bind(comm).eval(&vec![1.0; chunks[r].len()]);
+        assert!(report.trace.is_enabled());
+    });
+    assert!(tracer.counter_total(Counter::BytesSent) > 0, "ranks exchanged data");
+    assert_eq!(
+        tracer.counter_total(Counter::BytesSent),
+        tracer.counter_total(Counter::BytesRecv)
+    );
+
+    let doc = Json::parse(&tracer.chrome_trace_json()).expect("valid chrome JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let mut tids = Vec::new();
+    let mut up_spans = 0usize;
+    let (mut async_b, mut async_e) = (0usize, 0usize);
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("X") => {
+                let tid = ev.get("tid").and_then(Json::as_f64).expect("tid");
+                if !tids.contains(&tid.to_bits()) {
+                    tids.push(tid.to_bits());
+                }
+                assert!(ev.get("dur").and_then(Json::as_f64).expect("dur") >= 0.0);
+                if ev.get("name").and_then(Json::as_str) == Some("Up") {
+                    up_spans += 1;
+                }
+            }
+            Some("b") => async_b += 1,
+            Some("e") => async_e += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(tids.len(), 3, "one span track per rank");
+    assert_eq!(up_spans, 3, "every rank recorded its upward pass");
+    assert_eq!(async_b, async_e, "balanced async begin/end pairs");
+    assert!(async_b >= 6, "two overlapped exchanges per rank");
+}
+
+/// The `BENCH_*.json` artifact is built from the same `PhaseStats` the
+/// caller gets, so totals must agree exactly (and the document must obey
+/// its own schema).
+#[test]
+fn bench_summary_agrees_with_eval_report() {
+    let pts = points(600, 9);
+    let fmm = Fmm::builder(Laplace).points(&pts).order(4).build();
+    let report = fmm.eval(&vec![1.0; pts.len()]);
+    let summary = BenchSummary {
+        bench: "observability_test".into(),
+        n: pts.len(),
+        order: 4,
+        ranks: 1,
+        tree_depth: 3,
+        phases: PHASE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| PhaseLine {
+                name: (*name).into(),
+                seconds: report.stats.seconds[i],
+                flops: report.stats.flops[i],
+            })
+            .collect(),
+        comm_bytes: 0,
+        comm_messages: 0,
+        extra: vec![],
+    };
+    assert_eq!(summary.total_flops(), report.stats.total_flops());
+    assert!((summary.total_seconds() - report.stats.total_seconds()).abs() < 1e-12);
+    let doc = Json::parse(&summary.to_json()).expect("valid summary JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("kifmm-bench-v1"));
+    let phases = doc.get("phases").expect("phases object");
+    for name in PHASE_NAMES {
+        let p = phases.get(name).unwrap_or_else(|| panic!("phase key {name}"));
+        assert!(p.get("seconds").and_then(Json::as_f64).expect("seconds") >= 0.0);
+    }
+    assert_eq!(
+        doc.get("total_flops").and_then(Json::as_f64),
+        Some(report.stats.total_flops() as f64)
+    );
+}
