@@ -15,11 +15,12 @@ use kifmm::kernels::assemble;
 use kifmm::{Fmm, FmmOptions, Kernel, Laplace, ModifiedLaplace, Stokes};
 use std::time::{Duration, Instant};
 
-/// Time `f` and print one result row. Returns per-iteration medians so
-/// callers could derive throughput if they want.
-fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+/// Time `f` and print one result row. Returns the per-iteration median in
+/// seconds (`None` when filtered out) so callers can derive throughput or
+/// emit artifacts.
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) -> Option<f64> {
     if !name.contains(filter) {
-        return;
+        return None;
     }
     // Warmup: run until ~50 ms has elapsed (at least once).
     let warm_start = Instant::now();
@@ -48,6 +49,7 @@ fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
         fmt(min),
         fmt(mean)
     );
+    Some(median.as_secs_f64())
 }
 
 fn fmt(d: Duration) -> String {
@@ -147,6 +149,139 @@ fn bench_fmm(filter: &str) {
     });
 }
 
+/// The pass-engine batching ablation: the engine runs M2L spectra and the
+/// M2M/L2L GEMVs as per-level batched operations over the flat
+/// `ExpansionStore` slabs; these benches time the same math done the
+/// pre-refactor way (per-node `gemv` + per-node spectrum cache) on the
+/// identical tree/operators, and emit `BENCH_engine_batching.json` when
+/// `KIFMM_BENCH_DIR` is set. Filter: `cargo bench -p kifmm-bench -- engine`.
+fn bench_engine(filter: &str) {
+    use kifmm::core::{EngineWorkspace, LocalSources, SourceProvider, FIRST_FMM_LEVEL};
+    use kifmm::fft::C64;
+    use kifmm::runtime::Dispatch;
+    use std::collections::HashMap;
+
+    let n = 8000;
+    let pts = kifmm::geom::uniform_cube(n, 5);
+    let dens = vec![1.0; n];
+    let order = 6;
+    let fmm = Fmm::new(
+        Laplace,
+        &pts,
+        FmmOptions { order, max_pts_per_leaf: 60, ..Default::default() },
+    );
+    let tree = &fmm.tree;
+    let depth = tree.depth();
+    assert!(depth >= FIRST_FMM_LEVEL, "bench tree must reach FMM levels");
+    let engine = fmm.engine(Dispatch::Serial);
+    let src = LocalSources { tree, points: fmm.morton_points(), dens: &dens, src_dim: 1 };
+    let mut store = engine.new_store();
+    let mut ws = EngineWorkspace::default();
+    engine.upward(&src, &mut store, &mut ws);
+
+    // --- Upward translation (S2M + M2M + inversion): batched GEMMs vs the
+    // --- pre-refactor per-node gemv chain.
+    let translate_batched = bench(filter, "engine/translate_batched", || {
+        std::hint::black_box(engine.upward(&src, &mut store, &mut ws));
+    });
+    let ops = &fmm.precomputed().ops;
+    let ns = kifmm::core::num_surface_points(order);
+    let (es, cs) = (ns, ns); // Laplace: SRC_DIM = TRG_DIM = 1
+    let mut up_pn = vec![0.0; tree.num_nodes() * es];
+    let mut chk = vec![0.0; cs];
+    let translate_per_node = bench(filter, "engine/translate_per_node", || {
+        for level in (FIRST_FMM_LEVEL..=depth).rev() {
+            let lops = ops.at(level);
+            for &ni in &tree.levels[level as usize] {
+                let node = &tree.nodes[ni as usize];
+                chk.fill(0.0);
+                if node.is_leaf() {
+                    let (p, d) = src.sources(ni);
+                    let c = tree.domain.box_center(&node.key);
+                    let uc = surface_points(order, RAD_OUTER, c, lops.box_half);
+                    Laplace.p2p(&uc, p, d, &mut chk);
+                } else {
+                    for (oct, &ci) in node.children.iter().enumerate() {
+                        if ci != kifmm::tree::NO_NODE {
+                            let child = up_pn[ci as usize * es..(ci as usize + 1) * es].to_vec();
+                            kifmm::linalg::gemv(1.0, &lops.ue2uc[oct], &child, 1.0, &mut chk);
+                        }
+                    }
+                }
+                let slot = &mut up_pn[ni as usize * es..(ni as usize + 1) * es];
+                kifmm::linalg::gemv(1.0, &lops.uc2ue, &chk, 0.0, slot);
+            }
+        }
+        std::hint::black_box(&up_pn);
+    });
+
+    // --- FFT M2L: one contiguous per-level spectra slab vs the per-node
+    // --- HashMap spectrum cache the serial evaluator used before.
+    let m2l_batched = bench(filter, "engine/m2l_batched", || {
+        let mut f = 0u64;
+        for level in FIRST_FMM_LEVEL..=depth {
+            f += engine.m2l_level(level, &mut store, &mut ws);
+        }
+        std::hint::black_box(f);
+    });
+    let fft = fmm.precomputed().m2l_fft.as_ref().expect("FFT mode");
+    let g = fft.grid_len();
+    let mut grid = vec![C64::ZERO; g];
+    let mut slot = vec![0.0; cs];
+    let m2l_per_node = bench(filter, "engine/m2l_per_node", || {
+        for level in FIRST_FMM_LEVEL..=depth {
+            let mut spectra: HashMap<u32, Vec<C64>> = HashMap::new();
+            for &ni in &tree.levels[level as usize] {
+                let vlist = &fmm.lists.v[ni as usize];
+                if vlist.is_empty() {
+                    continue;
+                }
+                grid.fill(C64::ZERO);
+                let bkey = tree.nodes[ni as usize].key;
+                for &a in vlist {
+                    let spec = spectra.entry(a).or_insert_with(|| {
+                        let mut s = vec![C64::ZERO; g];
+                        let ue = &up_pn[a as usize * es..(a as usize + 1) * es];
+                        fft.transform_source(ue, &mut s);
+                        s
+                    });
+                    let dir = bkey.offset_to(&tree.nodes[a as usize].key);
+                    fft.accumulate(level, dir, spec, &mut grid);
+                }
+                slot.fill(0.0);
+                fft.extract_check(level, &mut grid, &mut slot);
+                std::hint::black_box(&slot);
+            }
+        }
+    });
+
+    if let (Some(bat), Some(pn)) = (m2l_batched, m2l_per_node) {
+        println!("engine/m2l speedup                 {:>8.3} x (per-node / batched)", pn / bat);
+    }
+    if let (Some(bat), Some(pn)) = (translate_batched, translate_per_node) {
+        println!(
+            "engine/translate speedup           {:>8.3} x (per-node / batched)",
+            pn / bat
+        );
+    }
+    if let Ok(dir) = std::env::var("KIFMM_BENCH_DIR") {
+        if let (Some(mb), Some(mp), Some(tb), Some(tp)) =
+            (m2l_batched, m2l_per_node, translate_batched, translate_per_node)
+        {
+            let json = format!(
+                "{{\n  \"schema\": \"kifmm-engine-batching-v1\",\n  \"n_points\": {n},\n  \"order\": {order},\n  \"tree_depth\": {depth},\n  \"m2l_batched_median_s\": {mb:.9},\n  \"m2l_per_node_median_s\": {mp:.9},\n  \"m2l_speedup\": {:.4},\n  \"translate_batched_median_s\": {tb:.9},\n  \"translate_per_node_median_s\": {tp:.9},\n  \"translate_speedup\": {:.4},\n  \"batched_no_slower\": {}\n}}\n",
+                mp / mb,
+                tp / tb,
+                mb <= mp,
+            );
+            let path = std::path::Path::new(&dir).join("BENCH_engine_batching.json");
+            std::fs::create_dir_all(&dir).expect("create bench dir");
+            std::fs::write(&path, json).expect("write bench artifact");
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
 /// Median wall seconds of one full evaluation (1 warmup + 9 samples).
 fn median_eval(fmm: &Fmm<Laplace>, dens: &[f64]) -> f64 {
     std::hint::black_box(fmm.eval(dens).potentials);
@@ -213,5 +348,6 @@ fn main() {
     bench_linalg(&filter);
     bench_tree(&filter);
     bench_fmm(&filter);
+    bench_engine(&filter);
     bench_trace(&filter);
 }

@@ -1,0 +1,32 @@
+//! Cross-path gate for `scripts/verify.sh`: a tiny problem evaluated by
+//! all three drivers (serial, shared-memory pool, distributed P=4) must
+//! agree — serial vs pool bit-identically (one engine, one task order),
+//! distributed vs serial to 1e-12 relative l2 (owner-side summation of
+//! partial equivalents reassociates additions, nothing more).
+//!
+//! Exits nonzero (panics) on any disagreement.
+
+use kifmm::{Fmm, FmmOptions, Kernel, Laplace, Stokes};
+use kifmm_testkit::check_matches_serial_tol;
+
+fn check_paths<K: Kernel>(name: &str, kernel: K, pts: Vec<[f64; 3]>) {
+    let n = pts.len();
+    let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 9);
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
+
+    let mut fmm = Fmm::new(kernel.clone(), &pts, opts);
+    let serial = fmm.eval(&dens).potentials;
+    fmm.set_parallel_eval(true);
+    let pool = fmm.eval(&dens).potentials;
+    assert_eq!(serial, pool, "{name}: pool path must be bit-identical to serial");
+    println!("cross-path {name}: serial == pool (bitwise) OK");
+
+    check_matches_serial_tol(kernel, pts, 4, K::SRC_DIM, 1e-12);
+    println!("cross-path {name}: distributed P=4 within 1e-12 OK");
+}
+
+fn main() {
+    check_paths("laplace/uniform", Laplace, kifmm::geom::uniform_cube(600, 31));
+    check_paths("stokes/clustered", Stokes::default(), kifmm::geom::corner_clusters(450, 32));
+    println!("cross-path gate: ALL OK");
+}

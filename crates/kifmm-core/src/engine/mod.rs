@@ -1,0 +1,659 @@
+//! The single pass engine behind all three evaluation drivers.
+//!
+//! The paper's central structural claim is that the KIFMM passes (S2M/M2M,
+//! M2L, L2L/L2T, dense U/W/X) are the *same computation* whether the boxes
+//! involved are owned by one process or scattered across ranks. This module
+//! makes that literal: one implementation of each pass, parameterized by
+//!
+//! * an **ownership filter** ([`ActiveSet`]) — the serial and shared-memory
+//!   drivers activate every box, the distributed driver activates the boxes
+//!   this rank contributes to;
+//! * a **source provider** ([`SourceProvider`]) — local Morton-sorted
+//!   points for shared-memory evaluation, ghost-exchanged geometry for the
+//!   distributed driver;
+//! * a **thread-dispatch hook** ([`Dispatch`] from `kifmm-runtime`) —
+//!   `Serial` runs inline, `Pool` fans each level over the worker pool.
+//!   Both produce bit-identical results (each output element is computed by
+//!   exactly one task with the serial instruction order).
+//!
+//! Expansions live in a flat per-level-contiguous [`ExpansionStore`], which
+//! lets the translation passes run as **per-level batched operators**: the
+//! M2M/L2L GEMVs of one level collapse into a handful of multi-RHS GEMMs
+//! ([`kifmm_linalg::gemm_slices`]), and the FFT M2L transforms a whole
+//! level's source spectra into one contiguous slab. The drivers contribute
+//! only orchestration — permutation, spans, timing, and (for the
+//! distributed path) the two overlapped exchanges.
+
+mod store;
+
+pub use store::{EngineWorkspace, ExpansionStore};
+
+use crate::m2l::M2lMode;
+use crate::operators::FIRST_FMM_LEVEL;
+use crate::precompute::Precomputed;
+use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
+use kifmm_fft::C64;
+use kifmm_kernels::{Kernel, Point3};
+use kifmm_linalg::{gemm_slices, Mat};
+use kifmm_runtime::{
+    par_chunks_mut_init_with, par_chunks_mut_with, par_for_each_with, Dispatch,
+};
+use kifmm_tree::{InteractionLists, Octree, NO_NODE};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a pass reads the source points and densities of a leaf box: the
+/// local Morton-sorted arrays (serial/shared-memory, and the distributed
+/// upward pass) or the ghost-exchanged copies (distributed U/X passes).
+pub trait SourceProvider: Sync {
+    /// Points and `SRC_DIM`-interleaved densities of box `ni`.
+    fn sources(&self, ni: u32) -> (&[Point3], &[f64]);
+}
+
+/// [`SourceProvider`] over the local Morton-sorted point/density arrays.
+pub struct LocalSources<'a> {
+    /// The computation tree (for leaf point ranges).
+    pub tree: &'a Octree,
+    /// Morton-sorted points.
+    pub points: &'a [Point3],
+    /// Morton-sorted densities, `src_dim` per point.
+    pub dens: &'a [f64],
+    /// Kernel source dimension.
+    pub src_dim: usize,
+}
+
+impl SourceProvider for LocalSources<'_> {
+    fn sources(&self, ni: u32) -> (&[Point3], &[f64]) {
+        let node = &self.tree.nodes[ni as usize];
+        let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+        (&self.points[s..e], &self.dens[s * self.src_dim..e * self.src_dim])
+    }
+}
+
+/// The node-ownership filter of one driver, in the shapes the passes need:
+/// a membership mask, per-level active id lists, and the active leaves in
+/// target-point order.
+pub struct ActiveSet {
+    /// `mask[ni]` — box `ni` is computed by this driver.
+    pub mask: Vec<bool>,
+    /// Active node ids per level, ascending.
+    pub levels: Vec<Vec<u32>>,
+    /// Active leaves ordered by `pt_start` (they partition the local
+    /// target range).
+    pub leaves: Vec<u32>,
+}
+
+impl ActiveSet {
+    /// Classify every box of `tree` with `filter` (serial/shared-memory
+    /// drivers pass `|_| true`; the distributed driver passes its
+    /// "contributed" predicate).
+    pub fn build(tree: &Octree, filter: impl Fn(u32) -> bool) -> Self {
+        let nn = tree.num_nodes();
+        let mut mask = vec![false; nn];
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); tree.depth() as usize + 1];
+        for (ni, node) in tree.nodes.iter().enumerate() {
+            if filter(ni as u32) {
+                mask[ni] = true;
+                levels[node.key.level as usize].push(ni as u32);
+            }
+        }
+        let mut leaves: Vec<u32> = tree.leaves().filter(|&l| mask[l as usize]).collect();
+        leaves.sort_by_key(|&l| tree.nodes[l as usize].pt_start);
+        ActiveSet { mask, levels, leaves }
+    }
+}
+
+/// One set of FMM passes over a prepared tree. Stateless between calls:
+/// expansions live in the caller's [`ExpansionStore`], scratch in the
+/// caller's [`EngineWorkspace`]. Every pass returns its exact flop count
+/// (the same accounting the three drivers used individually).
+pub struct PassEngine<'a, K: Kernel> {
+    kernel: &'a K,
+    tree: &'a Octree,
+    lists: &'a InteractionLists,
+    pre: &'a Precomputed<K>,
+    /// Morton-sorted local target points (leaf ranges index into this).
+    targets: &'a [Point3],
+    order: usize,
+    m2l_mode: M2lMode,
+    dispatch: Dispatch,
+    active: &'a ActiveSet,
+}
+
+impl<'a, K: Kernel> PassEngine<'a, K> {
+    /// Borrow a driver's prepared state into an engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kernel: &'a K,
+        tree: &'a Octree,
+        lists: &'a InteractionLists,
+        pre: &'a Precomputed<K>,
+        targets: &'a [Point3],
+        order: usize,
+        m2l_mode: M2lMode,
+        dispatch: Dispatch,
+        active: &'a ActiveSet,
+    ) -> Self {
+        PassEngine { kernel, tree, lists, pre, targets, order, m2l_mode, dispatch, active }
+    }
+
+    /// `(n_s, es, cs)`: surface points per box, equivalent row length,
+    /// check row length.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        let ns = num_surface_points(self.order);
+        (ns, ns * K::SRC_DIM, ns * K::TRG_DIM)
+    }
+
+    /// A zeroed [`ExpansionStore`] sized for this tree.
+    pub fn new_store(&self) -> ExpansionStore {
+        let (_, es, cs) = self.dims();
+        ExpansionStore::new(self.tree.num_nodes(), es, cs)
+    }
+
+    /// Active leaves in target-point order.
+    pub fn active_leaves(&self) -> &[u32] {
+        &self.active.leaves
+    }
+
+    /// Number of active boxes the upward pass touches (levels ≥ 2).
+    pub fn active_cell_count(&self) -> u64 {
+        let depth = self.tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        (FIRST_FMM_LEVEL..=depth)
+            .map(|l| self.active.levels[l as usize].len() as u64)
+            .sum()
+    }
+
+    /// Contiguous node-id range `[start, end)` of one level (BFS
+    /// construction guarantees contiguity; asserted in debug builds).
+    fn level_range(&self, level: u8) -> (usize, usize) {
+        let idxs = &self.tree.levels[level as usize];
+        let start = idxs[0] as usize;
+        debug_assert!(idxs.windows(2).all(|w| w[1] == w[0] + 1), "level not contiguous");
+        (start, start + idxs.len())
+    }
+
+    /// Apply operator `op` (`m × k`) to `ncols` column vectors packed
+    /// column-major in `xin` (`k × ncols`), writing `yout = op · xin`
+    /// (`m × ncols`). Pool dispatch row-blocks the output; per-element
+    /// results are identical for any blocking, so serial and pool agree
+    /// bitwise.
+    fn apply_op_cols(&self, op: &Mat, xin: &[f64], yout: &mut [f64], ncols: usize) {
+        let (m, k) = (op.rows(), op.cols());
+        debug_assert_eq!(xin.len(), k * ncols);
+        debug_assert_eq!(yout.len(), m * ncols);
+        let threads = self.dispatch.threads();
+        if threads <= 1 || m * ncols < 4096 {
+            gemm_slices(1.0, op.as_slice(), xin, 0.0, yout, m, k, ncols);
+        } else {
+            let rows_per = m.div_ceil(threads);
+            par_chunks_mut_with(threads, yout, rows_per * ncols, |blk, y| {
+                let r0 = blk * rows_per;
+                let rows = y.len() / ncols;
+                gemm_slices(
+                    1.0,
+                    &op.as_slice()[r0 * k..(r0 + rows) * k],
+                    xin,
+                    0.0,
+                    y,
+                    rows,
+                    k,
+                    ncols,
+                );
+            });
+        }
+    }
+
+    /// Upward pass: S2M at active leaves, M2M at active internal boxes,
+    /// bottom-up, ending with the check → equivalent inversion. M2M
+    /// translations and the inversions run as per-level multi-RHS GEMMs.
+    /// Writes `store.up` rows of active boxes; returns the flop count.
+    pub fn upward<S: SourceProvider>(
+        &self,
+        src: &S,
+        store: &mut ExpansionStore,
+        ws: &mut EngineWorkspace,
+    ) -> u64 {
+        let depth = self.tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        let (ns, es, cs) = self.dims();
+        let kf = self.kernel.flops_per_eval();
+        let threads = self.dispatch.threads();
+        let mut flops = 0u64;
+        for level in (FIRST_FMM_LEVEL..=depth).rev() {
+            let act = &self.active.levels[level as usize];
+            let nb = act.len();
+            if nb == 0 {
+                continue;
+            }
+            let lops = self.pre.ops.at(level);
+            // S2M: leaf sources → upward check potentials, one batch row
+            // per active box (internal boxes stay zero for M2M below).
+            ws.rows.clear();
+            ws.rows.resize(nb * cs, 0.0);
+            par_chunks_mut_with(threads, &mut ws.rows, cs, |i, chk| {
+                let ni = act[i];
+                let node = &self.tree.nodes[ni as usize];
+                if node.is_leaf() {
+                    let (pts, d) = src.sources(ni);
+                    let c = self.tree.domain.box_center(&node.key);
+                    let uc = surface_points(self.order, RAD_OUTER, c, lops.box_half);
+                    self.kernel.p2p(&uc, pts, d, chk);
+                }
+            });
+            for &ni in act {
+                if self.tree.nodes[ni as usize].is_leaf() {
+                    flops += (src.sources(ni).0.len() * ns) as u64 * kf;
+                }
+            }
+            // M2M: one multi-RHS GEMM per child octant over all active
+            // (parent, child) pairs of this level; the sequential
+            // octant-order scatter-add keeps parent sums deterministic.
+            for oct in 0..8 {
+                ws.pairs.clear();
+                for (i, &ni) in act.iter().enumerate() {
+                    let ci = self.tree.nodes[ni as usize].children[oct];
+                    if ci != NO_NODE && self.active.mask[ci as usize] {
+                        ws.pairs.push((i as u32, ci));
+                    }
+                }
+                let nbo = ws.pairs.len();
+                if nbo == 0 {
+                    continue;
+                }
+                ws.xin.clear();
+                ws.xin.resize(es * nbo, 0.0);
+                for (j, &(_, ci)) in ws.pairs.iter().enumerate() {
+                    let child = store.up(ci);
+                    for r in 0..es {
+                        ws.xin[r * nbo + j] = child[r];
+                    }
+                }
+                ws.yout.clear();
+                ws.yout.resize(cs * nbo, 0.0);
+                self.apply_op_cols(&lops.ue2uc[oct], &ws.xin, &mut ws.yout, nbo);
+                for (j, &(i, _)) in ws.pairs.iter().enumerate() {
+                    let row = &mut ws.rows[i as usize * cs..(i as usize + 1) * cs];
+                    for (r, v) in row.iter_mut().enumerate() {
+                        *v += ws.yout[r * nbo + j];
+                    }
+                }
+                flops += nbo as u64 * 2 * (cs * es) as u64;
+            }
+            // Level-wide check → equivalent inversion, one GEMM.
+            ws.xin.clear();
+            ws.xin.resize(cs * nb, 0.0);
+            for j in 0..nb {
+                for r in 0..cs {
+                    ws.xin[r * nb + j] = ws.rows[j * cs + r];
+                }
+            }
+            ws.yout.clear();
+            ws.yout.resize(es * nb, 0.0);
+            self.apply_op_cols(&lops.uc2ue, &ws.xin, &mut ws.yout, nb);
+            for (j, &ni) in act.iter().enumerate() {
+                let slot = store.up_mut(ni);
+                for (r, v) in slot.iter_mut().enumerate() {
+                    *v = ws.yout[r * nb + j];
+                }
+            }
+            flops += nb as u64 * 2 * (cs * es) as u64;
+        }
+        flops
+    }
+
+    /// M2L over one level: active targets accumulate the check-potential
+    /// contributions of their V-list sources from `store.up`, into
+    /// `store.check`. Returns the flop count.
+    pub fn m2l_level(
+        &self,
+        level: u8,
+        store: &mut ExpansionStore,
+        ws: &mut EngineWorkspace,
+    ) -> u64 {
+        if self.tree.depth() < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        match self.m2l_mode {
+            M2lMode::Fft => self.m2l_fft_level(level, store, ws),
+            M2lMode::Direct => self.m2l_direct_level(level, store),
+        }
+    }
+
+    /// FFT M2L: forward-transform every V-list source of the level into
+    /// one contiguous spectra slab, then Hadamard-accumulate and
+    /// inverse-transform per active target.
+    fn m2l_fft_level(
+        &self,
+        level: u8,
+        store: &mut ExpansionStore,
+        ws: &mut EngineWorkspace,
+    ) -> u64 {
+        let fft = self.pre.m2l_fft.as_ref().expect("FFT tables present in Fft mode");
+        let (_, es, cs) = self.dims();
+        let g = fft.grid_len();
+        let sg = K::SRC_DIM * g;
+        let tg = K::TRG_DIM * g;
+        let (ls, le) = self.level_range(level);
+        let mask = &self.active.mask;
+        ws.needed.clear();
+        for &ni in &self.active.levels[level as usize] {
+            ws.needed.extend_from_slice(&self.lists.v[ni as usize]);
+        }
+        ws.needed.sort_unstable();
+        ws.needed.dedup();
+        if ws.needed.is_empty() {
+            return 0;
+        }
+        let EngineWorkspace { needed, spectra, acc, .. } = ws;
+        let threads = self.dispatch.threads();
+        // No zero-fill on reuse: `transform_source` overwrites every slot.
+        if spectra.len() < needed.len() * sg {
+            spectra.resize(needed.len() * sg, C64::ZERO);
+        } else {
+            spectra.truncate(needed.len() * sg);
+        }
+        let up: &[f64] = &store.up;
+        par_chunks_mut_with(threads, spectra, sg, |i, buf| {
+            let a = needed[i] as usize;
+            fft.transform_source(&up[a * es..(a + 1) * es], buf);
+        });
+        let needed: &[u32] = needed;
+        let spectra: &[C64] = spectra;
+        let accumulate = |grid: &mut [C64], i: usize, slot: &mut [f64]| {
+            let ni = ls + i;
+            if !mask[ni] {
+                return;
+            }
+            let vlist = &self.lists.v[ni];
+            if vlist.is_empty() {
+                return;
+            }
+            grid.fill(C64::ZERO);
+            let bkey = self.tree.nodes[ni].key;
+            for &a in vlist {
+                let akey = self.tree.nodes[a as usize].key;
+                let dir = bkey.offset_to(&akey);
+                let si = needed.binary_search(&a).expect("V source in needed set");
+                fft.accumulate(level, dir, &spectra[si * sg..(si + 1) * sg], grid);
+            }
+            fft.extract_check(level, grid, slot);
+        };
+        let check = &mut store.check[ls * cs..le * cs];
+        if threads <= 1 {
+            acc.clear();
+            acc.resize(tg, C64::ZERO);
+            for (i, slot) in check.chunks_mut(cs).enumerate() {
+                accumulate(acc, i, slot);
+            }
+        } else {
+            par_chunks_mut_init_with(
+                threads,
+                check,
+                cs,
+                || vec![C64::ZERO; tg],
+                |grid, i, slot| accumulate(grid, i, slot),
+            );
+        }
+        // Exact accounting, matching the per-call counters of
+        // `transform_source`/`accumulate`/`extract_check`.
+        let mut flops = needed.len() as u64 * fft.fft_flops(K::SRC_DIM);
+        for &ni in &self.active.levels[level as usize] {
+            let nv = self.lists.v[ni as usize].len() as u64;
+            if nv > 0 {
+                flops +=
+                    nv * (K::TRG_DIM * K::SRC_DIM * g * 8) as u64 + fft.fft_flops(K::TRG_DIM);
+            }
+        }
+        flops
+    }
+
+    /// Dense M2L over one level (ablation baseline).
+    fn m2l_direct_level(&self, level: u8, store: &mut ExpansionStore) -> u64 {
+        let direct =
+            self.pre.m2l_direct.as_ref().expect("direct tables present in Direct mode");
+        let (_, es, cs) = self.dims();
+        let (ls, _) = self.level_range(level);
+        let mask = &self.active.mask;
+        let threads = self.dispatch.threads();
+        let flops = AtomicU64::new(0);
+        let (ls_cs, le_cs) = {
+            let (s, e) = self.level_range(level);
+            (s * cs, e * cs)
+        };
+        let ExpansionStore { up, check, .. } = store;
+        let up: &[f64] = up;
+        par_chunks_mut_with(threads, &mut check[ls_cs..le_cs], cs, |i, slot| {
+            let ni = ls + i;
+            if !mask[ni] {
+                return;
+            }
+            let bkey = self.tree.nodes[ni].key;
+            let mut f = 0u64;
+            for &a in &self.lists.v[ni] {
+                let akey = self.tree.nodes[a as usize].key;
+                let dir = bkey.offset_to(&akey);
+                f += direct.apply(
+                    level,
+                    dir,
+                    &up[a as usize * es..(a as usize + 1) * es],
+                    slot,
+                );
+            }
+            flops.fetch_add(f, Ordering::Relaxed);
+        });
+        flops.into_inner()
+    }
+
+    /// X-list pass: sources of coarser leaves onto the downward check
+    /// surfaces of active boxes (`store.check`). Returns the flop count.
+    pub fn x_pass<S: SourceProvider>(&self, src: &S, store: &mut ExpansionStore) -> u64 {
+        let depth = self.tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        let (ns, _, cs) = self.dims();
+        let kf = self.kernel.flops_per_eval();
+        let threads = self.dispatch.threads();
+        let mask = &self.active.mask;
+        let mut flops = 0u64;
+        for level in FIRST_FMM_LEVEL..=depth {
+            let (ls, le) = self.level_range(level);
+            let half = self.pre.ops.at(level).box_half;
+            par_chunks_mut_with(threads, &mut store.check[ls * cs..le * cs], cs, |i, slot| {
+                let ni = ls + i;
+                if !mask[ni] || self.lists.x[ni].is_empty() {
+                    return;
+                }
+                let node = &self.tree.nodes[ni];
+                let c = self.tree.domain.box_center(&node.key);
+                let dc = surface_points(self.order, RAD_INNER, c, half);
+                for &a in &self.lists.x[ni] {
+                    let (pts, d) = src.sources(a);
+                    self.kernel.p2p(&dc, pts, d, slot);
+                }
+            });
+            for &ni in &self.active.levels[level as usize] {
+                for &a in &self.lists.x[ni as usize] {
+                    flops += (src.sources(a).0.len() * ns) as u64 * kf;
+                }
+            }
+        }
+        flops
+    }
+
+    /// L2L pass, top-down: parent downward equivalents onto child check
+    /// surfaces (batched per octant), then the level-wide check →
+    /// equivalent inversion into `store.down`. Returns the flop count.
+    pub fn l2l(&self, store: &mut ExpansionStore, ws: &mut EngineWorkspace) -> u64 {
+        let depth = self.tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        let (_, es, cs) = self.dims();
+        let mut flops = 0u64;
+        for level in FIRST_FMM_LEVEL..=depth {
+            let act = &self.active.levels[level as usize];
+            let nb = act.len();
+            if nb == 0 {
+                continue;
+            }
+            let lops = self.pre.ops.at(level);
+            if level > FIRST_FMM_LEVEL {
+                // L2L translation, batched per octant. (An active box's
+                // parent is active too: it contains the box's points.)
+                for oct in 0..8 {
+                    ws.pairs.clear();
+                    for (i, &ni) in act.iter().enumerate() {
+                        let node = &self.tree.nodes[ni as usize];
+                        if node.key.octant() as usize == oct {
+                            ws.pairs.push((i as u32, node.parent));
+                        }
+                    }
+                    let nbo = ws.pairs.len();
+                    if nbo == 0 {
+                        continue;
+                    }
+                    ws.xin.clear();
+                    ws.xin.resize(es * nbo, 0.0);
+                    for (j, &(_, pi)) in ws.pairs.iter().enumerate() {
+                        let parent = store.down(pi);
+                        for r in 0..es {
+                            ws.xin[r * nbo + j] = parent[r];
+                        }
+                    }
+                    ws.yout.clear();
+                    ws.yout.resize(cs * nbo, 0.0);
+                    self.apply_op_cols(&lops.de2dc[oct], &ws.xin, &mut ws.yout, nbo);
+                    for (j, &(i, _)) in ws.pairs.iter().enumerate() {
+                        let ni = act[i as usize] as usize;
+                        let row = &mut store.check[ni * cs..(ni + 1) * cs];
+                        for (r, v) in row.iter_mut().enumerate() {
+                            *v += ws.yout[r * nbo + j];
+                        }
+                    }
+                }
+                flops += nb as u64 * 2 * (cs * es) as u64;
+            }
+            // Check → downward equivalent inversion, one GEMM per level.
+            ws.xin.clear();
+            ws.xin.resize(cs * nb, 0.0);
+            for (j, &ni) in act.iter().enumerate() {
+                let row = store.check_row(ni);
+                for r in 0..cs {
+                    ws.xin[r * nb + j] = row[r];
+                }
+            }
+            ws.yout.clear();
+            ws.yout.resize(es * nb, 0.0);
+            self.apply_op_cols(&lops.dc2de, &ws.xin, &mut ws.yout, nb);
+            for (j, &ni) in act.iter().enumerate() {
+                let slot = store.down_mut(ni);
+                for (r, v) in slot.iter_mut().enumerate() {
+                    *v = ws.yout[r * nb + j];
+                }
+            }
+            flops += nb as u64 * 2 * (cs * es) as u64;
+        }
+        flops
+    }
+
+    /// Split `pot` into disjoint per-active-leaf `&mut` slices (the active
+    /// leaves partition the local target range in point order) and run `f`
+    /// on every leaf under the engine's dispatch.
+    fn for_each_active_leaf(
+        &self,
+        pot: &mut [f64],
+        f: impl Fn(u32, &[Point3], &mut [f64]) + Sync,
+    ) {
+        let mut slices: Vec<(u32, &[Point3], &mut [f64])> =
+            Vec::with_capacity(self.active.leaves.len());
+        let mut rest: &mut [f64] = pot;
+        for &ni in &self.active.leaves {
+            let node = &self.tree.nodes[ni as usize];
+            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut((e - s) * K::TRG_DIM);
+            slices.push((ni, &self.targets[s..e], head));
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty(), "active leaves must partition the targets");
+        par_for_each_with(self.dispatch.threads(), slices, |_, (ni, trg, out)| {
+            f(ni, trg, out)
+        });
+    }
+
+    /// Dense U-list pass onto the local potentials. Returns the flop
+    /// count.
+    pub fn u_pass<S: SourceProvider>(&self, src: &S, pot: &mut [f64]) -> u64 {
+        let kf = self.kernel.flops_per_eval();
+        self.for_each_active_leaf(pot, |ni, trg, out| {
+            for &a in &self.lists.u[ni as usize] {
+                let (pts, d) = src.sources(a);
+                self.kernel.p2p(trg, pts, d, out);
+            }
+        });
+        let mut flops = 0u64;
+        for &ni in &self.active.leaves {
+            let t = self.tree.nodes[ni as usize].num_points() as u64;
+            for &a in &self.lists.u[ni as usize] {
+                flops += t * src.sources(a).0.len() as u64 * kf;
+            }
+        }
+        flops
+    }
+
+    /// W-list pass: upward equivalents of finer separated boxes onto the
+    /// local potentials. Returns the flop count.
+    pub fn w_pass(&self, store: &ExpansionStore, pot: &mut [f64]) -> u64 {
+        let (ns, _, _) = self.dims();
+        let kf = self.kernel.flops_per_eval();
+        self.for_each_active_leaf(pot, |ni, trg, out| {
+            for &a in &self.lists.w[ni as usize] {
+                let akey = self.tree.nodes[a as usize].key;
+                let ac = self.tree.domain.box_center(&akey);
+                let ah = self.tree.domain.box_half(akey.level);
+                let ue = surface_points(self.order, RAD_INNER, ac, ah);
+                self.kernel.p2p(trg, &ue, store.up(a), out);
+            }
+        });
+        self.active
+            .leaves
+            .iter()
+            .map(|&ni| {
+                (self.tree.nodes[ni as usize].num_points()
+                    * self.lists.w[ni as usize].len()
+                    * ns) as u64
+                    * kf
+            })
+            .sum()
+    }
+
+    /// L2T pass: downward equivalent densities at the local targets.
+    /// Returns the flop count.
+    pub fn l2t(&self, store: &ExpansionStore, pot: &mut [f64]) -> u64 {
+        if self.tree.depth() < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        let (ns, _, _) = self.dims();
+        let kf = self.kernel.flops_per_eval();
+        self.for_each_active_leaf(pot, |ni, trg, out| {
+            let node = &self.tree.nodes[ni as usize];
+            if node.key.level < FIRST_FMM_LEVEL {
+                return;
+            }
+            let c = self.tree.domain.box_center(&node.key);
+            let half = self.tree.domain.box_half(node.key.level);
+            let de = surface_points(self.order, RAD_OUTER, c, half);
+            self.kernel.p2p(trg, &de, store.down(ni), out);
+        });
+        self.active
+            .leaves
+            .iter()
+            .filter(|&&ni| self.tree.nodes[ni as usize].key.level >= FIRST_FMM_LEVEL)
+            .map(|&ni| (self.tree.nodes[ni as usize].num_points() * ns) as u64 * kf)
+            .sum()
+    }
+}

@@ -1,0 +1,110 @@
+//! Flat SoA expansion storage and reusable pass scratch.
+//!
+//! Because the octree is built breadth-first, node ids of one level occupy
+//! a contiguous range, so the flat node-major slabs below are per-level
+//! contiguous: a pass over level `l` works on one dense sub-slice of each
+//! array. All three evaluation drivers (serial, shared-memory, distributed)
+//! hand the same [`ExpansionStore`] to the pass engine; the distributed
+//! driver additionally overwrites `up` rows with globally summed
+//! equivalents between the engine phases.
+
+use kifmm_fft::C64;
+
+/// Expansion state of one evaluation: upward equivalents, downward check
+/// potentials and downward equivalents, node-major (`row(ni)` = node `ni`).
+pub struct ExpansionStore {
+    es: usize,
+    cs: usize,
+    /// Upward equivalent densities, `[num_nodes × es]`.
+    pub up: Vec<f64>,
+    /// Downward equivalent densities, `[num_nodes × es]`.
+    pub down: Vec<f64>,
+    /// Downward check potentials, `[num_nodes × cs]`.
+    pub check: Vec<f64>,
+}
+
+impl ExpansionStore {
+    /// Zeroed storage for `num_nodes` boxes with equivalent rows of `es`
+    /// and check rows of `cs` values.
+    pub fn new(num_nodes: usize, es: usize, cs: usize) -> Self {
+        ExpansionStore {
+            es,
+            cs,
+            up: vec![0.0; num_nodes * es],
+            down: vec![0.0; num_nodes * es],
+            check: vec![0.0; num_nodes * cs],
+        }
+    }
+
+    /// Zero every slab for a fresh evaluation (capacity is retained, so a
+    /// pooled store allocates nothing in steady state).
+    pub fn reset(&mut self) {
+        self.up.fill(0.0);
+        self.down.fill(0.0);
+        self.check.fill(0.0);
+    }
+
+    /// Equivalent row length (`n_s · SRC_DIM`).
+    pub fn equiv_len(&self) -> usize {
+        self.es
+    }
+
+    /// Check row length (`n_s · TRG_DIM`).
+    pub fn check_len(&self) -> usize {
+        self.cs
+    }
+
+    /// Upward equivalent density of box `ni`.
+    pub fn up(&self, ni: u32) -> &[f64] {
+        &self.up[ni as usize * self.es..(ni as usize + 1) * self.es]
+    }
+
+    /// Mutable upward equivalent density of box `ni`.
+    pub fn up_mut(&mut self, ni: u32) -> &mut [f64] {
+        &mut self.up[ni as usize * self.es..(ni as usize + 1) * self.es]
+    }
+
+    /// Overwrite box `ni`'s upward equivalent (the distributed driver
+    /// installs globally summed equivalents this way).
+    pub fn set_up(&mut self, ni: u32, values: &[f64]) {
+        self.up_mut(ni).copy_from_slice(values);
+    }
+
+    /// Downward equivalent density of box `ni`.
+    pub fn down(&self, ni: u32) -> &[f64] {
+        &self.down[ni as usize * self.es..(ni as usize + 1) * self.es]
+    }
+
+    /// Mutable downward equivalent density of box `ni`.
+    pub fn down_mut(&mut self, ni: u32) -> &mut [f64] {
+        &mut self.down[ni as usize * self.es..(ni as usize + 1) * self.es]
+    }
+
+    /// Downward check potential of box `ni`.
+    pub fn check_row(&self, ni: u32) -> &[f64] {
+        &self.check[ni as usize * self.cs..(ni as usize + 1) * self.cs]
+    }
+}
+
+/// Reusable scratch for the batched passes. Every buffer is grown with
+/// `clear` + `resize`, so after the first evaluation at a given problem
+/// size the engine performs no steady-state allocations (the pool-dispatch
+/// M2L additionally keeps one accumulator grid per worker, as before).
+#[derive(Default)]
+pub struct EngineWorkspace {
+    /// Node-major check-potential batch rows for one level.
+    pub rows: Vec<f64>,
+    /// Column-major multi-RHS input block (`k × ncols`).
+    pub xin: Vec<f64>,
+    /// Column-major multi-RHS output block (`m × ncols`).
+    pub yout: Vec<f64>,
+    /// `(batch row, related node)` pairs of one octant batch.
+    pub pairs: Vec<(u32, u32)>,
+    /// Sorted, deduplicated V-list source boxes of one level.
+    pub needed: Vec<u32>,
+    /// Forward-transformed source spectra, one `SRC_DIM·(2p)³` slab per
+    /// entry of `needed`.
+    pub spectra: Vec<C64>,
+    /// Hadamard accumulator grid (serial dispatch).
+    pub acc: Vec<C64>,
+}

@@ -15,19 +15,27 @@
 //! 3. **Leaf evaluation** — dense U-list interactions, W-list equivalent
 //!    densities, and the downward equivalent density, all evaluated at the
 //!    targets.
+//!
+//! All pass mathematics lives in [`crate::engine`]; this type contributes
+//! the tree/operator setup and a thin driver ([`Fmm::eval_impl`]) that
+//! permutes densities, wraps each engine phase in its trace span and
+//! timing, and un-permutes the potentials. The serial and shared-memory
+//! paths are the *same driver* with a different [`Dispatch`] policy, so
+//! they are bit-identical by construction.
 
+use crate::engine::{ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine};
 use crate::evaluator::{EvalReport, FmmBuilder};
 use crate::m2l::M2lMode;
 use crate::operators::FIRST_FMM_LEVEL;
 use crate::precompute::{Precomputed, PrecomputeCache};
-use crate::stats::{Phase, PhaseStats};
-use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
-use kifmm_fft::C64;
-use kifmm_kernels::{Kernel, Point3};
-use kifmm_trace::{Counter, RankTracer, Tracer};
-use kifmm_tree::{build_lists, InteractionLists, Octree, NO_NODE};
-use std::collections::HashMap;
 use crate::stats::thread_cpu_time;
+use crate::stats::{Phase, PhaseStats};
+use kifmm_kernels::{Kernel, Point3};
+use kifmm_runtime::Dispatch;
+use kifmm_trace::{Counter, Tracer};
+use kifmm_tree::{build_lists, InteractionLists, Octree};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Evaluator configuration.
 #[derive(Clone, Copy, Debug)]
@@ -77,6 +85,11 @@ pub struct Fmm<K: Kernel> {
     /// Points permuted into Morton order (leaf ranges contiguous).
     pub(crate) sorted_points: Vec<Point3>,
     pub(crate) num_points: usize,
+    /// Every box is active: this evaluator owns the whole tree.
+    pub(crate) active: ActiveSet,
+    /// Pooled expansion storage + scratch, reused across evaluations so
+    /// the engine allocates nothing in steady state.
+    pub(crate) scratch: Mutex<Vec<(ExpansionStore, EngineWorkspace)>>,
     /// Observability sink ([`Tracer::disabled`] unless one is attached).
     pub(crate) trace: Tracer,
     /// Route [`Fmm::eval`] through the shared-memory parallel path.
@@ -113,6 +126,7 @@ impl<K: Kernel> Fmm<K> {
         let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
         let sorted_points: Vec<Point3> =
             tree.perm.iter().map(|&i| points[i as usize]).collect();
+        let active = ActiveSet::build(&tree, |_| true);
         Fmm {
             kernel,
             opts,
@@ -121,6 +135,8 @@ impl<K: Kernel> Fmm<K> {
             pre,
             sorted_points,
             num_points: points.len(),
+            active,
+            scratch: Mutex::new(Vec::new()),
             trace: Tracer::disabled(),
             parallel_eval: false,
         }
@@ -163,6 +179,37 @@ impl<K: Kernel> Fmm<K> {
         &self.opts
     }
 
+    /// The precomputed operator tables (shared with the builder cache).
+    pub fn precomputed(&self) -> &Precomputed<K> {
+        &self.pre
+    }
+
+    /// The points in Morton order (leaf point ranges index into this).
+    pub fn morton_points(&self) -> &[Point3] {
+        &self.sorted_points
+    }
+
+    /// This evaluator's ownership filter (every box active).
+    pub fn active_set(&self) -> &ActiveSet {
+        &self.active
+    }
+
+    /// Borrow the prepared state into a [`PassEngine`] under the given
+    /// thread-dispatch policy.
+    pub fn engine(&self, dispatch: Dispatch) -> PassEngine<'_, K> {
+        PassEngine::new(
+            &self.kernel,
+            &self.tree,
+            &self.lists,
+            &self.pre,
+            &self.sorted_points,
+            self.opts.order,
+            self.opts.m2l_mode,
+            dispatch,
+            &self.active,
+        )
+    }
+
     /// Evaluate potentials for `densities` (original point order,
     /// `SRC_DIM` interleaved components per point). The report carries
     /// `TRG_DIM` components per point in the original order, the
@@ -172,9 +219,9 @@ impl<K: Kernel> Fmm<K> {
     /// selected ([`FmmBuilder::parallel`] / [`Fmm::set_parallel_eval`]).
     pub fn eval(&self, densities: &[f64]) -> EvalReport {
         let (potentials, stats) = if self.parallel_eval {
-            self.eval_parallel_impl(densities)
+            self.eval_impl(densities, Dispatch::Pool)
         } else {
-            self.eval_serial_impl(densities)
+            self.eval_impl(densities, Dispatch::Serial)
         };
         EvalReport { potentials, stats, trace: self.trace.clone() }
     }
@@ -182,18 +229,28 @@ impl<K: Kernel> Fmm<K> {
     /// Deprecated shim over [`Fmm::eval`].
     #[deprecated(note = "use `eval(densities).potentials` (see the Evaluator trait)")]
     pub fn evaluate(&self, densities: &[f64]) -> Vec<f64> {
-        self.eval_serial_impl(densities).0
+        self.eval_impl(densities, Dispatch::Serial).0
     }
 
     /// Deprecated shim over [`Fmm::eval`].
     #[deprecated(note = "use `eval(densities)` and read `.potentials` / `.stats`")]
     pub fn evaluate_with_stats(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
-        self.eval_serial_impl(densities)
+        self.eval_impl(densities, Dispatch::Serial)
     }
 
-    /// The serial evaluation pipeline (tracing through the attached
-    /// tracer's rank-0 buffer).
-    pub(crate) fn eval_serial_impl(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
+    /// The evaluation driver shared by the serial and shared-memory
+    /// paths: permute, run the engine phases under `dispatch` with their
+    /// trace spans and timings, un-permute.
+    ///
+    /// Phase seconds are thread-CPU time under [`Dispatch::Serial`] and
+    /// wall-clock under [`Dispatch::Pool`] (work spreads across the pool;
+    /// per-thread CPU time would under-count). Flop counts come from the
+    /// engine and are identical for both policies.
+    pub(crate) fn eval_impl(
+        &self,
+        densities: &[f64],
+        dispatch: Dispatch,
+    ) -> (Vec<f64>, PhaseStats) {
         assert_eq!(
             densities.len(),
             self.num_points * K::SRC_DIM,
@@ -210,9 +267,95 @@ impl<K: Kernel> Fmm<K> {
             }
         }
 
-        let up = self.upward_pass(&dens, &mut stats, &rt);
-        let down = self.downward_pass(&up, &dens, &mut stats, &rt);
-        let pot = self.leaf_evaluation(&up, &down, &dens, &mut stats, &rt);
+        let engine = self.engine(dispatch);
+        let src = LocalSources {
+            tree: &self.tree,
+            points: &self.sorted_points,
+            dens: &dens,
+            src_dim: K::SRC_DIM,
+        };
+        let (mut store, mut ws) = self
+            .scratch
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| (engine.new_store(), EngineWorkspace::default()));
+        store.reset();
+        let wall = Instant::now();
+        let now = || match dispatch {
+            Dispatch::Serial => thread_cpu_time(),
+            Dispatch::Pool => wall.elapsed().as_secs_f64(),
+        };
+        let depth = self.tree.depth();
+
+        if depth >= FIRST_FMM_LEVEL {
+            {
+                let _span = rt.span("Up", "Up");
+                let t0 = now();
+                let flops = engine.upward(&src, &mut store, &mut ws);
+                stats.add_seconds(Phase::Up, now() - t0);
+                stats.add_flops(Phase::Up, flops);
+                rt.add(Counter::Flops, flops);
+                if dispatch == Dispatch::Serial {
+                    rt.add(Counter::CellsTouched, engine.active_cell_count());
+                }
+            }
+            {
+                let t0 = now();
+                let mut vflops = 0u64;
+                for level in FIRST_FMM_LEVEL..=depth {
+                    let _v = rt.span("DownV", "m2l").with_n(level as u64);
+                    vflops += engine.m2l_level(level, &mut store, &mut ws);
+                }
+                stats.add_seconds(Phase::DownV, now() - t0);
+                stats.add_flops(Phase::DownV, vflops);
+                rt.add(Counter::Flops, vflops);
+            }
+            {
+                let _span = rt.span("DownX", "x-list");
+                let t0 = now();
+                let flops = engine.x_pass(&src, &mut store);
+                stats.add_seconds(Phase::DownX, now() - t0);
+                stats.add_flops(Phase::DownX, flops);
+                rt.add(Counter::Flops, flops);
+            }
+            {
+                let _span = rt.span("Eval", "l2l");
+                let t0 = now();
+                let flops = engine.l2l(&mut store, &mut ws);
+                stats.add_seconds(Phase::Eval, now() - t0);
+                stats.add_flops(Phase::Eval, flops);
+                rt.add(Counter::Flops, flops);
+            }
+        }
+
+        let mut pot = vec![0.0; n * K::TRG_DIM];
+        rt.add(Counter::CellsTouched, engine.active_leaves().len() as u64);
+        {
+            let _span = rt.span("DownU", "u-list");
+            let t0 = now();
+            let flops = engine.u_pass(&src, &mut pot);
+            stats.add_seconds(Phase::DownU, now() - t0);
+            stats.add_flops(Phase::DownU, flops);
+            rt.add(Counter::Flops, flops);
+        }
+        {
+            let _span = rt.span("DownW", "w-list");
+            let t0 = now();
+            let flops = engine.w_pass(&store, &mut pot);
+            stats.add_seconds(Phase::DownW, now() - t0);
+            stats.add_flops(Phase::DownW, flops);
+            rt.add(Counter::Flops, flops);
+        }
+        {
+            let _span = rt.span("Eval", "l2t");
+            let t0 = now();
+            let flops = engine.l2t(&store, &mut pot);
+            stats.add_seconds(Phase::Eval, now() - t0);
+            stats.add_flops(Phase::Eval, flops);
+            rt.add(Counter::Flops, flops);
+        }
+        self.scratch.lock().unwrap().push((store, ws));
 
         // Un-permute potentials.
         let mut out = vec![0.0; n * K::TRG_DIM];
@@ -224,317 +367,29 @@ impl<K: Kernel> Fmm<K> {
         (out, stats)
     }
 
-    /// Upward equivalent densities for every box at level ≥ 2
-    /// (flat, node-major; unused levels stay zero).
-    pub(crate) fn upward_pass(
-        &self,
-        dens: &[f64],
-        stats: &mut PhaseStats,
-        rt: &RankTracer,
-    ) -> Vec<f64> {
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let mut up = vec![0.0; self.tree.num_nodes() * es];
+    /// Upward + downward expansions for Morton-sorted densities, without
+    /// spans or timing (the arbitrary-target evaluator reads `up`/`down`
+    /// rows directly).
+    pub(crate) fn compute_expansions(&self, dens: &[f64]) -> ExpansionStore {
+        let engine = self.engine(Dispatch::Serial);
+        let src = LocalSources {
+            tree: &self.tree,
+            points: &self.sorted_points,
+            dens,
+            src_dim: K::SRC_DIM,
+        };
+        let mut store = engine.new_store();
+        let mut ws = EngineWorkspace::default();
+        engine.upward(&src, &mut store, &mut ws);
         let depth = self.tree.depth();
-        if depth < FIRST_FMM_LEVEL {
-            return up;
-        }
-        let _span = rt.span("Up", "Up");
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        let mut cells = 0u64;
-        let mut check = vec![0.0; cs];
-        for level in (FIRST_FMM_LEVEL..=depth).rev() {
-            let lops = self.pre.ops.at(level);
-            cells += self.tree.levels[level as usize].len() as u64;
-            for &ni in &self.tree.levels[level as usize] {
-                let node = &self.tree.nodes[ni as usize];
-                check.fill(0.0);
-                if node.is_leaf() {
-                    // S2M: sources → upward check potential.
-                    let (pts, d) = self.leaf_data(ni, dens);
-                    let c = self.tree.domain.box_center(&node.key);
-                    let uc = surface_points(self.opts.order, RAD_OUTER, c, lops.box_half);
-                    self.kernel.p2p(&uc, pts, d, &mut check);
-                    flops += (pts.len() * ns) as u64 * self.kernel.flops_per_eval();
-                } else {
-                    // M2M: children equivalents → this check potential.
-                    for (oct, &ci) in node.children.iter().enumerate() {
-                        if ci == NO_NODE {
-                            continue;
-                        }
-                        let child_equiv = &up[ci as usize * es..(ci as usize + 1) * es];
-                        kifmm_linalg::gemv(1.0, &lops.ue2uc[oct], child_equiv, 1.0, &mut check);
-                        flops += 2 * (cs * es) as u64;
-                    }
-                }
-                // Invert to the upward equivalent density.
-                let slot = &mut up[ni as usize * es..(ni as usize + 1) * es];
-                kifmm_linalg::gemv(1.0, &lops.uc2ue, &check, 0.0, slot);
-                flops += 2 * (cs * es) as u64;
+        if depth >= FIRST_FMM_LEVEL {
+            for level in FIRST_FMM_LEVEL..=depth {
+                engine.m2l_level(level, &mut store, &mut ws);
             }
         }
-        stats.add_seconds(Phase::Up, thread_cpu_time() - start);
-        stats.add_flops(Phase::Up, flops);
-        rt.add(Counter::Flops, flops);
-        rt.add(Counter::CellsTouched, cells);
-        up
-    }
-
-    /// Downward equivalent densities (flat, node-major).
-    pub(crate) fn downward_pass(
-        &self,
-        up: &[f64],
-        dens: &[f64],
-        stats: &mut PhaseStats,
-        rt: &RankTracer,
-    ) -> Vec<f64> {
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let nn = self.tree.num_nodes();
-        let mut down = vec![0.0; nn * es];
-        let depth = self.tree.depth();
-        if depth < FIRST_FMM_LEVEL {
-            return down;
-        }
-        let mut check = vec![0.0; nn * cs];
-
-        // DownV: M2L translations, level by level.
-        let v_flops_before = stats.flops[Phase::DownV as usize];
-        for level in FIRST_FMM_LEVEL..=depth {
-            let _v = rt.span("DownV", "m2l").with_n(level as u64);
-            match self.opts.m2l_mode {
-                M2lMode::Fft => self.m2l_fft_level(level, up, &mut check, stats),
-                M2lMode::Direct => self.m2l_direct_level(level, up, &mut check, stats),
-            }
-        }
-        rt.add(Counter::Flops, stats.flops[Phase::DownV as usize] - v_flops_before);
-
-        // DownX: coarser leaves' sources onto downward check surfaces.
-        let xspan = rt.span("DownX", "x-list");
-        let xstart = thread_cpu_time();
-        let mut xflops = 0u64;
-        for level in FIRST_FMM_LEVEL..=depth {
-            for &ni in &self.tree.levels[level as usize] {
-                if self.lists.x[ni as usize].is_empty() {
-                    continue;
-                }
-                let node = &self.tree.nodes[ni as usize];
-                let c = self.tree.domain.box_center(&node.key);
-                let half = self.pre.ops.at(level).box_half;
-                let dc = surface_points(self.opts.order, RAD_INNER, c, half);
-                let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
-                for &a in &self.lists.x[ni as usize] {
-                    let (pts, d) = self.leaf_data(a, dens);
-                    self.kernel.p2p(&dc, pts, d, slot);
-                    xflops += (pts.len() * ns) as u64 * self.kernel.flops_per_eval();
-                }
-            }
-        }
-        stats.add_seconds(Phase::DownX, thread_cpu_time() - xstart);
-        stats.add_flops(Phase::DownX, xflops);
-        rt.add(Counter::Flops, xflops);
-        drop(xspan);
-
-        // Eval (L2L part): parent-to-child translation + inversion,
-        // top-down so parents are final before children read them.
-        let lspan = rt.span("Eval", "l2l");
-        let lstart = thread_cpu_time();
-        let mut lflops = 0u64;
-        for level in FIRST_FMM_LEVEL..=depth {
-            let lops = self.pre.ops.at(level);
-            for &ni in &self.tree.levels[level as usize] {
-                let node = &self.tree.nodes[ni as usize];
-                if level > FIRST_FMM_LEVEL {
-                    let pi = node.parent as usize;
-                    let parent_equiv = &down[pi * es..(pi + 1) * es];
-                    let oct = node.key.octant() as usize;
-                    let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
-                    kifmm_linalg::gemv(1.0, &lops.de2dc[oct], parent_equiv, 1.0, slot);
-                    lflops += 2 * (cs * es) as u64;
-                }
-                let slot = &check[ni as usize * cs..(ni as usize + 1) * cs];
-                let out = &mut down[ni as usize * es..(ni as usize + 1) * es];
-                kifmm_linalg::gemv(1.0, &lops.dc2de, slot, 0.0, out);
-                lflops += 2 * (cs * es) as u64;
-            }
-        }
-        stats.add_seconds(Phase::Eval, thread_cpu_time() - lstart);
-        stats.add_flops(Phase::Eval, lflops);
-        rt.add(Counter::Flops, lflops);
-        drop(lspan);
-        down
-    }
-
-    /// FFT M2L over one level: forward-transform every source box used by
-    /// a V list, Hadamard-accumulate per target, inverse-transform.
-    fn m2l_fft_level(&self, level: u8, up: &[f64], check: &mut [f64], stats: &mut PhaseStats) {
-        let fft = self.pre.m2l_fft.as_ref().expect("FFT tables present in Fft mode");
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let g = fft.grid_len();
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-
-        // Which source boxes at this level feed some V list?
-        let mut needed: Vec<u32> = Vec::new();
-        for &ni in &self.tree.levels[level as usize] {
-            needed.extend_from_slice(&self.lists.v[ni as usize]);
-        }
-        needed.sort_unstable();
-        needed.dedup();
-        if needed.is_empty() {
-            return;
-        }
-        let mut spectra: HashMap<u32, Vec<C64>> = HashMap::with_capacity(needed.len());
-        for &a in &needed {
-            let mut buf = vec![C64::ZERO; K::SRC_DIM * g];
-            fft.transform_source(&up[a as usize * es..(a as usize + 1) * es], &mut buf);
-            flops += fft.fft_flops(K::SRC_DIM);
-            spectra.insert(a, buf);
-        }
-        let mut acc = vec![C64::ZERO; K::TRG_DIM * g];
-        for &ni in &self.tree.levels[level as usize] {
-            let vlist = &self.lists.v[ni as usize];
-            if vlist.is_empty() {
-                continue;
-            }
-            acc.fill(C64::ZERO);
-            let bkey = self.tree.nodes[ni as usize].key;
-            for &a in vlist {
-                let akey = self.tree.nodes[a as usize].key;
-                let dir = bkey.offset_to(&akey);
-                flops += fft.accumulate(level, dir, &spectra[&a], &mut acc);
-            }
-            fft.extract_check(
-                level,
-                &mut acc,
-                &mut check[ni as usize * cs..(ni as usize + 1) * cs],
-            );
-            flops += fft.fft_flops(K::TRG_DIM);
-        }
-        stats.add_seconds(Phase::DownV, thread_cpu_time() - start);
-        stats.add_flops(Phase::DownV, flops);
-    }
-
-    /// Dense M2L over one level (ablation baseline).
-    fn m2l_direct_level(&self, level: u8, up: &[f64], check: &mut [f64], stats: &mut PhaseStats) {
-        let direct = self.pre.m2l_direct.as_ref().expect("direct tables present in Direct mode");
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        for &ni in &self.tree.levels[level as usize] {
-            let bkey = self.tree.nodes[ni as usize].key;
-            let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
-            for &a in &self.lists.v[ni as usize] {
-                let akey = self.tree.nodes[a as usize].key;
-                let dir = bkey.offset_to(&akey);
-                flops += direct.apply(
-                    level,
-                    dir,
-                    &up[a as usize * es..(a as usize + 1) * es],
-                    slot,
-                );
-            }
-        }
-        stats.add_seconds(Phase::DownV, thread_cpu_time() - start);
-        stats.add_flops(Phase::DownV, flops);
-    }
-
-    /// Per-leaf evaluation: U (dense), W (equivalent densities), L2T.
-    fn leaf_evaluation(
-        &self,
-        up: &[f64],
-        down: &[f64],
-        dens: &[f64],
-        stats: &mut PhaseStats,
-        rt: &RankTracer,
-    ) -> Vec<f64> {
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let mut pot = vec![0.0; self.num_points * K::TRG_DIM];
-        let kf = self.kernel.flops_per_eval();
-
-        let leaves: Vec<u32> = self.tree.leaves().collect();
-        rt.add(Counter::CellsTouched, leaves.len() as u64);
-        // DownU: dense near interactions.
-        let uspan = rt.span("DownU", "u-list");
-        let ustart = thread_cpu_time();
-        let mut uflops = 0u64;
-        for &ni in &leaves {
-            let node = &self.tree.nodes[ni as usize];
-            let (trg, _) = self.leaf_data(ni, dens);
-            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
-            for &a in &self.lists.u[ni as usize] {
-                let (src, d) = self.leaf_data(a, dens);
-                self.kernel.p2p(trg, src, d, out);
-                uflops += (trg.len() * src.len()) as u64 * kf;
-            }
-        }
-        stats.add_seconds(Phase::DownU, thread_cpu_time() - ustart);
-        stats.add_flops(Phase::DownU, uflops);
-        rt.add(Counter::Flops, uflops);
-        drop(uspan);
-
-        // DownW: equivalent densities of finer separated boxes.
-        let wspan = rt.span("DownW", "w-list");
-        let wstart = thread_cpu_time();
-        let mut wflops = 0u64;
-        for &ni in &leaves {
-            if self.lists.w[ni as usize].is_empty() {
-                continue;
-            }
-            let node = &self.tree.nodes[ni as usize];
-            let (trg, _) = self.leaf_data(ni, dens);
-            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
-            for &a in &self.lists.w[ni as usize] {
-                let akey = self.tree.nodes[a as usize].key;
-                let ac = self.tree.domain.box_center(&akey);
-                let ah = self.tree.domain.box_half(akey.level);
-                let ue = surface_points(self.opts.order, RAD_INNER, ac, ah);
-                let equiv = &up[a as usize * es..(a as usize + 1) * es];
-                self.kernel.p2p(trg, &ue, equiv, out);
-                wflops += (trg.len() * ns) as u64 * kf;
-            }
-        }
-        stats.add_seconds(Phase::DownW, thread_cpu_time() - wstart);
-        stats.add_flops(Phase::DownW, wflops);
-        rt.add(Counter::Flops, wflops);
-        drop(wspan);
-
-        // Eval (L2T part): downward equivalent density at the targets.
-        let espan = rt.span("Eval", "l2t");
-        let estart = thread_cpu_time();
-        let mut eflops = 0u64;
-        if self.tree.depth() >= FIRST_FMM_LEVEL {
-            for &ni in &leaves {
-                let node = &self.tree.nodes[ni as usize];
-                if node.key.level < FIRST_FMM_LEVEL {
-                    continue;
-                }
-                let (trg, _) = self.leaf_data(ni, dens);
-                let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-                let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
-                let c = self.tree.domain.box_center(&node.key);
-                let half = self.tree.domain.box_half(node.key.level);
-                let de = surface_points(self.opts.order, RAD_OUTER, c, half);
-                let equiv = &down[ni as usize * es..(ni as usize + 1) * es];
-                self.kernel.p2p(trg, &de, equiv, out);
-                eflops += (trg.len() * ns) as u64 * kf;
-            }
-        }
-        stats.add_seconds(Phase::Eval, thread_cpu_time() - estart);
-        stats.add_flops(Phase::Eval, eflops);
-        rt.add(Counter::Flops, eflops);
-        drop(espan);
-        pot
+        engine.x_pass(&src, &mut store);
+        engine.l2l(&mut store, &mut ws);
+        store
     }
 
     /// Sorted points and density slice of a box.
@@ -550,23 +405,12 @@ mod tests {
     use super::*;
     use crate::direct::direct_eval;
     use kifmm_kernels::{Laplace, ModifiedLaplace, Stokes};
+    use kifmm_testkit::cloud;
 
     fn rel_err(a: &[f64], b: &[f64]) -> f64 {
         let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         num / den
-    }
-
-    fn cloud(n: usize, seed: u64) -> Vec<Point3> {
-        let mut s = seed;
-        (0..n)
-            .map(|_| {
-                std::array::from_fn(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-                })
-            })
-            .collect()
     }
 
     fn densities(n: usize, dim: usize) -> Vec<f64> {
@@ -733,6 +577,22 @@ mod tests {
     }
 
     #[test]
+    fn repeated_evaluations_reuse_scratch_and_agree() {
+        // The pooled store/workspace must not leak state between calls.
+        let pts = cloud(500, 91);
+        let dens = densities(500, 1);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        let first = fmm.eval(&dens).potentials;
+        for _ in 0..3 {
+            assert_eq!(fmm.eval(&dens).potentials, first);
+        }
+    }
+
+    #[test]
     fn zero_density_gives_zero_potential() {
         let pts = cloud(200, 33);
         let fmm = Fmm::new(Laplace, &pts, FmmOptions::with_order(4));
@@ -746,21 +606,14 @@ mod dipole_tests {
     use super::*;
     use crate::direct::{direct_eval, rel_l2_error};
     use kifmm_kernels::LaplaceDipole;
+    use kifmm_testkit::cloud;
 
     /// Kernel-independence stress test: a kernel outside the paper's
     /// evaluation set (rectangular 1×3 blocks, 1/r² decay, homogeneity
     /// degree −2) runs through the identical machinery.
     #[test]
     fn laplace_dipole_matches_direct() {
-        let mut s = 77u64;
-        let pts: Vec<Point3> = (0..600)
-            .map(|_| {
-                std::array::from_fn(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-                })
-            })
-            .collect();
+        let pts = cloud(600, 77);
         let dens: Vec<f64> = (0..600 * 3).map(|i| ((i * 19 % 23) as f64) / 23.0 - 0.4).collect();
         let fmm = Fmm::new(
             LaplaceDipole,

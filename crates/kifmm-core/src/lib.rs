@@ -27,6 +27,7 @@
 //! ```
 
 pub mod direct;
+pub mod engine;
 pub mod evaluator;
 pub mod fmm;
 pub mod m2l;
@@ -39,6 +40,7 @@ pub mod targets;
 pub mod work;
 
 pub use direct::{direct_eval, direct_eval_src_trg, rel_l2_error};
+pub use engine::{ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine, SourceProvider};
 pub use evaluator::{EvalReport, Evaluator, FmmBuilder};
 pub use fmm::{Fmm, FmmOptions};
 pub use m2l::{v_list_directions, M2lDirect, M2lFft, M2lMode};

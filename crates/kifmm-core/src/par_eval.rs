@@ -1,428 +1,52 @@
 //! Shared-memory parallel evaluation (in-tree `kifmm-runtime`).
 //!
-//! Selected with `Fmm::builder(..).parallel(true)`, this path runs the
-//! same passes as the serial [`Fmm::eval`] with intra-node data
-//! parallelism, exploiting two structural facts:
+//! Selected with `Fmm::builder(..).parallel(true)`. Since the pass-engine
+//! refactor this path is the *same driver* as the serial one
+//! (`Fmm::eval_impl`) run under `Dispatch::Pool`: every engine loop fans
+//! out over the worker pool, exploiting two structural facts:
 //!
 //! * boxes of one level occupy a **contiguous index range** (BFS
-//!   construction), so the flat node-major equivalent/check arrays can be
-//!   split at level boundaries — a pass writes its level's segment with
-//!   `par_chunks_mut` while reading other levels immutably;
+//!   construction), so the flat node-major slabs of the `ExpansionStore`
+//!   split at level boundaries — a pass writes its level's segment in
+//!   parallel chunks while reading other levels immutably;
 //! * leaves own **disjoint contiguous target ranges** in Morton order, so
 //!   the potential vector splits into per-leaf `&mut` slices.
 //!
 //! Within a rank of the distributed driver the paper exploits no threads
 //! (one MPI rank per CPU, 4 per ES45 node); this evaluator is the natural
-//! hybrid extension for today's many-core nodes. Results are identical to
-//! the serial path up to floating-point associativity in *no* place —
-//! each output element is computed by exactly one task in the same order,
-//! so the results are bit-identical (asserted in tests).
+//! hybrid extension for today's many-core nodes. Each output element is
+//! computed by exactly one task with the serial instruction order, so the
+//! results are **bit-identical** to the serial path (asserted in tests).
 //!
 //! Phase timing here is **wall-clock** (work spreads across the pool;
 //! per-thread CPU time would under-count); flop counts stay exact.
 
 use crate::fmm::Fmm;
-use crate::operators::FIRST_FMM_LEVEL;
-use crate::stats::{Phase, PhaseStats};
-use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
-use kifmm_fft::C64;
+use crate::stats::PhaseStats;
 use kifmm_kernels::Kernel;
-use kifmm_runtime::{par_chunks2_mut, par_chunks_mut, par_chunks_mut_init, par_for_each, par_map};
-use kifmm_trace::Counter;
-use kifmm_tree::NO_NODE;
-use std::collections::HashMap;
-use std::time::Instant;
+use kifmm_runtime::Dispatch;
 
 impl<K: Kernel> Fmm<K> {
     /// Deprecated shim over the parallel path; prefer
     /// `Fmm::builder(..).parallel(true)` and [`Fmm::eval`].
     #[deprecated(note = "build with FmmBuilder::parallel(true) and call eval()")]
     pub fn evaluate_parallel(&self, densities: &[f64]) -> Vec<f64> {
-        self.eval_parallel_impl(densities).0
+        self.eval_impl(densities, Dispatch::Pool).0
     }
 
     /// Deprecated shim over the parallel path; prefer
     /// `Fmm::builder(..).parallel(true)` and [`Fmm::eval`].
     #[deprecated(note = "build with FmmBuilder::parallel(true) and call eval()")]
     pub fn evaluate_parallel_with_stats(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
-        self.eval_parallel_impl(densities)
-    }
-
-    /// The fork-join evaluation pipeline. Phase seconds are wall-clock
-    /// (work spreads across the pool; per-thread CPU time would
-    /// under-count); flop counts are exact and identical to the serial
-    /// path.
-    pub(crate) fn eval_parallel_impl(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
-        let n = self.len();
-        assert_eq!(densities.len(), n * K::SRC_DIM, "density length");
-        let mut stats = PhaseStats::new();
-        let rt = self.trace.rank(0);
-        let tree = &self.tree;
-        let ns = num_surface_points(self.options().order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let nn = tree.num_nodes();
-        let depth = tree.depth();
-        let kf = self.kernel().flops_per_eval();
-
-        // Morton-sort densities.
-        let mut dens = vec![0.0; n * K::SRC_DIM];
-        for (si, &orig) in tree.perm.iter().enumerate() {
-            for c in 0..K::SRC_DIM {
-                dens[si * K::SRC_DIM + c] = densities[orig as usize * K::SRC_DIM + c];
-            }
-        }
-
-        let mut up = vec![0.0; nn * es];
-        let mut down = vec![0.0; nn * es];
-        let mut check = vec![0.0; nn * cs];
-
-        if depth >= FIRST_FMM_LEVEL {
-            // ---- Upward pass -------------------------------------------------
-            let span = rt.span("Up", "Up");
-            let t = Instant::now();
-            let mut up_flops = 0u64;
-            for level in (FIRST_FMM_LEVEL..=depth).rev() {
-                let (ls, le) = self.level_range(level);
-                let lops = self.pre.ops.at(level);
-                // Check potentials for the whole level, in parallel; `up`
-                // is only read (children live at deeper indices).
-                let mut checks = vec![0.0; (le - ls) * cs];
-                let up_ro: &[f64] = &up;
-                par_chunks_mut(&mut checks, cs, |i, chk| {
-                    let ni = (ls + i) as u32;
-                    let node = &tree.nodes[ni as usize];
-                    if node.is_leaf() {
-                        let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-                        let pts = &self.sorted_points[s..e];
-                        let d = &dens[s * K::SRC_DIM..e * K::SRC_DIM];
-                        let c = tree.domain.box_center(&node.key);
-                        let uc = surface_points(self.options().order, RAD_OUTER, c, lops.box_half);
-                        self.kernel().p2p(&uc, pts, d, chk);
-                    } else {
-                        for (oct, &ci) in node.children.iter().enumerate() {
-                            if ci == NO_NODE {
-                                continue;
-                            }
-                            let child = &up_ro[ci as usize * es..(ci as usize + 1) * es];
-                            kifmm_linalg::gemv(1.0, &lops.ue2uc[oct], child, 1.0, chk);
-                        }
-                    }
-                });
-                // Invert the whole level in parallel.
-                par_chunks_mut(&mut up[ls * es..le * es], es, |i, slot| {
-                    let chk = &checks[i * cs..(i + 1) * cs];
-                    kifmm_linalg::gemv(1.0, &lops.uc2ue, chk, 0.0, slot);
-                });
-                // Exact flop accounting (sequential scan; negligible).
-                for i in ls..le {
-                    let node = &tree.nodes[i];
-                    if node.is_leaf() {
-                        up_flops += (node.num_points() * ns) as u64 * kf;
-                    } else {
-                        let kids =
-                            node.children.iter().filter(|&&c| c != NO_NODE).count() as u64;
-                        up_flops += kids * 2 * (cs * es) as u64;
-                    }
-                    up_flops += 2 * (cs * es) as u64;
-                }
-            }
-            stats.add_seconds(Phase::Up, t.elapsed().as_secs_f64());
-            stats.add_flops(Phase::Up, up_flops);
-            rt.add(Counter::Flops, up_flops);
-            drop(span);
-
-            // ---- DownV: FFT M2L ---------------------------------------------
-            let t = Instant::now();
-            let mut v_flops = 0u64;
-            for level in FIRST_FMM_LEVEL..=depth {
-                let _v = rt.span("DownV", "m2l").with_n(level as u64);
-                v_flops += self.m2l_fft_level_parallel(level, &up, &mut check);
-            }
-            stats.add_seconds(Phase::DownV, t.elapsed().as_secs_f64());
-            stats.add_flops(Phase::DownV, v_flops);
-            rt.add(Counter::Flops, v_flops);
-
-            // ---- DownX --------------------------------------------------------
-            let span = rt.span("DownX", "x-list");
-            let t = Instant::now();
-            let mut x_flops = 0u64;
-            for level in FIRST_FMM_LEVEL..=depth {
-                let (ls, le) = self.level_range(level);
-                let half = self.pre.ops.at(level).box_half;
-                par_chunks_mut(&mut check[ls * cs..le * cs], cs, |i, slot| {
-                    let ni = ls + i;
-                    if self.lists.x[ni].is_empty() {
-                        return;
-                    }
-                    let node = &tree.nodes[ni];
-                    let c = tree.domain.box_center(&node.key);
-                    let dc = surface_points(self.options().order, RAD_INNER, c, half);
-                    for &a in &self.lists.x[ni] {
-                        let an = &tree.nodes[a as usize];
-                        let (s, e) = (an.pt_start as usize, an.pt_end as usize);
-                        self.kernel().p2p(
-                            &dc,
-                            &self.sorted_points[s..e],
-                            &dens[s * K::SRC_DIM..e * K::SRC_DIM],
-                            slot,
-                        );
-                    }
-                });
-                for i in ls..le {
-                    for &a in &self.lists.x[i] {
-                        x_flops +=
-                            (tree.nodes[a as usize].num_points() * ns) as u64 * kf;
-                    }
-                }
-            }
-            stats.add_seconds(Phase::DownX, t.elapsed().as_secs_f64());
-            stats.add_flops(Phase::DownX, x_flops);
-            rt.add(Counter::Flops, x_flops);
-            drop(span);
-
-            // ---- Eval: L2L + inversion, level by level ------------------------
-            let span = rt.span("Eval", "l2l");
-            let t = Instant::now();
-            let mut l_flops = 0u64;
-            for level in FIRST_FMM_LEVEL..=depth {
-                let (ls, le) = self.level_range(level);
-                let lops = self.pre.ops.at(level);
-                // Parents live strictly below index ls.
-                let (parents, rest) = down.split_at_mut(ls * es);
-                let level_down = &mut rest[..(le - ls) * es];
-                let level_check = &mut check[ls * cs..le * cs];
-                par_chunks2_mut(level_down, es, level_check, cs, |i, out, chk| {
-                    let node = &tree.nodes[ls + i];
-                    if level > FIRST_FMM_LEVEL {
-                        let pi = node.parent as usize;
-                        let parent = &parents[pi * es..(pi + 1) * es];
-                        let oct = node.key.octant() as usize;
-                        kifmm_linalg::gemv(1.0, &lops.de2dc[oct], parent, 1.0, chk);
-                    }
-                    kifmm_linalg::gemv(1.0, &lops.dc2de, chk, 0.0, out);
-                });
-                let per_node = if level > FIRST_FMM_LEVEL { 4 } else { 2 };
-                l_flops += (le - ls) as u64 * per_node * (cs * es) as u64;
-            }
-            stats.add_seconds(Phase::Eval, t.elapsed().as_secs_f64());
-            stats.add_flops(Phase::Eval, l_flops);
-            rt.add(Counter::Flops, l_flops);
-            drop(span);
-        }
-
-        // ---- Leaf phases: U, W, L2T ------------------------------------------
-        let mut pot = vec![0.0; n * K::TRG_DIM];
-        let leaves = self.leaves_by_point_order();
-        rt.add(Counter::CellsTouched, leaves.len() as u64);
-
-        let uspan = rt.span("DownU", "u-list");
-        let t = Instant::now();
-        self.for_each_leaf_parallel(&leaves, &mut pot, |ni, trg, out| {
-            for &a in &self.lists.u[ni as usize] {
-                let an = &tree.nodes[a as usize];
-                let (s, e) = (an.pt_start as usize, an.pt_end as usize);
-                self.kernel().p2p(
-                    trg,
-                    &self.sorted_points[s..e],
-                    &dens[s * K::SRC_DIM..e * K::SRC_DIM],
-                    out,
-                );
-            }
-        });
-        let u_flops: u64 = leaves
-            .iter()
-            .map(|&ni| {
-                let t = tree.nodes[ni as usize].num_points() as u64;
-                self.lists.u[ni as usize]
-                    .iter()
-                    .map(|&a| t * tree.nodes[a as usize].num_points() as u64 * kf)
-                    .sum::<u64>()
-            })
-            .sum();
-        stats.add_seconds(Phase::DownU, t.elapsed().as_secs_f64());
-        stats.add_flops(Phase::DownU, u_flops);
-        rt.add(Counter::Flops, u_flops);
-        drop(uspan);
-
-        let wspan = rt.span("DownW", "w-list");
-        let t = Instant::now();
-        self.for_each_leaf_parallel(&leaves, &mut pot, |ni, trg, out| {
-            for &a in &self.lists.w[ni as usize] {
-                let akey = tree.nodes[a as usize].key;
-                let ac = tree.domain.box_center(&akey);
-                let ah = tree.domain.box_half(akey.level);
-                let ue = surface_points(self.options().order, RAD_INNER, ac, ah);
-                let equiv = &up[a as usize * es..(a as usize + 1) * es];
-                self.kernel().p2p(trg, &ue, equiv, out);
-            }
-        });
-        let w_flops: u64 = leaves
-            .iter()
-            .map(|&ni| {
-                (tree.nodes[ni as usize].num_points()
-                    * self.lists.w[ni as usize].len()
-                    * ns) as u64
-                    * kf
-            })
-            .sum();
-        stats.add_seconds(Phase::DownW, t.elapsed().as_secs_f64());
-        stats.add_flops(Phase::DownW, w_flops);
-        rt.add(Counter::Flops, w_flops);
-        drop(wspan);
-
-        let espan = rt.span("Eval", "l2t");
-        let t = Instant::now();
-        let mut e_flops = 0u64;
-        if depth >= FIRST_FMM_LEVEL {
-            self.for_each_leaf_parallel(&leaves, &mut pot, |ni, trg, out| {
-                let node = &tree.nodes[ni as usize];
-                if node.key.level < FIRST_FMM_LEVEL {
-                    return;
-                }
-                let c = tree.domain.box_center(&node.key);
-                let half = tree.domain.box_half(node.key.level);
-                let de = surface_points(self.options().order, RAD_OUTER, c, half);
-                let equiv = &down[ni as usize * es..(ni as usize + 1) * es];
-                self.kernel().p2p(trg, &de, equiv, out);
-            });
-            e_flops = leaves
-                .iter()
-                .filter(|&&ni| tree.nodes[ni as usize].key.level >= FIRST_FMM_LEVEL)
-                .map(|&ni| (tree.nodes[ni as usize].num_points() * ns) as u64 * kf)
-                .sum();
-        }
-        stats.add_seconds(Phase::Eval, t.elapsed().as_secs_f64());
-        stats.add_flops(Phase::Eval, e_flops);
-        rt.add(Counter::Flops, e_flops);
-        drop(espan);
-
-        // Un-permute.
-        let mut out = vec![0.0; n * K::TRG_DIM];
-        for (si, &orig) in tree.perm.iter().enumerate() {
-            for c in 0..K::TRG_DIM {
-                out[orig as usize * K::TRG_DIM + c] = pot[si * K::TRG_DIM + c];
-            }
-        }
-        (out, stats)
-    }
-
-    /// Contiguous node-index range `[start, end)` of one level (BFS
-    /// construction guarantees contiguity; asserted in debug builds).
-    fn level_range(&self, level: u8) -> (usize, usize) {
-        let idxs = &self.tree.levels[level as usize];
-        let start = idxs[0] as usize;
-        debug_assert!(idxs.windows(2).all(|w| w[1] == w[0] + 1), "level not contiguous");
-        (start, start + idxs.len())
-    }
-
-    /// Leaves ordered by their point ranges (which partition `[0, N)`).
-    fn leaves_by_point_order(&self) -> Vec<u32> {
-        let mut leaves: Vec<u32> = self.tree.leaves().collect();
-        leaves.sort_by_key(|&l| self.tree.nodes[l as usize].pt_start);
-        leaves
-    }
-
-    /// Split `pot` into per-leaf disjoint `&mut` slices and run `f` on
-    /// every leaf in parallel.
-    fn for_each_leaf_parallel(
-        &self,
-        leaves: &[u32],
-        pot: &mut [f64],
-        f: impl Fn(u32, &[kifmm_kernels::Point3], &mut [f64]) + Sync,
-    ) {
-        let mut slices: Vec<(u32, &[kifmm_kernels::Point3], &mut [f64])> =
-            Vec::with_capacity(leaves.len());
-        let mut rest: &mut [f64] = pot;
-        for &ni in leaves {
-            let node = &self.tree.nodes[ni as usize];
-            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let (head, tail) =
-                std::mem::take(&mut rest).split_at_mut((e - s) * K::TRG_DIM);
-            slices.push((ni, &self.sorted_points[s..e], head));
-            rest = tail;
-        }
-        debug_assert!(rest.is_empty(), "leaves must partition the targets");
-        par_for_each(slices, |_, (ni, trg, out)| f(ni, trg, out));
-    }
-
-    /// Parallel FFT M2L over one level; returns the flop count.
-    fn m2l_fft_level_parallel(&self, level: u8, up: &[f64], check: &mut [f64]) -> u64 {
-        let fft = self.pre.m2l_fft.as_ref().expect("FFT tables present");
-        let ns = num_surface_points(self.options().order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let g = fft.grid_len();
-        let (ls, le) = self.level_range(level);
-        let mut needed: Vec<u32> = Vec::new();
-        for ni in ls..le {
-            needed.extend_from_slice(&self.lists.v[ni]);
-        }
-        needed.sort_unstable();
-        needed.dedup();
-        if needed.is_empty() {
-            return 0;
-        }
-        // Forward transforms in parallel (ordered par_map, then a cheap
-        // sequential collect into the lookup map).
-        let spectra: HashMap<u32, Vec<C64>> = par_map(needed.len(), |idx| {
-            let a = needed[idx];
-            let mut buf = vec![C64::ZERO; K::SRC_DIM * g];
-            fft.transform_source(&up[a as usize * es..(a as usize + 1) * es], &mut buf);
-            (a, buf)
-        })
-        .into_iter()
-        .collect();
-        // Per-target accumulation with a reusable per-thread scratch.
-        let tree = &self.tree;
-        let mut flops = (needed.len() as u64) * fft.fft_flops(K::SRC_DIM);
-        par_chunks_mut_init(
-            &mut check[ls * cs..le * cs],
-            cs,
-            || vec![C64::ZERO; K::TRG_DIM * g],
-            |acc, i, slot| {
-                let ni = ls + i;
-                let vlist = &self.lists.v[ni];
-                if vlist.is_empty() {
-                    return;
-                }
-                acc.fill(C64::ZERO);
-                let bkey = tree.nodes[ni].key;
-                for &a in vlist {
-                    let dir = bkey.offset_to(&tree.nodes[a as usize].key);
-                    fft.accumulate(level, dir, &spectra[&a], acc);
-                }
-                fft.extract_check(level, acc, slot);
-            },
-        );
-        for ni in ls..le {
-            let nv = self.lists.v[ni].len() as u64;
-            if nv > 0 {
-                flops += nv * (K::TRG_DIM * K::SRC_DIM * g * 8) as u64
-                    + fft.fft_flops(K::TRG_DIM);
-            }
-        }
-        flops
+        self.eval_impl(densities, Dispatch::Pool)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::fmm::FmmOptions;
+    use crate::fmm::{Fmm, FmmOptions};
     use kifmm_kernels::{Laplace, Stokes};
-
-    fn cloud(n: usize, seed: u64) -> Vec<[f64; 3]> {
-        let mut s = seed;
-        (0..n)
-            .map(|_| {
-                std::array::from_fn(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-                })
-            })
-            .collect()
-    }
+    use kifmm_testkit::cloud;
 
     #[test]
     fn parallel_equals_serial_laplace() {
@@ -480,6 +104,27 @@ mod tests {
         let pts = cloud(40, 3);
         let dens = vec![1.0; 40];
         let mut fmm = Fmm::new(Laplace, &pts, FmmOptions::with_order(4));
+        let serial = fmm.eval(&dens).potentials;
+        fmm.set_parallel_eval(true);
+        assert_eq!(serial, fmm.eval(&dens).potentials);
+    }
+
+    #[test]
+    fn parallel_direct_m2l_mode_equals_serial() {
+        // The engine supports dense M2L under pool dispatch too (the old
+        // shared-memory path was FFT-only).
+        let pts = cloud(700, 12);
+        let dens: Vec<f64> = (0..700).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let mut fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions {
+                order: 4,
+                max_pts_per_leaf: 20,
+                m2l_mode: crate::m2l::M2lMode::Direct,
+                ..Default::default()
+            },
+        );
         let serial = fmm.eval(&dens).potentials;
         fmm.set_parallel_eval(true);
         assert_eq!(serial, fmm.eval(&dens).potentials);

@@ -18,7 +18,7 @@
 
 use crate::fmm::Fmm;
 use crate::operators::FIRST_FMM_LEVEL;
-use crate::surface::{num_surface_points, surface_points, RAD_INNER, RAD_OUTER};
+use crate::surface::{surface_points, RAD_INNER, RAD_OUTER};
 use kifmm_kernels::{Kernel, Point3};
 use kifmm_tree::{point_key, MAX_LEVEL};
 
@@ -27,8 +27,6 @@ impl<K: Kernel> Fmm<K> {
     /// source points). Returns `TRG_DIM` components per target.
     pub fn evaluate_at(&self, densities: &[f64], targets: &[Point3]) -> Vec<f64> {
         assert_eq!(densities.len(), self.num_points * K::SRC_DIM, "density length");
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
         let tree = &self.tree;
 
         // Morton-sort densities and run the standard two passes.
@@ -38,10 +36,7 @@ impl<K: Kernel> Fmm<K> {
                 dens[si * K::SRC_DIM + c] = densities[orig as usize * K::SRC_DIM + c];
             }
         }
-        let mut stats = crate::stats::PhaseStats::new();
-        let rt = self.trace.rank(0);
-        let up = self.upward_pass(&dens, &mut stats, &rt);
-        let down = self.downward_pass(&up, &dens, &mut stats, &rt);
+        let store = self.compute_expansions(&dens);
 
         let mut out = vec![0.0; targets.len() * K::TRG_DIM];
         let domain = tree.domain;
@@ -73,16 +68,14 @@ impl<K: Kernel> Fmm<K> {
                 let ac = domain.box_center(&akey);
                 let ah = domain.box_half(akey.level);
                 let ue = surface_points(self.opts.order, RAD_INNER, ac, ah);
-                let equiv = &up[a as usize * es..(a as usize + 1) * es];
-                self.kernel.p2p(std::slice::from_ref(&t), &ue, equiv, slot);
+                self.kernel.p2p(std::slice::from_ref(&t), &ue, store.up(a), slot);
             }
             // L2T: the rest of the far field.
             if node.key.level >= FIRST_FMM_LEVEL {
                 let c = domain.box_center(&node.key);
                 let half = domain.box_half(node.key.level);
                 let de = surface_points(self.opts.order, RAD_OUTER, c, half);
-                let equiv = &down[ni as usize * es..(ni as usize + 1) * es];
-                self.kernel.p2p(std::slice::from_ref(&t), &de, equiv, slot);
+                self.kernel.p2p(std::slice::from_ref(&t), &de, store.down(ni), slot);
             }
         }
         out
@@ -100,18 +93,7 @@ mod tests {
     use crate::direct::{direct_eval_src_trg, rel_l2_error};
     use crate::fmm::FmmOptions;
     use kifmm_kernels::{Laplace, Stokes};
-
-    fn cloud(n: usize, seed: u64) -> Vec<Point3> {
-        let mut s = seed;
-        (0..n)
-            .map(|_| {
-                std::array::from_fn(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-                })
-            })
-            .collect()
-    }
+    use kifmm_testkit::cloud;
 
     #[test]
     fn interleaved_targets_match_direct() {

@@ -105,6 +105,46 @@ pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
     }
 }
 
+/// `C = alpha * A * B + beta * C` over raw row-major slices: `A` is
+/// `m×k`, `B` is `k×n`, `C` is `m×n`.
+///
+/// This is the multi-RHS entry point used by the FMM pass engine to apply
+/// one translation operator to a whole level of expansion vectors at once
+/// (the columns of `B`). Same `i-k-j` loop order — and hence the same
+/// floating-point result per output element — as [`gemm`], so callers may
+/// compute disjoint row blocks of `C` on different threads and still get
+/// results bit-identical to the single-call execution.
+pub fn gemm_slices(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_slices: A size");
+    assert_eq!(b.len(), k * n, "gemm_slices: B size");
+    assert_eq!(c.len(), m * n, "gemm_slices: C size");
+    if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let aip = alpha * arow[p];
+            if aip == 0.0 {
+                continue;
+            }
+            axpy(aip, &b[p * n..(p + 1) * n], crow);
+        }
+    }
+}
+
 /// `C = alpha * A^T * B + beta * C`, all row-major.
 pub fn gemm_tn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
     assert_eq!(a.rows(), b.rows(), "gemm_tn: inner dims");
@@ -197,6 +237,34 @@ mod tests {
         for (x, y) in c.as_slice().iter().zip(expect.as_slice()) {
             assert!((x - y).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn gemm_slices_matches_gemm_bitwise() {
+        let (m, k, n) = (7, 5, 11);
+        let a = Mat::from_fn(m, k, |i, j| ((i * 3 + j) as f64).sin());
+        let b = Mat::from_fn(k, n, |i, j| ((i + 2 * j) as f64).cos());
+        let c0 = Mat::from_fn(m, n, |i, j| (i as f64) - 0.25 * (j as f64));
+        let mut c_mat = c0.clone();
+        gemm(1.3, &a, &b, -0.5, &mut c_mat);
+        let mut c_sl: Vec<f64> = c0.as_slice().to_vec();
+        gemm_slices(1.3, a.as_slice(), b.as_slice(), -0.5, &mut c_sl, m, k, n);
+        assert_eq!(c_mat.as_slice(), &c_sl[..]);
+        // Row-blocked application must be bit-identical to one call.
+        let mut c_blk: Vec<f64> = c0.as_slice().to_vec();
+        for (bi, rows) in [(0usize, 3usize), (3, 4)] {
+            gemm_slices(
+                1.3,
+                &a.as_slice()[bi * k..(bi + rows) * k],
+                b.as_slice(),
+                -0.5,
+                &mut c_blk[bi * n..(bi + rows) * n],
+                rows,
+                k,
+                n,
+            );
+        }
+        assert_eq!(c_mat.as_slice(), &c_blk[..]);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod pinv;
 pub mod qr;
 pub mod svd;
 
-pub use blas::{axpy, dot, gemm, gemm_tn, gemv, gemv_t, nrm2};
+pub use blas::{axpy, dot, gemm, gemm_slices, gemm_tn, gemv, gemv_t, nrm2};
 pub use lu::{lu_factor, lu_solve, LuFactors};
 pub use matrix::Mat;
 pub use pinv::{pinv, pinv_with_tol};

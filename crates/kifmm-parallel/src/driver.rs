@@ -18,22 +18,33 @@
 //! No synchronization happens inside the computation passes — only the
 //! two exchange steps communicate, matching the paper's "logically
 //! separated" design.
+//!
+//! The passes themselves are the shared implementations in
+//! `kifmm_core::engine`, run under `Dispatch::Serial` (the paper's model
+//! is one rank per CPU) with an [`ActiveSet`] restricted to the boxes
+//! this rank contributes to, and a ghost-backed [`SourceProvider`] for
+//! the U/X passes. This driver keeps only what is genuinely distributed:
+//! the LET/ownership setup, the two overlapped exchanges, and the
+//! installation of globally summed equivalents between engine phases.
 
 use crate::exchange::{Combine, ExchangePlan, UserKind};
 use crate::global_tree::{build_distributed_tree, DistributedTree};
 use crate::ownership::Ownership;
-use kifmm_core::{
-    num_surface_points, surface_points, EvalReport, Evaluator, Fmm, FmmBuilder, FmmOptions,
-    M2lMode, Phase, PhaseStats, PrecomputeCache, Precomputed, FIRST_FMM_LEVEL, RAD_INNER,
-    RAD_OUTER,
+use kifmm_core::engine::{
+    ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine, SourceProvider,
 };
-use kifmm_fft::C64;
+use kifmm_core::stats::thread_cpu_time;
+use kifmm_core::{
+    EvalReport, Evaluator, FmmBuilder, FmmOptions, Phase, PhaseStats, PrecomputeCache,
+    Precomputed, FIRST_FMM_LEVEL,
+};
 use kifmm_kernels::{Kernel, Point3};
 use kifmm_mpi::Comm;
+use kifmm_runtime::Dispatch;
 use kifmm_trace::{Counter, Tracer};
-use kifmm_tree::{build_lists, InteractionLists, NO_NODE};
+use kifmm_tree::{build_lists, InteractionLists};
 use std::collections::HashMap;
-use kifmm_core::stats::thread_cpu_time;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Exchange tag salts (disjoint sub-spaces per payload kind).
@@ -45,6 +56,20 @@ const SALT_EQUIV: u64 = 2 << 32;
 /// (rendered as overlap arrows on the chrome-trace timeline).
 const ASYNC_DENS: u64 = 1;
 const ASYNC_EQUIV: u64 = 2;
+
+/// [`SourceProvider`] over the ghost-exchanged geometry and densities:
+/// the U/X passes read *global* leaf contents, which on a rank live in
+/// the per-box maps filled by the two Concat exchanges.
+struct GhostSources<'a> {
+    points: &'a HashMap<u32, Vec<Point3>>,
+    dens: &'a HashMap<u32, Vec<f64>>,
+}
+
+impl SourceProvider for GhostSources<'_> {
+    fn sources(&self, ni: u32) -> (&[Point3], &[f64]) {
+        (&self.points[&ni], &self.dens[&ni])
+    }
+}
 
 /// A distributed FMM, built once per particle configuration and evaluated
 /// many times (the Krylov-iteration workload of the paper).
@@ -58,6 +83,10 @@ pub struct ParallelFmm<K: Kernel> {
     /// Contributor/user masks and owners.
     pub own: Ownership,
     pre: std::sync::Arc<Precomputed<K>>,
+    /// This rank's ownership filter: the boxes it holds points in.
+    active: ActiveSet,
+    /// Pooled expansion storage + scratch, reused across evaluations.
+    scratch: Mutex<Vec<(ExpansionStore, EngineWorkspace)>>,
     /// Global source points of every leaf this rank uses (ghost geometry,
     /// exchanged once at construction).
     ghost_points: HashMap<u32, Vec<Point3>>,
@@ -150,6 +179,8 @@ impl<K: Kernel> ParallelFmm<K> {
             })
             .collect();
 
+        let active =
+            ActiveSet::build(&dtree.tree, |b| dtree.tree.nodes[b as usize].num_points() > 0);
         ParallelFmm {
             kernel,
             opts,
@@ -157,6 +188,8 @@ impl<K: Kernel> ParallelFmm<K> {
             lists,
             own,
             pre,
+            active,
+            scratch: Mutex::new(Vec::new()),
             ghost_points,
             src_leaves,
             equiv_boxes,
@@ -204,6 +237,24 @@ impl<K: Kernel> ParallelFmm<K> {
         (report.potentials, report.stats)
     }
 
+    /// Borrow the prepared state into a [`PassEngine`] restricted to this
+    /// rank's contributed boxes. Per-rank work stays on the rank's own
+    /// thread ([`Dispatch::Serial`]), matching the paper's one-rank-per-CPU
+    /// model.
+    fn engine(&self) -> PassEngine<'_, K> {
+        PassEngine::new(
+            &self.kernel,
+            &self.dtree.tree,
+            &self.lists,
+            &self.pre,
+            &self.dtree.sorted_points,
+            self.opts.order,
+            self.opts.m2l_mode,
+            Dispatch::Serial,
+            &self.active,
+        )
+    }
+
     /// One interaction calculation: local densities in (original local
     /// order), local potentials out (original local order), with per-phase
     /// statistics and (if a tracer is attached) this rank's span timeline.
@@ -217,9 +268,6 @@ impl<K: Kernel> ParallelFmm<K> {
         assert_eq!(densities.len(), n * K::SRC_DIM, "density length");
         let mut stats = PhaseStats::new();
         let tree = &self.dtree.tree;
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
         let depth = tree.depth();
         let rt = self.trace.rank(comm.rank());
         comm.attach_tracer(rt.clone());
@@ -231,6 +279,21 @@ impl<K: Kernel> ParallelFmm<K> {
                 dens[si * K::SRC_DIM + c] = densities[orig as usize * K::SRC_DIM + c];
             }
         }
+
+        let engine = self.engine();
+        let local_src = LocalSources {
+            tree,
+            points: &self.dtree.sorted_points,
+            dens: &dens,
+            src_dim: K::SRC_DIM,
+        };
+        let (mut store, mut ws) = self
+            .scratch
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| (engine.new_store(), EngineWorkspace::default()));
+        store.reset();
 
         // 1. Ghost density gather sends (overlapped with the upward pass).
         let dens_payload = |b: u32| -> Vec<f64> {
@@ -254,21 +317,23 @@ impl<K: Kernel> ParallelFmm<K> {
 
         // 2. Upward pass on contributed boxes (partial equivalents).
         let span = rt.span("Up", "Up");
-        let f0 = stats.total_flops();
-        let up = self.upward_pass(&dens, &mut stats);
-        rt.add(Counter::Flops, stats.total_flops() - f0);
+        if depth >= FIRST_FMM_LEVEL {
+            let t0 = thread_cpu_time();
+            let flops = engine.upward(&local_src, &mut store, &mut ws);
+            stats.add_seconds(Phase::Up, thread_cpu_time() - t0);
+            stats.add_flops(Phase::Up, flops);
+            rt.add(Counter::Flops, flops);
+        }
         drop(span);
 
         // 3. Complete the ghost density exchange; post partial-equivalent
-        //    sends.
+        //    sends. The equivalent payload closures read `store.up`
+        //    directly (fresh borrow per call — the plan does not hold it).
         let tcomm = Instant::now();
         let span = rt.span("Comm", "dens-complete");
         let ghost_dens = dens_plan.complete(comm, dens_payload);
         drop(span);
         rt.async_end("dens-exchange", ASYNC_DENS);
-        let equiv_payload = |b: u32| -> Vec<f64> {
-            up[b as usize * es..(b as usize + 1) * es].to_vec()
-        };
         rt.async_begin("equiv-exchange", ASYNC_EQUIV);
         let span = rt.span("Comm", "equiv-gather");
         let equiv_plan = ExchangePlan::begin(
@@ -278,63 +343,80 @@ impl<K: Kernel> ParallelFmm<K> {
             SALT_EQUIV,
             Combine::Sum,
             UserKind::Equiv,
-            equiv_payload,
+            |b: u32| store.up(b).to_vec(),
         );
         drop(span);
         stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
 
         // 4. Overlapped computation: dense U-list interactions and X-list
         //    check contributions (need only ghost sources).
+        let ghost_src = GhostSources { points: &self.ghost_points, dens: &ghost_dens };
         let mut pot = vec![0.0; n * K::TRG_DIM];
-        let mut check = vec![0.0; tree.num_nodes() * cs];
-        if rt.is_enabled() {
-            let touched = tree.leaves().filter(|&b| self.contributed(b)).count();
-            rt.add(Counter::CellsTouched, touched as u64);
-        }
+        rt.add(Counter::CellsTouched, engine.active_leaves().len() as u64);
         let span = rt.span("DownU", "u-list");
-        let f0 = stats.total_flops();
-        self.dense_u_pass(&ghost_dens, &mut pot, &mut stats);
-        rt.add(Counter::Flops, stats.total_flops() - f0);
+        let t0 = thread_cpu_time();
+        let flops = engine.u_pass(&ghost_src, &mut pot);
+        stats.add_seconds(Phase::DownU, thread_cpu_time() - t0);
+        stats.add_flops(Phase::DownU, flops);
+        rt.add(Counter::Flops, flops);
         drop(span);
         let span = rt.span("DownX", "x-list");
-        let f0 = stats.total_flops();
-        self.x_pass(&ghost_dens, &mut check, &mut stats);
-        rt.add(Counter::Flops, stats.total_flops() - f0);
+        if depth >= FIRST_FMM_LEVEL {
+            let t0 = thread_cpu_time();
+            let flops = engine.x_pass(&ghost_src, &mut store);
+            stats.add_seconds(Phase::DownX, thread_cpu_time() - t0);
+            stats.add_flops(Phase::DownX, flops);
+            rt.add(Counter::Flops, flops);
+        }
         drop(span);
 
-        // 5. Complete the equivalent exchange.
+        // 5. Complete the equivalent exchange; install the globally summed
+        //    equivalents over this rank's partials (`store.up` is unchanged
+        //    since the begin — the overlapped passes wrote only `check`).
         let tcomm = Instant::now();
         let span = rt.span("Comm", "equiv-complete");
-        let global_equiv = equiv_plan.complete(comm, equiv_payload);
+        let global_equiv = equiv_plan.complete(comm, |b: u32| store.up(b).to_vec());
         drop(span);
         rt.async_end("equiv-exchange", ASYNC_EQUIV);
         stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+        for (b, v) in &global_equiv {
+            store.set_up(*b, v);
+        }
 
         // 6. Remaining downward computation.
         if depth >= FIRST_FMM_LEVEL {
             for level in FIRST_FMM_LEVEL..=depth {
                 let span = rt.span("DownV", "m2l").with_n(level as u64);
-                let f0 = stats.total_flops();
-                self.m2l_level(level, &global_equiv, &mut check, &mut stats);
-                rt.add(Counter::Flops, stats.total_flops() - f0);
+                let t0 = thread_cpu_time();
+                let flops = engine.m2l_level(level, &mut store, &mut ws);
+                stats.add_seconds(Phase::DownV, thread_cpu_time() - t0);
+                stats.add_flops(Phase::DownV, flops);
+                rt.add(Counter::Flops, flops);
                 drop(span);
             }
             let span = rt.span("Eval", "l2l");
-            let f0 = stats.total_flops();
-            let down = self.l2l_pass(&check, &mut stats);
-            rt.add(Counter::Flops, stats.total_flops() - f0);
+            let t0 = thread_cpu_time();
+            let flops = engine.l2l(&mut store, &mut ws);
+            stats.add_seconds(Phase::Eval, thread_cpu_time() - t0);
+            stats.add_flops(Phase::Eval, flops);
+            rt.add(Counter::Flops, flops);
             drop(span);
             let span = rt.span("DownW", "w-list");
-            let f0 = stats.total_flops();
-            self.w_pass(&global_equiv, &mut pot, &mut stats);
-            rt.add(Counter::Flops, stats.total_flops() - f0);
+            let t0 = thread_cpu_time();
+            let flops = engine.w_pass(&store, &mut pot);
+            stats.add_seconds(Phase::DownW, thread_cpu_time() - t0);
+            stats.add_flops(Phase::DownW, flops);
+            rt.add(Counter::Flops, flops);
             drop(span);
             let span = rt.span("Eval", "l2t");
-            let f0 = stats.total_flops();
-            self.l2t_pass(&down, &mut pot, &mut stats);
-            rt.add(Counter::Flops, stats.total_flops() - f0);
+            let t0 = thread_cpu_time();
+            let flops = engine.l2t(&store, &mut pot);
+            stats.add_seconds(Phase::Eval, thread_cpu_time() - t0);
+            stats.add_flops(Phase::Eval, flops);
+            rt.add(Counter::Flops, flops);
             drop(span);
         }
+        self.scratch.lock().unwrap().push((store, ws));
 
         // Un-permute local potentials ("scatter" back to caller order).
         let span = rt.span("Eval", "scatter");
@@ -352,309 +434,6 @@ impl<K: Kernel> ParallelFmm<K> {
     /// analogue of a shared-memory [`Fmm`], usable by generic solver code.
     pub fn bind<'c>(&'c self, comm: &'c Comm) -> BoundParallelFmm<'c, K> {
         BoundParallelFmm { fmm: self, comm }
-    }
-
-    /// True when this rank holds points in `b`.
-    fn contributed(&self, b: u32) -> bool {
-        self.dtree.tree.nodes[b as usize].num_points() > 0
-    }
-
-    /// Partial upward equivalents from local sources only.
-    fn upward_pass(&self, dens: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
-        let tree = &self.dtree.tree;
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let mut up = vec![0.0; tree.num_nodes() * es];
-        let depth = tree.depth();
-        if depth < FIRST_FMM_LEVEL {
-            return up;
-        }
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        let mut chk = vec![0.0; cs];
-        for level in (FIRST_FMM_LEVEL..=depth).rev() {
-            let lops = self.pre.ops.at(level);
-            for &ni in &tree.levels[level as usize] {
-                if !self.contributed(ni) {
-                    continue;
-                }
-                let node = &tree.nodes[ni as usize];
-                chk.fill(0.0);
-                if node.is_leaf() {
-                    let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-                    let pts = &self.dtree.sorted_points[s..e];
-                    let d = &dens[s * K::SRC_DIM..e * K::SRC_DIM];
-                    let c = tree.domain.box_center(&node.key);
-                    let uc = surface_points(self.opts.order, RAD_OUTER, c, lops.box_half);
-                    self.kernel.p2p(&uc, pts, d, &mut chk);
-                    flops += (pts.len() * ns) as u64 * self.kernel.flops_per_eval();
-                } else {
-                    for (oct, &ci) in node.children.iter().enumerate() {
-                        if ci == NO_NODE || !self.contributed(ci) {
-                            continue;
-                        }
-                        let child = &up[ci as usize * es..(ci as usize + 1) * es];
-                        kifmm_linalg::gemv(1.0, &lops.ue2uc[oct], child, 1.0, &mut chk);
-                        flops += 2 * (cs * es) as u64;
-                    }
-                }
-                let slot = &mut up[ni as usize * es..(ni as usize + 1) * es];
-                kifmm_linalg::gemv(1.0, &lops.uc2ue, &chk, 0.0, slot);
-                flops += 2 * (cs * es) as u64;
-            }
-        }
-        stats.add_seconds(Phase::Up, thread_cpu_time() - start);
-        stats.add_flops(Phase::Up, flops);
-        up
-    }
-
-    /// Dense U-list interactions on local targets from global ghost
-    /// sources.
-    fn dense_u_pass(
-        &self,
-        ghost_dens: &HashMap<u32, Vec<f64>>,
-        pot: &mut [f64],
-        stats: &mut PhaseStats,
-    ) {
-        let tree = &self.dtree.tree;
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        let kf = self.kernel.flops_per_eval();
-        for ni in tree.leaves() {
-            if !self.contributed(ni) {
-                continue;
-            }
-            let node = &tree.nodes[ni as usize];
-            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let trg = &self.dtree.sorted_points[s..e];
-            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
-            for &a in &self.lists.u[ni as usize] {
-                let src = &self.ghost_points[&a];
-                let d = &ghost_dens[&a];
-                self.kernel.p2p(trg, src, d, out);
-                flops += (trg.len() * src.len()) as u64 * kf;
-            }
-        }
-        stats.add_seconds(Phase::DownU, thread_cpu_time() - start);
-        stats.add_flops(Phase::DownU, flops);
-    }
-
-    /// X-list: global ghost sources of coarser leaves onto contributed
-    /// boxes' downward check surfaces.
-    fn x_pass(
-        &self,
-        ghost_dens: &HashMap<u32, Vec<f64>>,
-        check: &mut [f64],
-        stats: &mut PhaseStats,
-    ) {
-        let tree = &self.dtree.tree;
-        let ns = num_surface_points(self.opts.order);
-        let cs = ns * K::TRG_DIM;
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        let depth = tree.depth();
-        if depth < FIRST_FMM_LEVEL {
-            return;
-        }
-        for level in FIRST_FMM_LEVEL..=depth {
-            for &ni in &tree.levels[level as usize] {
-                if !self.contributed(ni) || self.lists.x[ni as usize].is_empty() {
-                    continue;
-                }
-                let node = &tree.nodes[ni as usize];
-                let c = tree.domain.box_center(&node.key);
-                let half = self.pre.ops.at(level).box_half;
-                let dc = surface_points(self.opts.order, RAD_INNER, c, half);
-                let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
-                for &a in &self.lists.x[ni as usize] {
-                    let src = &self.ghost_points[&a];
-                    let d = &ghost_dens[&a];
-                    self.kernel.p2p(&dc, src, d, slot);
-                    flops += (src.len() * ns) as u64 * self.kernel.flops_per_eval();
-                }
-            }
-        }
-        stats.add_seconds(Phase::DownX, thread_cpu_time() - start);
-        stats.add_flops(Phase::DownX, flops);
-    }
-
-    /// M2L over one level for contributed targets, from globally summed
-    /// equivalents.
-    fn m2l_level(
-        &self,
-        level: u8,
-        global_equiv: &HashMap<u32, Vec<f64>>,
-        check: &mut [f64],
-        stats: &mut PhaseStats,
-    ) {
-        let tree = &self.dtree.tree;
-        let ns = num_surface_points(self.opts.order);
-        let cs = ns * K::TRG_DIM;
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        match self.opts.m2l_mode {
-            M2lMode::Fft => {
-                let fft = self.pre.m2l_fft.as_ref().expect("fft tables");
-                let g = fft.grid_len();
-                // Spectra for the V-list sources used at this level.
-                let mut needed: Vec<u32> = Vec::new();
-                for &ni in &tree.levels[level as usize] {
-                    if self.contributed(ni) {
-                        needed.extend_from_slice(&self.lists.v[ni as usize]);
-                    }
-                }
-                needed.sort_unstable();
-                needed.dedup();
-                if needed.is_empty() {
-                    return;
-                }
-                let mut spectra: HashMap<u32, Vec<C64>> = HashMap::with_capacity(needed.len());
-                for &a in &needed {
-                    let mut buf = vec![C64::ZERO; K::SRC_DIM * g];
-                    fft.transform_source(&global_equiv[&a], &mut buf);
-                    flops += fft.fft_flops(K::SRC_DIM);
-                    spectra.insert(a, buf);
-                }
-                let mut acc = vec![C64::ZERO; K::TRG_DIM * g];
-                for &ni in &tree.levels[level as usize] {
-                    if !self.contributed(ni) || self.lists.v[ni as usize].is_empty() {
-                        continue;
-                    }
-                    acc.fill(C64::ZERO);
-                    let bkey = tree.nodes[ni as usize].key;
-                    for &a in &self.lists.v[ni as usize] {
-                        let dir = bkey.offset_to(&tree.nodes[a as usize].key);
-                        flops += fft.accumulate(level, dir, &spectra[&a], &mut acc);
-                    }
-                    fft.extract_check(
-                        level,
-                        &mut acc,
-                        &mut check[ni as usize * cs..(ni as usize + 1) * cs],
-                    );
-                    flops += fft.fft_flops(K::TRG_DIM);
-                }
-            }
-            M2lMode::Direct => {
-                let direct = self.pre.m2l_direct.as_ref().expect("direct tables");
-                for &ni in &tree.levels[level as usize] {
-                    if !self.contributed(ni) {
-                        continue;
-                    }
-                    let bkey = tree.nodes[ni as usize].key;
-                    let slot = &mut check[ni as usize * cs..(ni as usize + 1) * cs];
-                    for &a in &self.lists.v[ni as usize] {
-                        let dir = bkey.offset_to(&tree.nodes[a as usize].key);
-                        flops += direct.apply(level, dir, &global_equiv[&a], slot);
-                    }
-                }
-            }
-        }
-        stats.add_seconds(Phase::DownV, thread_cpu_time() - start);
-        stats.add_flops(Phase::DownV, flops);
-    }
-
-    /// L2L + check-to-equivalent inversion, top-down over contributed
-    /// boxes.
-    fn l2l_pass(&self, check: &[f64], stats: &mut PhaseStats) -> Vec<f64> {
-        let tree = &self.dtree.tree;
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let cs = ns * K::TRG_DIM;
-        let mut down = vec![0.0; tree.num_nodes() * es];
-        let depth = tree.depth();
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        let mut chk = vec![0.0; cs];
-        for level in FIRST_FMM_LEVEL..=depth {
-            let lops = self.pre.ops.at(level);
-            for &ni in &tree.levels[level as usize] {
-                if !self.contributed(ni) {
-                    continue;
-                }
-                let node = &tree.nodes[ni as usize];
-                chk.copy_from_slice(&check[ni as usize * cs..(ni as usize + 1) * cs]);
-                if level > FIRST_FMM_LEVEL {
-                    // Parent is contributed too (it contains this box's
-                    // points).
-                    let pi = node.parent as usize;
-                    let parent = &down[pi * es..(pi + 1) * es];
-                    let oct = node.key.octant() as usize;
-                    kifmm_linalg::gemv(1.0, &lops.de2dc[oct], parent, 1.0, &mut chk);
-                    flops += 2 * (cs * es) as u64;
-                }
-                let out = &mut down[ni as usize * es..(ni as usize + 1) * es];
-                kifmm_linalg::gemv(1.0, &lops.dc2de, &chk, 0.0, out);
-                flops += 2 * (cs * es) as u64;
-            }
-        }
-        stats.add_seconds(Phase::Eval, thread_cpu_time() - start);
-        stats.add_flops(Phase::Eval, flops);
-        down
-    }
-
-    /// W-list: global equivalents of finer separated boxes onto local
-    /// targets.
-    fn w_pass(
-        &self,
-        global_equiv: &HashMap<u32, Vec<f64>>,
-        pot: &mut [f64],
-        stats: &mut PhaseStats,
-    ) {
-        let tree = &self.dtree.tree;
-        let ns = num_surface_points(self.opts.order);
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        let kf = self.kernel.flops_per_eval();
-        for ni in tree.leaves() {
-            if !self.contributed(ni) || self.lists.w[ni as usize].is_empty() {
-                continue;
-            }
-            let node = &tree.nodes[ni as usize];
-            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let trg = &self.dtree.sorted_points[s..e];
-            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
-            for &a in &self.lists.w[ni as usize] {
-                let akey = tree.nodes[a as usize].key;
-                let ac = tree.domain.box_center(&akey);
-                let ah = tree.domain.box_half(akey.level);
-                let ue = surface_points(self.opts.order, RAD_INNER, ac, ah);
-                self.kernel.p2p(trg, &ue, &global_equiv[&a], out);
-                flops += (trg.len() * ns) as u64 * kf;
-            }
-        }
-        stats.add_seconds(Phase::DownW, thread_cpu_time() - start);
-        stats.add_flops(Phase::DownW, flops);
-    }
-
-    /// L2T: downward equivalents onto local targets.
-    fn l2t_pass(&self, down: &[f64], pot: &mut [f64], stats: &mut PhaseStats) {
-        let tree = &self.dtree.tree;
-        let ns = num_surface_points(self.opts.order);
-        let es = ns * K::SRC_DIM;
-        let start = thread_cpu_time();
-        let mut flops = 0u64;
-        let kf = self.kernel.flops_per_eval();
-        for ni in tree.leaves() {
-            if !self.contributed(ni) {
-                continue;
-            }
-            let node = &tree.nodes[ni as usize];
-            if node.key.level < FIRST_FMM_LEVEL {
-                continue;
-            }
-            let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let trg = &self.dtree.sorted_points[s..e];
-            let out = &mut pot[s * K::TRG_DIM..e * K::TRG_DIM];
-            let c = tree.domain.box_center(&node.key);
-            let half = tree.domain.box_half(node.key.level);
-            let de = surface_points(self.opts.order, RAD_OUTER, c, half);
-            let equiv = &down[ni as usize * es..(ni as usize + 1) * es];
-            self.kernel.p2p(trg, &de, equiv, out);
-            flops += (trg.len() * ns) as u64 * kf;
-        }
-        stats.add_seconds(Phase::Eval, thread_cpu_time() - start);
-        stats.add_flops(Phase::Eval, flops);
     }
 }
 
@@ -714,68 +493,14 @@ impl<K: Kernel> BuildParallel<K> for FmmBuilder<'_, K> {
     }
 }
 
-/// Convenience: run a serial reference over the union of per-rank points
-/// (testing/benching helper).
-pub fn serial_reference<K: Kernel>(
-    kernel: K,
-    chunks: &[Vec<Point3>],
-    densities: &[Vec<f64>],
-    opts: FmmOptions,
-) -> Vec<Vec<f64>> {
-    let all_points: Vec<Point3> = chunks.iter().flatten().copied().collect();
-    let all_dens: Vec<f64> = densities.iter().flatten().copied().collect();
-    let fmm = Fmm::new(kernel, &all_points, opts);
-    let all_pot = fmm.eval(&all_dens).potentials;
-    // Split back per rank.
-    let mut out = Vec::with_capacity(chunks.len());
-    let mut cursor = 0;
-    for c in chunks {
-        let len = c.len() * K::TRG_DIM;
-        out.push(all_pot[cursor..cursor + len].to_vec());
-        cursor += len;
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kifmm_core::rel_l2_error;
+    use kifmm_core::{rel_l2_error, Fmm};
     use kifmm_geom::{corner_clusters, random_densities, uniform_cube};
     use kifmm_kernels::{Laplace, Stokes};
     use kifmm_mpi::run;
-    use kifmm_tree::partition_points;
-
-    fn split_points(all: &[Point3], ranks: usize) -> Vec<Vec<Point3>> {
-        let part = partition_points(all, ranks);
-        part.groups.iter().map(|g| g.iter().map(|&i| all[i]).collect()).collect()
-    }
-
-    fn check_matches_serial<K: Kernel>(kernel: K, all: Vec<Point3>, ranks: usize, dim: usize) {
-        let chunks = split_points(&all, ranks);
-        let dens: Vec<Vec<f64>> = chunks
-            .iter()
-            .enumerate()
-            .map(|(r, c)| random_densities(c.len(), dim, r as u64 + 1))
-            .collect();
-        let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
-        let serial = serial_reference(kernel.clone(), &chunks, &dens, opts);
-        let chunks2 = chunks.clone();
-        let dens2 = dens.clone();
-        let out = run(ranks, move |comm| {
-            let r = comm.rank();
-            let pfmm = ParallelFmm::new(comm, kernel.clone(), &chunks2[r], opts);
-            let report = pfmm.eval(comm, &dens2[r]);
-            (report.potentials, report.stats.total_flops())
-        });
-        for (r, (pot, flops)) in out.into_iter().enumerate() {
-            let e = rel_l2_error(&pot, &serial[r]);
-            assert!(e < 1e-9, "rank {r}: parallel vs serial error {e}");
-            if !chunks[r].is_empty() {
-                assert!(flops > 0, "rank {r} did work");
-            }
-        }
-    }
+    use kifmm_testkit::{check_matches_serial, serial_reference, split_points};
 
     #[test]
     fn matches_serial_laplace_uniform() {

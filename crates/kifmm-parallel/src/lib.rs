@@ -22,7 +22,7 @@ pub mod exchange;
 pub mod global_tree;
 pub mod ownership;
 
-pub use driver::{serial_reference, BoundParallelFmm, BuildParallel, ParallelFmm};
+pub use driver::{BoundParallelFmm, BuildParallel, ParallelFmm};
 pub use exchange::{Combine, ExchangePlan, UserKind};
 pub use global_tree::{build_distributed_tree, DistributedTree};
 pub use ownership::Ownership;

@@ -84,6 +84,33 @@ fn run_pool<S>(
     });
 }
 
+/// Thread-dispatch policy handed to compute engines (notably the FMM pass
+/// engine in `kifmm-core`): a caller-visible choice between running every
+/// loop inline on the calling thread and fanning out over the worker pool.
+///
+/// Both policies produce bit-identical results (see the determinism
+/// contract above); the distributed driver uses [`Dispatch::Serial`] so
+/// per-rank work stays on the rank's own thread, while the shared-memory
+/// driver uses [`Dispatch::Pool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Run all engine loops inline on the calling thread.
+    #[default]
+    Serial,
+    /// Fan engine loops out over [`num_threads`] workers.
+    Pool,
+}
+
+impl Dispatch {
+    /// Worker count this policy resolves to (1 for `Serial`).
+    pub fn threads(self) -> usize {
+        match self {
+            Dispatch::Serial => 1,
+            Dispatch::Pool => num_threads(),
+        }
+    }
+}
+
 /// Run `f(i)` for every `i` in `0..n`, in parallel.
 pub fn par_index(n: usize, f: impl Fn(usize) + Sync) {
     run_pool(num_threads(), n, &|| (), &|(), i| f(i));
@@ -119,6 +146,17 @@ pub fn par_chunks_mut<T: Send>(data: &mut [T], size: usize, f: impl Fn(usize, &m
     par_chunks_mut_init(data, size, || (), |(), i, c| f(i, c));
 }
 
+/// [`par_chunks_mut`] with an explicit worker count (1 runs inline on the
+/// calling thread); used with [`Dispatch::threads`].
+pub fn par_chunks_mut_with<T: Send>(
+    threads: usize,
+    data: &mut [T],
+    size: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    par_chunks_mut_init_with(threads, data, size, || (), |(), i, c| f(i, c));
+}
+
 /// [`par_chunks_mut`] with a per-worker scratch state (see
 /// [`par_index_init`]).
 pub fn par_chunks_mut_init<T: Send, S>(
@@ -127,10 +165,22 @@ pub fn par_chunks_mut_init<T: Send, S>(
     init: impl Fn() -> S + Sync,
     f: impl Fn(&mut S, usize, &mut [T]) + Sync,
 ) {
+    par_chunks_mut_init_with(num_threads(), data, size, init, f);
+}
+
+/// [`par_chunks_mut_init`] with an explicit worker count (1 runs inline on
+/// the calling thread); used with [`Dispatch::threads`].
+pub fn par_chunks_mut_init_with<T: Send, S>(
+    threads: usize,
+    data: &mut [T],
+    size: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut [T]) + Sync,
+) {
     assert!(size > 0, "chunk size must be positive");
     let len = data.len();
     let base = SyncPtr(data.as_mut_ptr());
-    run_pool(num_threads(), len.div_ceil(size), &init, &|state, i| {
+    run_pool(threads, len.div_ceil(size), &init, &|state, i| {
         let start = i * size;
         let end = (start + size).min(len);
         // Safety: chunk i covers [i*size, min((i+1)*size, len)); chunks are
@@ -179,8 +229,16 @@ pub fn par_map<O: Send>(n: usize, f: impl Fn(usize) -> O + Sync) -> Vec<O> {
 /// `into_par_iter().for_each`, for items that are not `Clone` — e.g.
 /// disjoint `&mut` sub-slices).
 pub fn par_for_each<I: Send>(items: Vec<I>, f: impl Fn(usize, I) + Sync) {
+    par_for_each_with(num_threads(), items, f)
+}
+
+/// [`par_for_each`] with an explicit worker count (1 runs inline on the
+/// calling thread); used with [`Dispatch::threads`].
+pub fn par_for_each_with<I: Send>(threads: usize, items: Vec<I>, f: impl Fn(usize, I) + Sync) {
     let mut items: Vec<Option<I>> = items.into_iter().map(Some).collect();
-    par_chunks_mut(&mut items, 1, |i, slot| f(i, slot[0].take().expect("item taken once")));
+    par_chunks_mut_init_with(threads, &mut items, 1, || (), |(), i, slot| {
+        f(i, slot[0].take().expect("item taken once"))
+    });
 }
 
 #[cfg(test)]
@@ -311,6 +369,39 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn dispatch_thread_counts() {
+        assert_eq!(Dispatch::Serial.threads(), 1);
+        assert!(Dispatch::Pool.threads() >= 1);
+        assert_eq!(Dispatch::default(), Dispatch::Serial);
+    }
+
+    #[test]
+    fn explicit_thread_variants_match_serial() {
+        let n = 533;
+        let expect = serial_fill(n);
+        for threads in [1, 2, 5, 16] {
+            let mut out = vec![0.0f64; n];
+            par_chunks_mut_with(threads, &mut out, 13, |c, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    let i = c * 13 + j;
+                    *v = (i as f64 * 0.1).sin() + (i as f64).sqrt();
+                }
+            });
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+        let mut data = vec![0u8; 9];
+        let mut parts: Vec<&mut [u8]> = Vec::new();
+        let mut rest: &mut [u8] = &mut data;
+        for _ in 0..3 {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(3);
+            parts.push(head);
+            rest = tail;
+        }
+        par_for_each_with(2, parts, |i, part| part.fill(i as u8 + 1));
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
     }
 
     #[test]

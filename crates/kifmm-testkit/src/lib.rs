@@ -23,7 +23,12 @@
 
 use kifmm_geom::rng::{splitmix64, Rng};
 
+pub mod fixtures;
 pub mod json;
+
+pub use fixtures::{
+    check_matches_serial, check_matches_serial_tol, cloud, serial_reference, split_points,
+};
 
 /// Per-case input generator: thin convenience layer over [`Rng`].
 pub struct Gen {

@@ -48,6 +48,7 @@ pub use kifmm_kernels as kernels;
 pub use kifmm_linalg as linalg;
 pub use kifmm_mpi as mpi;
 pub use kifmm_parallel as parallel;
+pub use kifmm_runtime as runtime;
 pub use kifmm_solver as solver;
 pub use kifmm_trace as trace;
 pub use kifmm_tree as tree;

@@ -49,4 +49,21 @@ for p in 1 2 4 8; do
 done
 "$validate" "$artifacts/TRACE_parallel_scaling_P4.json" --chrome 4
 echo "artifact gate: OK"
+
+# 4. Cross-path gate: one tiny problem through all three drivers (serial,
+#    shared-memory pool, distributed P=4) must agree — bitwise for the
+#    first two, 1e-12 for the distributed path.
+cargo run -q --release --offline -p kifmm-bench --bin cross_path_check
+echo "cross-path gate: OK"
+
+# 5. Shim gate: the `#[deprecated]` evaluate* entry points exist only for
+#    downstream compatibility; nothing inside the repo may call them.
+shim_calls=$(grep -rnE '\.evaluate(_with_stats|_parallel(_with_stats)?)?\(' \
+    crates tests examples --include='*.rs' || true)
+if [ -n "$shim_calls" ]; then
+    echo "FAIL: internal code calls a deprecated evaluate* shim:"
+    echo "$shim_calls"
+    exit 1
+fi
+echo "shim gate: OK (no internal deprecated-shim callers)"
 echo "verify: ALL OK"

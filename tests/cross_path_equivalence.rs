@@ -1,0 +1,63 @@
+//! Cross-path equivalence: the three evaluators (serial, shared-memory
+//! pool, distributed P=4) are thin drivers over one `kifmm_core::engine`,
+//! so they must agree — bit-identically for serial vs pool (same tasks,
+//! same instruction order), and to 1e-12 for the distributed path (the
+//! owner-side Sum of partial equivalents reassociates additions).
+//!
+//! Matrix: 4 kernels × 2 distributions (uniform, clustered) × 3 paths.
+
+use kifmm::{Fmm, FmmOptions, Kernel, Laplace, ModifiedLaplace, Stokes};
+use kifmm_kernels::LaplaceDipole;
+use kifmm_testkit::check_matches_serial_tol;
+
+fn uniform(n: usize, seed: u64) -> Vec<[f64; 3]> {
+    kifmm::geom::uniform_cube(n, seed)
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<[f64; 3]> {
+    kifmm::geom::corner_clusters(n, seed)
+}
+
+/// Serial vs shared-memory pool: bit-identical on the same Fmm.
+fn check_pool_bitwise<K: Kernel>(kernel: K, pts: Vec<[f64; 3]>) {
+    let n = pts.len();
+    let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 7);
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
+    let mut fmm = Fmm::new(kernel, &pts, opts);
+    let serial = fmm.eval(&dens).potentials;
+    fmm.set_parallel_eval(true);
+    let pool = fmm.eval(&dens).potentials;
+    assert_eq!(serial, pool, "pool path must be bit-identical to serial");
+}
+
+/// Distributed P=4 vs serial reference: 1e-12 relative l2.
+fn check_distributed<K: Kernel>(kernel: K, pts: Vec<[f64; 3]>) {
+    check_matches_serial_tol(kernel, pts, 4, K::SRC_DIM, 1e-12);
+}
+
+macro_rules! cross_path_case {
+    ($name:ident, $kernel:expr, $cloudfn:ident, $n:expr, $seed:expr) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn pool_bitwise() {
+                check_pool_bitwise($kernel, $cloudfn($n, $seed));
+            }
+
+            #[test]
+            fn distributed_1e12() {
+                check_distributed($kernel, $cloudfn($n, $seed));
+            }
+        }
+    };
+}
+
+cross_path_case!(laplace_uniform, Laplace, uniform, 700, 11);
+cross_path_case!(laplace_clustered, Laplace, clustered, 700, 12);
+cross_path_case!(dipole_uniform, LaplaceDipole, uniform, 600, 13);
+cross_path_case!(dipole_clustered, LaplaceDipole, clustered, 600, 14);
+cross_path_case!(modified_laplace_uniform, ModifiedLaplace::new(1.5), uniform, 600, 15);
+cross_path_case!(modified_laplace_clustered, ModifiedLaplace::new(1.5), clustered, 600, 16);
+cross_path_case!(stokes_uniform, Stokes::default(), uniform, 450, 17);
+cross_path_case!(stokes_clustered, Stokes::default(), clustered, 450, 18);

@@ -3,7 +3,8 @@
 //! rank count and distribution, and its communication accounting must
 //! behave (comm grows with P; phases populated).
 
-use kifmm::parallel::{serial_reference, ParallelFmm};
+use kifmm::parallel::ParallelFmm;
+use kifmm_testkit::serial_reference;
 use kifmm::tree::{partition_patches, partition_points};
 use kifmm::{rel_l2_error, FmmOptions, Laplace, Phase, Stokes};
 use kifmm_geom::SurfacePatch;
