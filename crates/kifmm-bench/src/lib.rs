@@ -159,6 +159,8 @@ pub fn write_bench_summary(
                 name: (*name).into(),
                 seconds: merged.seconds[i],
                 flops: merged.flops[i],
+                messages: merged.comm_messages[i],
+                bytes: merged.comm_bytes[i],
             })
             .collect(),
         comm_bytes: metrics.iter().map(|m| m.eval_bytes).sum(),

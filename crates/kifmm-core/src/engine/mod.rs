@@ -314,23 +314,42 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         store: &mut ExpansionStore,
         ws: &mut EngineWorkspace,
     ) -> u64 {
+        self.m2l_level_where(level, store, ws, &|_| true)
+    }
+
+    /// M2L over the subset of a level's active targets selected by
+    /// `pred` (by node index). Each target's accumulation is independent
+    /// of every other's, so running a level as two complementary subsets
+    /// produces bitwise the results of one full pass — this is what lets
+    /// the distributed driver evaluate interior targets while the ghost
+    /// equivalents their boundary peers need are still in flight. Only
+    /// the selected targets' V-list sources are transformed, so a
+    /// no-match call costs one scan of the level.
+    pub fn m2l_level_where(
+        &self,
+        level: u8,
+        store: &mut ExpansionStore,
+        ws: &mut EngineWorkspace,
+        pred: &(dyn Fn(usize) -> bool + Sync),
+    ) -> u64 {
         if self.tree.depth() < FIRST_FMM_LEVEL {
             return 0;
         }
         match self.m2l_mode {
-            M2lMode::Fft => self.m2l_fft_level(level, store, ws),
-            M2lMode::Direct => self.m2l_direct_level(level, store),
+            M2lMode::Fft => self.m2l_fft_level(level, store, ws, pred),
+            M2lMode::Direct => self.m2l_direct_level(level, store, pred),
         }
     }
 
-    /// FFT M2L: forward-transform every V-list source of the level into
-    /// one contiguous spectra slab, then Hadamard-accumulate and
-    /// inverse-transform per active target.
+    /// FFT M2L: forward-transform every V-list source of the level's
+    /// selected targets into one contiguous spectra slab, then
+    /// Hadamard-accumulate and inverse-transform per selected target.
     fn m2l_fft_level(
         &self,
         level: u8,
         store: &mut ExpansionStore,
         ws: &mut EngineWorkspace,
+        pred: &(dyn Fn(usize) -> bool + Sync),
     ) -> u64 {
         let fft = self.pre.m2l_fft.as_ref().expect("FFT tables present in Fft mode");
         let (_, es, cs) = self.dims();
@@ -341,7 +360,9 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         let mask = &self.active.mask;
         ws.needed.clear();
         for &ni in &self.active.levels[level as usize] {
-            ws.needed.extend_from_slice(&self.lists.v[ni as usize]);
+            if pred(ni as usize) {
+                ws.needed.extend_from_slice(&self.lists.v[ni as usize]);
+            }
         }
         ws.needed.sort_unstable();
         ws.needed.dedup();
@@ -365,7 +386,7 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         let spectra: &[C64] = spectra;
         let accumulate = |grid: &mut [C64], i: usize, slot: &mut [f64]| {
             let ni = ls + i;
-            if !mask[ni] {
+            if !mask[ni] || !pred(ni) {
                 return;
             }
             let vlist = &self.lists.v[ni];
@@ -402,6 +423,9 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         // `transform_source`/`accumulate`/`extract_check`.
         let mut flops = needed.len() as u64 * fft.fft_flops(K::SRC_DIM);
         for &ni in &self.active.levels[level as usize] {
+            if !pred(ni as usize) {
+                continue;
+            }
             let nv = self.lists.v[ni as usize].len() as u64;
             if nv > 0 {
                 flops +=
@@ -412,7 +436,12 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
     }
 
     /// Dense M2L over one level (ablation baseline).
-    fn m2l_direct_level(&self, level: u8, store: &mut ExpansionStore) -> u64 {
+    fn m2l_direct_level(
+        &self,
+        level: u8,
+        store: &mut ExpansionStore,
+        pred: &(dyn Fn(usize) -> bool + Sync),
+    ) -> u64 {
         let direct =
             self.pre.m2l_direct.as_ref().expect("direct tables present in Direct mode");
         let (_, es, cs) = self.dims();
@@ -428,7 +457,7 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         let up: &[f64] = up;
         par_chunks_mut_with(threads, &mut check[ls_cs..le_cs], cs, |i, slot| {
             let ni = ls + i;
-            if !mask[ni] {
+            if !mask[ni] || !pred(ni) {
                 return;
             }
             let bkey = self.tree.nodes[ni].key;

@@ -60,7 +60,18 @@ pub fn bcast(comm: &Comm, root: usize, data: Vec<u8>) -> Vec<u8> {
 }
 
 /// In-place elementwise allreduce over `f64` buffers of identical length.
+///
+/// `ReduceOp::BitOr` is rejected on *every* rank at entry, with the rank in
+/// the message. The old check sat inside root's reduce loop, so only rank 0
+/// panicked — with no rank context — while non-root ranks blocked on a
+/// reply that never came, and a single-rank run silently "succeeded".
 pub fn allreduce_f64(comm: &Comm, data: &mut [f64], op: ReduceOp) {
+    assert!(
+        op != ReduceOp::BitOr,
+        "kifmm-mpi: rank {}: ReduceOp::BitOr is only defined for integer reductions — \
+         use allreduce_u64",
+        comm.rank()
+    );
     let tag = comm.next_collective_tag();
     let root = 0;
     if comm.rank() == root {
@@ -72,7 +83,7 @@ pub fn allreduce_f64(comm: &Comm, data: &mut [f64], op: ReduceOp) {
                     ReduceOp::Sum => *a + b,
                     ReduceOp::Max => a.max(b),
                     ReduceOp::Min => a.min(b),
-                    ReduceOp::BitOr => panic!("BitOr is only defined for integer reductions"),
+                    ReduceOp::BitOr => unreachable!("rejected at entry"),
                 };
             }
         }
@@ -246,6 +257,39 @@ mod tests {
         for m in out {
             assert_eq!(m, 0b11111);
         }
+    }
+
+    /// Satellite regression: float BitOr must fail loudly on every rank
+    /// with the rank id in the message — including the single-rank path,
+    /// which previously never reached the check and silently succeeded.
+    #[test]
+    fn float_bitor_panics_with_rank_context_single_rank() {
+        let res = std::panic::catch_unwind(|| {
+            run(1, |comm| {
+                let mut v = vec![1.0];
+                allreduce_f64(comm, &mut v, ReduceOp::BitOr);
+            });
+        });
+        let payload = res.expect_err("P=1 float BitOr must panic too");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("rank 0"), "message carries the rank: {msg}");
+        assert!(msg.contains("BitOr"), "message names the operator: {msg}");
+    }
+
+    /// Multi-rank: every rank rejects at entry, so no rank is left blocked
+    /// waiting for a root reply, and the propagated panic names a rank.
+    #[test]
+    fn float_bitor_panics_with_rank_context_multi_rank() {
+        let res = std::panic::catch_unwind(|| {
+            run(3, |comm| {
+                let mut v = vec![f64::from(comm.rank() as u32)];
+                allreduce_f64(comm, &mut v, ReduceOp::BitOr);
+            });
+        });
+        let payload = res.expect_err("P=3 float BitOr must panic");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("rank"), "message carries a rank id: {msg}");
+        assert!(msg.contains("allreduce_u64"), "message points at the fix: {msg}");
     }
 
     #[test]

@@ -15,9 +15,17 @@
 //! under `catch_unwind`: the first panic is stashed, an abort flag is
 //! raised, and every mailbox is signalled so blocked receivers wake and
 //! abort with a recognizable panic ("a peer rank panicked"). [`run`] then
-//! rethrows the *original* panic. Likewise a mailbox `Mutex` poisoned by a
-//! panic inside the lock is reported with a recognizable message instead
-//! of a bare `PoisonError` unwrap.
+//! rethrows the *original* panic.
+//!
+//! A mailbox `Mutex` poisoned by a panic inside the lock is *recovered*,
+//! not rethrown: every mailbox operation is a push/pop on an
+//! otherwise-consistent `HashMap` of queues, so the inner state is valid
+//! even when the poison flag is set. Recovering keeps in-flight payloads
+//! deliverable — a surviving rank can still drain messages that were
+//! eagerly buffered before a peer died, instead of losing them to a bare
+//! `PoisonError` unwrap racing the exchange's sends. Receivers check their
+//! queue *before* the abort flag for the same reason: queued data is
+//! delivered first, and only a wait that would now never finish aborts.
 
 use kifmm_trace::{Counter, RankTracer};
 use std::collections::{HashMap, VecDeque};
@@ -36,12 +44,17 @@ struct Mailbox {
 }
 
 impl Mailbox {
-    /// Lock the queues, converting a poisoned lock (a peer panicked while
-    /// holding it) into a recognizable panic rather than a bare unwrap.
+    /// Lock the queues, recovering from a poisoned lock (a peer panicked
+    /// while holding it). Every critical section here is a single queue
+    /// push or pop that cannot leave the map half-updated, so the inner
+    /// state is consistent and in-flight payloads stay deliverable.
     fn lock(&self) -> MutexGuard<'_, HashMap<MatchKey, VecDeque<Vec<u8>>>> {
-        self.queues
-            .lock()
-            .unwrap_or_else(|_| panic!("kifmm-mpi: mailbox poisoned — a peer rank panicked"))
+        self.queues.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Messages still queued (undelivered) in this mailbox.
+    fn undelivered(&self) -> usize {
+        self.lock().values().map(VecDeque::len).sum()
     }
 }
 
@@ -193,10 +206,42 @@ impl Comm {
                     self.rank
                 );
             }
-            q = mb
-                .signal
-                .wait(q)
-                .unwrap_or_else(|_| panic!("kifmm-mpi: mailbox poisoned — a peer rank panicked"));
+            q = mb.signal.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Block until at least one of `keys` (`(source, tag)` pairs) has a
+    /// queued message, and return the index of the first ready key.
+    ///
+    /// The message is *not* consumed — follow up with [`Comm::try_recv`].
+    /// This is the completion-polling primitive behind overlapped
+    /// exchanges: a driver that has run out of compute parks here instead
+    /// of spinning, and wakes on whichever peer's packet lands first.
+    /// Blocked time is charged to `comm_seconds`, and a peer panic aborts
+    /// the wait exactly like [`Comm::recv`].
+    pub fn wait_any(&self, keys: &[(usize, u64)]) -> usize {
+        assert!(!keys.is_empty(), "wait_any needs at least one key");
+        let start = Instant::now();
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut q = mb.lock();
+        loop {
+            if let Some(i) = keys
+                .iter()
+                .position(|key| q.get(key).is_some_and(|queue| !queue.is_empty()))
+            {
+                let mut st = self.stats.get();
+                st.comm_seconds += start.elapsed().as_secs_f64();
+                self.stats.set(st);
+                return i;
+            }
+            if self.shared.aborted.load(Ordering::Acquire) {
+                panic!(
+                    "kifmm-mpi: rank {} aborting wait_any over {} keys — a peer rank panicked",
+                    self.rank,
+                    keys.len()
+                );
+            }
+            q = mb.signal.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -296,6 +341,16 @@ pub fn run<R: Send>(size: usize, f: impl Fn(&Comm) -> R + Send + Sync) -> Vec<R>
     if let Some(payload) =
         first_panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
     {
+        // All ranks are joined: report what died in flight before
+        // rethrowing, so a lost-payload bug is visible in the panic output
+        // instead of silently discarded with the mailboxes.
+        let stranded: usize = shared.mailboxes.iter().map(Mailbox::undelivered).sum();
+        if stranded > 0 {
+            eprintln!(
+                "kifmm-mpi: aborting run with {stranded} undelivered message(s) \
+                 still queued in mailboxes"
+            );
+        }
         std::panic::resume_unwind(payload);
     }
     results.into_iter().map(|r| r.expect("no panic recorded, all ranks returned")).collect()
@@ -485,6 +540,89 @@ mod tests {
         let payload = res.expect_err("run must propagate the panic");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "rank 2 exploded");
+    }
+
+    /// `wait_any` parks until one of several keys is ready, reports which,
+    /// and leaves the message queued for a subsequent `try_recv`.
+    #[test]
+    fn wait_any_reports_ready_key_without_consuming() {
+        let out = run(3, |comm| {
+            match comm.rank() {
+                0 => {
+                    let keys = [(1usize, 21u64), (2usize, 22u64)];
+                    let first = comm.wait_any(&keys);
+                    let (src, tag) = keys[first];
+                    let m = comm.try_recv(src, tag).expect("wait_any saw a queued message");
+                    // Unblock the slower sender's handshake, then drain it.
+                    let second = comm.wait_any(&keys);
+                    assert_ne!(second, first, "second wake is the other peer");
+                    let (src2, tag2) = keys[second];
+                    let m2 = comm.try_recv(src2, tag2).expect("second message queued");
+                    let mut both = vec![m[0], m2[0]];
+                    both.sort_unstable();
+                    both
+                }
+                1 => {
+                    comm.send(0, 21, &[1]);
+                    vec![]
+                }
+                _ => {
+                    comm.send(0, 22, &[2]);
+                    vec![]
+                }
+            }
+        });
+        assert_eq!(out[0], vec![1, 2]);
+    }
+
+    /// Satellite regression: a mailbox poisoned by a panic inside the lock
+    /// must not strand in-flight payloads. Rank 2 poisons rank 1's mailbox
+    /// mutex and later panics; rank 0's eager send into the poisoned
+    /// mailbox still succeeds, and rank 1's receive recovers the lock and
+    /// delivers the payload. `run` still rethrows rank 2's original panic.
+    #[test]
+    fn poisoned_mailbox_still_delivers_inflight_payloads() {
+        let delivered: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+        let delivered2 = delivered.clone();
+        let res = std::panic::catch_unwind(move || {
+            run(3, move |comm| match comm.rank() {
+                0 => {
+                    // Wait until rank 2 has poisoned rank 1's mailbox...
+                    comm.recv(2, 6);
+                    // ...then race an eager send into the poisoned mailbox
+                    // (this is the payload that used to be lost)...
+                    comm.send(1, 5, b"survives poison");
+                    // ...and only now let rank 2 go panic. The payload is
+                    // queued before the abort flag can possibly rise, so
+                    // delivery is deterministic.
+                    comm.send(2, 7, &[]);
+                }
+                1 => {
+                    let payload = comm.recv(0, 5);
+                    *delivered2.lock().unwrap() = Some(payload);
+                }
+                _ => {
+                    // Poison rank 1's mailbox: panic while holding its lock.
+                    let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _guard = comm.shared.mailboxes[1].queues.lock().unwrap();
+                        panic!("poison injection");
+                    }));
+                    assert!(poison.is_err());
+                    assert!(comm.shared.mailboxes[1].queues.is_poisoned());
+                    comm.send(0, 6, &[]);
+                    comm.recv(0, 7);
+                    panic!("rank 2 exploded");
+                }
+            });
+        });
+        let payload = res.expect_err("run must propagate rank 2's panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "rank 2 exploded");
+        assert_eq!(
+            delivered.lock().unwrap().as_deref(),
+            Some(b"survives poison".as_slice()),
+            "in-flight payload crossed the poisoned mailbox"
+        );
     }
 
     /// The abort flag must also wake a receiver that was already asleep in

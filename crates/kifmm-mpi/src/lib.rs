@@ -21,9 +21,13 @@
 pub mod collectives;
 pub mod comm;
 pub mod datatypes;
+pub mod packet;
+pub mod tag;
 
 pub use collectives::{
     allgatherv, allreduce_f64, allreduce_u64, alltoallv, barrier, bcast, ReduceOp,
 };
 pub use comm::{run, Comm, CommStats, PeerTraffic};
 pub use datatypes::{decode_f64s, decode_u32s, decode_u64s, encode_f64s, encode_u32s, encode_u64s};
+pub use packet::{decode_packet, encode_packet};
+pub use tag::{decode_tag, encode_tag};

@@ -1,0 +1,126 @@
+//! Checked message-tag encoding.
+//!
+//! User tags are a single `u64` below [`RESERVED_TAG_BASE`](crate::comm::RESERVED_TAG_BASE)
+//! (`1 << 60`). Early exchange code built tags by *addition* —
+//! `TAG_GATHER + salt + box_id` — which silently collides once a box id
+//! crosses the salt stride: `(salt=0, box=2³²)` and `(salt=2³², box=0)`
+//! produce the same tag, so a gather message for one payload kind can be
+//! matched by a receive for another. This module replaces the arithmetic
+//! with disjoint *bitfields*, checked at encode time:
+//!
+//! ```text
+//! bit 59………56  55………40  39……………………0
+//!   namespace     salt       sub
+//!    (4 bits)  (16 bits)  (40 bits)
+//! ```
+//!
+//! * `namespace` — message family (gather vs scatter vs anything else a
+//!   protocol defines). Must be nonzero so every encoded tag stays out of
+//!   the plain-small-integer tag space used by ad-hoc sends.
+//! * `salt` — concurrent-exchange discriminator (points vs densities vs
+//!   equivalents).
+//! * `sub` — free payload-id field (a box id for per-box protocols, 0 for
+//!   per-peer packed protocols).
+//!
+//! Width overflow is a *bug* in the caller, never a value to wrap: each
+//! field is asserted against its width (debug and release — the check is
+//! three compares against constants, irrelevant next to a message send).
+
+/// Bits of the `sub` field (payload id).
+pub const TAG_SUB_BITS: u32 = 40;
+/// Bits of the `salt` field (exchange discriminator).
+pub const TAG_SALT_BITS: u32 = 16;
+/// Bits of the `namespace` field.
+pub const TAG_NS_BITS: u32 = 4;
+
+/// Exclusive upper bound of the `sub` field.
+pub const TAG_SUB_LIMIT: u64 = 1 << TAG_SUB_BITS;
+/// Exclusive upper bound of the `salt` field.
+pub const TAG_SALT_LIMIT: u64 = 1 << TAG_SALT_BITS;
+/// Exclusive upper bound of the `namespace` field.
+pub const TAG_NS_LIMIT: u64 = 1 << TAG_NS_BITS;
+
+/// Pack `(namespace, salt, sub)` into one collision-free user tag.
+///
+/// Distinct argument triples yield distinct tags (the fields occupy
+/// disjoint bits), and every encoded tag is below the collective-reserved
+/// range. Panics if any field exceeds its width or `namespace` is zero.
+#[inline]
+pub fn encode_tag(namespace: u64, salt: u64, sub: u64) -> u64 {
+    assert!(
+        namespace > 0 && namespace < TAG_NS_LIMIT,
+        "tag namespace {namespace} outside [1, {TAG_NS_LIMIT})"
+    );
+    assert!(salt < TAG_SALT_LIMIT, "tag salt {salt} overflows {TAG_SALT_BITS} bits");
+    assert!(sub < TAG_SUB_LIMIT, "tag sub-id {sub} overflows {TAG_SUB_BITS} bits");
+    namespace << (TAG_SALT_BITS + TAG_SUB_BITS) | salt << TAG_SUB_BITS | sub
+}
+
+/// Unpack a tag produced by [`encode_tag`] into `(namespace, salt, sub)`.
+#[inline]
+pub fn decode_tag(tag: u64) -> (u64, u64, u64) {
+    (
+        tag >> (TAG_SALT_BITS + TAG_SUB_BITS) & (TAG_NS_LIMIT - 1),
+        tag >> TAG_SUB_BITS & (TAG_SALT_LIMIT - 1),
+        tag & (TAG_SUB_LIMIT - 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::RESERVED_TAG_BASE;
+
+    #[test]
+    fn roundtrip_and_below_reserved() {
+        for &(ns, salt, sub) in &[
+            (1u64, 0u64, 0u64),
+            (2, 7, 123),
+            (TAG_NS_LIMIT - 1, TAG_SALT_LIMIT - 1, TAG_SUB_LIMIT - 1),
+            (1, 2, 1 << 32),
+        ] {
+            let tag = encode_tag(ns, salt, sub);
+            assert_eq!(decode_tag(tag), (ns, salt, sub));
+            assert!(tag < RESERVED_TAG_BASE, "user tags stay below collectives");
+        }
+    }
+
+    /// Regression for the additive scheme: with `TAG_GATHER + salt + b`
+    /// and a salt stride of 2³², box `2³²` under salt 0 collided with box
+    /// 0 under the next salt. The bitfield encoding keeps them distinct
+    /// and round-trips both.
+    #[test]
+    fn previously_colliding_ids_roundtrip() {
+        const OLD_TAG_GATHER: u64 = 1 << 40;
+        const OLD_SALT_STRIDE: u64 = 1 << 32;
+        // The old arithmetic really collided:
+        assert_eq!(
+            OLD_TAG_GATHER + 0 + OLD_SALT_STRIDE,
+            OLD_TAG_GATHER + OLD_SALT_STRIDE + 0,
+        );
+        // The bitfield encoding does not, and each side round-trips.
+        let a = encode_tag(1, 0, OLD_SALT_STRIDE); // salt 0, box 2³²
+        let b = encode_tag(1, 1, 0); // next salt, box 0
+        assert_ne!(a, b);
+        assert_eq!(decode_tag(a), (1, 0, OLD_SALT_STRIDE));
+        assert_eq!(decode_tag(b), (1, 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn sub_width_overflow_is_rejected() {
+        encode_tag(1, 0, TAG_SUB_LIMIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn salt_width_overflow_is_rejected() {
+        encode_tag(1, TAG_SALT_LIMIT, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "namespace")]
+    fn zero_namespace_is_rejected() {
+        encode_tag(0, 0, 0);
+    }
+}

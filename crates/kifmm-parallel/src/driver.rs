@@ -2,22 +2,33 @@
 //!
 //! Per evaluation, each rank:
 //!
-//! 1. posts its ghost-density gather sends (eager) — *overlapped with:*
+//! 1. posts its ghost-density gather packets (eager, one packed message
+//!    per owning peer) — *overlapped with:*
 //! 2. the **upward computation**: partial upward equivalent densities for
 //!    every box it contributes to, "ignoring the existence of the other
 //!    processors" (redundant work near the root, as the paper accepts);
-//! 3. completes the ghost exchange and posts the partial-equivalent
-//!    gather sends — *overlapped with:*
-//! 4. the **dense (U-list) and X-list computations**, which only need
-//!    ghost sources;
-//! 5. completes the equivalent-density exchange (owners sum partials —
-//!    valid because every translation is linear in the sources);
-//! 6. runs the remaining **downward computation** (V via FFT, W, L2L,
-//!    L2T) with the globally summed equivalents.
+//! 3. posts the partial-equivalent gather packets and drives that
+//!    exchange to completion (owners sum partials — valid because every
+//!    translation is linear in the sources), draining any arrived
+//!    ghost-density packets opportunistically in the same wait loop;
+//! 4. runs the **M2L (V-list) translations** level by level with the
+//!    ghost-density exchange still in flight, polling it between levels
+//!    so density packets drain strictly underneath M2L compute;
+//! 5. completes the ghost-density exchange (by step 4's polling it is
+//!    usually already done) and runs the **dense (U-list) and X-list
+//!    computations** on the assembled ghost sources;
+//! 6. finishes the downward computation (L2L, W, L2T) with the globally
+//!    summed equivalents.
 //!
-//! No synchronization happens inside the computation passes — only the
-//! two exchange steps communicate, matching the paper's "logically
-//! separated" design.
+//! No synchronization happens inside the computation passes — the
+//! exchanges are poll-driven state machines
+//! ([`ExchangePlan`](crate::exchange::ExchangePlan)) that make
+//! progress whenever the driver touches them between compute stages,
+//! matching the paper's "logically separated" design while keeping
+//! communication under compute. M2L and the X-list pass both *accumulate*
+//! into the downward check potentials, so running M2L before X (the
+//! reverse of the serial evaluator's order) changes only the rounding of
+//! that sum, within the cross-path tolerance.
 //!
 //! The passes themselves are the shared implementations in
 //! `kifmm_core::engine`, run under `Dispatch::Serial` (the paper's model
@@ -27,7 +38,7 @@
 //! the LET/ownership setup, the two overlapped exchanges, and the
 //! installation of globally summed equivalents between engine phases.
 
-use crate::exchange::{Combine, ExchangePlan, UserKind};
+use crate::exchange::{Combine, ExchangeRoute, UserKind};
 use crate::global_tree::{build_distributed_tree, DistributedTree};
 use crate::ownership::Ownership;
 use kifmm_core::engine::{
@@ -47,10 +58,11 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Exchange tag salts (disjoint sub-spaces per payload kind).
+/// Exchange tag salts (disjoint sub-spaces per payload kind; packed into
+/// the checked `kifmm_mpi::encode_tag` salt bitfield).
 const SALT_POINTS: u64 = 0;
-const SALT_DENS: u64 = 1 << 32;
-const SALT_EQUIV: u64 = 2 << 32;
+const SALT_DENS: u64 = 1;
+const SALT_EQUIV: u64 = 2;
 
 /// Async-event ids for the two in-flight exchanges of one evaluation
 /// (rendered as overlap arrows on the chrome-trace timeline).
@@ -68,6 +80,29 @@ struct GhostSources<'a> {
 impl SourceProvider for GhostSources<'_> {
     fn sources(&self, ni: u32) -> (&[Point3], &[f64]) {
         (&self.points[&ni], &self.dens[&ni])
+    }
+}
+
+/// Charges sent-traffic deltas from [`Comm::stats`] to [`PhaseStats`]
+/// phases, so the BENCH summary can report per-phase message counts and
+/// bytes (the comm-regression gate's input).
+struct CommMeter {
+    msgs: u64,
+    bytes: u64,
+}
+
+impl CommMeter {
+    fn new(comm: &Comm) -> CommMeter {
+        let st = comm.stats();
+        CommMeter { msgs: st.messages_sent, bytes: st.bytes_sent }
+    }
+
+    /// Attribute everything sent since the last charge to `phase`.
+    fn charge(&mut self, comm: &Comm, stats: &mut PhaseStats, phase: Phase) {
+        let st = comm.stats();
+        stats.add_comm(phase, st.messages_sent - self.msgs, st.bytes_sent - self.bytes);
+        self.msgs = st.messages_sent;
+        self.bytes = st.bytes_sent;
     }
 }
 
@@ -91,9 +126,14 @@ pub struct ParallelFmm<K: Kernel> {
     /// exchanged once at construction).
     ghost_points: HashMap<u32, Vec<Point3>>,
     /// Leaves participating in the source exchange (same on all ranks).
-    src_leaves: Vec<u32>,
+    pub src_leaves: Vec<u32>,
     /// Boxes participating in the equivalent exchange (same on all ranks).
-    equiv_boxes: Vec<u32>,
+    pub equiv_boxes: Vec<u32>,
+    /// Per-peer box lists of the source exchange, grouped once at
+    /// construction (used for ghost geometry and every eval's densities).
+    pub src_route: ExchangeRoute,
+    /// Per-peer box lists of the equivalent exchange.
+    pub equiv_route: ExchangeRoute,
     /// Wall seconds spent in tree construction, list building, ownership
     /// and the ghost geometry exchange (the paper's "Tree Gen/Comm").
     pub setup_seconds: f64,
@@ -154,22 +194,16 @@ impl<K: Kernel> ParallelFmm<K> {
                     && dtree.tree.nodes[b as usize].key.level >= FIRST_FMM_LEVEL
             })
             .collect();
-        let point_payload = |b: u32| -> Vec<f64> {
+        let src_route = ExchangeRoute::build(comm, &own, &src_leaves, UserKind::Source);
+        let equiv_route = ExchangeRoute::build(comm, &own, &equiv_boxes, UserKind::Equiv);
+        let mut point_payload = |b: u32| -> Vec<f64> {
             let nd = &dtree.tree.nodes[b as usize];
             dtree.sorted_points[nd.pt_start as usize..nd.pt_end as usize]
                 .iter()
                 .flat_map(|p| p.iter().copied())
                 .collect()
         };
-        let plan = ExchangePlan::begin(
-            comm,
-            &own,
-            src_leaves.clone(),
-            SALT_POINTS,
-            Combine::Concat,
-            UserKind::Source,
-            point_payload,
-        );
+        let plan = src_route.begin(comm, SALT_POINTS, Combine::Concat, &mut point_payload);
         let flat = plan.complete(comm, point_payload);
         let ghost_points: HashMap<u32, Vec<Point3>> = flat
             .into_iter()
@@ -193,6 +227,8 @@ impl<K: Kernel> ParallelFmm<K> {
             ghost_points,
             src_leaves,
             equiv_boxes,
+            src_route,
+            equiv_route,
             setup_seconds: tree_seconds + t1.elapsed().as_secs_f64(),
             trace: Tracer::disabled(),
         }
@@ -295,25 +331,21 @@ impl<K: Kernel> ParallelFmm<K> {
             .unwrap_or_else(|| (engine.new_store(), EngineWorkspace::default()));
         store.reset();
 
-        // 1. Ghost density gather sends (overlapped with the upward pass).
-        let dens_payload = |b: u32| -> Vec<f64> {
+        // 1. Ghost density gather packets (one packed send per owning
+        //    peer), overlapped with everything up to the U/X passes.
+        let mut meter = CommMeter::new(comm);
+        let mut dens_payload = |b: u32| -> Vec<f64> {
             let nd = &tree.nodes[b as usize];
             dens[nd.pt_start as usize * K::SRC_DIM..nd.pt_end as usize * K::SRC_DIM].to_vec()
         };
         let tcomm = Instant::now();
         rt.async_begin("dens-exchange", ASYNC_DENS);
         let span = rt.span("Comm", "dens-gather");
-        let dens_plan = ExchangePlan::begin(
-            comm,
-            &self.own,
-            self.src_leaves.clone(),
-            SALT_DENS,
-            Combine::Concat,
-            UserKind::Source,
-            dens_payload,
-        );
+        let mut dens_plan = self.src_route.begin(comm, SALT_DENS, Combine::Concat, &mut dens_payload);
+        let mut dens_done = false;
         drop(span);
         stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+        meter.charge(comm, &mut stats, Phase::Comm);
 
         // 2. Upward pass on contributed boxes (partial equivalents).
         let span = rt.span("Up", "Up");
@@ -326,33 +358,133 @@ impl<K: Kernel> ParallelFmm<K> {
         }
         drop(span);
 
-        // 3. Complete the ghost density exchange; post partial-equivalent
-        //    sends. The equivalent payload closures read `store.up`
-        //    directly (fresh borrow per call — the plan does not hold it).
+        // 3. Post the partial-equivalent gather packets. The payloads are
+        //    snapshotted from `store.up` first (the partials don't change
+        //    until the global sums are installed), so the plan holds no
+        //    borrow of the store and M2L can run while it is in flight.
         let tcomm = Instant::now();
-        let span = rt.span("Comm", "dens-complete");
-        let ghost_dens = dens_plan.complete(comm, dens_payload);
-        drop(span);
-        rt.async_end("dens-exchange", ASYNC_DENS);
         rt.async_begin("equiv-exchange", ASYNC_EQUIV);
-        let span = rt.span("Comm", "equiv-gather");
-        let equiv_plan = ExchangePlan::begin(
-            comm,
-            &self.own,
-            self.equiv_boxes.clone(),
-            SALT_EQUIV,
-            Combine::Sum,
-            UserKind::Equiv,
-            |b: u32| store.up(b).to_vec(),
-        );
+        let span = rt.span("Comm", "equiv-post");
+        let snap: HashMap<u32, Vec<f64>> =
+            self.equiv_route.payload_boxes().map(|b| (b, store.up(b).to_vec())).collect();
+        let mut equiv_payload = |b: u32| snap[&b].clone();
+        let mut equiv_plan =
+            self.equiv_route.begin(comm, SALT_EQUIV, Combine::Sum, &mut equiv_payload);
+        let mut equiv_done = false;
         drop(span);
         stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+        meter.charge(comm, &mut stats, Phase::Comm);
 
-        // 4. Overlapped computation: dense U-list interactions and X-list
-        //    check contributions (need only ghost sources).
-        let ghost_src = GhostSources { points: &self.ghost_points, dens: &ghost_dens };
+        // 4a. M2L over the targets whose V lists read no in-flight box.
+        //    A box is in flight iff the exchange will overwrite it with
+        //    remote content — scatter-received, or owned with remote
+        //    contributors; a sole-contributor owned box is final the
+        //    moment the local upward pass ran, even though its value is
+        //    scattered *to* peers. Only partition-boundary targets read
+        //    in-flight boxes, so the interior bulk of M2L runs under the
+        //    equivalent exchange; both plans are polled between levels.
+        let mut inflight = vec![false; tree.nodes.len()];
+        for b in self.equiv_route.installed_boxes() {
+            let bi = b as usize;
+            let sole = self.own.owner[bi] as usize == comm.rank()
+                && self.own.contributors(bi).len() == 1;
+            if !sole {
+                inflight[bi] = true;
+            }
+        }
+        let vready: Vec<bool> = (0..tree.nodes.len())
+            .map(|ni| self.lists.v[ni].iter().all(|&a| !inflight[a as usize]))
+            .collect();
         let mut pot = vec![0.0; n * K::TRG_DIM];
         rt.add(Counter::CellsTouched, engine.active_leaves().len() as u64);
+        let m2l = |pred: &(dyn Fn(usize) -> bool + Sync),
+                   level: u8,
+                   store: &mut _,
+                   ws: &mut _,
+                   stats: &mut PhaseStats| {
+            let span = rt.span("DownV", "m2l").with_n(level as u64);
+            let t0 = thread_cpu_time();
+            let flops = engine.m2l_level_where(level, store, ws, pred);
+            stats.add_seconds(Phase::DownV, thread_cpu_time() - t0);
+            stats.add_flops(Phase::DownV, flops);
+            rt.add(Counter::Flops, flops);
+            drop(span);
+        };
+        if depth >= FIRST_FMM_LEVEL {
+            for level in FIRST_FMM_LEVEL..=depth {
+                m2l(&|ni| vready[ni], level, &mut store, &mut ws, &mut stats);
+                let tpoll = Instant::now();
+                equiv_done = equiv_done || equiv_plan.poll(comm, &mut equiv_payload);
+                dens_done = dens_done || dens_plan.poll(comm, &mut dens_payload);
+                stats.add_seconds(Phase::Comm, tpoll.elapsed().as_secs_f64());
+                meter.charge(comm, &mut stats, Phase::Comm);
+            }
+        }
+
+        // 4b. Drive the equivalent exchange to completion — the held-back
+        //    boundary targets need the globally summed ghosts. The wait loop
+        //    parks on *both* exchanges' keys, so ghost-density packets
+        //    still drain opportunistically while this rank synchronizes.
+        let tcomm = Instant::now();
+        let span = rt.span("Comm", "equiv-drive");
+        let global_equiv = {
+            let mut keys = Vec::new();
+            loop {
+                equiv_done = equiv_done || equiv_plan.poll(comm, &mut equiv_payload);
+                dens_done = dens_done || dens_plan.poll(comm, &mut dens_payload);
+                if equiv_done {
+                    break;
+                }
+                keys.clear();
+                equiv_plan.pending_keys(&mut keys);
+                if !dens_done {
+                    dens_plan.pending_keys(&mut keys);
+                }
+                comm.wait_any(&keys);
+            }
+            equiv_plan.finish()
+        };
+        drop(span);
+        rt.async_end("equiv-exchange", ASYNC_EQUIV);
+        stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+        meter.charge(comm, &mut stats, Phase::Comm);
+        // Install the global sums over this rank's partials (`store.up`
+        // was unchanged while the exchange ran).
+        for (b, v) in &global_equiv {
+            store.set_up(*b, v);
+        }
+
+        // 4c. The held-back boundary targets, on the installed global
+        //    sums. Every target is computed in exactly one of the two
+        //    passes with identical inputs, so the split changes nothing —
+        //    not even rounding.
+        if depth >= FIRST_FMM_LEVEL {
+            for level in FIRST_FMM_LEVEL..=depth {
+                m2l(&|ni| !vready[ni], level, &mut store, &mut ws, &mut stats);
+                if !dens_done {
+                    let tpoll = Instant::now();
+                    dens_done = dens_plan.poll(comm, &mut dens_payload);
+                    stats.add_seconds(Phase::Comm, tpoll.elapsed().as_secs_f64());
+                    meter.charge(comm, &mut stats, Phase::Comm);
+                }
+            }
+        }
+
+        // 5. Complete the ghost-density exchange (usually already drained
+        //    by the polls above) and run the U/X passes on ghost sources.
+        let tcomm = Instant::now();
+        let span = rt.span("Comm", "dens-complete");
+        let ghost_dens = if dens_done {
+            dens_plan.finish()
+        } else {
+            dens_plan.complete(comm, dens_payload)
+        };
+        drop(span);
+        rt.async_end("dens-exchange", ASYNC_DENS);
+        stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
+        meter.charge(comm, &mut stats, Phase::Comm);
+
+        let ghost_src = GhostSources { points: &self.ghost_points, dens: &ghost_dens };
         let span = rt.span("DownU", "u-list");
         let t0 = thread_cpu_time();
         let flops = engine.u_pass(&ghost_src, &mut pot);
@@ -370,30 +502,9 @@ impl<K: Kernel> ParallelFmm<K> {
         }
         drop(span);
 
-        // 5. Complete the equivalent exchange; install the globally summed
-        //    equivalents over this rank's partials (`store.up` is unchanged
-        //    since the begin — the overlapped passes wrote only `check`).
-        let tcomm = Instant::now();
-        let span = rt.span("Comm", "equiv-complete");
-        let global_equiv = equiv_plan.complete(comm, |b: u32| store.up(b).to_vec());
-        drop(span);
-        rt.async_end("equiv-exchange", ASYNC_EQUIV);
-        stats.add_seconds(Phase::Comm, tcomm.elapsed().as_secs_f64());
-        for (b, v) in &global_equiv {
-            store.set_up(*b, v);
-        }
-
-        // 6. Remaining downward computation.
+        // 6. Remaining downward computation (check potentials now hold
+        //    both M2L and X contributions).
         if depth >= FIRST_FMM_LEVEL {
-            for level in FIRST_FMM_LEVEL..=depth {
-                let span = rt.span("DownV", "m2l").with_n(level as u64);
-                let t0 = thread_cpu_time();
-                let flops = engine.m2l_level(level, &mut store, &mut ws);
-                stats.add_seconds(Phase::DownV, thread_cpu_time() - t0);
-                stats.add_flops(Phase::DownV, flops);
-                rt.add(Counter::Flops, flops);
-                drop(span);
-            }
             let span = rt.span("Eval", "l2l");
             let t0 = thread_cpu_time();
             let flops = engine.l2l(&mut store, &mut ws);

@@ -1,4 +1,5 @@
-//! Algorithm 1: owner-coordinated gather/scatter of per-box payloads.
+//! Algorithm 1: owner-coordinated gather/scatter of per-box payloads,
+//! coalesced into one packed message per `(phase, peer)` pair.
 //!
 //! Two payload kinds flow through the same two-step pattern:
 //!
@@ -11,20 +12,41 @@
 //!   sources, so partial equivalents add) and scatters to the equivalent
 //!   users.
 //!
-//! The exchange is split into [`ExchangePlan::begin`] (all outgoing
-//! contributor sends — eager, returns immediately) and
-//! [`ExchangePlan::complete`] (owner combine + scatter + user receives).
-//! The driver places computation between the two, which is exactly the
-//! computation/communication overlap described in §3.2.
+//! ## Per-peer coalescing
+//!
+//! The first implementation posted one message *per box* — the
+//! many-small-messages anti-pattern: at P8 the comm phase was dominated by
+//! per-message overhead, O(boxes) messages when the information content is
+//! O(peers). An [`ExchangeRoute`], precomputed once per `(box set, user
+//! relation)`, groups boxes by peer; every contributor→owner gather and
+//! every owner→user scatter is then exactly **one**
+//! [`kifmm_mpi::packet`]-encoded message. Message tags carry
+//! `(namespace, salt, 0)` via the checked [`kifmm_mpi::encode_tag`]
+//! bitfields — the per-box sub-id is gone from the tag entirely (the box
+//! ids travel inside the packet header), which also retires the additive
+//! tag arithmetic that could collide across salt namespaces.
+//!
+//! ## Overlap surface
+//!
+//! [`ExchangeRoute::begin`] posts all outgoing gather packets (eager,
+//! returns immediately) and yields an [`ExchangePlan`] — a poll-driven
+//! state machine. [`ExchangePlan::poll`] makes progress without blocking
+//! (drain gather packets → combine + scatter once all parts are in → drain
+//! scatter packets), so the driver can interleave it between compute
+//! stages; [`ExchangePlan::complete`] drives the remainder, parking in
+//! [`Comm::wait_any`] instead of spinning. The combine folds contributor
+//! parts in ascending rank order with this rank's part produced by the
+//! same payload closure, so results are bitwise identical to the per-box
+//! path — [`legacy_exchange`] keeps that path alive for equivalence tests.
 
 use crate::ownership::Ownership;
-use kifmm_mpi::{decode_f64s, encode_f64s, Comm};
+use kifmm_mpi::{decode_f64s, decode_packet, encode_f64s, encode_packet, encode_tag, Comm};
 use std::collections::HashMap;
 
-/// Tag namespaces (all below the collective-reserved range).
-pub const TAG_GATHER: u64 = 1 << 40;
-/// Scatter messages use a disjoint namespace from gathers.
-pub const TAG_SCATTER: u64 = 2 << 40;
+/// Tag namespace of gather (contributor → owner) packets.
+pub const NS_GATHER: u64 = 1;
+/// Tag namespace of scatter (owner → user) packets.
+pub const NS_SCATTER: u64 = 2;
 
 /// How the owner combines contributor payloads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,116 +66,391 @@ pub enum UserKind {
     Equiv,
 }
 
-/// A gather/scatter in flight (sends posted, receives outstanding).
-pub struct ExchangePlan<'a> {
-    own: &'a Ownership,
-    boxes: Vec<u32>,
-    tag_salt: u64,
-    combine: Combine,
-    users: UserKind,
+/// Per-peer box lists for one exchange, precomputed at plan time.
+///
+/// Derived from the (globally identical) ownership masks in the caller's
+/// `boxes` order, so the sender's packet entries and the receiver's
+/// expectations agree by construction. Box sets and roles are fixed for
+/// the lifetime of a [`ParallelFmm`](crate::ParallelFmm); only payloads
+/// change between evaluations, so the route is built once and reused.
+pub struct ExchangeRoute {
+    /// Boxes this rank contributes to, grouped by owning peer (ascending).
+    gather_sends: Vec<(usize, Vec<u32>)>,
+    /// Boxes this rank owns, grouped by contributing peer (ascending).
+    gather_recvs: Vec<(usize, Vec<u32>)>,
+    /// Boxes this rank owns, grouped by using peer (ascending).
+    scatter_sends: Vec<(usize, Vec<u32>)>,
+    /// Boxes this rank uses, grouped by owning peer (ascending).
+    scatter_recvs: Vec<(usize, Vec<u32>)>,
+    /// Boxes this rank owns, each with its ascending contributor ranks.
+    owned: Vec<(u32, Vec<usize>)>,
+    /// The subset of owned boxes this rank also uses itself.
+    owned_used: Vec<u32>,
 }
 
-impl<'a> ExchangePlan<'a> {
-    /// Post this rank's contributor sends for every box in `boxes` and
-    /// return the pending plan. `local_payload` is called only for boxes
-    /// this rank contributes to. `tag_salt` keeps concurrent exchanges
-    /// (points vs densities vs equivalents) in disjoint tag spaces.
-    pub fn begin(
-        comm: &Comm,
-        own: &'a Ownership,
-        boxes: Vec<u32>,
-        tag_salt: u64,
-        combine: Combine,
-        users: UserKind,
-        mut local_payload: impl FnMut(u32) -> Vec<f64>,
-    ) -> ExchangePlan<'a> {
+impl ExchangeRoute {
+    /// Group `boxes` by peer for every role this rank plays.
+    pub fn build(comm: &Comm, own: &Ownership, boxes: &[u32], users: UserKind) -> ExchangeRoute {
         let me = comm.rank();
-        for &b in &boxes {
+        let size = comm.size();
+        let mut gs: Vec<Vec<u32>> = vec![Vec::new(); size];
+        let mut gr: Vec<Vec<u32>> = vec![Vec::new(); size];
+        let mut ss: Vec<Vec<u32>> = vec![Vec::new(); size];
+        let mut sr: Vec<Vec<u32>> = vec![Vec::new(); size];
+        let mut owned = Vec::new();
+        let mut owned_used = Vec::new();
+        for &b in boxes {
             let bi = b as usize;
-            if own.is_contributor(bi, me) && own.owner[bi] as usize != me {
-                let payload = encode_f64s(&local_payload(b));
-                comm.send(own.owner[bi] as usize, TAG_GATHER + tag_salt + b as u64, &payload);
-            }
-        }
-        ExchangePlan { own, boxes, tag_salt, combine, users }
-    }
-
-    /// Owner side: receive contributions, combine, scatter to users; user
-    /// side: receive the global payload. Returns the global payload for
-    /// every box this rank uses (and owns-and-uses). `local_payload` must
-    /// be the same function handed to [`ExchangePlan::begin`].
-    pub fn complete(
-        self,
-        comm: &Comm,
-        mut local_payload: impl FnMut(u32) -> Vec<f64>,
-    ) -> HashMap<u32, Vec<f64>> {
-        let me = comm.rank();
-        let mut global: HashMap<u32, Vec<f64>> = HashMap::new();
-        // Owner duties: gather + combine + scatter.
-        for &b in &self.boxes {
-            let bi = b as usize;
-            if self.own.owner[bi] as usize != me {
-                continue;
-            }
-            let mut combined: Option<Vec<f64>> = None;
-            for src in self.own.contributors(bi) {
-                let part = if src == me {
-                    local_payload(b)
-                } else {
-                    decode_f64s(&comm.recv(src, TAG_GATHER + self.tag_salt + b as u64))
+            let owner = own.owner[bi] as usize;
+            let me_uses = match users {
+                UserKind::Source => own.is_src_user(bi, me),
+                UserKind::Equiv => own.is_equiv_user(bi, me),
+            };
+            if owner == me {
+                let contributors = own.contributors(bi);
+                for &src in &contributors {
+                    if src != me {
+                        gr[src].push(b);
+                    }
+                }
+                let user_ranks = match users {
+                    UserKind::Source => own.src_users(bi),
+                    UserKind::Equiv => own.equiv_users(bi),
                 };
-                combined = Some(match (combined, self.combine) {
-                    (None, _) => part,
-                    (Some(mut acc), Combine::Concat) => {
-                        acc.extend_from_slice(&part);
-                        acc
+                for dst in user_ranks {
+                    if dst != me {
+                        ss[dst].push(b);
                     }
-                    (Some(mut acc), Combine::Sum) => {
-                        assert_eq!(acc.len(), part.len(), "partial payload length mismatch");
-                        for (a, p) in acc.iter_mut().zip(part) {
-                            *a += p;
-                        }
-                        acc
-                    }
-                });
-            }
-            let combined = combined.expect("owner contributes, so at least one part");
-            let payload = encode_f64s(&combined);
-            for dst in self.user_ranks(bi) {
-                if dst != me {
-                    comm.send(dst, TAG_SCATTER + self.tag_salt + b as u64, &payload);
+                }
+                if me_uses {
+                    owned_used.push(b);
+                }
+                owned.push((b, contributors));
+            } else {
+                if own.is_contributor(bi, me) {
+                    gs[owner].push(b);
+                }
+                if me_uses {
+                    sr[owner].push(b);
                 }
             }
-            if self.is_user(bi, me) {
-                global.insert(b, combined);
-            }
         }
-        // User duties: receive from owners.
-        for &b in &self.boxes {
-            let bi = b as usize;
-            let owner = self.own.owner[bi] as usize;
-            if owner != me && self.is_user(bi, me) {
-                let payload =
-                    decode_f64s(&comm.recv(owner, TAG_SCATTER + self.tag_salt + b as u64));
-                global.insert(b, payload);
-            }
-        }
-        global
-    }
-
-    fn user_ranks(&self, bi: usize) -> Vec<usize> {
-        match self.users {
-            UserKind::Source => self.own.src_users(bi),
-            UserKind::Equiv => self.own.equiv_users(bi),
+        let compress = |v: Vec<Vec<u32>>| -> Vec<(usize, Vec<u32>)> {
+            v.into_iter().enumerate().filter(|(_, l)| !l.is_empty()).collect()
+        };
+        ExchangeRoute {
+            gather_sends: compress(gs),
+            gather_recvs: compress(gr),
+            scatter_sends: compress(ss),
+            scatter_recvs: compress(sr),
+            owned,
+            owned_used,
         }
     }
 
-    fn is_user(&self, bi: usize, rank: usize) -> bool {
-        match self.users {
-            UserKind::Source => self.own.is_src_user(bi, rank),
-            UserKind::Equiv => self.own.is_equiv_user(bi, rank),
+    /// Peers this rank sends a gather packet to (one message each).
+    pub fn gather_peers(&self) -> usize {
+        self.gather_sends.len()
+    }
+
+    /// Peers this rank sends a scatter packet to (one message each).
+    pub fn scatter_peers(&self) -> usize {
+        self.scatter_sends.len()
+    }
+
+    /// Total messages this rank sends per exchange: exactly one per
+    /// gather peer plus one per scatter peer — O(peers), never O(boxes).
+    pub fn messages_out(&self) -> usize {
+        self.gather_sends.len() + self.scatter_sends.len()
+    }
+
+    /// Boxes whose combined global payload this rank receives from the
+    /// exchange (owned-and-used boxes plus every scatter-received box) —
+    /// exactly the keys the finished plan's map will hold. Everything the
+    /// rank reads *outside* this set is final the moment its local
+    /// contribution exists, which is what lets the driver start compute
+    /// stages that avoid these boxes before the exchange completes.
+    pub fn installed_boxes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.owned_used
+            .iter()
+            .chain(self.scatter_recvs.iter().flat_map(|(_, boxes)| boxes))
+            .copied()
+    }
+
+    /// Boxes the payload closure may be called for on this rank: boxes it
+    /// ships to other owners plus boxes it owns (whose local part enters
+    /// the combine fold). Lets a caller snapshot exactly the values the
+    /// exchange will read instead of holding a borrow across the plan's
+    /// lifetime.
+    pub fn payload_boxes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.gather_sends
+            .iter()
+            .flat_map(|(_, boxes)| boxes)
+            .copied()
+            .chain(self.owned.iter().map(|(b, _)| *b))
+    }
+
+    /// Post this rank's gather packets (eager — one packed send per owning
+    /// peer) and return the pending plan. `payload` is called once per
+    /// contributed box; `salt` keeps concurrent exchanges (points vs
+    /// densities vs equivalents) in disjoint tag spaces.
+    pub fn begin<'r>(
+        &'r self,
+        comm: &Comm,
+        salt: u64,
+        combine: Combine,
+        payload: &mut impl FnMut(u32) -> Vec<f64>,
+    ) -> ExchangePlan<'r> {
+        let gtag = encode_tag(NS_GATHER, salt, 0);
+        for (peer, boxes) in &self.gather_sends {
+            let payloads: Vec<Vec<f64>> = boxes.iter().map(|&b| payload(b)).collect();
+            let entries: Vec<(u32, &[f64])> =
+                boxes.iter().zip(&payloads).map(|(&b, p)| (b, p.as_slice())).collect();
+            comm.send(*peer, gtag, &encode_packet(&entries));
+        }
+        ExchangePlan {
+            route: self,
+            salt,
+            combine,
+            pending_gather: (0..self.gather_recvs.len()).collect(),
+            parts: HashMap::new(),
+            scattered: false,
+            pending_scatter: (0..self.scatter_recvs.len()).collect(),
+            global: HashMap::new(),
         }
     }
+}
+
+/// A coalesced gather/scatter in flight: gather packets posted, owner
+/// combine/scatter and user receives outstanding. Drive with
+/// [`ExchangePlan::poll`] between compute stages, or [`ExchangePlan::complete`]
+/// to block until done.
+pub struct ExchangePlan<'r> {
+    route: &'r ExchangeRoute,
+    salt: u64,
+    combine: Combine,
+    /// Indices into `route.gather_recvs` not yet received.
+    pending_gather: Vec<usize>,
+    /// Received contributor parts, keyed by `(contributor, box)`.
+    parts: HashMap<(usize, u32), Vec<f64>>,
+    /// Owner duties done: parts combined, scatter packets posted.
+    scattered: bool,
+    /// Indices into `route.scatter_recvs` not yet received.
+    pending_scatter: Vec<usize>,
+    /// Combined global payload per box this rank uses.
+    global: HashMap<u32, Vec<f64>>,
+}
+
+impl ExchangePlan<'_> {
+    /// Make all progress possible without blocking; returns true once the
+    /// exchange is finished (every used box's global payload assembled).
+    ///
+    /// `payload` must be the same function handed to
+    /// [`ExchangeRoute::begin`] — the owner's own contribution is produced
+    /// locally, never sent.
+    pub fn poll(&mut self, comm: &Comm, payload: &mut impl FnMut(u32) -> Vec<f64>) -> bool {
+        // 1. Drain arrived gather packets.
+        let gtag = encode_tag(NS_GATHER, self.salt, 0);
+        let mut still = Vec::with_capacity(self.pending_gather.len());
+        for &i in &self.pending_gather {
+            let peer = self.route.gather_recvs[i].0;
+            if let Some(bytes) = comm.try_recv(peer, gtag) {
+                for (b, v) in decode_packet(&bytes) {
+                    self.parts.insert((peer, b), v);
+                }
+            } else {
+                still.push(i);
+            }
+        }
+        self.pending_gather = still;
+
+        // 2. All parts in: combine (ascending contributor order, identical
+        //    fold to the legacy per-box path) and post scatter packets.
+        if !self.scattered && self.pending_gather.is_empty() {
+            let me = comm.rank();
+            let mut combined: HashMap<u32, Vec<f64>> =
+                HashMap::with_capacity(self.route.owned.len());
+            for (b, contributors) in &self.route.owned {
+                let mut acc: Option<Vec<f64>> = None;
+                for &src in contributors {
+                    let part = if src == me {
+                        payload(*b)
+                    } else {
+                        self.parts
+                            .remove(&(src, *b))
+                            .expect("contributor's gather packet carried this box")
+                    };
+                    acc = Some(match (acc, self.combine) {
+                        (None, _) => part,
+                        (Some(mut a), Combine::Concat) => {
+                            a.extend_from_slice(&part);
+                            a
+                        }
+                        (Some(mut a), Combine::Sum) => {
+                            assert_eq!(a.len(), part.len(), "partial payload length mismatch");
+                            for (x, p) in a.iter_mut().zip(part) {
+                                *x += p;
+                            }
+                            a
+                        }
+                    });
+                }
+                combined.insert(*b, acc.expect("owner contributes, so at least one part"));
+            }
+            let stag = encode_tag(NS_SCATTER, self.salt, 0);
+            for (peer, boxes) in &self.route.scatter_sends {
+                let entries: Vec<(u32, &[f64])> =
+                    boxes.iter().map(|b| (*b, combined[b].as_slice())).collect();
+                comm.send(*peer, stag, &encode_packet(&entries));
+            }
+            for &b in &self.route.owned_used {
+                let v = combined.remove(&b).expect("owned_used is a subset of owned");
+                self.global.insert(b, v);
+            }
+            self.scattered = true;
+        }
+
+        // 3. Drain arrived scatter packets.
+        let stag = encode_tag(NS_SCATTER, self.salt, 0);
+        let mut still = Vec::with_capacity(self.pending_scatter.len());
+        for &i in &self.pending_scatter {
+            let peer = self.route.scatter_recvs[i].0;
+            if let Some(bytes) = comm.try_recv(peer, stag) {
+                for (b, v) in decode_packet(&bytes) {
+                    self.global.insert(b, v);
+                }
+            } else {
+                still.push(i);
+            }
+        }
+        self.pending_scatter = still;
+
+        self.scattered && self.pending_scatter.is_empty()
+    }
+
+    /// Append the `(source, tag)` keys of every outstanding receive — the
+    /// argument for [`Comm::wait_any`] when the caller has run out of
+    /// compute to overlap. Nonempty whenever [`ExchangePlan::poll`]
+    /// returned false.
+    pub fn pending_keys(&self, out: &mut Vec<(usize, u64)>) {
+        let gtag = encode_tag(NS_GATHER, self.salt, 0);
+        for &i in &self.pending_gather {
+            out.push((self.route.gather_recvs[i].0, gtag));
+        }
+        let stag = encode_tag(NS_SCATTER, self.salt, 0);
+        for &i in &self.pending_scatter {
+            out.push((self.route.scatter_recvs[i].0, stag));
+        }
+    }
+
+    /// Drive the exchange to completion, parking in [`Comm::wait_any`]
+    /// between polls, and return the global payload of every used box.
+    pub fn complete(
+        mut self,
+        comm: &Comm,
+        mut payload: impl FnMut(u32) -> Vec<f64>,
+    ) -> HashMap<u32, Vec<f64>> {
+        let mut keys = Vec::new();
+        while !self.poll(comm, &mut payload) {
+            keys.clear();
+            self.pending_keys(&mut keys);
+            comm.wait_any(&keys);
+        }
+        self.finish()
+    }
+
+    /// Consume a finished plan (i.e. after [`ExchangePlan::poll`] returned
+    /// true) and take the assembled global payloads.
+    pub fn finish(self) -> HashMap<u32, Vec<f64>> {
+        assert!(
+            self.scattered && self.pending_gather.is_empty() && self.pending_scatter.is_empty(),
+            "finish() on an exchange that is still in flight"
+        );
+        self.global
+    }
+}
+
+/// The original per-box blocking exchange, kept as the reference
+/// implementation: one gather message per (contributed box, owner) and one
+/// scatter message per (owned box, user), tagged per box. Used by the
+/// coalesced-vs-legacy equivalence tests; production code uses
+/// [`ExchangeRoute`].
+pub fn legacy_exchange(
+    comm: &Comm,
+    own: &Ownership,
+    boxes: &[u32],
+    salt: u64,
+    combine: Combine,
+    users: UserKind,
+    mut payload: impl FnMut(u32) -> Vec<f64>,
+) -> HashMap<u32, Vec<f64>> {
+    let me = comm.rank();
+    let is_user = |bi: usize, rank: usize| match users {
+        UserKind::Source => own.is_src_user(bi, rank),
+        UserKind::Equiv => own.is_equiv_user(bi, rank),
+    };
+    // Contributor sends (eager, so no deadlock against the owner loop).
+    for &b in boxes {
+        let bi = b as usize;
+        if own.is_contributor(bi, me) && own.owner[bi] as usize != me {
+            let tag = encode_tag(NS_GATHER, salt, b as u64);
+            comm.send(own.owner[bi] as usize, tag, &encode_f64s(&payload(b)));
+        }
+    }
+    let mut global: HashMap<u32, Vec<f64>> = HashMap::new();
+    // Owner duties: gather + combine + scatter.
+    for &b in boxes {
+        let bi = b as usize;
+        if own.owner[bi] as usize != me {
+            continue;
+        }
+        let mut acc: Option<Vec<f64>> = None;
+        for src in own.contributors(bi) {
+            let part = if src == me {
+                payload(b)
+            } else {
+                decode_f64s(&comm.recv(src, encode_tag(NS_GATHER, salt, b as u64)))
+            };
+            acc = Some(match (acc, combine) {
+                (None, _) => part,
+                (Some(mut a), Combine::Concat) => {
+                    a.extend_from_slice(&part);
+                    a
+                }
+                (Some(mut a), Combine::Sum) => {
+                    assert_eq!(a.len(), part.len(), "partial payload length mismatch");
+                    for (x, p) in a.iter_mut().zip(part) {
+                        *x += p;
+                    }
+                    a
+                }
+            });
+        }
+        let combined = acc.expect("owner contributes, so at least one part");
+        let wire = encode_f64s(&combined);
+        let user_ranks = match users {
+            UserKind::Source => own.src_users(bi),
+            UserKind::Equiv => own.equiv_users(bi),
+        };
+        for dst in user_ranks {
+            if dst != me {
+                comm.send(dst, encode_tag(NS_SCATTER, salt, b as u64), &wire);
+            }
+        }
+        if is_user(bi, me) {
+            global.insert(b, combined);
+        }
+    }
+    // User duties: receive from owners.
+    for &b in boxes {
+        let bi = b as usize;
+        let owner = own.owner[bi] as usize;
+        if owner != me && is_user(bi, me) {
+            let payload = decode_f64s(&comm.recv(owner, encode_tag(NS_SCATTER, salt, b as u64)));
+            global.insert(b, payload);
+        }
+    }
+    global
 }
 
 #[cfg(test)]
@@ -164,50 +461,63 @@ mod tests {
     use kifmm_mpi::run;
     use kifmm_tree::{build_lists, partition_points, MAX_LEVEL};
 
-    /// Ghost-point exchange: every rank ends up with the full global point
-    /// list of every leaf it uses.
-    #[test]
-    fn ghost_points_reconstruct_global_leaves() {
-        let all = uniform_cube(1500, 21);
-        let part = partition_points(&all, 3);
-        let chunks: Vec<Vec<[f64; 3]>> = part
+    fn setup(
+        comm: &Comm,
+        chunks: &[Vec<[f64; 3]>],
+        leaf: usize,
+    ) -> (crate::global_tree::DistributedTree, Ownership) {
+        let dt = build_distributed_tree(comm, &chunks[comm.rank()], leaf, MAX_LEVEL);
+        let lists = build_lists(&dt.tree);
+        let nn = dt.tree.num_nodes();
+        let own = Ownership::build(
+            comm,
+            |b| dt.tree.nodes[b].num_points(),
+            &dt.global_counts,
+            &lists,
+            nn,
+        );
+        (dt, own)
+    }
+
+    fn chunked(all: &[[f64; 3]], ranks: usize) -> Vec<Vec<[f64; 3]>> {
+        partition_points(all, ranks)
             .groups
             .iter()
             .map(|g| g.iter().map(|&i| all[i]).collect())
-            .collect();
+            .collect()
+    }
+
+    /// Ghost-point exchange: every rank ends up with the full global point
+    /// list of every leaf it uses, while sending exactly one message per
+    /// gather/scatter peer.
+    #[test]
+    fn ghost_points_reconstruct_global_leaves() {
+        let all = uniform_cube(1500, 21);
+        let chunks = chunked(&all, 3);
         run(3, |comm| {
-            let dt = build_distributed_tree(comm, &chunks[comm.rank()], 40, MAX_LEVEL);
-            let lists = build_lists(&dt.tree);
-            let nn = dt.tree.num_nodes();
-            let own = Ownership::build(
-                comm,
-                |b| dt.tree.nodes[b].num_points(),
-                &dt.global_counts,
-                &lists,
-                nn,
-            );
+            let (dt, own) = setup(comm, &chunks, 40);
             let leaves: Vec<u32> = dt
                 .tree
                 .leaves()
                 .filter(|&b| own.has_src_users(b as usize))
                 .collect();
-            let payload = |b: u32| -> Vec<f64> {
+            let mut payload = |b: u32| -> Vec<f64> {
                 let nd = &dt.tree.nodes[b as usize];
                 dt.sorted_points[nd.pt_start as usize..nd.pt_end as usize]
                     .iter()
                     .flat_map(|p| p.iter().copied())
                     .collect()
             };
-            let plan = ExchangePlan::begin(
-                comm,
-                &own,
-                leaves.clone(),
-                0,
-                Combine::Concat,
-                UserKind::Source,
-                payload,
-            );
+            let route = ExchangeRoute::build(comm, &own, &leaves, UserKind::Source);
+            let sent_before = comm.stats().messages_sent;
+            let plan = route.begin(comm, 0, Combine::Concat, &mut payload);
             let global = plan.complete(comm, payload);
+            let sent = comm.stats().messages_sent - sent_before;
+            assert_eq!(
+                sent as usize,
+                route.messages_out(),
+                "one packed message per peer, O(peers) not O(boxes)"
+            );
             // Every used leaf's global list has exactly the global count.
             for &b in &leaves {
                 if own.is_src_user(b as usize, comm.rank()) {
@@ -226,42 +536,80 @@ mod tests {
     #[test]
     fn sum_combine_adds_partials() {
         let all = uniform_cube(900, 8);
-        let part = partition_points(&all, 3);
-        let chunks: Vec<Vec<[f64; 3]>> = part
-            .groups
-            .iter()
-            .map(|g| g.iter().map(|&i| all[i]).collect())
-            .collect();
+        let chunks = chunked(&all, 3);
         run(3, |comm| {
-            let dt = build_distributed_tree(comm, &chunks[comm.rank()], 30, MAX_LEVEL);
-            let lists = build_lists(&dt.tree);
+            let (dt, own) = setup(comm, &chunks, 30);
             let nn = dt.tree.num_nodes();
-            let own = Ownership::build(
-                comm,
-                |b| dt.tree.nodes[b].num_points(),
-                &dt.global_counts,
-                &lists,
-                nn,
-            );
             let boxes: Vec<u32> =
                 (0..nn as u32).filter(|&b| own.has_equiv_users(b as usize)).collect();
             // Fake partial payload: [local_count] so the global sum must be
             // the global count.
-            let payload =
+            let mut payload =
                 |b: u32| -> Vec<f64> { vec![dt.tree.nodes[b as usize].num_points() as f64] };
-            let plan = ExchangePlan::begin(
-                comm,
-                &own,
-                boxes.clone(),
-                7_000_000,
-                Combine::Sum,
-                UserKind::Equiv,
-                payload,
-            );
+            let route = ExchangeRoute::build(comm, &own, &boxes, UserKind::Equiv);
+            let plan = route.begin(comm, 7, Combine::Sum, &mut payload);
             let global = plan.complete(comm, payload);
             for &b in &boxes {
                 if own.is_equiv_user(b as usize, comm.rank()) {
                     assert_eq!(global[&b][0], dt.global_counts[b as usize] as f64);
+                }
+            }
+        });
+    }
+
+    /// Two exchanges in flight at once (distinct salts), driven by
+    /// interleaved polls — the overlap pattern the driver uses.
+    #[test]
+    fn interleaved_polling_of_two_exchanges() {
+        let all = uniform_cube(1200, 33);
+        let chunks = chunked(&all, 4);
+        run(4, |comm| {
+            let (dt, own) = setup(comm, &chunks, 35);
+            let nn = dt.tree.num_nodes();
+            let leaves: Vec<u32> = dt
+                .tree
+                .leaves()
+                .filter(|&b| own.has_src_users(b as usize))
+                .collect();
+            let boxes: Vec<u32> =
+                (0..nn as u32).filter(|&b| own.has_equiv_users(b as usize)).collect();
+            let mut pt_payload = |b: u32| -> Vec<f64> {
+                vec![dt.tree.nodes[b as usize].num_points() as f64; 2]
+            };
+            let mut eq_payload =
+                |b: u32| -> Vec<f64> { vec![dt.tree.nodes[b as usize].num_points() as f64] };
+            let r1 = ExchangeRoute::build(comm, &own, &leaves, UserKind::Source);
+            let r2 = ExchangeRoute::build(comm, &own, &boxes, UserKind::Equiv);
+            let mut p1 = r1.begin(comm, 1, Combine::Concat, &mut pt_payload);
+            let mut p2 = r2.begin(comm, 2, Combine::Sum, &mut eq_payload);
+            let (mut d1, mut d2) = (false, false);
+            let mut keys = Vec::new();
+            while !(d1 && d2) {
+                d1 = p1.poll(comm, &mut pt_payload);
+                d2 = p2.poll(comm, &mut eq_payload);
+                if d1 && d2 {
+                    break;
+                }
+                keys.clear();
+                if !d1 {
+                    p1.pending_keys(&mut keys);
+                }
+                if !d2 {
+                    p2.pending_keys(&mut keys);
+                }
+                comm.wait_any(&keys);
+            }
+            let g2 = p2.finish();
+            for &b in &boxes {
+                if own.is_equiv_user(b as usize, comm.rank()) {
+                    assert_eq!(g2[&b][0], dt.global_counts[b as usize] as f64);
+                }
+            }
+            let g1 = p1.finish();
+            for &b in &leaves {
+                if own.is_src_user(b as usize, comm.rank()) {
+                    // Concat: two floats per contributor, ascending order.
+                    assert_eq!(g1[&b].len(), 2 * own.contributors(b as usize).len());
                 }
             }
         });

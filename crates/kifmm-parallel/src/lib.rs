@@ -7,7 +7,9 @@
 //! * [`ownership`] — contributor/user roles, the local essential tree
 //!   relations, and the deterministic owner assignment (§3.2);
 //! * [`exchange`] — Algorithm 1's owner-coordinated gather/scatter for
-//!   ghost sources and partial upward equivalent densities;
+//!   ghost sources and partial upward equivalent densities, coalesced
+//!   into one packed message per (phase, peer) pair and pollable so
+//!   communication drains underneath compute;
 //! * [`driver`] — [`ParallelFmm`]: the three-stage interaction calculation
 //!   with communication overlapped against the upward pass and the
 //!   U/X-list computations, and no synchronization inside the computation
@@ -23,6 +25,6 @@ pub mod global_tree;
 pub mod ownership;
 
 pub use driver::{BoundParallelFmm, BuildParallel, ParallelFmm};
-pub use exchange::{Combine, ExchangePlan, UserKind};
+pub use exchange::{legacy_exchange, Combine, ExchangePlan, ExchangeRoute, UserKind};
 pub use global_tree::{build_distributed_tree, DistributedTree};
 pub use ownership::Ownership;

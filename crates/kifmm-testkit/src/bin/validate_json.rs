@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! validate_json <file>                      # parse check only
-//! validate_json <file> --bench-summary     # kifmm-bench-v1 invariants
+//! validate_json <file> --bench-summary [--max-eval-messages N]
+//!                                           # kifmm-bench-v1 invariants;
+//!                                           # optionally cap the summed
+//!                                           # per-phase message count
+//!                                           # (the comm-regression gate)
 //! validate_json <file> --chrome [min_ranks]# chrome-trace invariants
 //! ```
 //!
@@ -36,8 +40,18 @@ fn run(args: &[String]) -> Result<String, String> {
     match args.get(1).map(String::as_str) {
         None => Ok(format!("{path}: valid JSON")),
         Some("--bench-summary") => {
-            check_bench_summary(&doc).map_err(|e| format!("{path}: {e}"))?;
-            Ok(format!("{path}: valid kifmm-bench-v1 summary"))
+            let max_eval_messages: Option<u64> = match args.get(2).map(String::as_str) {
+                Some("--max-eval-messages") => {
+                    Some(args.get(3).and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+                }
+                Some(_) => return Err(usage()),
+                None => None,
+            };
+            let eval_msgs =
+                check_bench_summary(&doc, max_eval_messages).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "{path}: valid kifmm-bench-v1 summary ({eval_msgs} eval messages)"
+            ))
         }
         Some("--chrome") => {
             let min_ranks: usize = match args.get(2) {
@@ -52,12 +66,19 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: validate_json <file> [--bench-summary | --chrome [min_ranks]]".to_string()
+    "usage: validate_json <file> [--bench-summary [--max-eval-messages N] | --chrome [min_ranks]]"
+        .to_string()
 }
 
 /// `BENCH_*.json` invariants: schema tag, all seven phase keys with
-/// non-negative seconds, and — when ranks > 1 — nonzero comm bytes.
-fn check_bench_summary(doc: &Json) -> Result<(), String> {
+/// non-negative seconds and per-phase message/byte counters, and — when
+/// ranks > 1 — nonzero comm bytes. Returns the summed per-phase message
+/// count (the messages sent *during evaluation*, as opposed to
+/// `comm.messages_sent`, which may include setup collectives); when
+/// `max_eval_messages` is given, that sum must not exceed it — the
+/// coalesced exchange sends O(peers) messages, so the caller passes a
+/// ranks-based bound, never a boxes-based one.
+fn check_bench_summary(doc: &Json, max_eval_messages: Option<u64>) -> Result<u64, String> {
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
@@ -72,6 +93,7 @@ fn check_bench_summary(doc: &Json) -> Result<(), String> {
         doc.get(key).and_then(Json::as_f64).ok_or(format!("missing numeric field '{key}'"))?;
     }
     let phases = doc.get("phases").ok_or("missing 'phases' object")?;
+    let mut eval_msgs = 0u64;
     for key in PHASE_KEYS {
         let p = phases.get(key).ok_or(format!("missing phase '{key}'"))?;
         let secs = p
@@ -85,6 +107,23 @@ fn check_bench_summary(doc: &Json) -> Result<(), String> {
         p.get("gflops")
             .and_then(Json::as_f64)
             .ok_or(format!("phase '{key}' missing 'gflops'"))?;
+        let msgs = p
+            .get("messages")
+            .and_then(Json::as_f64)
+            .ok_or(format!("phase '{key}' missing 'messages'"))?;
+        p.get("bytes").and_then(Json::as_f64).ok_or(format!("phase '{key}' missing 'bytes'"))?;
+        if !(msgs >= 0.0) {
+            return Err(format!("phase '{key}' has negative messages {msgs}"));
+        }
+        eval_msgs += msgs as u64;
+    }
+    if let Some(bound) = max_eval_messages {
+        if eval_msgs > bound {
+            return Err(format!(
+                "comm regression: {eval_msgs} eval messages exceed the coalesced bound {bound} \
+                 (per-peer packing should send O(peers), not O(boxes))"
+            ));
+        }
     }
     let ranks = doc.get("ranks").and_then(Json::as_f64).unwrap_or(0.0);
     let comm = doc.get("comm").ok_or("missing 'comm' object")?;
@@ -96,7 +135,7 @@ fn check_bench_summary(doc: &Json) -> Result<(), String> {
     if ranks > 1.0 && bytes <= 0.0 {
         return Err(format!("ranks={ranks} but comm.bytes_sent={bytes} (expected > 0)"));
     }
-    Ok(())
+    Ok(eval_msgs)
 }
 
 /// Chrome-trace invariants: well-formed events, at least `min_ranks`

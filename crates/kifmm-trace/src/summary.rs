@@ -10,8 +10,10 @@
 //!   "bench": "parallel_scaling",
 //!   "n": 40000, "order": 6, "ranks": 4, "tree_depth": 5,
 //!   "phases": {
-//!     "Up":    {"seconds": 0.81, "flops": 123456, "gflops": 0.15},
-//!     "Comm":  {"seconds": 0.02, "flops": 0,      "gflops": 0.0},
+//!     "Up":    {"seconds": 0.81, "flops": 123456, "gflops": 0.15,
+//!               "messages": 0,  "bytes": 0},
+//!     "Comm":  {"seconds": 0.02, "flops": 0,      "gflops": 0.0,
+//!               "messages": 48, "bytes": 1048000},
 //!     ...
 //!   },
 //!   "total_seconds": 1.9, "total_flops": 456789, "gflops": 0.24,
@@ -34,7 +36,7 @@ use std::path::{Path, PathBuf};
 pub const SCHEMA: &str = "kifmm-bench-v1";
 
 /// One phase line of the summary.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct PhaseLine {
     /// Phase name (`"Up"`, `"Comm"`, …).
     pub name: String,
@@ -42,6 +44,11 @@ pub struct PhaseLine {
     pub seconds: f64,
     /// Counted flops charged to the phase.
     pub flops: u64,
+    /// Messages sent while work was charged to the phase (the
+    /// comm-regression gate reads these — O(peers), never O(boxes)).
+    pub messages: u64,
+    /// Bytes sent while work was charged to the phase.
+    pub bytes: u64,
 }
 
 /// A complete `BENCH_*.json` document.
@@ -100,6 +107,7 @@ impl BenchSummary {
             push_f64(&mut o, p.seconds);
             o.push_str(&format!(",\"flops\":{},\"gflops\":", p.flops));
             push_f64(&mut o, rate(p.flops, p.seconds));
+            o.push_str(&format!(",\"messages\":{},\"bytes\":{}", p.messages, p.bytes));
             o.push('}');
         }
         o.push_str("\n  }");
@@ -156,8 +164,8 @@ mod tests {
             ranks: 2,
             tree_depth: 3,
             phases: vec![
-                PhaseLine { name: "Up".into(), seconds: 0.5, flops: 1_000_000_000 },
-                PhaseLine { name: "Comm".into(), seconds: 0.0, flops: 0 },
+                PhaseLine { name: "Up".into(), seconds: 0.5, flops: 1_000_000_000, ..Default::default() },
+                PhaseLine { name: "Comm".into(), messages: 12, bytes: 3456, ..Default::default() },
             ],
             comm_bytes: 42,
             comm_messages: 7,
@@ -173,6 +181,8 @@ mod tests {
         let j = s.to_json();
         assert!(j.contains("\"gflops\":2.0"), "{j}");
         assert!(j.contains("\"bytes_sent\":42"));
+        assert!(j.contains("\"messages\":12"), "{j}");
+        assert!(j.contains("\"bytes\":3456"), "{j}");
         assert!(j.contains("\"schema\":\"kifmm-bench-v1\""));
     }
 

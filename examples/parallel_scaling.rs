@@ -93,6 +93,8 @@ fn main() {
                     name: (*name).into(),
                     seconds: merged.seconds[i],
                     flops: merged.flops[i],
+                    messages: merged.comm_messages[i],
+                    bytes: merged.comm_bytes[i],
                 })
                 .collect(),
             comm_bytes: bytes,

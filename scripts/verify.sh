@@ -35,9 +35,15 @@ echo "dependency audit: OK (path-only)"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
-# 3. Observability artifact gate: a tiny distributed run must emit
-#    BENCH_*.json summaries with all seven phase keys (nonzero comm bytes
-#    for ranks > 1) and a chrome trace with one track per virtual rank.
+# 3. Observability artifact gate + comm-regression gate: a tiny
+#    distributed run must emit BENCH_*.json summaries with all seven
+#    phase keys (nonzero comm bytes for ranks > 1) and a chrome trace
+#    with one track per virtual rank. The per-phase message counts must
+#    stay within the coalesced bound: each of the two per-eval exchanges
+#    (densities, equivalents) sends at most one gather + one scatter
+#    message per peer per rank, so an evaluation's total is at most
+#    4·P·(P-1) — a ranks-based bound. The per-box path sent O(boxes)
+#    messages and would blow through it immediately.
 artifacts=$(mktemp -d)
 trap 'rm -rf "$artifacts"' EXIT
 KIFMM_N=3000 KIFMM_BENCH_DIR="$artifacts" \
@@ -45,10 +51,12 @@ KIFMM_N=3000 KIFMM_BENCH_DIR="$artifacts" \
 validate="target/release/validate_json"
 cargo build -q --release --offline -p kifmm-testkit --bin validate_json
 for p in 1 2 4 8; do
-    "$validate" "$artifacts/BENCH_parallel_scaling_P$p.json" --bench-summary
+    bound=$((4 * p * (p - 1)))
+    "$validate" "$artifacts/BENCH_parallel_scaling_P$p.json" \
+        --bench-summary --max-eval-messages "$bound"
 done
 "$validate" "$artifacts/TRACE_parallel_scaling_P4.json" --chrome 4
-echo "artifact gate: OK"
+echo "artifact + comm-regression gate: OK"
 
 # 4. Cross-path gate: one tiny problem through all three drivers (serial,
 #    shared-memory pool, distributed P=4) must agree — bitwise for the

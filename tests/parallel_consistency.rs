@@ -3,6 +3,7 @@
 //! rank count and distribution, and its communication accounting must
 //! behave (comm grows with P; phases populated).
 
+use kifmm::parallel::exchange::{legacy_exchange, Combine, ExchangeRoute, UserKind};
 use kifmm::parallel::ParallelFmm;
 use kifmm_testkit::serial_reference;
 use kifmm::tree::{partition_patches, partition_points};
@@ -109,6 +110,95 @@ fn patch_partitioned_input_matches_serial() {
         let e = rel_l2_error(&pot, &serial[r]);
         assert!(e < 1e-9, "rank {r}: error {e}");
     }
+}
+
+/// Coalesced-vs-legacy exchange equivalence at P=4, both `Combine` modes:
+/// the packed per-peer path must reproduce the per-box path's combined
+/// payloads **bitwise** (same ascending-contributor fold), while sending
+/// exactly one gather message per owning peer and one scatter message per
+/// using peer.
+#[test]
+fn coalesced_exchange_matches_legacy_bitwise() {
+    let all = kifmm::geom::sphere_grid(2500, 8);
+    let chunks = split(&all, 4);
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
+    kifmm::mpi::run(4, move |comm| {
+        let r = comm.rank();
+        let pfmm = ParallelFmm::new(comm, Laplace, &chunks[r], opts);
+        let (own, tree) = (&pfmm.own, &pfmm.dtree.tree);
+
+        // Concat over the source leaves (the ghost-density payload shape).
+        let dens_of = |b: u32| -> Vec<f64> {
+            let nd = &tree.nodes[b as usize];
+            (nd.pt_start..nd.pt_end).map(|i| (i as f64).sin() + r as f64).collect()
+        };
+        let route = ExchangeRoute::build(comm, own, &pfmm.src_leaves, UserKind::Source);
+        let mut payload = dens_of;
+        let sent0 = comm.stats().messages_sent;
+        let plan = route.begin(comm, 9, Combine::Concat, &mut payload);
+        let packed = plan.complete(comm, payload);
+        let sent = (comm.stats().messages_sent - sent0) as usize;
+        assert_eq!(
+            sent,
+            route.gather_peers() + route.scatter_peers(),
+            "exactly one gather message per contributing peer and one \
+             scatter message per using peer"
+        );
+        let legacy =
+            legacy_exchange(comm, own, &pfmm.src_leaves, 10, Combine::Concat, UserKind::Source, dens_of);
+        assert_eq!(packed.len(), legacy.len(), "same set of used boxes");
+        for (b, v) in &legacy {
+            assert_eq!(&packed[b], v, "box {b}: Concat payloads bitwise equal");
+        }
+
+        // Sum over the equivalent boxes (the partial-equivalent shape) —
+        // irrational per-rank parts so any reordering of the fold would
+        // show up in the low bits.
+        let part_of = |b: u32| -> Vec<f64> {
+            vec![(b as f64 + 1.0).sqrt() * (r as f64 + 0.5); 4]
+        };
+        let route = ExchangeRoute::build(comm, own, &pfmm.equiv_boxes, UserKind::Equiv);
+        let mut payload = part_of;
+        let sent0 = comm.stats().messages_sent;
+        let plan = route.begin(comm, 11, Combine::Sum, &mut payload);
+        let packed = plan.complete(comm, payload);
+        let sent = (comm.stats().messages_sent - sent0) as usize;
+        assert_eq!(sent, route.messages_out(), "O(peers) messages for Sum too");
+        let legacy =
+            legacy_exchange(comm, own, &pfmm.equiv_boxes, 12, Combine::Sum, UserKind::Equiv, part_of);
+        for (b, v) in &legacy {
+            assert_eq!(&packed[b], v, "box {b}: Sum payloads bitwise equal");
+        }
+    });
+}
+
+/// Full-driver message accounting: one evaluation sends exactly one
+/// gather + one scatter message per contributing/using peer per exchange
+/// phase (densities + equivalents) — nothing per box.
+#[test]
+fn eval_sends_one_message_per_peer_per_phase() {
+    let all = kifmm::geom::sphere_grid(3000, 8);
+    let chunks = split(&all, 4);
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
+    kifmm::mpi::run(4, move |comm| {
+        let r = comm.rank();
+        let pfmm = ParallelFmm::new(comm, Laplace, &chunks[r], opts);
+        let dens = kifmm::geom::random_densities(chunks[r].len(), 1, r as u64);
+        let before = comm.stats().messages_sent;
+        let report = pfmm.eval(comm, &dens);
+        let sent = comm.stats().messages_sent - before;
+        let expected = (pfmm.src_route.messages_out() + pfmm.equiv_route.messages_out()) as u64;
+        assert_eq!(
+            sent, expected,
+            "rank {r}: eval message count must be the per-peer route size"
+        );
+        // The per-phase counters in the report agree with the raw stats.
+        assert_eq!(report.stats.total_messages(), sent);
+        // And the count is bounded by peers, not boxes: each of the two
+        // exchanges sends at most one gather + one scatter per peer.
+        let peers = (comm.size() - 1) as u64;
+        assert!(sent <= 4 * peers, "rank {r}: {sent} messages for {peers} peers");
+    });
 }
 
 #[test]

@@ -148,6 +148,8 @@ fn bench_summary_agrees_with_eval_report() {
                 name: (*name).into(),
                 seconds: report.stats.seconds[i],
                 flops: report.stats.flops[i],
+                messages: report.stats.comm_messages[i],
+                bytes: report.stats.comm_bytes[i],
             })
             .collect(),
         comm_bytes: 0,
