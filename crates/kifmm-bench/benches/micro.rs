@@ -174,7 +174,8 @@ fn bench_engine(filter: &str) {
     let depth = tree.depth();
     assert!(depth >= FIRST_FMM_LEVEL, "bench tree must reach FMM levels");
     let engine = fmm.engine(Dispatch::Serial);
-    let src = LocalSources { tree, points: fmm.morton_points(), dens: &dens, src_dim: 1 };
+    let dens_refs: [&[f64]; 1] = [&dens];
+    let src = LocalSources { tree, points: fmm.morton_points(), dens: &dens_refs, src_dim: 1 };
     let mut store = engine.new_store();
     let mut ws = EngineWorkspace::default();
     engine.upward(&src, &mut store, &mut ws);
@@ -196,7 +197,7 @@ fn bench_engine(filter: &str) {
                 let node = &tree.nodes[ni as usize];
                 chk.fill(0.0);
                 if node.is_leaf() {
-                    let (p, d) = src.sources(ni);
+                    let (p, d) = src.sources(ni, 0);
                     let c = tree.domain.box_center(&node.key);
                     let uc = surface_points(order, RAD_OUTER, c, lops.box_half);
                     Laplace.p2p(&uc, p, d, &mut chk);

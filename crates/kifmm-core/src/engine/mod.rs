@@ -23,6 +23,18 @@
 //! level's source spectra into one contiguous slab. The drivers contribute
 //! only orchestration — permutation, spans, timing, and (for the
 //! distributed path) the two overlapped exchanges.
+//!
+//! ## Multi-RHS batches
+//!
+//! Every pass also runs for `k > 1` simultaneous charge vectors (see
+//! `eval_many`): the store interleaves `k` rows per node, the per-level
+//! GEMMs simply widen their column blocks by `k` (each output column of
+//! [`kifmm_linalg::gemm_slices`] accumulates independently in identical
+//! `p`-order, so widening is bitwise-safe per column), the FFT M2L loops
+//! RHS **innermost** per `(source, direction)` so the direction tensors
+//! stay cache-hot, and the dense passes use [`Kernel::p2p_many`] which
+//! hoists pair geometry across the batch. With `k = 1` every pass takes
+//! exactly the original single-RHS code path.
 
 mod store;
 
@@ -45,8 +57,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// local Morton-sorted arrays (serial/shared-memory, and the distributed
 /// upward pass) or the ghost-exchanged copies (distributed U/X passes).
 pub trait SourceProvider: Sync {
-    /// Points and `SRC_DIM`-interleaved densities of box `ni`.
-    fn sources(&self, ni: u32) -> (&[Point3], &[f64]);
+    /// Number of simultaneous charge vectors.
+    fn nrhs(&self) -> usize;
+    /// Points and `SRC_DIM`-interleaved densities of box `ni` for RHS
+    /// `rhs` (the points are the same for every RHS).
+    fn sources(&self, ni: u32, rhs: usize) -> (&[Point3], &[f64]);
 }
 
 /// [`SourceProvider`] over the local Morton-sorted point/density arrays.
@@ -55,17 +70,21 @@ pub struct LocalSources<'a> {
     pub tree: &'a Octree,
     /// Morton-sorted points.
     pub points: &'a [Point3],
-    /// Morton-sorted densities, `src_dim` per point.
-    pub dens: &'a [f64],
+    /// One Morton-sorted density vector per RHS, `src_dim` per point.
+    pub dens: &'a [&'a [f64]],
     /// Kernel source dimension.
     pub src_dim: usize,
 }
 
 impl SourceProvider for LocalSources<'_> {
-    fn sources(&self, ni: u32) -> (&[Point3], &[f64]) {
+    fn nrhs(&self) -> usize {
+        self.dens.len()
+    }
+
+    fn sources(&self, ni: u32, rhs: usize) -> (&[Point3], &[f64]) {
         let node = &self.tree.nodes[ni as usize];
         let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-        (&self.points[s..e], &self.dens[s * self.src_dim..e * self.src_dim])
+        (&self.points[s..e], &self.dens[rhs][s * self.src_dim..e * self.src_dim])
     }
 }
 
@@ -143,10 +162,22 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         (ns, ns * K::SRC_DIM, ns * K::TRG_DIM)
     }
 
-    /// A zeroed [`ExpansionStore`] sized for this tree.
+    /// A zeroed single-RHS [`ExpansionStore`] sized for this tree.
     pub fn new_store(&self) -> ExpansionStore {
+        self.new_store_many(1)
+    }
+
+    /// A zeroed [`ExpansionStore`] sized for this tree and `nrhs`
+    /// simultaneous charge vectors.
+    pub fn new_store_many(&self, nrhs: usize) -> ExpansionStore {
         let (_, es, cs) = self.dims();
-        ExpansionStore::new(self.tree.num_nodes(), es, cs)
+        ExpansionStore::with_nrhs(self.tree.num_nodes(), es, cs, nrhs)
+    }
+
+    /// Reshape a pooled store for this tree and `nrhs`, zeroing it.
+    pub fn prepare_store(&self, store: &mut ExpansionStore, nrhs: usize) {
+        let (_, es, cs) = self.dims();
+        store.ensure(self.tree.num_nodes(), es, cs, nrhs);
     }
 
     /// Active leaves in target-point order.
@@ -172,6 +203,143 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         let start = idxs[0] as usize;
         debug_assert!(idxs.windows(2).all(|w| w[1] == w[0] + 1), "level not contiguous");
         (start, start + idxs.len())
+    }
+
+    /// Dense accumulation of box `a`'s sources into per-RHS output rows:
+    /// single-RHS calls take the kernel's fused [`Kernel::p2p`] (the
+    /// historical instruction stream), batches take [`Kernel::p2p_many`]
+    /// whose contract makes each RHS bit-identical to the former.
+    fn p2p_box<S: SourceProvider>(
+        &self,
+        src: &S,
+        a: u32,
+        targets: &[Point3],
+        outs: &mut [&mut [f64]],
+    ) {
+        if outs.len() == 1 {
+            let (pts, d) = src.sources(a, 0);
+            self.kernel.p2p(targets, pts, d, outs[0]);
+        } else {
+            let (pts, _) = src.sources(a, 0);
+            let dens: Vec<&[f64]> = (0..outs.len()).map(|q| src.sources(a, q).1).collect();
+            self.kernel.p2p_many(targets, pts, &dens, outs);
+        }
+    }
+
+    /// Upward pass: S2M at active leaves, M2M at active internal boxes,
+    /// bottom-up, ending with the check → equivalent inversion. M2M
+    /// translations and the inversions run as per-level multi-RHS GEMMs
+    /// (a batch of `k` charge vectors widens each column block `k`-fold).
+    /// Writes `store.up` blocks of active boxes; returns the flop count.
+    pub fn upward<S: SourceProvider>(
+        &self,
+        src: &S,
+        store: &mut ExpansionStore,
+        ws: &mut EngineWorkspace,
+    ) -> u64 {
+        let depth = self.tree.depth();
+        if depth < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        let (ns, es, cs) = self.dims();
+        let nrhs = src.nrhs();
+        assert_eq!(store.nrhs(), nrhs, "store shaped for the batch width");
+        let csb = cs * nrhs;
+        let kf = self.kernel.flops_per_eval();
+        let threads = self.dispatch.threads();
+        let mut flops = 0u64;
+        for level in (FIRST_FMM_LEVEL..=depth).rev() {
+            let act = &self.active.levels[level as usize];
+            let nb = act.len();
+            if nb == 0 {
+                continue;
+            }
+            let lops = self.pre.ops.at(level);
+            // S2M: leaf sources → upward check potentials, one batch block
+            // (`nrhs` rows) per active box (internal boxes stay zero for
+            // M2M below). The upward surface is built once per box and
+            // shared by the whole batch.
+            ws.rows.clear();
+            ws.rows.resize(nb * csb, 0.0);
+            par_chunks_mut_with(threads, &mut ws.rows, csb, |i, chk| {
+                let ni = act[i];
+                let node = &self.tree.nodes[ni as usize];
+                if node.is_leaf() {
+                    let c = self.tree.domain.box_center(&node.key);
+                    let uc = surface_points(self.order, RAD_OUTER, c, lops.box_half);
+                    let mut outs: Vec<&mut [f64]> = chk.chunks_mut(cs).collect();
+                    self.p2p_box(src, ni, &uc, &mut outs);
+                }
+            });
+            for &ni in act {
+                if self.tree.nodes[ni as usize].is_leaf() {
+                    flops += (src.sources(ni, 0).0.len() * ns * nrhs) as u64 * kf;
+                }
+            }
+            // M2M: one multi-RHS GEMM per child octant over all active
+            // (parent, child) pairs of this level; the sequential
+            // octant-order scatter-add keeps parent sums deterministic.
+            for oct in 0..8 {
+                ws.pairs.clear();
+                for (i, &ni) in act.iter().enumerate() {
+                    let ci = self.tree.nodes[ni as usize].children[oct];
+                    if ci != NO_NODE && self.active.mask[ci as usize] {
+                        ws.pairs.push((i as u32, ci));
+                    }
+                }
+                let nbo = ws.pairs.len();
+                if nbo == 0 {
+                    continue;
+                }
+                let ncols = nbo * nrhs;
+                ws.xin.clear();
+                ws.xin.resize(es * ncols, 0.0);
+                for (j, &(_, ci)) in ws.pairs.iter().enumerate() {
+                    for q in 0..nrhs {
+                        let child = store.up_rhs(ci, q);
+                        for r in 0..es {
+                            ws.xin[r * ncols + j * nrhs + q] = child[r];
+                        }
+                    }
+                }
+                ws.yout.clear();
+                ws.yout.resize(cs * ncols, 0.0);
+                self.apply_op_cols(&lops.ue2uc[oct], &ws.xin, &mut ws.yout, ncols);
+                for (j, &(i, _)) in ws.pairs.iter().enumerate() {
+                    let blk = &mut ws.rows[i as usize * csb..(i as usize + 1) * csb];
+                    for q in 0..nrhs {
+                        for r in 0..cs {
+                            blk[q * cs + r] += ws.yout[r * ncols + j * nrhs + q];
+                        }
+                    }
+                }
+                flops += ncols as u64 * 2 * (cs * es) as u64;
+            }
+            // Level-wide check → equivalent inversion, one GEMM.
+            let ncols = nb * nrhs;
+            ws.xin.clear();
+            ws.xin.resize(cs * ncols, 0.0);
+            for j in 0..nb {
+                for q in 0..nrhs {
+                    for r in 0..cs {
+                        ws.xin[r * ncols + j * nrhs + q] = ws.rows[j * csb + q * cs + r];
+                    }
+                }
+            }
+            ws.yout.clear();
+            ws.yout.resize(es * ncols, 0.0);
+            self.apply_op_cols(&lops.uc2ue, &ws.xin, &mut ws.yout, ncols);
+            for (j, &ni) in act.iter().enumerate() {
+                let slot = store.up_mut(ni);
+                for q in 0..nrhs {
+                    for r in 0..es {
+                        slot[q * es + r] = ws.yout[r * ncols + j * nrhs + q];
+                    }
+                }
+            }
+            flops += ncols as u64 * 2 * (cs * es) as u64;
+        }
+        flops
     }
 
     /// Apply operator `op` (`m × k`) to `ncols` column vectors packed
@@ -203,106 +371,6 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
                 );
             });
         }
-    }
-
-    /// Upward pass: S2M at active leaves, M2M at active internal boxes,
-    /// bottom-up, ending with the check → equivalent inversion. M2M
-    /// translations and the inversions run as per-level multi-RHS GEMMs.
-    /// Writes `store.up` rows of active boxes; returns the flop count.
-    pub fn upward<S: SourceProvider>(
-        &self,
-        src: &S,
-        store: &mut ExpansionStore,
-        ws: &mut EngineWorkspace,
-    ) -> u64 {
-        let depth = self.tree.depth();
-        if depth < FIRST_FMM_LEVEL {
-            return 0;
-        }
-        let (ns, es, cs) = self.dims();
-        let kf = self.kernel.flops_per_eval();
-        let threads = self.dispatch.threads();
-        let mut flops = 0u64;
-        for level in (FIRST_FMM_LEVEL..=depth).rev() {
-            let act = &self.active.levels[level as usize];
-            let nb = act.len();
-            if nb == 0 {
-                continue;
-            }
-            let lops = self.pre.ops.at(level);
-            // S2M: leaf sources → upward check potentials, one batch row
-            // per active box (internal boxes stay zero for M2M below).
-            ws.rows.clear();
-            ws.rows.resize(nb * cs, 0.0);
-            par_chunks_mut_with(threads, &mut ws.rows, cs, |i, chk| {
-                let ni = act[i];
-                let node = &self.tree.nodes[ni as usize];
-                if node.is_leaf() {
-                    let (pts, d) = src.sources(ni);
-                    let c = self.tree.domain.box_center(&node.key);
-                    let uc = surface_points(self.order, RAD_OUTER, c, lops.box_half);
-                    self.kernel.p2p(&uc, pts, d, chk);
-                }
-            });
-            for &ni in act {
-                if self.tree.nodes[ni as usize].is_leaf() {
-                    flops += (src.sources(ni).0.len() * ns) as u64 * kf;
-                }
-            }
-            // M2M: one multi-RHS GEMM per child octant over all active
-            // (parent, child) pairs of this level; the sequential
-            // octant-order scatter-add keeps parent sums deterministic.
-            for oct in 0..8 {
-                ws.pairs.clear();
-                for (i, &ni) in act.iter().enumerate() {
-                    let ci = self.tree.nodes[ni as usize].children[oct];
-                    if ci != NO_NODE && self.active.mask[ci as usize] {
-                        ws.pairs.push((i as u32, ci));
-                    }
-                }
-                let nbo = ws.pairs.len();
-                if nbo == 0 {
-                    continue;
-                }
-                ws.xin.clear();
-                ws.xin.resize(es * nbo, 0.0);
-                for (j, &(_, ci)) in ws.pairs.iter().enumerate() {
-                    let child = store.up(ci);
-                    for r in 0..es {
-                        ws.xin[r * nbo + j] = child[r];
-                    }
-                }
-                ws.yout.clear();
-                ws.yout.resize(cs * nbo, 0.0);
-                self.apply_op_cols(&lops.ue2uc[oct], &ws.xin, &mut ws.yout, nbo);
-                for (j, &(i, _)) in ws.pairs.iter().enumerate() {
-                    let row = &mut ws.rows[i as usize * cs..(i as usize + 1) * cs];
-                    for (r, v) in row.iter_mut().enumerate() {
-                        *v += ws.yout[r * nbo + j];
-                    }
-                }
-                flops += nbo as u64 * 2 * (cs * es) as u64;
-            }
-            // Level-wide check → equivalent inversion, one GEMM.
-            ws.xin.clear();
-            ws.xin.resize(cs * nb, 0.0);
-            for j in 0..nb {
-                for r in 0..cs {
-                    ws.xin[r * nb + j] = ws.rows[j * cs + r];
-                }
-            }
-            ws.yout.clear();
-            ws.yout.resize(es * nb, 0.0);
-            self.apply_op_cols(&lops.uc2ue, &ws.xin, &mut ws.yout, nb);
-            for (j, &ni) in act.iter().enumerate() {
-                let slot = store.up_mut(ni);
-                for (r, v) in slot.iter_mut().enumerate() {
-                    *v = ws.yout[r * nb + j];
-                }
-            }
-            flops += nb as u64 * 2 * (cs * es) as u64;
-        }
-        flops
     }
 
     /// M2L over one level: active targets accumulate the check-potential
@@ -342,8 +410,11 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
     }
 
     /// FFT M2L: forward-transform every V-list source of the level's
-    /// selected targets into one contiguous spectra slab, then
-    /// Hadamard-accumulate and inverse-transform per selected target.
+    /// selected targets into one contiguous spectra slab (one slab per
+    /// `(source, RHS)`), then Hadamard-accumulate and inverse-transform
+    /// per selected target. The RHS loop sits **innermost** per
+    /// `(source, direction)` pair, so one direction tensor load serves
+    /// the whole batch.
     fn m2l_fft_level(
         &self,
         level: u8,
@@ -353,6 +424,8 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
     ) -> u64 {
         let fft = self.pre.m2l_fft.as_ref().expect("FFT tables present in Fft mode");
         let (_, es, cs) = self.dims();
+        let nrhs = store.nrhs();
+        let (esb, csb) = (es * nrhs, cs * nrhs);
         let g = fft.grid_len();
         let sg = K::SRC_DIM * g;
         let tg = K::TRG_DIM * g;
@@ -372,15 +445,17 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         let EngineWorkspace { needed, spectra, acc, .. } = ws;
         let threads = self.dispatch.threads();
         // No zero-fill on reuse: `transform_source` overwrites every slot.
-        if spectra.len() < needed.len() * sg {
-            spectra.resize(needed.len() * sg, C64::ZERO);
+        let nslabs = needed.len() * nrhs;
+        if spectra.len() < nslabs * sg {
+            spectra.resize(nslabs * sg, C64::ZERO);
         } else {
-            spectra.truncate(needed.len() * sg);
+            spectra.truncate(nslabs * sg);
         }
         let up: &[f64] = &store.up;
-        par_chunks_mut_with(threads, spectra, sg, |i, buf| {
-            let a = needed[i] as usize;
-            fft.transform_source(&up[a * es..(a + 1) * es], buf);
+        par_chunks_mut_with(threads, spectra, sg, |idx, buf| {
+            let a = needed[idx / nrhs] as usize;
+            let q = idx % nrhs;
+            fft.transform_source(&up[a * esb + q * es..a * esb + (q + 1) * es], buf);
         });
         let needed: &[u32] = needed;
         let spectra: &[C64] = spectra;
@@ -399,43 +474,51 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
                 let akey = self.tree.nodes[a as usize].key;
                 let dir = bkey.offset_to(&akey);
                 let si = needed.binary_search(&a).expect("V source in needed set");
-                fft.accumulate(level, dir, &spectra[si * sg..(si + 1) * sg], grid);
+                for q in 0..nrhs {
+                    let sp = (si * nrhs + q) * sg;
+                    fft.accumulate(level, dir, &spectra[sp..sp + sg], &mut grid[q * tg..(q + 1) * tg]);
+                }
             }
-            fft.extract_check(level, grid, slot);
+            for (q, sl) in slot.chunks_mut(cs).enumerate() {
+                fft.extract_check(level, &mut grid[q * tg..(q + 1) * tg], sl);
+            }
         };
-        let check = &mut store.check[ls * cs..le * cs];
+        let check = &mut store.check[ls * csb..le * csb];
         if threads <= 1 {
             acc.clear();
-            acc.resize(tg, C64::ZERO);
-            for (i, slot) in check.chunks_mut(cs).enumerate() {
+            acc.resize(tg * nrhs, C64::ZERO);
+            for (i, slot) in check.chunks_mut(csb).enumerate() {
                 accumulate(acc, i, slot);
             }
         } else {
             par_chunks_mut_init_with(
                 threads,
                 check,
-                cs,
-                || vec![C64::ZERO; tg],
+                csb,
+                || vec![C64::ZERO; tg * nrhs],
                 |grid, i, slot| accumulate(grid, i, slot),
             );
         }
         // Exact accounting, matching the per-call counters of
-        // `transform_source`/`accumulate`/`extract_check`.
-        let mut flops = needed.len() as u64 * fft.fft_flops(K::SRC_DIM);
+        // `transform_source`/`accumulate`/`extract_check`, `nrhs`-fold.
+        let mut flops = nslabs as u64 * fft.fft_flops(K::SRC_DIM);
         for &ni in &self.active.levels[level as usize] {
             if !pred(ni as usize) {
                 continue;
             }
             let nv = self.lists.v[ni as usize].len() as u64;
             if nv > 0 {
-                flops +=
-                    nv * (K::TRG_DIM * K::SRC_DIM * g * 8) as u64 + fft.fft_flops(K::TRG_DIM);
+                flops += nrhs as u64
+                    * (nv * (K::TRG_DIM * K::SRC_DIM * fft.slab_len() * 8) as u64
+                        + fft.fft_flops(K::TRG_DIM));
             }
         }
         flops
     }
 
-    /// Dense M2L over one level (ablation baseline).
+    /// Dense M2L over one level (ablation baseline). The RHS loop is
+    /// innermost per `(source, direction)`, reusing the cached dense
+    /// operator across the batch.
     fn m2l_direct_level(
         &self,
         level: u8,
@@ -445,17 +528,19 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         let direct =
             self.pre.m2l_direct.as_ref().expect("direct tables present in Direct mode");
         let (_, es, cs) = self.dims();
+        let nrhs = store.nrhs();
+        let (esb, csb) = (es * nrhs, cs * nrhs);
         let (ls, _) = self.level_range(level);
         let mask = &self.active.mask;
         let threads = self.dispatch.threads();
         let flops = AtomicU64::new(0);
         let (ls_cs, le_cs) = {
             let (s, e) = self.level_range(level);
-            (s * cs, e * cs)
+            (s * csb, e * csb)
         };
         let ExpansionStore { up, check, .. } = store;
         let up: &[f64] = up;
-        par_chunks_mut_with(threads, &mut check[ls_cs..le_cs], cs, |i, slot| {
+        par_chunks_mut_with(threads, &mut check[ls_cs..le_cs], csb, |i, slot| {
             let ni = ls + i;
             if !mask[ni] || !pred(ni) {
                 return;
@@ -465,12 +550,15 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             for &a in &self.lists.v[ni] {
                 let akey = self.tree.nodes[a as usize].key;
                 let dir = bkey.offset_to(&akey);
-                f += direct.apply(
-                    level,
-                    dir,
-                    &up[a as usize * es..(a as usize + 1) * es],
-                    slot,
-                );
+                for q in 0..nrhs {
+                    let eq = a as usize * esb + q * es;
+                    f += direct.apply(
+                        level,
+                        dir,
+                        &up[eq..eq + es],
+                        &mut slot[q * cs..(q + 1) * cs],
+                    );
+                }
             }
             flops.fetch_add(f, Ordering::Relaxed);
         });
@@ -485,6 +573,9 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             return 0;
         }
         let (ns, _, cs) = self.dims();
+        let nrhs = src.nrhs();
+        assert_eq!(store.nrhs(), nrhs, "store shaped for the batch width");
+        let csb = cs * nrhs;
         let kf = self.kernel.flops_per_eval();
         let threads = self.dispatch.threads();
         let mask = &self.active.mask;
@@ -492,7 +583,7 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         for level in FIRST_FMM_LEVEL..=depth {
             let (ls, le) = self.level_range(level);
             let half = self.pre.ops.at(level).box_half;
-            par_chunks_mut_with(threads, &mut store.check[ls * cs..le * cs], cs, |i, slot| {
+            par_chunks_mut_with(threads, &mut store.check[ls * csb..le * csb], csb, |i, slot| {
                 let ni = ls + i;
                 if !mask[ni] || self.lists.x[ni].is_empty() {
                     return;
@@ -500,14 +591,14 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
                 let node = &self.tree.nodes[ni];
                 let c = self.tree.domain.box_center(&node.key);
                 let dc = surface_points(self.order, RAD_INNER, c, half);
+                let mut outs: Vec<&mut [f64]> = slot.chunks_mut(cs).collect();
                 for &a in &self.lists.x[ni] {
-                    let (pts, d) = src.sources(a);
-                    self.kernel.p2p(&dc, pts, d, slot);
+                    self.p2p_box(src, a, &dc, &mut outs);
                 }
             });
             for &ni in &self.active.levels[level as usize] {
                 for &a in &self.lists.x[ni as usize] {
-                    flops += (src.sources(a).0.len() * ns) as u64 * kf;
+                    flops += (src.sources(a, 0).0.len() * ns * nrhs) as u64 * kf;
                 }
             }
         }
@@ -523,6 +614,8 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             return 0;
         }
         let (_, es, cs) = self.dims();
+        let nrhs = store.nrhs();
+        let csb = cs * nrhs;
         let mut flops = 0u64;
         for level in FIRST_FMM_LEVEL..=depth {
             let act = &self.active.levels[level as usize];
@@ -546,106 +639,141 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
                     if nbo == 0 {
                         continue;
                     }
+                    let ncols = nbo * nrhs;
                     ws.xin.clear();
-                    ws.xin.resize(es * nbo, 0.0);
+                    ws.xin.resize(es * ncols, 0.0);
                     for (j, &(_, pi)) in ws.pairs.iter().enumerate() {
-                        let parent = store.down(pi);
-                        for r in 0..es {
-                            ws.xin[r * nbo + j] = parent[r];
+                        for q in 0..nrhs {
+                            let parent = store.down_rhs(pi, q);
+                            for r in 0..es {
+                                ws.xin[r * ncols + j * nrhs + q] = parent[r];
+                            }
                         }
                     }
                     ws.yout.clear();
-                    ws.yout.resize(cs * nbo, 0.0);
-                    self.apply_op_cols(&lops.de2dc[oct], &ws.xin, &mut ws.yout, nbo);
+                    ws.yout.resize(cs * ncols, 0.0);
+                    self.apply_op_cols(&lops.de2dc[oct], &ws.xin, &mut ws.yout, ncols);
                     for (j, &(i, _)) in ws.pairs.iter().enumerate() {
                         let ni = act[i as usize] as usize;
-                        let row = &mut store.check[ni * cs..(ni + 1) * cs];
-                        for (r, v) in row.iter_mut().enumerate() {
-                            *v += ws.yout[r * nbo + j];
+                        let blk = &mut store.check[ni * csb..(ni + 1) * csb];
+                        for q in 0..nrhs {
+                            for r in 0..cs {
+                                blk[q * cs + r] += ws.yout[r * ncols + j * nrhs + q];
+                            }
                         }
                     }
                 }
-                flops += nb as u64 * 2 * (cs * es) as u64;
+                flops += (nb * nrhs) as u64 * 2 * (cs * es) as u64;
             }
             // Check → downward equivalent inversion, one GEMM per level.
+            let ncols = nb * nrhs;
             ws.xin.clear();
-            ws.xin.resize(cs * nb, 0.0);
+            ws.xin.resize(cs * ncols, 0.0);
             for (j, &ni) in act.iter().enumerate() {
-                let row = store.check_row(ni);
-                for r in 0..cs {
-                    ws.xin[r * nb + j] = row[r];
+                let blk = store.check_row(ni);
+                for q in 0..nrhs {
+                    for r in 0..cs {
+                        ws.xin[r * ncols + j * nrhs + q] = blk[q * cs + r];
+                    }
                 }
             }
             ws.yout.clear();
-            ws.yout.resize(es * nb, 0.0);
-            self.apply_op_cols(&lops.dc2de, &ws.xin, &mut ws.yout, nb);
+            ws.yout.resize(es * ncols, 0.0);
+            self.apply_op_cols(&lops.dc2de, &ws.xin, &mut ws.yout, ncols);
             for (j, &ni) in act.iter().enumerate() {
                 let slot = store.down_mut(ni);
-                for (r, v) in slot.iter_mut().enumerate() {
-                    *v = ws.yout[r * nb + j];
+                for q in 0..nrhs {
+                    for r in 0..es {
+                        slot[q * es + r] = ws.yout[r * ncols + j * nrhs + q];
+                    }
                 }
             }
-            flops += nb as u64 * 2 * (cs * es) as u64;
+            flops += ncols as u64 * 2 * (cs * es) as u64;
         }
         flops
     }
 
-    /// Split `pot` into disjoint per-active-leaf `&mut` slices (the active
-    /// leaves partition the local target range in point order) and run `f`
-    /// on every leaf under the engine's dispatch.
+    /// Split each of the `k` potential vectors into disjoint
+    /// per-active-leaf `&mut` slices (the active leaves partition the
+    /// local target range in point order) and run `f` on every leaf under
+    /// the engine's dispatch, handing it the leaf's `k` output rows.
     fn for_each_active_leaf(
         &self,
-        pot: &mut [f64],
-        f: impl Fn(u32, &[Point3], &mut [f64]) + Sync,
+        pots: &mut [&mut [f64]],
+        f: impl Fn(u32, &[Point3], &mut [&mut [f64]]) + Sync,
     ) {
-        let mut slices: Vec<(u32, &[Point3], &mut [f64])> =
-            Vec::with_capacity(self.active.leaves.len());
-        let mut rest: &mut [f64] = pot;
-        for &ni in &self.active.leaves {
+        let nrhs = pots.len();
+        // Leaves of different levels interleave in BFS id order, so sort
+        // by point range before carving the potential vectors into
+        // disjoint per-leaf slices.
+        let mut order: Vec<u32> = self.active.leaves.to_vec();
+        order.sort_unstable_by_key(|&ni| self.tree.nodes[ni as usize].pt_start);
+        // Reborrow (not take): the caller's vectors stay intact for the
+        // next pass over the same potentials.
+        let mut rests: Vec<&mut [f64]> = pots.iter_mut().map(|p| &mut **p).collect();
+        let mut consumed = 0usize;
+        let mut items: Vec<(u32, &[Point3], Vec<&mut [f64]>)> =
+            Vec::with_capacity(order.len());
+        for &ni in &order {
             let node = &self.tree.nodes[ni as usize];
             let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let (head, tail) = std::mem::take(&mut rest).split_at_mut((e - s) * K::TRG_DIM);
-            slices.push((ni, &self.targets[s..e], head));
-            rest = tail;
+            let skip = s * K::TRG_DIM - consumed;
+            let len = (e - s) * K::TRG_DIM;
+            let mut outs = Vec::with_capacity(nrhs);
+            for rest in rests.iter_mut() {
+                let (head, tail) = std::mem::take(rest).split_at_mut(skip + len);
+                outs.push(&mut head[skip..]);
+                *rest = tail;
+            }
+            consumed += skip + len;
+            items.push((ni, &self.targets[s..e], outs));
         }
-        debug_assert!(rest.is_empty(), "active leaves must partition the targets");
-        par_for_each_with(self.dispatch.threads(), slices, |_, (ni, trg, out)| {
-            f(ni, trg, out)
+        par_for_each_with(self.dispatch.threads(), items, |_, (ni, trg, mut outs)| {
+            f(ni, trg, &mut outs)
         });
     }
 
-    /// Dense U-list pass onto the local potentials. Returns the flop
-    /// count.
-    pub fn u_pass<S: SourceProvider>(&self, src: &S, pot: &mut [f64]) -> u64 {
+    /// Dense U-list pass onto the local potentials (`k` vectors, one per
+    /// RHS). Returns the flop count.
+    pub fn u_pass<S: SourceProvider>(&self, src: &S, pots: &mut [&mut [f64]]) -> u64 {
+        let nrhs = src.nrhs();
+        assert_eq!(pots.len(), nrhs, "one potential vector per RHS");
         let kf = self.kernel.flops_per_eval();
-        self.for_each_active_leaf(pot, |ni, trg, out| {
+        self.for_each_active_leaf(pots, |ni, trg, outs| {
             for &a in &self.lists.u[ni as usize] {
-                let (pts, d) = src.sources(a);
-                self.kernel.p2p(trg, pts, d, out);
+                self.p2p_box(src, a, trg, outs);
             }
         });
         let mut flops = 0u64;
         for &ni in &self.active.leaves {
             let t = self.tree.nodes[ni as usize].num_points() as u64;
             for &a in &self.lists.u[ni as usize] {
-                flops += t * src.sources(a).0.len() as u64 * kf;
+                flops += t * (src.sources(a, 0).0.len() * nrhs) as u64 * kf;
             }
         }
         flops
     }
 
     /// W-list pass: upward equivalents of finer separated boxes onto the
-    /// local potentials. Returns the flop count.
-    pub fn w_pass(&self, store: &ExpansionStore, pot: &mut [f64]) -> u64 {
+    /// local potentials. The equivalent surface is built once per
+    /// `(leaf, W source)` and shared by the batch. Returns the flop count.
+    pub fn w_pass(&self, store: &ExpansionStore, pots: &mut [&mut [f64]]) -> u64 {
         let (ns, _, _) = self.dims();
+        let nrhs = store.nrhs();
+        assert_eq!(pots.len(), nrhs, "one potential vector per RHS");
         let kf = self.kernel.flops_per_eval();
-        self.for_each_active_leaf(pot, |ni, trg, out| {
+        self.for_each_active_leaf(pots, |ni, trg, outs| {
             for &a in &self.lists.w[ni as usize] {
                 let akey = self.tree.nodes[a as usize].key;
                 let ac = self.tree.domain.box_center(&akey);
                 let ah = self.tree.domain.box_half(akey.level);
                 let ue = surface_points(self.order, RAD_INNER, ac, ah);
-                self.kernel.p2p(trg, &ue, store.up(a), out);
+                if nrhs == 1 {
+                    self.kernel.p2p(trg, &ue, store.up(a), outs[0]);
+                } else {
+                    let dens: Vec<&[f64]> = (0..nrhs).map(|q| store.up_rhs(a, q)).collect();
+                    self.kernel.p2p_many(trg, &ue, &dens, outs);
+                }
             }
         });
         self.active
@@ -654,7 +782,8 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             .map(|&ni| {
                 (self.tree.nodes[ni as usize].num_points()
                     * self.lists.w[ni as usize].len()
-                    * ns) as u64
+                    * ns
+                    * nrhs) as u64
                     * kf
             })
             .sum()
@@ -662,13 +791,15 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
 
     /// L2T pass: downward equivalent densities at the local targets.
     /// Returns the flop count.
-    pub fn l2t(&self, store: &ExpansionStore, pot: &mut [f64]) -> u64 {
+    pub fn l2t(&self, store: &ExpansionStore, pots: &mut [&mut [f64]]) -> u64 {
         if self.tree.depth() < FIRST_FMM_LEVEL {
             return 0;
         }
         let (ns, _, _) = self.dims();
+        let nrhs = store.nrhs();
+        assert_eq!(pots.len(), nrhs, "one potential vector per RHS");
         let kf = self.kernel.flops_per_eval();
-        self.for_each_active_leaf(pot, |ni, trg, out| {
+        self.for_each_active_leaf(pots, |ni, trg, outs| {
             let node = &self.tree.nodes[ni as usize];
             if node.key.level < FIRST_FMM_LEVEL {
                 return;
@@ -676,13 +807,20 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             let c = self.tree.domain.box_center(&node.key);
             let half = self.tree.domain.box_half(node.key.level);
             let de = surface_points(self.order, RAD_OUTER, c, half);
-            self.kernel.p2p(trg, &de, store.down(ni), out);
+            if nrhs == 1 {
+                self.kernel.p2p(trg, &de, store.down(ni), outs[0]);
+            } else {
+                let dens: Vec<&[f64]> = (0..nrhs).map(|q| store.down_rhs(ni, q)).collect();
+                self.kernel.p2p_many(trg, &de, &dens, outs);
+            }
         });
         self.active
             .leaves
             .iter()
             .filter(|&&ni| self.tree.nodes[ni as usize].key.level >= FIRST_FMM_LEVEL)
-            .map(|&ni| (self.tree.nodes[ni as usize].num_points() * ns) as u64 * kf)
+            .map(|&ni| {
+                (self.tree.nodes[ni as usize].num_points() * ns * nrhs) as u64 * kf
+            })
             .sum()
     }
 }

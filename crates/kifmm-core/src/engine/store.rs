@@ -7,33 +7,67 @@
 //! hand the same [`ExpansionStore`] to the pass engine; the distributed
 //! driver additionally overwrites `up` rows with globally summed
 //! equivalents between the engine phases.
+//!
+//! ## Multi-RHS layout
+//!
+//! A store sized for `nrhs = k` charge vectors keeps **one block of `k`
+//! consecutive rows per node**: `up[ni·es·k + q·es + r]` is row `r` of
+//! RHS `q` for node `ni` (and likewise `down`/`check` with `cs`). The
+//! node-major ordering is unchanged, so per-level contiguity — the
+//! property the batched per-level passes rely on — holds for any `k`,
+//! and `k = 1` reduces to the original single-RHS layout exactly.
 
 use kifmm_fft::C64;
 
 /// Expansion state of one evaluation: upward equivalents, downward check
-/// potentials and downward equivalents, node-major (`row(ni)` = node `ni`).
+/// potentials and downward equivalents, node-major (`block(ni)` = the
+/// `nrhs` rows of node `ni`).
 pub struct ExpansionStore {
     es: usize,
     cs: usize,
-    /// Upward equivalent densities, `[num_nodes × es]`.
+    nrhs: usize,
+    /// Upward equivalent densities, `[num_nodes × nrhs × es]`.
     pub up: Vec<f64>,
-    /// Downward equivalent densities, `[num_nodes × es]`.
+    /// Downward equivalent densities, `[num_nodes × nrhs × es]`.
     pub down: Vec<f64>,
-    /// Downward check potentials, `[num_nodes × cs]`.
+    /// Downward check potentials, `[num_nodes × nrhs × cs]`.
     pub check: Vec<f64>,
 }
 
 impl ExpansionStore {
-    /// Zeroed storage for `num_nodes` boxes with equivalent rows of `es`
-    /// and check rows of `cs` values.
+    /// Zeroed single-RHS storage for `num_nodes` boxes with equivalent
+    /// rows of `es` and check rows of `cs` values.
     pub fn new(num_nodes: usize, es: usize, cs: usize) -> Self {
+        Self::with_nrhs(num_nodes, es, cs, 1)
+    }
+
+    /// Zeroed storage for `nrhs` simultaneous charge vectors.
+    pub fn with_nrhs(num_nodes: usize, es: usize, cs: usize, nrhs: usize) -> Self {
+        assert!(nrhs >= 1, "at least one right-hand side");
         ExpansionStore {
             es,
             cs,
-            up: vec![0.0; num_nodes * es],
-            down: vec![0.0; num_nodes * es],
-            check: vec![0.0; num_nodes * cs],
+            nrhs,
+            up: vec![0.0; num_nodes * es * nrhs],
+            down: vec![0.0; num_nodes * es * nrhs],
+            check: vec![0.0; num_nodes * cs * nrhs],
         }
+    }
+
+    /// Reshape (if needed) for the given geometry and RHS count, then
+    /// zero every slab. Pooled stores are routed through this so one
+    /// pooled allocation serves evaluations of any batch width.
+    pub fn ensure(&mut self, num_nodes: usize, es: usize, cs: usize, nrhs: usize) {
+        assert!(nrhs >= 1, "at least one right-hand side");
+        self.es = es;
+        self.cs = cs;
+        self.nrhs = nrhs;
+        self.up.clear();
+        self.up.resize(num_nodes * es * nrhs, 0.0);
+        self.down.clear();
+        self.down.resize(num_nodes * es * nrhs, 0.0);
+        self.check.clear();
+        self.check.resize(num_nodes * cs * nrhs, 0.0);
     }
 
     /// Zero every slab for a fresh evaluation (capacity is retained, so a
@@ -54,35 +88,60 @@ impl ExpansionStore {
         self.cs
     }
 
-    /// Upward equivalent density of box `ni`.
+    /// Number of simultaneous charge vectors this store is shaped for.
+    pub fn nrhs(&self) -> usize {
+        self.nrhs
+    }
+
+    /// Upward equivalent block of box `ni`: `nrhs` consecutive rows
+    /// (`nrhs·es` values). With one RHS this is the node's single row.
     pub fn up(&self, ni: u32) -> &[f64] {
-        &self.up[ni as usize * self.es..(ni as usize + 1) * self.es]
+        let b = self.es * self.nrhs;
+        &self.up[ni as usize * b..(ni as usize + 1) * b]
     }
 
-    /// Mutable upward equivalent density of box `ni`.
+    /// Mutable upward equivalent block of box `ni`.
     pub fn up_mut(&mut self, ni: u32) -> &mut [f64] {
-        &mut self.up[ni as usize * self.es..(ni as usize + 1) * self.es]
+        let b = self.es * self.nrhs;
+        &mut self.up[ni as usize * b..(ni as usize + 1) * b]
     }
 
-    /// Overwrite box `ni`'s upward equivalent (the distributed driver
-    /// installs globally summed equivalents this way).
+    /// Upward equivalent row of box `ni` for RHS `q`.
+    pub fn up_rhs(&self, ni: u32, q: usize) -> &[f64] {
+        debug_assert!(q < self.nrhs);
+        let o = ni as usize * self.es * self.nrhs + q * self.es;
+        &self.up[o..o + self.es]
+    }
+
+    /// Overwrite box `ni`'s upward equivalent block (the distributed
+    /// driver installs globally summed equivalents this way).
     pub fn set_up(&mut self, ni: u32, values: &[f64]) {
         self.up_mut(ni).copy_from_slice(values);
     }
 
-    /// Downward equivalent density of box `ni`.
+    /// Downward equivalent block of box `ni` (`nrhs·es` values).
     pub fn down(&self, ni: u32) -> &[f64] {
-        &self.down[ni as usize * self.es..(ni as usize + 1) * self.es]
+        let b = self.es * self.nrhs;
+        &self.down[ni as usize * b..(ni as usize + 1) * b]
     }
 
-    /// Mutable downward equivalent density of box `ni`.
+    /// Mutable downward equivalent block of box `ni`.
     pub fn down_mut(&mut self, ni: u32) -> &mut [f64] {
-        &mut self.down[ni as usize * self.es..(ni as usize + 1) * self.es]
+        let b = self.es * self.nrhs;
+        &mut self.down[ni as usize * b..(ni as usize + 1) * b]
     }
 
-    /// Downward check potential of box `ni`.
+    /// Downward equivalent row of box `ni` for RHS `q`.
+    pub fn down_rhs(&self, ni: u32, q: usize) -> &[f64] {
+        debug_assert!(q < self.nrhs);
+        let o = ni as usize * self.es * self.nrhs + q * self.es;
+        &self.down[o..o + self.es]
+    }
+
+    /// Downward check block of box `ni` (`nrhs·cs` values).
     pub fn check_row(&self, ni: u32) -> &[f64] {
-        &self.check[ni as usize * self.cs..(ni as usize + 1) * self.cs]
+        let b = self.cs * self.nrhs;
+        &self.check[ni as usize * b..(ni as usize + 1) * b]
     }
 }
 
@@ -103,8 +162,8 @@ pub struct EngineWorkspace {
     /// Sorted, deduplicated V-list source boxes of one level.
     pub needed: Vec<u32>,
     /// Forward-transformed source spectra, one `SRC_DIM·(2p)³` slab per
-    /// entry of `needed`.
+    /// `(needed box, RHS)`.
     pub spectra: Vec<C64>,
-    /// Hadamard accumulator grid (serial dispatch).
+    /// Hadamard accumulator grids (serial dispatch), `nrhs` per target.
     pub acc: Vec<C64>,
 }

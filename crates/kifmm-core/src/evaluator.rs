@@ -1,9 +1,9 @@
 //! The unified evaluation API: [`Evaluator`], [`EvalReport`] and
 //! [`FmmBuilder`].
 //!
-//! The legacy surface grew one entry point per execution strategy
-//! (`evaluate`, `evaluate_with_stats`, `evaluate_parallel`, …), each with
-//! its own return shape. Everything now funnels through one verb:
+//! The legacy surface grew one entry point per execution strategy, each
+//! with its own return shape. Everything now funnels through one verb
+//! ([`Evaluator::eval`], batched as [`Evaluator::eval_many`]):
 //!
 //! ```
 //! use kifmm_core::{Evaluator, Fmm};
@@ -29,6 +29,7 @@
 
 use crate::fmm::{Fmm, FmmOptions};
 use crate::m2l::M2lMode;
+use crate::plan::{BuildError, Plan, Session};
 use crate::precompute::PrecomputeCache;
 use crate::stats::PhaseStats;
 use kifmm_kernels::{Kernel, Point3};
@@ -54,6 +55,15 @@ pub trait Evaluator {
     /// Evaluate potentials for `densities` (`src_dim()` interleaved
     /// components per point, original point order).
     fn eval(&self, densities: &[f64]) -> EvalReport;
+
+    /// Evaluate a batch of `k` density vectors, returning one report per
+    /// RHS. The default delegates to `k` independent [`Evaluator::eval`]
+    /// calls; batching implementations (the shared-memory and distributed
+    /// FMMs) override this to run all passes **once** over the batch —
+    /// with bit-identical per-RHS potentials.
+    fn eval_many(&self, densities: &[&[f64]]) -> Vec<EvalReport> {
+        densities.iter().map(|d| self.eval(d)).collect()
+    }
 
     /// Number of points the evaluator was built over.
     fn num_points(&self) -> usize;
@@ -180,27 +190,84 @@ impl<'a, K: Kernel> FmmBuilder<'a, K> {
         (self.kernel, self.points, self.opts, self.trace, self.parallel, self.cache)
     }
 
+    /// Build the evaluator, reporting configuration problems as a typed
+    /// [`BuildError`] instead of panicking.
+    pub fn try_build(self) -> Result<Fmm<K>, BuildError> {
+        let (kernel, points, opts, trace, parallel, cache) = self.into_parts();
+        let points = points.ok_or(BuildError::MissingPoints)?;
+        let plan = match cache {
+            Some(c) => Plan::try_new_with_cache(kernel, points, opts, c)?,
+            None => Plan::try_new(kernel, points, opts)?,
+        };
+        let mut session = Session::from_plan(plan);
+        session.set_trace(trace);
+        session.set_parallel_eval(parallel);
+        Ok(Fmm { session })
+    }
+
     /// Build the evaluator: tree, interaction lists and translation
     /// operators.
     ///
     /// # Panics
-    /// If [`FmmBuilder::points`] was never supplied (or the point set is
-    /// empty — construction requires points).
+    /// On any [`BuildError`] — if [`FmmBuilder::points`] was never
+    /// supplied, the point set is empty, or the order is below 2. Use
+    /// [`FmmBuilder::try_build`] for a `Result`.
     pub fn build(self) -> Fmm<K> {
-        let points = self.points.expect("FmmBuilder::points(..) is required before build()");
-        let mut fmm = match self.cache {
-            Some(cache) => Fmm::with_cache(self.kernel, points, self.opts, cache),
-            None => Fmm::new(self.kernel, points, self.opts),
-        };
-        fmm.set_trace(self.trace);
-        fmm.set_parallel_eval(self.parallel);
-        fmm
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build only the immutable [`Plan`] (tree, lists, operator tables) —
+    /// the shareable setup artifact of the plan/execute split. Execution
+    /// policy set on this builder ([`FmmBuilder::trace`] /
+    /// [`FmmBuilder::parallel`]) belongs to a [`Session`] and is not part
+    /// of the plan; open sessions over the plan to evaluate.
+    pub fn try_plan(self) -> Result<Plan<K>, BuildError> {
+        let (kernel, points, opts, _trace, _parallel, cache) = self.into_parts();
+        let points = points.ok_or(BuildError::MissingPoints)?;
+        match cache {
+            Some(c) => Plan::try_new_with_cache(kernel, points, opts, c),
+            None => Plan::try_new(kernel, points, opts),
+        }
+    }
+
+    /// As [`FmmBuilder::try_plan`].
+    ///
+    /// # Panics
+    /// On any [`BuildError`].
+    pub fn plan(self) -> Plan<K> {
+        self.try_plan().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 impl<K: Kernel> Evaluator for Fmm<K> {
     fn eval(&self, densities: &[f64]) -> EvalReport {
         Fmm::eval(self, densities)
+    }
+
+    fn eval_many(&self, densities: &[&[f64]]) -> Vec<EvalReport> {
+        Fmm::eval_many(self, densities)
+    }
+
+    fn num_points(&self) -> usize {
+        self.len()
+    }
+
+    fn src_dim(&self) -> usize {
+        K::SRC_DIM
+    }
+
+    fn trg_dim(&self) -> usize {
+        K::TRG_DIM
+    }
+}
+
+impl<K: Kernel> Evaluator for Session<K> {
+    fn eval(&self, densities: &[f64]) -> EvalReport {
+        Session::eval(self, densities)
+    }
+
+    fn eval_many(&self, densities: &[&[f64]]) -> Vec<EvalReport> {
+        Session::eval_many(self, densities)
     }
 
     fn num_points(&self) -> usize {

@@ -16,26 +16,22 @@
 //!    densities, and the downward equivalent density, all evaluated at the
 //!    targets.
 //!
-//! All pass mathematics lives in [`crate::engine`]; this type contributes
-//! the tree/operator setup and a thin driver ([`Fmm::eval_impl`]) that
-//! permutes densities, wraps each engine phase in its trace span and
-//! timing, and un-permutes the potentials. The serial and shared-memory
-//! paths are the *same driver* with a different [`Dispatch`] policy, so
-//! they are bit-identical by construction.
+//! All pass mathematics lives in [`crate::engine`]; the setup/execute
+//! split lives in [`crate::plan`]: `Fmm` is literally a [`Session`] over a
+//! privately-owned [`Plan`] (it `Deref`s through both), kept as the
+//! convenient build-and-evaluate entry point. Callers that build once and
+//! evaluate from many threads, batch right-hand sides, or reuse setup
+//! across requests should use [`Plan`]/[`Session`]/[`PlanCache`]
+//! directly.
+//!
+//! [`Plan`]: crate::plan::Plan
+//! [`PlanCache`]: crate::plan::PlanCache
 
-use crate::engine::{ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine};
 use crate::evaluator::{EvalReport, FmmBuilder};
 use crate::m2l::M2lMode;
-use crate::operators::FIRST_FMM_LEVEL;
-use crate::precompute::{Precomputed, PrecomputeCache};
-use crate::stats::thread_cpu_time;
-use crate::stats::{Phase, PhaseStats};
+use crate::plan::{Plan, Session};
+use crate::precompute::PrecomputeCache;
 use kifmm_kernels::{Kernel, Point3};
-use kifmm_runtime::Dispatch;
-use kifmm_trace::{Counter, Tracer};
-use kifmm_tree::{build_lists, InteractionLists, Octree};
-use std::sync::Mutex;
-use std::time::Instant;
 
 /// Evaluator configuration.
 #[derive(Clone, Copy, Debug)]
@@ -73,27 +69,12 @@ impl FmmOptions {
     }
 }
 
-/// A prepared FMM: tree, lists and operators for one point set.
+/// A prepared FMM: a [`Session`] over a privately-built [`Plan`] for one
+/// point set. `Deref`s to the session (execution policy) and through it
+/// to the plan (tree, lists, operators), so `fmm.tree`, `fmm.eval(..)`
+/// and `fmm.set_parallel_eval(..)` all resolve as before the split.
 pub struct Fmm<K: Kernel> {
-    pub(crate) kernel: K,
-    pub(crate) opts: FmmOptions,
-    /// The computation tree.
-    pub tree: Octree,
-    /// U/V/W/X lists per box.
-    pub lists: InteractionLists,
-    pub(crate) pre: std::sync::Arc<Precomputed<K>>,
-    /// Points permuted into Morton order (leaf ranges contiguous).
-    pub(crate) sorted_points: Vec<Point3>,
-    pub(crate) num_points: usize,
-    /// Every box is active: this evaluator owns the whole tree.
-    pub(crate) active: ActiveSet,
-    /// Pooled expansion storage + scratch, reused across evaluations so
-    /// the engine allocates nothing in steady state.
-    pub(crate) scratch: Mutex<Vec<(ExpansionStore, EngineWorkspace)>>,
-    /// Observability sink ([`Tracer::disabled`] unless one is attached).
-    pub(crate) trace: Tracer,
-    /// Route [`Fmm::eval`] through the shared-memory parallel path.
-    pub(crate) parallel_eval: bool,
+    pub(crate) session: Session<K>,
 }
 
 impl<K: Kernel> Fmm<K> {
@@ -104,6 +85,10 @@ impl<K: Kernel> Fmm<K> {
     }
 
     /// Build tree, interaction lists and translation operators.
+    ///
+    /// # Panics
+    /// On an empty point set or a surface order below 2; use
+    /// [`FmmBuilder::try_build`] for a `Result`.
     pub fn new(kernel: K, points: &[Point3], opts: FmmOptions) -> Self {
         let cache = PrecomputeCache::new();
         Self::with_cache(kernel, points, opts, &cache)
@@ -117,97 +102,17 @@ impl<K: Kernel> Fmm<K> {
         opts: FmmOptions,
         cache: &PrecomputeCache<K>,
     ) -> Self {
-        assert!(opts.order >= 2, "surface order must be ≥ 2");
-        assert!(!points.is_empty(), "empty point set");
-        let tree = Octree::build(points, opts.max_pts_per_leaf, opts.max_level);
-        let lists = build_lists(&tree);
-        let depth = tree.depth();
-        let root_half = tree.domain.half;
-        let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
-        let sorted_points: Vec<Point3> =
-            tree.perm.iter().map(|&i| points[i as usize]).collect();
-        let active = ActiveSet::build(&tree, |_| true);
-        Fmm {
-            kernel,
-            opts,
-            tree,
-            lists,
-            pre,
-            sorted_points,
-            num_points: points.len(),
-            active,
-            scratch: Mutex::new(Vec::new()),
-            trace: Tracer::disabled(),
-            parallel_eval: false,
-        }
+        let plan = Plan::try_new_with_cache(kernel, points, opts, cache)
+            .unwrap_or_else(|e| panic!("{e}"));
+        Fmm { session: Session::from_plan(plan) }
     }
 
-    /// Attach (or detach, with [`Tracer::disabled`]) an observability
-    /// sink; subsequent [`Fmm::eval`] calls record per-phase spans.
-    pub fn set_trace(&mut self, trace: Tracer) {
-        self.trace = trace;
-    }
-
-    /// The attached tracer (disabled by default).
-    pub fn trace(&self) -> &Tracer {
-        &self.trace
-    }
-
-    /// Route [`Fmm::eval`] through the shared-memory parallel path
-    /// (bit-identical results; wall-clock phase timing).
-    pub fn set_parallel_eval(&mut self, parallel: bool) {
-        self.parallel_eval = parallel;
-    }
-
-    /// Number of points.
-    pub fn len(&self) -> usize {
-        self.num_points
-    }
-
-    /// True when empty (never; construction requires points).
-    pub fn is_empty(&self) -> bool {
-        self.num_points == 0
-    }
-
-    /// The kernel.
-    pub fn kernel(&self) -> &K {
-        &self.kernel
-    }
-
-    /// The options the evaluator was built with.
-    pub fn options(&self) -> &FmmOptions {
-        &self.opts
-    }
-
-    /// The precomputed operator tables (shared with the builder cache).
-    pub fn precomputed(&self) -> &Precomputed<K> {
-        &self.pre
-    }
-
-    /// The points in Morton order (leaf point ranges index into this).
-    pub fn morton_points(&self) -> &[Point3] {
-        &self.sorted_points
-    }
-
-    /// This evaluator's ownership filter (every box active).
-    pub fn active_set(&self) -> &ActiveSet {
-        &self.active
-    }
-
-    /// Borrow the prepared state into a [`PassEngine`] under the given
-    /// thread-dispatch policy.
-    pub fn engine(&self, dispatch: Dispatch) -> PassEngine<'_, K> {
-        PassEngine::new(
-            &self.kernel,
-            &self.tree,
-            &self.lists,
-            &self.pre,
-            &self.sorted_points,
-            self.opts.order,
-            self.opts.m2l_mode,
-            dispatch,
-            &self.active,
-        )
+    /// Wrap an existing session (e.g. one opened over a [`PlanCache`]d
+    /// plan) in the `Fmm` front end, for code written against `Fmm`.
+    ///
+    /// [`PlanCache`]: crate::plan::PlanCache
+    pub fn from_session(session: Session<K>) -> Self {
+        Fmm { session }
     }
 
     /// Evaluate potentials for `densities` (original point order,
@@ -216,187 +121,32 @@ impl<K: Kernel> Fmm<K> {
     /// per-phase statistics, and the attached tracer.
     ///
     /// Runs the serial path unless the shared-memory parallel path was
-    /// selected ([`FmmBuilder::parallel`] / [`Fmm::set_parallel_eval`]).
+    /// selected ([`FmmBuilder::parallel`] / [`Session::set_parallel_eval`]).
     pub fn eval(&self, densities: &[f64]) -> EvalReport {
-        let (potentials, stats) = if self.parallel_eval {
-            self.eval_impl(densities, Dispatch::Pool)
-        } else {
-            self.eval_impl(densities, Dispatch::Serial)
-        };
-        EvalReport { potentials, stats, trace: self.trace.clone() }
+        self.session.eval(densities)
     }
 
-    /// Deprecated shim over [`Fmm::eval`].
-    #[deprecated(note = "use `eval(densities).potentials` (see the Evaluator trait)")]
-    pub fn evaluate(&self, densities: &[f64]) -> Vec<f64> {
-        self.eval_impl(densities, Dispatch::Serial).0
+    /// Evaluate a batch of `k` density vectors through **one** set of FMM
+    /// passes (see [`Plan::execute`]): the per-level translation GEMMs
+    /// widen `k`-fold, the FFT M2L reuses each direction tensor across
+    /// the batch, and the dense passes hoist pair geometry. Each report's
+    /// potentials are bit-identical to the corresponding [`Fmm::eval`].
+    pub fn eval_many(&self, densities: &[&[f64]]) -> Vec<EvalReport> {
+        self.session.eval_many(densities)
     }
+}
 
-    /// Deprecated shim over [`Fmm::eval`].
-    #[deprecated(note = "use `eval(densities)` and read `.potentials` / `.stats`")]
-    pub fn evaluate_with_stats(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
-        self.eval_impl(densities, Dispatch::Serial)
+impl<K: Kernel> std::ops::Deref for Fmm<K> {
+    type Target = Session<K>;
+
+    fn deref(&self) -> &Session<K> {
+        &self.session
     }
+}
 
-    /// The evaluation driver shared by the serial and shared-memory
-    /// paths: permute, run the engine phases under `dispatch` with their
-    /// trace spans and timings, un-permute.
-    ///
-    /// Phase seconds are thread-CPU time under [`Dispatch::Serial`] and
-    /// wall-clock under [`Dispatch::Pool`] (work spreads across the pool;
-    /// per-thread CPU time would under-count). Flop counts come from the
-    /// engine and are identical for both policies.
-    pub(crate) fn eval_impl(
-        &self,
-        densities: &[f64],
-        dispatch: Dispatch,
-    ) -> (Vec<f64>, PhaseStats) {
-        assert_eq!(
-            densities.len(),
-            self.num_points * K::SRC_DIM,
-            "density vector must have SRC_DIM entries per point"
-        );
-        let mut stats = PhaseStats::new();
-        let rt = self.trace.rank(0);
-        let n = self.num_points;
-        // Permute densities into Morton order.
-        let mut dens = vec![0.0; n * K::SRC_DIM];
-        for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
-            for c in 0..K::SRC_DIM {
-                dens[sorted_i * K::SRC_DIM + c] = densities[orig as usize * K::SRC_DIM + c];
-            }
-        }
-
-        let engine = self.engine(dispatch);
-        let src = LocalSources {
-            tree: &self.tree,
-            points: &self.sorted_points,
-            dens: &dens,
-            src_dim: K::SRC_DIM,
-        };
-        let (mut store, mut ws) = self
-            .scratch
-            .lock()
-            .unwrap()
-            .pop()
-            .unwrap_or_else(|| (engine.new_store(), EngineWorkspace::default()));
-        store.reset();
-        let wall = Instant::now();
-        let now = || match dispatch {
-            Dispatch::Serial => thread_cpu_time(),
-            Dispatch::Pool => wall.elapsed().as_secs_f64(),
-        };
-        let depth = self.tree.depth();
-
-        if depth >= FIRST_FMM_LEVEL {
-            {
-                let _span = rt.span("Up", "Up");
-                let t0 = now();
-                let flops = engine.upward(&src, &mut store, &mut ws);
-                stats.add_seconds(Phase::Up, now() - t0);
-                stats.add_flops(Phase::Up, flops);
-                rt.add(Counter::Flops, flops);
-                if dispatch == Dispatch::Serial {
-                    rt.add(Counter::CellsTouched, engine.active_cell_count());
-                }
-            }
-            {
-                let t0 = now();
-                let mut vflops = 0u64;
-                for level in FIRST_FMM_LEVEL..=depth {
-                    let _v = rt.span("DownV", "m2l").with_n(level as u64);
-                    vflops += engine.m2l_level(level, &mut store, &mut ws);
-                }
-                stats.add_seconds(Phase::DownV, now() - t0);
-                stats.add_flops(Phase::DownV, vflops);
-                rt.add(Counter::Flops, vflops);
-            }
-            {
-                let _span = rt.span("DownX", "x-list");
-                let t0 = now();
-                let flops = engine.x_pass(&src, &mut store);
-                stats.add_seconds(Phase::DownX, now() - t0);
-                stats.add_flops(Phase::DownX, flops);
-                rt.add(Counter::Flops, flops);
-            }
-            {
-                let _span = rt.span("Eval", "l2l");
-                let t0 = now();
-                let flops = engine.l2l(&mut store, &mut ws);
-                stats.add_seconds(Phase::Eval, now() - t0);
-                stats.add_flops(Phase::Eval, flops);
-                rt.add(Counter::Flops, flops);
-            }
-        }
-
-        let mut pot = vec![0.0; n * K::TRG_DIM];
-        rt.add(Counter::CellsTouched, engine.active_leaves().len() as u64);
-        {
-            let _span = rt.span("DownU", "u-list");
-            let t0 = now();
-            let flops = engine.u_pass(&src, &mut pot);
-            stats.add_seconds(Phase::DownU, now() - t0);
-            stats.add_flops(Phase::DownU, flops);
-            rt.add(Counter::Flops, flops);
-        }
-        {
-            let _span = rt.span("DownW", "w-list");
-            let t0 = now();
-            let flops = engine.w_pass(&store, &mut pot);
-            stats.add_seconds(Phase::DownW, now() - t0);
-            stats.add_flops(Phase::DownW, flops);
-            rt.add(Counter::Flops, flops);
-        }
-        {
-            let _span = rt.span("Eval", "l2t");
-            let t0 = now();
-            let flops = engine.l2t(&store, &mut pot);
-            stats.add_seconds(Phase::Eval, now() - t0);
-            stats.add_flops(Phase::Eval, flops);
-            rt.add(Counter::Flops, flops);
-        }
-        self.scratch.lock().unwrap().push((store, ws));
-
-        // Un-permute potentials.
-        let mut out = vec![0.0; n * K::TRG_DIM];
-        for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
-            for c in 0..K::TRG_DIM {
-                out[orig as usize * K::TRG_DIM + c] = pot[sorted_i * K::TRG_DIM + c];
-            }
-        }
-        (out, stats)
-    }
-
-    /// Upward + downward expansions for Morton-sorted densities, without
-    /// spans or timing (the arbitrary-target evaluator reads `up`/`down`
-    /// rows directly).
-    pub(crate) fn compute_expansions(&self, dens: &[f64]) -> ExpansionStore {
-        let engine = self.engine(Dispatch::Serial);
-        let src = LocalSources {
-            tree: &self.tree,
-            points: &self.sorted_points,
-            dens,
-            src_dim: K::SRC_DIM,
-        };
-        let mut store = engine.new_store();
-        let mut ws = EngineWorkspace::default();
-        engine.upward(&src, &mut store, &mut ws);
-        let depth = self.tree.depth();
-        if depth >= FIRST_FMM_LEVEL {
-            for level in FIRST_FMM_LEVEL..=depth {
-                engine.m2l_level(level, &mut store, &mut ws);
-            }
-        }
-        engine.x_pass(&src, &mut store);
-        engine.l2l(&mut store, &mut ws);
-        store
-    }
-
-    /// Sorted points and density slice of a box.
-    pub(crate) fn leaf_data<'a>(&'a self, ni: u32, dens: &'a [f64]) -> (&'a [Point3], &'a [f64]) {
-        let node = &self.tree.nodes[ni as usize];
-        let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-        (&self.sorted_points[s..e], &dens[s * K::SRC_DIM..e * K::SRC_DIM])
+impl<K: Kernel> std::ops::DerefMut for Fmm<K> {
+    fn deref_mut(&mut self) -> &mut Session<K> {
+        &mut self.session
     }
 }
 
@@ -404,6 +154,7 @@ impl<K: Kernel> Fmm<K> {
 mod tests {
     use super::*;
     use crate::direct::direct_eval;
+    use crate::stats::Phase;
     use kifmm_kernels::{Laplace, ModifiedLaplace, Stokes};
     use kifmm_testkit::cloud;
 
@@ -599,6 +350,21 @@ mod tests {
         let u = fmm.eval(&vec![0.0; 200]).potentials;
         assert!(u.iter().all(|&v| v == 0.0));
     }
+
+    #[test]
+    fn eval_many_single_rhs_equals_eval() {
+        let pts = cloud(400, 51);
+        let dens = densities(400, 1);
+        let fmm = Fmm::new(
+            Laplace,
+            &pts,
+            FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        let single = fmm.eval(&dens).potentials;
+        let batch = fmm.eval_many(&[&dens]);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].potentials, single);
+    }
 }
 
 #[cfg(test)]
@@ -625,5 +391,27 @@ mod dipole_tests {
         let truth = direct_eval(&LaplaceDipole, &pts, &dens);
         let e = rel_l2_error(&u, &truth);
         assert!(e < 1e-4, "dipole kernel relative error {e}");
+    }
+
+    /// The dipole kernel's rectangular blocks through the batched path.
+    #[test]
+    fn laplace_dipole_eval_many_bitwise() {
+        let pts = cloud(400, 78);
+        let dens: Vec<Vec<f64>> = (0..3)
+            .map(|q| {
+                (0..400 * 3)
+                    .map(|i| (((i * 19 + q * 7) % 23) as f64) / 23.0 - 0.4)
+                    .collect()
+            })
+            .collect();
+        let fmm = Fmm::new(
+            LaplaceDipole,
+            &pts,
+            FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() },
+        );
+        let refs: Vec<&[f64]> = dens.iter().map(Vec::as_slice).collect();
+        for (q, rep) in fmm.eval_many(&refs).iter().enumerate() {
+            assert_eq!(rep.potentials, fmm.eval(&dens[q]).potentials, "RHS {q}");
+        }
     }
 }

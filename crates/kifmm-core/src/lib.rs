@@ -33,6 +33,7 @@ pub mod fmm;
 pub mod m2l;
 pub mod operators;
 pub mod par_eval;
+pub mod plan;
 pub mod precompute;
 pub mod stats;
 pub mod surface;
@@ -43,6 +44,7 @@ pub use direct::{direct_eval, direct_eval_src_trg, rel_l2_error};
 pub use engine::{ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine, SourceProvider};
 pub use evaluator::{EvalReport, Evaluator, FmmBuilder};
 pub use fmm::{Fmm, FmmOptions};
+pub use plan::{geometry_hash, BuildError, Plan, PlanCache, PlanKey, Session};
 pub use m2l::{v_list_directions, M2lDirect, M2lFft, M2lMode};
 pub use operators::{LevelOps, OperatorTable, FIRST_FMM_LEVEL};
 pub use precompute::{Precomputed, PrecomputeCache};

@@ -24,7 +24,7 @@ use kifmm_linalg::Mat;
 use std::collections::HashMap;
 
 /// How M2L translations are executed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum M2lMode {
     /// FFT-accelerated (the paper's production path).
     #[default]
@@ -64,6 +64,11 @@ pub struct M2lFft<K: Kernel> {
     tensors: Vec<HashMap<[i32; 3], Vec<C64>>>,
     /// Level → (slot, scale) lookup.
     level_slot: Vec<(usize, f64)>,
+    /// Hermitian mirror pairs `(dst, src)` covering every grid index with
+    /// `w₂ > m/2`: all inputs are real, so `X[−w] = conj(X[w])` and the
+    /// Hadamard stage only touches the half-spectrum slab `w₂ ≤ m/2`;
+    /// [`M2lFft::extract_check`] reconstructs the rest via this table.
+    mirror: Vec<(u32, u32)>,
     _kernel: std::marker::PhantomData<K>,
 }
 
@@ -99,12 +104,29 @@ impl<K: Kernel> M2lFft<K> {
                 }
             }
         }
-        M2lFft { m, plan, surf_idx, tensors, level_slot, _kernel: std::marker::PhantomData }
+        let mut mirror = Vec::with_capacity(m * m * (m / 2 - 1));
+        for w0 in 0..m {
+            for w1 in 0..m {
+                let row = (w0 * m + w1) * m;
+                let mrow = (((m - w0) % m) * m + (m - w1) % m) * m;
+                for w2 in m / 2 + 1..m {
+                    mirror.push(((row + w2) as u32, (mrow + (m - w2)) as u32));
+                }
+            }
+        }
+        M2lFft { m, plan, surf_idx, tensors, level_slot, mirror, _kernel: std::marker::PhantomData }
     }
 
     /// Grid volume `m³`.
     pub fn grid_len(&self) -> usize {
         self.m * self.m * self.m
+    }
+
+    /// Entries of the half-spectrum slab `w₂ ≤ m/2` the Hadamard stage
+    /// actually multiplies (the rest of each length-`m` row is implied by
+    /// Hermitian symmetry).
+    pub fn slab_len(&self) -> usize {
+        self.m * self.m * (self.m / 2 + 1)
     }
 
     /// Forward-transform a box's upward equivalent density
@@ -125,38 +147,55 @@ impl<K: Kernel> M2lFft<K> {
     }
 
     /// Accumulate one V-list interaction in frequency space:
-    /// `acc[t] += K̂_dir[t][s] ⊙ src[s]`. Returns the flop count charged.
+    /// `acc[t] += K̂_dir[t][s] ⊙ src[s]`, touching only the Hermitian
+    /// half-spectrum slab `w₂ ≤ m/2` of each grid (both factors transform
+    /// real data, so the skipped mirror half is determined by conjugation
+    /// and filled in once per target by [`M2lFft::extract_check`] — not
+    /// once per source). Returns the flop count charged.
     pub fn accumulate(&self, level: u8, dir: [i32; 3], src: &[C64], acc: &mut [C64]) -> u64 {
         let g = self.grid_len();
+        let (m, h) = (self.m, self.m / 2 + 1);
         let (slot, _) = self.level_slot[level as usize];
         let tensor = self.tensors[slot]
             .get(&dir)
             .unwrap_or_else(|| panic!("missing M2L tensor for direction {dir:?}"));
         for t in 0..K::TRG_DIM {
             for s in 0..K::SRC_DIM {
-                pointwise_mul_add(
-                    &mut acc[t * g..(t + 1) * g],
-                    &tensor[(t * K::SRC_DIM + s) * g..(t * K::SRC_DIM + s + 1) * g],
-                    &src[s * g..(s + 1) * g],
-                );
+                let a = &mut acc[t * g..(t + 1) * g];
+                let tn = &tensor[(t * K::SRC_DIM + s) * g..(t * K::SRC_DIM + s + 1) * g];
+                let sr = &src[s * g..(s + 1) * g];
+                for row in 0..m * m {
+                    let b = row * m;
+                    pointwise_mul_add(&mut a[b..b + h], &tn[b..b + h], &sr[b..b + h]);
+                }
             }
         }
-        (K::TRG_DIM * K::SRC_DIM * g * 8) as u64
+        (K::TRG_DIM * K::SRC_DIM * self.slab_len() * 8) as u64
     }
 
     /// Inverse-transform an accumulated spectrum and scatter the surface
     /// values into a downward check potential (`n_s·TRG_DIM`, point-major),
-    /// applying the homogeneity scale for `level`.
+    /// applying the homogeneity scale for `level`. The mirror half of the
+    /// spectrum ([`M2lFft::accumulate`] writes only `w₂ ≤ m/2`) is
+    /// reconstructed by Hermitian symmetry first.
     pub fn extract_check(&self, level: u8, acc: &mut [C64], check: &mut [f64]) {
         let g = self.grid_len();
         debug_assert_eq!(check.len(), self.surf_idx.len() * K::TRG_DIM);
         let (_, scale) = self.level_slot[level as usize];
+        // Only the embedded surface cube `[0, p)³` is read back, so the
+        // inverse transform is pruned to that corner.
+        let p = self.m / 2;
+        let inv = 1.0 / g as f64;
         for t in 0..K::TRG_DIM {
-            self.plan.inverse(&mut acc[t * g..(t + 1) * g]);
+            let a = &mut acc[t * g..(t + 1) * g];
+            for &(dst, src) in &self.mirror {
+                a[dst as usize] = a[src as usize].conj();
+            }
+            self.plan.inverse_corner_unnormalized(a, [p, p, p]);
         }
         for (pt, &vi) in self.surf_idx.iter().enumerate() {
             for t in 0..K::TRG_DIM {
-                check[pt * K::TRG_DIM + t] += scale * acc[t * g + vi].re;
+                check[pt * K::TRG_DIM + t] += scale * (acc[t * g + vi].re * inv);
             }
         }
     }

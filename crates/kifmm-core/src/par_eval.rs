@@ -2,7 +2,7 @@
 //!
 //! Selected with `Fmm::builder(..).parallel(true)`. Since the pass-engine
 //! refactor this path is the *same driver* as the serial one
-//! (`Fmm::eval_impl`) run under `Dispatch::Pool`: every engine loop fans
+//! (`Plan::execute`) run under `Dispatch::Pool`: every engine loop fans
 //! out over the worker pool, exploiting two structural facts:
 //!
 //! * boxes of one level occupy a **contiguous index range** (BFS
@@ -20,27 +20,6 @@
 //!
 //! Phase timing here is **wall-clock** (work spreads across the pool;
 //! per-thread CPU time would under-count); flop counts stay exact.
-
-use crate::fmm::Fmm;
-use crate::stats::PhaseStats;
-use kifmm_kernels::Kernel;
-use kifmm_runtime::Dispatch;
-
-impl<K: Kernel> Fmm<K> {
-    /// Deprecated shim over the parallel path; prefer
-    /// `Fmm::builder(..).parallel(true)` and [`Fmm::eval`].
-    #[deprecated(note = "build with FmmBuilder::parallel(true) and call eval()")]
-    pub fn evaluate_parallel(&self, densities: &[f64]) -> Vec<f64> {
-        self.eval_impl(densities, Dispatch::Pool).0
-    }
-
-    /// Deprecated shim over the parallel path; prefer
-    /// `Fmm::builder(..).parallel(true)` and [`Fmm::eval`].
-    #[deprecated(note = "build with FmmBuilder::parallel(true) and call eval()")]
-    pub fn evaluate_parallel_with_stats(&self, densities: &[f64]) -> (Vec<f64>, PhaseStats) {
-        self.eval_impl(densities, Dispatch::Pool)
-    }
-}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,910 @@
+//! Plan/execute split: [`Plan`], [`Session`] and [`PlanCache`].
+//!
+//! Building an FMM is expensive (tree, interaction lists, pseudoinverse
+//! inversions, M2L tensor FFTs); evaluating one is cheap and, in the
+//! solver setting of the paper (tens of Krylov iterations over a fixed
+//! discretization), happens many times per build. This module makes that
+//! asymmetry structural:
+//!
+//! * a [`Plan`] is everything particle-geometry setup produces —
+//!   immutable, `Send + Sync`, shareable across any number of threads;
+//! * a [`Session`] is a cheap front end over an `Arc<Plan>` holding the
+//!   *mutable* per-evaluation state (pooled expansion stores and
+//!   workspaces, checked out lock-free from a [`Freelist`]) plus the
+//!   execution policy (tracer, serial/pool dispatch);
+//! * a [`PlanCache`] memoizes plans by
+//!   `(kernel id, order, M2L mode, leaf capacity, depth cap, geometry)`
+//!   with an LRU byte bound, so a service answering repeated requests
+//!   against recurring geometries skips setup entirely on a warm hit.
+//!
+//! [`crate::Fmm`] is now a thin plan-then-execute wrapper (one `Session`
+//! over one private plan), so existing callers keep working unchanged.
+
+use crate::engine::{
+    ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine,
+};
+use crate::fmm::FmmOptions;
+use crate::m2l::M2lMode;
+use crate::operators::FIRST_FMM_LEVEL;
+use crate::precompute::{Precomputed, PrecomputeCache};
+use crate::stats::{thread_cpu_time, Phase, PhaseStats};
+use kifmm_kernels::{Kernel, Point3};
+use kifmm_runtime::{Dispatch, Freelist};
+use kifmm_tree::{build_lists, InteractionLists, Octree};
+use kifmm_trace::{Counter, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Why a plan (or evaluator) could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// `points(..)` was never supplied to the builder.
+    MissingPoints,
+    /// The supplied point set is empty.
+    EmptyPoints,
+    /// Surface order below the minimum of 2.
+    OrderTooSmall(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingPoints => {
+                write!(f, "FmmBuilder::points(..) is required before build()")
+            }
+            BuildError::EmptyPoints => write!(f, "empty point set"),
+            BuildError::OrderTooSmall(p) => {
+                write!(f, "surface order must be ≥ 2 (got {p})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// FNV-1a over the bit patterns of a point set (length-prefixed). Two
+/// geometries hash equal iff every coordinate is bit-identical — the
+/// condition under which a plan is exactly reusable.
+pub fn geometry_hash(points: &[Point3]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(points.len() as u64);
+    for p in points {
+        for c in p {
+            mix(c.to_bits());
+        }
+    }
+    h
+}
+
+/// The identity of a [`Plan`] inside a [`PlanCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`Kernel::id_bits`] — parameter fingerprint (the kernel *type* is
+    /// pinned by the cache's type parameter).
+    pub kernel_id: u64,
+    /// Surface discretization order `p`.
+    pub order: usize,
+    /// M2L execution mode.
+    pub m2l_mode: M2lMode,
+    /// Leaf capacity `s` (with the depth cap, determines tree depth).
+    pub max_pts_per_leaf: usize,
+    /// Octree depth cap.
+    pub max_level: u8,
+    /// [`geometry_hash`] of the point set.
+    pub geometry: u64,
+}
+
+/// Everything FMM setup produces for one `(kernel, options, point set)`:
+/// tree, interaction lists, Morton-sorted points, precomputed inversions
+/// and M2L tables. Immutable and `Send + Sync` — any number of threads
+/// may [`Plan::execute`] against one plan concurrently (each execution
+/// brings its own [`ExpansionStore`]/[`EngineWorkspace`]).
+pub struct Plan<K: Kernel> {
+    pub(crate) kernel: K,
+    pub(crate) opts: FmmOptions,
+    /// The computation tree.
+    pub tree: Octree,
+    /// U/V/W/X lists per box.
+    pub lists: InteractionLists,
+    pub(crate) pre: Arc<Precomputed<K>>,
+    /// Points permuted into Morton order (leaf ranges contiguous).
+    pub(crate) sorted_points: Vec<Point3>,
+    pub(crate) num_points: usize,
+    /// Every box is active: a plan covers the whole tree.
+    pub(crate) active: ActiveSet,
+    geometry: u64,
+}
+
+impl<K: Kernel> Plan<K> {
+    /// Build a plan: tree, interaction lists and translation operators.
+    pub fn try_new(
+        kernel: K,
+        points: &[Point3],
+        opts: FmmOptions,
+    ) -> Result<Self, BuildError> {
+        let cache = PrecomputeCache::new();
+        Self::try_new_with_cache(kernel, points, opts, &cache)
+    }
+
+    /// As [`Plan::try_new`], but sharing particle-independent operator
+    /// tables through `cache` (parameter sweeps, virtual-rank benches).
+    pub fn try_new_with_cache(
+        kernel: K,
+        points: &[Point3],
+        opts: FmmOptions,
+        cache: &PrecomputeCache<K>,
+    ) -> Result<Self, BuildError> {
+        if opts.order < 2 {
+            return Err(BuildError::OrderTooSmall(opts.order));
+        }
+        if points.is_empty() {
+            return Err(BuildError::EmptyPoints);
+        }
+        let geometry = geometry_hash(points);
+        let tree = Octree::build(points, opts.max_pts_per_leaf, opts.max_level);
+        let lists = build_lists(&tree);
+        let depth = tree.depth();
+        let root_half = tree.domain.half;
+        let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
+        let sorted_points: Vec<Point3> =
+            tree.perm.iter().map(|&i| points[i as usize]).collect();
+        let active = ActiveSet::build(&tree, |_| true);
+        Ok(Plan {
+            kernel,
+            opts,
+            tree,
+            lists,
+            pre,
+            sorted_points,
+            num_points: points.len(),
+            active,
+            geometry,
+        })
+    }
+
+    /// This plan's cache identity.
+    pub fn key(&self) -> PlanKey {
+        PlanKey {
+            kernel_id: self.kernel.id_bits(),
+            order: self.opts.order,
+            m2l_mode: self.opts.m2l_mode,
+            max_pts_per_leaf: self.opts.max_pts_per_leaf,
+            max_level: self.opts.max_level,
+            geometry: self.geometry,
+        }
+    }
+
+    /// [`geometry_hash`] of the point set the plan was built over.
+    pub fn geometry_hash(&self) -> u64 {
+        self.geometry
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.num_points
+    }
+
+    /// True when empty (never; construction requires points).
+    pub fn is_empty(&self) -> bool {
+        self.num_points == 0
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The options the plan was built with.
+    pub fn options(&self) -> &FmmOptions {
+        &self.opts
+    }
+
+    /// The precomputed operator tables (shared with the builder cache).
+    pub fn precomputed(&self) -> &Precomputed<K> {
+        &self.pre
+    }
+
+    /// The points in Morton order (leaf point ranges index into this).
+    pub fn morton_points(&self) -> &[Point3] {
+        &self.sorted_points
+    }
+
+    /// This plan's ownership filter (every box active).
+    pub fn active_set(&self) -> &ActiveSet {
+        &self.active
+    }
+
+    /// Estimated resident bytes of the plan (tree, lists, points and
+    /// operator tables) — the quantity [`PlanCache`] budgets its LRU
+    /// bound against. An estimate: dense operator and FFT-tensor sizes
+    /// are computed from their dimensions, not measured.
+    pub fn approx_bytes(&self) -> usize {
+        let ns = crate::surface::num_surface_points(self.opts.order);
+        let (es, cs) = (ns * K::SRC_DIM, ns * K::TRG_DIM);
+        let depth = self.tree.depth() as usize;
+        let op_levels = depth.saturating_sub(FIRST_FMM_LEVEL as usize) + 1;
+        // 8 M2M + 8 L2L forward maps and 2 inversions per level, all
+        // es×cs-sized.
+        let ops = op_levels * 18 * es * cs * 8;
+        let m2l = match &self.pre.m2l_fft {
+            Some(fft) => {
+                let tensor_levels =
+                    if self.kernel.homogeneity().is_some() { 1 } else { op_levels };
+                tensor_levels * 316 * K::SRC_DIM * K::TRG_DIM * fft.grid_len() * 16
+            }
+            // Dense tables fill lazily; charge the same footprint the
+            // fully-warm cache would reach.
+            None => 316 * es * cs * 8,
+        };
+        let tree = self.tree.num_nodes() * 96 + self.num_points * 4;
+        let lists: usize = [&self.lists.u, &self.lists.v, &self.lists.w, &self.lists.x]
+            .iter()
+            .map(|l| l.iter().map(Vec::len).sum::<usize>() * 4 + l.len() * 24)
+            .sum();
+        let points = self.sorted_points.len() * 24;
+        ops + m2l + tree + lists + points
+    }
+
+    /// Borrow the prepared state into a [`PassEngine`] under the given
+    /// thread-dispatch policy.
+    pub fn engine(&self, dispatch: Dispatch) -> PassEngine<'_, K> {
+        PassEngine::new(
+            &self.kernel,
+            &self.tree,
+            &self.lists,
+            &self.pre,
+            &self.sorted_points,
+            self.opts.order,
+            self.opts.m2l_mode,
+            dispatch,
+            &self.active,
+        )
+    }
+
+    /// Execute the plan for a batch of `k = densities.len()` charge
+    /// vectors (each in original point order, `SRC_DIM` interleaved
+    /// components per point), running every FMM pass **once** over the
+    /// whole batch: the per-level translation GEMMs widen their column
+    /// blocks `k`-fold, the FFT M2L reuses each direction tensor across
+    /// the batch, and the dense passes hoist pair geometry with
+    /// [`Kernel::p2p_many`]. Returns one potential vector per RHS
+    /// (original point order) and the per-phase statistics of the batch.
+    ///
+    /// Each output vector is bit-identical to what a single-RHS execution
+    /// of that density vector produces (asserted in tests), and `k = 1`
+    /// takes exactly the single-RHS code path.
+    ///
+    /// The caller provides the mutable evaluation state; `store`/`ws` are
+    /// reshaped as needed ([`Session`] pools them, so steady-state
+    /// evaluations allocate only their output vectors).
+    ///
+    /// Phase seconds are thread-CPU time under [`Dispatch::Serial`] and
+    /// wall-clock under [`Dispatch::Pool`] (work spreads across the pool;
+    /// per-thread CPU time would under-count). Flop counts come from the
+    /// engine and are identical for both policies.
+    pub fn execute(
+        &self,
+        densities: &[&[f64]],
+        dispatch: Dispatch,
+        trace: &Tracer,
+        store: &mut ExpansionStore,
+        ws: &mut EngineWorkspace,
+    ) -> (Vec<Vec<f64>>, PhaseStats) {
+        let k = densities.len();
+        assert!(k >= 1, "at least one density vector");
+        for d in densities {
+            assert_eq!(
+                d.len(),
+                self.num_points * K::SRC_DIM,
+                "each density vector must have SRC_DIM entries per point"
+            );
+        }
+        let mut stats = PhaseStats::new();
+        let rt = trace.rank(0);
+        let n = self.num_points;
+        // Permute each density vector into Morton order.
+        let mut dens_sorted: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for d in densities {
+            let mut s = vec![0.0; n * K::SRC_DIM];
+            for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
+                for c in 0..K::SRC_DIM {
+                    s[sorted_i * K::SRC_DIM + c] = d[orig as usize * K::SRC_DIM + c];
+                }
+            }
+            dens_sorted.push(s);
+        }
+        let dens_refs: Vec<&[f64]> = dens_sorted.iter().map(Vec::as_slice).collect();
+
+        let engine = self.engine(dispatch);
+        engine.prepare_store(store, k);
+        let src = LocalSources {
+            tree: &self.tree,
+            points: &self.sorted_points,
+            dens: &dens_refs,
+            src_dim: K::SRC_DIM,
+        };
+        let wall = Instant::now();
+        let now = || match dispatch {
+            Dispatch::Serial => thread_cpu_time(),
+            Dispatch::Pool => wall.elapsed().as_secs_f64(),
+        };
+        let depth = self.tree.depth();
+
+        if depth >= FIRST_FMM_LEVEL {
+            {
+                let _span = rt.span("Up", "Up");
+                let t0 = now();
+                let flops = engine.upward(&src, store, ws);
+                stats.add_seconds(Phase::Up, now() - t0);
+                stats.add_flops(Phase::Up, flops);
+                rt.add(Counter::Flops, flops);
+                if dispatch == Dispatch::Serial {
+                    rt.add(Counter::CellsTouched, engine.active_cell_count());
+                }
+            }
+            {
+                let t0 = now();
+                let mut vflops = 0u64;
+                for level in FIRST_FMM_LEVEL..=depth {
+                    let _v = rt.span("DownV", "m2l").with_n(level as u64);
+                    vflops += engine.m2l_level(level, store, ws);
+                }
+                stats.add_seconds(Phase::DownV, now() - t0);
+                stats.add_flops(Phase::DownV, vflops);
+                rt.add(Counter::Flops, vflops);
+            }
+            {
+                let _span = rt.span("DownX", "x-list");
+                let t0 = now();
+                let flops = engine.x_pass(&src, store);
+                stats.add_seconds(Phase::DownX, now() - t0);
+                stats.add_flops(Phase::DownX, flops);
+                rt.add(Counter::Flops, flops);
+            }
+            {
+                let _span = rt.span("Eval", "l2l");
+                let t0 = now();
+                let flops = engine.l2l(store, ws);
+                stats.add_seconds(Phase::Eval, now() - t0);
+                stats.add_flops(Phase::Eval, flops);
+                rt.add(Counter::Flops, flops);
+            }
+        }
+
+        let mut pots: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n * K::TRG_DIM]).collect();
+        let mut pot_refs: Vec<&mut [f64]> = pots.iter_mut().map(Vec::as_mut_slice).collect();
+        rt.add(Counter::CellsTouched, engine.active_leaves().len() as u64);
+        {
+            let _span = rt.span("DownU", "u-list");
+            let t0 = now();
+            let flops = engine.u_pass(&src, &mut pot_refs);
+            stats.add_seconds(Phase::DownU, now() - t0);
+            stats.add_flops(Phase::DownU, flops);
+            rt.add(Counter::Flops, flops);
+        }
+        {
+            let _span = rt.span("DownW", "w-list");
+            let t0 = now();
+            let flops = engine.w_pass(store, &mut pot_refs);
+            stats.add_seconds(Phase::DownW, now() - t0);
+            stats.add_flops(Phase::DownW, flops);
+            rt.add(Counter::Flops, flops);
+        }
+        {
+            let _span = rt.span("Eval", "l2t");
+            let t0 = now();
+            let flops = engine.l2t(store, &mut pot_refs);
+            stats.add_seconds(Phase::Eval, now() - t0);
+            stats.add_flops(Phase::Eval, flops);
+            rt.add(Counter::Flops, flops);
+        }
+        drop(pot_refs);
+
+        // Un-permute each potential vector.
+        let outs = pots
+            .into_iter()
+            .map(|pot| {
+                let mut out = vec![0.0; n * K::TRG_DIM];
+                for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
+                    for c in 0..K::TRG_DIM {
+                        out[orig as usize * K::TRG_DIM + c] =
+                            pot[sorted_i * K::TRG_DIM + c];
+                    }
+                }
+                out
+            })
+            .collect();
+        (outs, stats)
+    }
+
+    /// Upward + downward expansions for Morton-sorted densities, without
+    /// spans or timing (the arbitrary-target evaluator reads `up`/`down`
+    /// rows directly).
+    pub(crate) fn compute_expansions(&self, dens: &[f64]) -> ExpansionStore {
+        let engine = self.engine(Dispatch::Serial);
+        let src = LocalSources {
+            tree: &self.tree,
+            points: &self.sorted_points,
+            dens: &[dens],
+            src_dim: K::SRC_DIM,
+        };
+        let mut store = engine.new_store();
+        let mut ws = EngineWorkspace::default();
+        engine.upward(&src, &mut store, &mut ws);
+        let depth = self.tree.depth();
+        if depth >= FIRST_FMM_LEVEL {
+            for level in FIRST_FMM_LEVEL..=depth {
+                engine.m2l_level(level, &mut store, &mut ws);
+            }
+        }
+        engine.x_pass(&src, &mut store);
+        engine.l2l(&mut store, &mut ws);
+        store
+    }
+
+    /// Sorted points and density slice of a box.
+    pub(crate) fn leaf_data<'a>(
+        &'a self,
+        ni: u32,
+        dens: &'a [f64],
+    ) -> (&'a [Point3], &'a [f64]) {
+        let node = &self.tree.nodes[ni as usize];
+        let (s, e) = (node.pt_start as usize, node.pt_end as usize);
+        (&self.sorted_points[s..e], &dens[s * K::SRC_DIM..e * K::SRC_DIM])
+    }
+}
+
+/// Pooled per-evaluation state: one expansion store + workspace pair.
+type Scratch = (ExpansionStore, EngineWorkspace);
+
+/// Pool slots per session — concurrent evaluations beyond this many
+/// allocate (and drop) their own scratch rather than block.
+const POOL_SLOTS: usize = 16;
+
+/// A client handle over a shared [`Plan`]: holds the execution policy
+/// (tracer, serial/pool dispatch) and a lock-free [`Freelist`] of pooled
+/// scratch, so many threads can evaluate against one plan concurrently
+/// with no lock contention and no steady-state allocation beyond the
+/// output vectors. `Deref`s to its plan.
+pub struct Session<K: Kernel> {
+    plan: Arc<Plan<K>>,
+    pool: Freelist<Scratch>,
+    trace: Tracer,
+    parallel_eval: bool,
+}
+
+impl<K: Kernel> Session<K> {
+    /// Open a session over a shared plan.
+    pub fn new(plan: Arc<Plan<K>>) -> Self {
+        Session {
+            plan,
+            pool: Freelist::new(POOL_SLOTS),
+            trace: Tracer::disabled(),
+            parallel_eval: false,
+        }
+    }
+
+    /// Open a session over a plan this session owns exclusively.
+    pub fn from_plan(plan: Plan<K>) -> Self {
+        Self::new(Arc::new(plan))
+    }
+
+    /// The shared plan (clone the `Arc` to open further sessions).
+    pub fn plan(&self) -> &Arc<Plan<K>> {
+        &self.plan
+    }
+
+    /// Attach (or detach, with [`Tracer::disabled`]) an observability
+    /// sink; subsequent evaluations record per-phase spans.
+    pub fn set_trace(&mut self, trace: Tracer) {
+        self.trace = trace;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn trace(&self) -> &Tracer {
+        &self.trace
+    }
+
+    /// Route evaluations through the shared-memory parallel path
+    /// (bit-identical results; wall-clock phase timing).
+    pub fn set_parallel_eval(&mut self, parallel: bool) {
+        self.parallel_eval = parallel;
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        if self.parallel_eval {
+            Dispatch::Pool
+        } else {
+            Dispatch::Serial
+        }
+    }
+
+    fn checkout(&self) -> Box<Scratch> {
+        self.pool.checkout().unwrap_or_else(|| {
+            Box::new((ExpansionStore::new(0, 1, 1), EngineWorkspace::default()))
+        })
+    }
+
+    /// Evaluate potentials for one density vector (original point order,
+    /// `SRC_DIM` interleaved components per point).
+    pub fn eval(&self, densities: &[f64]) -> crate::evaluator::EvalReport {
+        self.eval_many(&[densities]).pop().expect("one report per RHS")
+    }
+
+    /// Evaluate a batch of `k` density vectors through **one** set of FMM
+    /// passes (see [`Plan::execute`]). Returns one report per RHS; the
+    /// per-phase statistics describe the shared batch execution and are
+    /// carried by every report.
+    pub fn eval_many(&self, densities: &[&[f64]]) -> Vec<crate::evaluator::EvalReport> {
+        let mut scratch = self.checkout();
+        let (store, ws) = &mut *scratch;
+        let (pots, stats) =
+            self.plan.execute(densities, self.dispatch(), &self.trace, store, ws);
+        self.pool.checkin(scratch);
+        pots.into_iter()
+            .map(|potentials| crate::evaluator::EvalReport {
+                potentials,
+                stats: stats.clone(),
+                trace: self.trace.clone(),
+            })
+            .collect()
+    }
+}
+
+impl<K: Kernel> std::ops::Deref for Session<K> {
+    type Target = Plan<K>;
+
+    fn deref(&self) -> &Plan<K> {
+        &self.plan
+    }
+}
+
+struct CacheEntry<K: Kernel> {
+    key: PlanKey,
+    plan: Arc<Plan<K>>,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// An LRU-bounded memoization of [`Plan`]s keyed by [`PlanKey`]. One
+/// cache serves one kernel *type* (the type parameter); kernel
+/// *parameters* are distinguished through [`Kernel::id_bits`].
+///
+/// Hits and misses are counted (readable via [`PlanCache::hits`] /
+/// [`PlanCache::misses`]) and, when a tracer is attached, mirrored into
+/// the [`Counter::PlanCacheHits`] / [`Counter::PlanCacheMisses`] trace
+/// counters.
+pub struct PlanCache<K: Kernel> {
+    inner: Mutex<Vec<CacheEntry<K>>>,
+    clock: AtomicU64,
+    max_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    trace: Tracer,
+}
+
+impl<K: Kernel> PlanCache<K> {
+    /// Cache bounded to roughly `max_bytes` of resident plan memory
+    /// ([`Plan::approx_bytes`]); the least-recently-used plans are evicted
+    /// once the bound is exceeded (the most recent plan is always kept).
+    pub fn new(max_bytes: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Vec::new()),
+            clock: AtomicU64::new(0),
+            max_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            trace: Tracer::disabled(),
+        }
+    }
+
+    /// Cache with no byte bound.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Mirror hit/miss counts into `trace`'s rank-0 counters.
+    pub fn set_trace(&mut self, trace: Tracer) {
+        self.trace = trace;
+    }
+
+    /// Plan-cache lookups served from a cached plan (setup skipped).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Plan-cache lookups that had to build a new plan.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// True when no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the plan for `(kernel, points, opts)`, building it on a
+    /// miss. A warm hit performs no tree construction and no operator
+    /// precomputation — only the geometry hash (one linear scan of the
+    /// points). Concurrent misses for the same key may build the plan
+    /// more than once; one build wins insertion and the others share it.
+    pub fn get_or_plan(
+        &self,
+        kernel: &K,
+        points: &[Point3],
+        opts: FmmOptions,
+    ) -> Result<Arc<Plan<K>>, BuildError> {
+        let key = PlanKey {
+            kernel_id: kernel.id_bits(),
+            order: opts.order,
+            m2l_mode: opts.m2l_mode,
+            max_pts_per_leaf: opts.max_pts_per_leaf,
+            max_level: opts.max_level,
+            geometry: geometry_hash(points),
+        };
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner =
+                self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(e) = inner.iter_mut().find(|e| e.key == key) {
+                e.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.trace.rank(0).add(Counter::PlanCacheHits, 1);
+                return Ok(e.plan.clone());
+            }
+        }
+        // Build outside the lock: a slow build must not serialize hits on
+        // other keys.
+        let plan = Arc::new(Plan::try_new(kernel.clone(), points, opts)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.trace.rank(0).add(Counter::PlanCacheMisses, 1);
+        let bytes = plan.approx_bytes();
+        let mut inner =
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = inner.iter_mut().find(|e| e.key == key) {
+            // A concurrent builder won the race; share its plan.
+            e.stamp = stamp;
+            return Ok(e.plan.clone());
+        }
+        inner.push(CacheEntry { key, plan: plan.clone(), bytes, stamp });
+        let newest = stamp;
+        let mut total: usize = inner.iter().map(|e| e.bytes).sum();
+        while total > self.max_bytes && inner.len() > 1 {
+            let (idx, _) = inner
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.stamp != newest)
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("len > 1 so a non-newest entry exists");
+            total -= inner[idx].bytes;
+            inner.remove(idx);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use crate::fmm::Fmm;
+    use kifmm_kernels::{Laplace, ModifiedLaplace, Stokes};
+    use kifmm_testkit::cloud;
+
+    fn densities(n: usize, dim: usize, seed: usize) -> Vec<f64> {
+        (0..n * dim).map(|i| (((i * 31 + seed * 17) % 101) as f64) / 101.0 - 0.3).collect()
+    }
+
+    fn opts_small() -> FmmOptions {
+        FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() }
+    }
+
+    #[test]
+    fn eval_many_bitwise_equals_independent_evals_serial_and_pool() {
+        let pts = cloud(900, 5);
+        let k = 8;
+        let dens: Vec<Vec<f64>> = (0..k).map(|q| densities(900, 1, q)).collect();
+        for parallel in [false, true] {
+            let mut session = Session::from_plan(
+                Plan::try_new(Laplace, &pts, opts_small()).unwrap(),
+            );
+            session.set_parallel_eval(parallel);
+            let singles: Vec<Vec<f64>> =
+                dens.iter().map(|d| session.eval(d).potentials).collect();
+            let refs: Vec<&[f64]> = dens.iter().map(Vec::as_slice).collect();
+            let reports = session.eval_many(&refs);
+            assert_eq!(reports.len(), k);
+            for (q, rep) in reports.iter().enumerate() {
+                assert_eq!(
+                    rep.potentials, singles[q],
+                    "RHS {q} (parallel={parallel}) not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_many_bitwise_matrix_kernel() {
+        // Stokes: SRC_DIM = TRG_DIM = 3 exercises the interleaved-block
+        // layout; clustered points exercise W/X under the batch.
+        let mut pts = cloud(300, 9);
+        for p in cloud(300, 10) {
+            pts.push([0.9 + p[0] * 0.05, 0.9 + p[1] * 0.05, 0.9 + p[2] * 0.05]);
+        }
+        let k = 3;
+        let dens: Vec<Vec<f64>> = (0..k).map(|q| densities(600, 3, q)).collect();
+        let session = Session::from_plan(
+            Plan::try_new(
+                Stokes::default(),
+                &pts,
+                FmmOptions { order: 4, max_pts_per_leaf: 12, ..Default::default() },
+            )
+            .unwrap(),
+        );
+        let refs: Vec<&[f64]> = dens.iter().map(Vec::as_slice).collect();
+        let reports = session.eval_many(&refs);
+        for (q, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.potentials, session.eval(&dens[q]).potentials, "RHS {q}");
+        }
+    }
+
+    #[test]
+    fn eval_many_dense_m2l_mode() {
+        let pts = cloud(500, 77);
+        let dens: Vec<Vec<f64>> = (0..4).map(|q| densities(500, 1, q)).collect();
+        let session = Session::from_plan(
+            Plan::try_new(
+                Laplace,
+                &pts,
+                FmmOptions { m2l_mode: M2lMode::Direct, ..opts_small() },
+            )
+            .unwrap(),
+        );
+        let refs: Vec<&[f64]> = dens.iter().map(Vec::as_slice).collect();
+        for (q, rep) in session.eval_many(&refs).iter().enumerate() {
+            assert_eq!(rep.potentials, session.eval(&dens[q]).potentials, "RHS {q}");
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_share_one_plan_bitwise_stable() {
+        // 8 threads hammer one shared plan through their own sessions;
+        // every thread must see the bit-exact single-thread result.
+        let pts = cloud(700, 21);
+        let plan = Arc::new(Plan::try_new(Laplace, &pts, opts_small()).unwrap());
+        let expect: Vec<Vec<f64>> = (0..8)
+            .map(|q| Session::new(plan.clone()).eval(&densities(700, 1, q)).potentials)
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let plan = plan.clone();
+                let expect = &expect;
+                scope.spawn(move || {
+                    let session = Session::new(plan);
+                    for round in 0..4 {
+                        let q = (t + round) % 8;
+                        let got = session.eval(&densities(700, 1, q)).potentials;
+                        assert_eq!(got, expect[q], "thread {t} round {round}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn one_session_used_from_many_threads() {
+        // The Freelist scratch pool makes &Session usable concurrently.
+        let pts = cloud(400, 33);
+        let session =
+            Session::from_plan(Plan::try_new(Laplace, &pts, opts_small()).unwrap());
+        let d = densities(400, 1, 1);
+        let expect = session.eval(&d).potentials;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let session = &session;
+                let d = &d;
+                let expect = &expect;
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        assert_eq!(&session.eval(d).potentials, expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn plan_cache_warm_hit_skips_setup() {
+        let pts = cloud(300, 3);
+        let cache = PlanCache::unbounded();
+        let a = cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "warm hit must return the cached plan");
+        // Different geometry, order, or kernel parameters miss.
+        let pts2 = cloud(300, 4);
+        cache.get_or_plan(&Laplace, &pts2, opts_small()).unwrap();
+        cache
+            .get_or_plan(&Laplace, &pts, FmmOptions { order: 5, ..opts_small() })
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+    }
+
+    #[test]
+    fn plan_cache_distinguishes_kernel_parameters() {
+        let pts = cloud(200, 3);
+        let cache = PlanCache::unbounded();
+        cache.get_or_plan(&ModifiedLaplace::new(1.0), &pts, opts_small()).unwrap();
+        cache.get_or_plan(&ModifiedLaplace::new(2.0), &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn plan_cache_lru_eviction_keeps_newest() {
+        let pts = cloud(250, 3);
+        // A bound below one plan's footprint: every insert evicts the
+        // previous resident, but the newest always stays.
+        let cache = PlanCache::new(1);
+        cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert_eq!(cache.len(), 1);
+        let pts2 = cloud(250, 4);
+        cache.get_or_plan(&Laplace, &pts2, opts_small()).unwrap();
+        assert_eq!(cache.len(), 1, "over-budget cache keeps only the newest plan");
+        // The first plan was evicted: fetching it again is a miss.
+        cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+    }
+
+    #[test]
+    fn plan_cache_counters_reach_the_tracer() {
+        let pts = cloud(200, 7);
+        let mut cache = PlanCache::unbounded();
+        let trace = Tracer::enabled();
+        cache.set_trace(trace.clone());
+        cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        let json = trace.chrome_trace_json();
+        assert!(json.contains("plan_cache_hits"), "hit counter exported: {json}");
+        assert!(json.contains("plan_cache_misses"), "miss counter exported");
+    }
+
+    #[test]
+    fn session_pool_reuses_scratch() {
+        let pts = cloud(300, 11);
+        let session =
+            Session::from_plan(Plan::try_new(Laplace, &pts, opts_small()).unwrap());
+        let d = densities(300, 1, 0);
+        let first = session.eval(&d).potentials;
+        for _ in 0..3 {
+            assert_eq!(session.eval(&d).potentials, first);
+        }
+    }
+
+    #[test]
+    fn eval_many_matches_fmm_wrapper() {
+        // Fmm::eval (plan-then-execute wrapper) and a standalone Session
+        // over an identical plan agree bitwise.
+        let pts = cloud(350, 13);
+        let d = densities(350, 1, 2);
+        let fmm = Fmm::new(Laplace, &pts, opts_small());
+        let session =
+            Session::from_plan(Plan::try_new(Laplace, &pts, opts_small()).unwrap());
+        assert_eq!(fmm.eval(&d).potentials, session.eval(&d).potentials);
+        assert_eq!(Evaluator::eval(&fmm, &d).potentials, session.eval(&d).potentials);
+    }
+}

@@ -67,7 +67,7 @@ impl FftPlan {
             b.run(data, false);
             return;
         }
-        self.rec(data, 0, false);
+        self.run_mixed_radix(data, false);
     }
 
     /// In-place inverse transform, normalized by `1/n`
@@ -77,7 +77,7 @@ impl FftPlan {
         if let Some(b) = &self.bluestein {
             b.run(data, true);
         } else {
-            self.rec(data, 0, true);
+            self.run_mixed_radix(data, true);
         }
         let inv = 1.0 / self.n as f64;
         for v in data.iter_mut() {
@@ -91,7 +91,21 @@ impl FftPlan {
         if let Some(b) = &self.bluestein {
             b.run(data, true);
         } else {
-            self.rec(data, 0, true);
+            self.run_mixed_radix(data, true);
+        }
+    }
+
+    /// Dispatch to [`FftPlan::rec`] with a single scratch buffer — on the
+    /// stack for the short lines of volume grids (an FMM M2L line is
+    /// `2p ≤ 64` points, where a per-call heap allocation would cost more
+    /// than the butterflies).
+    fn run_mixed_radix(&self, data: &mut [C64], inverse: bool) {
+        if self.n <= 64 {
+            let mut buf = [C64::ZERO; 64];
+            self.rec(data, &mut buf[..self.n], 0, inverse);
+        } else {
+            let mut buf = vec![C64::ZERO; self.n];
+            self.rec(data, &mut buf, 0, inverse);
         }
     }
 
@@ -108,8 +122,10 @@ impl FftPlan {
 
     /// Recursive decimation-in-time Cooley–Tukey on a contiguous slice.
     /// `fdepth` indexes into the factor list (the product of the remaining
-    /// factors equals `data.len()`).
-    fn rec(&self, data: &mut [C64], fdepth: usize, inverse: bool) {
+    /// factors equals `data.len()`). `scratch` is a caller-provided buffer
+    /// of the same length; recursion ping-pongs the two (a child uses its
+    /// parent's `data` block as scratch), so no level allocates.
+    fn rec(&self, data: &mut [C64], scratch: &mut [C64], fdepth: usize, inverse: bool) {
         let len = data.len();
         if len == 1 {
             return;
@@ -118,14 +134,18 @@ impl FftPlan {
         let m = len / r;
         // Gather the r interleaved subsequences into contiguous blocks and
         // transform each recursively.
-        let mut scratch = vec![C64::ZERO; len];
         for q in 0..r {
             for k in 0..m {
                 scratch[q * m + k] = data[q + k * r];
             }
         }
         for q in 0..r {
-            self.rec(&mut scratch[q * m..(q + 1) * m], fdepth + 1, inverse);
+            self.rec(
+                &mut scratch[q * m..(q + 1) * m],
+                &mut data[q * m..(q + 1) * m],
+                fdepth + 1,
+                inverse,
+            );
         }
         // Combine: X[k + p·m] = Σ_q w_len^{q(k+p·m)} A_q[k]; the shared
         // length-n table is indexed by scaling with n/len.

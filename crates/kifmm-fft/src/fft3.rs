@@ -48,6 +48,54 @@ impl Fft3 {
         }
     }
 
+    /// In-place **unnormalized** inverse transform pruned to the output
+    /// corner `[0, keep₀) × [0, keep₁) × [0, keep₂)`: pass lines whose
+    /// results cannot reach the corner are skipped entirely. Entries
+    /// outside the corner are left in an unspecified intermediate state —
+    /// callers read only the corner (and normalize themselves). With
+    /// `keep = dims` this computes the full unnormalized inverse.
+    ///
+    /// This is the classic pruned-FFT trick for convolution grids where
+    /// only a sub-volume (here: the embedded surface cube) is read back.
+    pub fn inverse_corner_unnormalized(&self, data: &mut [C64], keep: [usize; 3]) {
+        assert_eq!(data.len(), self.len(), "buffer must match grid size");
+        let [n0, n1, n2] = self.dims;
+        debug_assert!(keep[0] <= n0 && keep[1] <= n1 && keep[2] <= n2);
+        // Axis 2 (contiguous): every line feeds some kept k.
+        for line in data.chunks_exact_mut(n2) {
+            self.plans[2].inverse_unnormalized(line);
+        }
+        // Axis 1: lines are (i, k); only k < keep₂ can reach the corner.
+        let mut buf = vec![C64::ZERO; n1];
+        for i in 0..n0 {
+            let slab = &mut data[i * n1 * n2..(i + 1) * n1 * n2];
+            for k in 0..keep[2] {
+                for j in 0..n1 {
+                    buf[j] = slab[j * n2 + k];
+                }
+                self.plans[1].inverse_unnormalized(&mut buf);
+                for j in 0..n1 {
+                    slab[j * n2 + k] = buf[j];
+                }
+            }
+        }
+        // Axis 0: columns are (j, k); only j < keep₁, k < keep₂ matter.
+        let stride = n1 * n2;
+        let mut buf0 = vec![C64::ZERO; n0];
+        for j in 0..keep[1] {
+            for k in 0..keep[2] {
+                let jk = j * n2 + k;
+                for i in 0..n0 {
+                    buf0[i] = data[i * stride + jk];
+                }
+                self.plans[0].inverse_unnormalized(&mut buf0);
+                for i in 0..n0 {
+                    data[i * stride + jk] = buf0[i];
+                }
+            }
+        }
+    }
+
     fn apply(&self, data: &mut [C64], inverse: bool) {
         assert_eq!(data.len(), self.len(), "buffer must match grid size");
         let [n0, n1, n2] = self.dims;
@@ -58,9 +106,17 @@ impl Fft3 {
                 plan.forward(line)
             }
         };
+        // Forward inputs are typically zero-padded embeddings (a cube
+        // surface in a (2p)³ volume): most lines of the first two passes
+        // are identically zero, and the transform of a zero line is a zero
+        // line — skip them. (Inverse inputs are dense spectra; the scan
+        // would be pure overhead.)
+        let live = |line: &[C64]| inverse || line.iter().any(|v| v.re != 0.0 || v.im != 0.0);
         // Axis 2 (contiguous lines).
         for line in data.chunks_exact_mut(n2) {
-            run(&self.plans[2], line);
+            if live(line) {
+                run(&self.plans[2], line);
+            }
         }
         // Axis 1 (stride n2 within each i-slab).
         let mut buf = vec![C64::ZERO; n1];
@@ -70,9 +126,11 @@ impl Fft3 {
                 for j in 0..n1 {
                     buf[j] = slab[j * n2 + k];
                 }
-                run(&self.plans[1], &mut buf);
-                for j in 0..n1 {
-                    slab[j * n2 + k] = buf[j];
+                if live(&buf) {
+                    run(&self.plans[1], &mut buf);
+                    for j in 0..n1 {
+                        slab[j * n2 + k] = buf[j];
+                    }
                 }
             }
         }
@@ -83,9 +141,11 @@ impl Fft3 {
             for i in 0..n0 {
                 buf0[i] = data[i * stride + jk];
             }
-            run(&self.plans[0], &mut buf0);
-            for i in 0..n0 {
-                data[i * stride + jk] = buf0[i];
+            if live(&buf0) {
+                run(&self.plans[0], &mut buf0);
+                for i in 0..n0 {
+                    data[i * stride + jk] = buf0[i];
+                }
             }
         }
     }

@@ -43,6 +43,15 @@ pub trait Kernel: Clone + Send + Sync + 'static {
     /// self-interaction.
     fn eval(&self, x: Point3, y: Point3, block: &mut [f64]);
 
+    /// Kernel-parameter fingerprint for cache keys: the bit patterns of
+    /// every scalar parameter the translation operators depend on, folded
+    /// into one word. Parameter-free kernels return 0 (the kernel *type*
+    /// is pinned separately, so only same-type parameter collisions
+    /// matter).
+    fn id_bits(&self) -> u64 {
+        0
+    }
+
     /// Accumulate `u(x_i) += Σ_j G(x_i, y_j) φ_j` for all targets.
     ///
     /// `densities` has `SRC_DIM` interleaved components per source;
@@ -72,6 +81,30 @@ pub trait Kernel: Clone + Send + Sync + 'static {
             }
         }
     }
+
+    /// Multi-RHS [`p2p`](Kernel::p2p): accumulate the same target/source
+    /// geometry against `k = densities.len()` independent density vectors
+    /// into `k` potential vectors.
+    ///
+    /// **Bitwise contract:** `potentials[q]` must be bit-identical to what
+    /// `self.p2p(targets, sources, densities[q], potentials[q])` would
+    /// produce — overrides may hoist pair geometry (distances, `sqrt`,
+    /// `exp`) out of the RHS loop (those values are deterministic IEEE
+    /// functions of the points alone) but must replicate the per-RHS
+    /// accumulation order of their `p2p` exactly. The default delegates
+    /// per RHS.
+    fn p2p_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        for (d, p) in densities.iter().zip(potentials.iter_mut()) {
+            self.p2p(targets, sources, d, p);
+        }
+    }
 }
 
 /// Squared distance plus the displacement, shared by all kernels.
@@ -81,4 +114,95 @@ pub(crate) fn displacement(x: Point3, y: Point3) -> (f64, f64, f64, f64) {
     let dy = x[1] - y[1];
     let dz = x[2] - y[2];
     (dx, dy, dz, dx * dx + dy * dy + dz * dz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Laplace, LaplaceDipole, ModifiedLaplace, Stokes};
+
+    /// `p2p_many` promises bitwise identity with k independent `p2p`
+    /// calls — the property `eval_many` relies on. Exercised on every
+    /// kernel's override, including a coincident target/source pair.
+    fn check_p2p_many_bitwise<K: Kernel>(kernel: &K) {
+        let nt = 7;
+        let ns = 9;
+        let k = 5;
+        let targets: Vec<Point3> = (0..nt)
+            .map(|i| {
+                let t = i as f64;
+                [(t * 0.31).sin(), (t * 0.17).cos() * 0.8, (t * 0.53).sin() * 0.6]
+            })
+            .collect();
+        let mut sources: Vec<Point3> = (0..ns)
+            .map(|i| {
+                let t = i as f64 + 0.5;
+                [(t * 0.23).cos(), (t * 0.41).sin() * 0.9, (t * 0.11).cos() * 0.7]
+            })
+            .collect();
+        sources[4] = targets[2]; // coincident pair: the self-skip path
+        let dens: Vec<Vec<f64>> = (0..k)
+            .map(|q| {
+                (0..ns * K::SRC_DIM)
+                    .map(|i| ((i * 7 + q * 13) % 29) as f64 / 29.0 - 0.4)
+                    .collect()
+            })
+            .collect();
+
+        // Reference: k independent p2p calls into pre-seeded outputs.
+        let seed: Vec<f64> = (0..nt * K::TRG_DIM).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut expect: Vec<Vec<f64>> = (0..k).map(|_| seed.clone()).collect();
+        for q in 0..k {
+            kernel.p2p(&targets, &sources, &dens[q], &mut expect[q]);
+        }
+
+        let mut got: Vec<Vec<f64>> = (0..k).map(|_| seed.clone()).collect();
+        {
+            let dens_refs: Vec<&[f64]> = dens.iter().map(Vec::as_slice).collect();
+            let mut pot_refs: Vec<&mut [f64]> =
+                got.iter_mut().map(Vec::as_mut_slice).collect();
+            kernel.p2p_many(&targets, &sources, &dens_refs, &mut pot_refs);
+        }
+        for q in 0..k {
+            assert_eq!(got[q], expect[q], "{} RHS {q} not bitwise equal", K::NAME);
+        }
+    }
+
+    #[test]
+    fn p2p_many_bitwise_all_kernels() {
+        check_p2p_many_bitwise(&Laplace);
+        check_p2p_many_bitwise(&ModifiedLaplace::new(1.3));
+        check_p2p_many_bitwise(&Stokes::new(0.7));
+        check_p2p_many_bitwise(&LaplaceDipole);
+    }
+
+    #[test]
+    fn p2p_many_default_matches_loop() {
+        // A kernel without an override goes through the default per-RHS
+        // delegation.
+        #[derive(Clone)]
+        struct Generic;
+        impl Kernel for Generic {
+            const SRC_DIM: usize = 1;
+            const TRG_DIM: usize = 1;
+            const NAME: &'static str = "generic";
+            fn homogeneity(&self) -> Option<f64> {
+                Some(-1.0)
+            }
+            fn flops_per_eval(&self) -> u64 {
+                12
+            }
+            fn eval(&self, x: Point3, y: Point3, block: &mut [f64]) {
+                Laplace.eval(x, y, block)
+            }
+        }
+        check_p2p_many_bitwise(&Generic);
+    }
+
+    #[test]
+    fn id_bits_distinguish_parameters() {
+        assert_eq!(Laplace.id_bits(), 0);
+        assert_ne!(ModifiedLaplace::new(1.0).id_bits(), ModifiedLaplace::new(2.0).id_bits());
+        assert_ne!(Stokes::new(1.0).id_bits(), Stokes::new(0.5).id_bits());
+    }
 }

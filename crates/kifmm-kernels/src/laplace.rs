@@ -43,11 +43,41 @@ impl Kernel for Laplace {
             let mut acc = 0.0;
             for (si, &y) in sources.iter().enumerate() {
                 let (_, _, _, r2) = displacement(x, y);
-                if r2 > 0.0 {
-                    acc += densities[si] / r2.sqrt();
-                }
+                // Branchless: a coincident pair contributes w = 0, so the
+                // accumulation vectorizes (and matches `p2p_many` bitwise).
+                let w = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                acc += densities[si] * w;
             }
             potentials[ti] += FOUR_PI_INV * acc;
+        }
+    }
+
+    /// Hoists the full pair weight `w = 1/√r²` out of the RHS loop
+    /// (`w = 0` marks a coincident pair); the marginal cost of each extra
+    /// RHS is one multiply-accumulate per pair. [`Laplace::p2p`] computes
+    /// the identical `dens · w` chain, so results are bit-identical per
+    /// RHS.
+    fn p2p_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        let mut w = vec![0.0; sources.len()];
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                let (_, _, _, r2) = displacement(x, y);
+                w[si] = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+            }
+            for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
+                let mut acc = 0.0;
+                for (si, &wi) in w.iter().enumerate() {
+                    acc += dens[si] * wi;
+                }
+                pot[ti] += FOUR_PI_INV * acc;
+            }
         }
     }
 }

@@ -74,6 +74,42 @@ impl Kernel for LaplaceDipole {
             potentials[ti] += FOUR_PI_INV * acc;
         }
     }
+
+    /// Hoists `dx,dy,dz,1/r³` (`1/r³ = 0` marks a coincident pair) out of
+    /// the RHS loop; each RHS then runs the exact per-source arithmetic of
+    /// [`LaplaceDipole::p2p`], so results are bit-identical per RHS.
+    fn p2p_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        let ns = sources.len();
+        let mut geo = vec![[0.0f64; 4]; ns]; // dx, dy, dz, inv_r3
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                let (dx, dy, dz, r2) = displacement(x, y);
+                geo[si][3] = 0.0;
+                if r2 > 0.0 {
+                    geo[si] = [dx, dy, dz, 1.0 / (r2 * r2.sqrt())];
+                }
+            }
+            for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
+                let mut acc = 0.0;
+                for (si, g) in geo.iter().enumerate() {
+                    let [dx, dy, dz, inv_r3] = *g;
+                    if inv_r3 == 0.0 {
+                        continue;
+                    }
+                    acc += (dx * dens[3 * si] + dy * dens[3 * si + 1] + dz * dens[3 * si + 2])
+                        * inv_r3;
+                }
+                pot[ti] += FOUR_PI_INV * acc;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,11 @@ impl Kernel for ModifiedLaplace {
         15
     }
 
+    /// The operator tables depend on `λ`.
+    fn id_bits(&self) -> u64 {
+        self.lambda.to_bits()
+    }
+
     #[inline]
     fn eval(&self, x: Point3, y: Point3, block: &mut [f64]) {
         let (_, _, _, r2) = displacement(x, y);
@@ -79,12 +84,53 @@ impl Kernel for ModifiedLaplace {
             let mut acc = 0.0;
             for (si, &y) in sources.iter().enumerate() {
                 let (_, _, _, r2) = displacement(x, y);
-                if r2 > 0.0 {
+                // Branchless: a coincident pair contributes w = 0, so the
+                // accumulation vectorizes (and matches `p2p_many` bitwise).
+                let w = if r2 > 0.0 {
                     let r = r2.sqrt();
-                    acc += densities[si] * (-lambda * r).exp() / r;
-                }
+                    (-lambda * r).exp() / r
+                } else {
+                    0.0
+                };
+                acc += densities[si] * w;
             }
             potentials[ti] += FOUR_PI_INV * acc;
+        }
+    }
+
+    /// Hoists the full pair weight `w = e^{−λr}/r` — including the
+    /// expensive `exp` — out of the RHS loop (`w = 0` marks a coincident
+    /// pair); the marginal cost of each extra RHS is one
+    /// multiply-accumulate per pair. [`ModifiedLaplace::p2p`] computes the
+    /// identical `dens · w` chain, so results are bit-identical per RHS.
+    fn p2p_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        let lambda = self.lambda;
+        let ns = sources.len();
+        let mut w = vec![0.0; ns];
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                let (_, _, _, r2) = displacement(x, y);
+                w[si] = if r2 > 0.0 {
+                    let r = r2.sqrt();
+                    (-lambda * r).exp() / r
+                } else {
+                    0.0
+                };
+            }
+            for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
+                let mut acc = 0.0;
+                for (si, &wi) in w.iter().enumerate() {
+                    acc += dens[si] * wi;
+                }
+                pot[ti] += FOUR_PI_INV * acc;
+            }
         }
     }
 }

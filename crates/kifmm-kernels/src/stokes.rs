@@ -110,6 +110,61 @@ impl Kernel for Stokes {
             potentials[3 * ti + 2] += c * u2;
         }
     }
+
+    /// The operator tables depend on `μ`.
+    fn id_bits(&self) -> u64 {
+        self.mu.to_bits()
+    }
+
+    /// Hoists the pair geometry (`dx,dy,dz,1/r,1/r³`; `1/r = 0` marks a
+    /// coincident pair) out of the RHS loop; each RHS then runs the exact
+    /// per-source arithmetic of [`Stokes::p2p`], so results are
+    /// bit-identical per RHS.
+    fn p2p_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        let c = self.prefactor();
+        let ns = sources.len();
+        let mut geo = vec![[0.0f64; 5]; ns]; // dx, dy, dz, inv_r, inv_r3
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                let (dx, dy, dz, r2) = displacement(x, y);
+                if r2 == 0.0 {
+                    geo[si][3] = 0.0;
+                    continue;
+                }
+                let r = r2.sqrt();
+                let inv_r = 1.0 / r;
+                let inv_r3 = inv_r / r2;
+                geo[si] = [dx, dy, dz, inv_r, inv_r3];
+            }
+            for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
+                let (mut u0, mut u1, mut u2) = (0.0, 0.0, 0.0);
+                for (si, g) in geo.iter().enumerate() {
+                    let [dx, dy, dz, inv_r, inv_r3] = *g;
+                    if inv_r == 0.0 {
+                        continue;
+                    }
+                    let f0 = dens[3 * si];
+                    let f1 = dens[3 * si + 1];
+                    let f2 = dens[3 * si + 2];
+                    let rdotf = dx * f0 + dy * f1 + dz * f2;
+                    let s = rdotf * inv_r3;
+                    u0 += f0 * inv_r + dx * s;
+                    u1 += f1 * inv_r + dy * s;
+                    u2 += f2 * inv_r + dz * s;
+                }
+                pot[3 * ti] += c * u0;
+                pot[3 * ti + 1] += c * u1;
+                pot[3 * ti + 2] += c * u2;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,42 @@ pub enum Combine {
     Concat,
     /// Elementwise sum (partial equivalent densities).
     Sum,
+    /// Per-RHS concatenation for multi-RHS payloads: every part carries
+    /// `k` equal-length RHS-major segments, and the combined payload is,
+    /// for each RHS `q`, the ascending-rank concatenation of the
+    /// contributors' segment `q` — so the result is again RHS-major.
+    /// `ConcatRhs(1)` is exactly [`Combine::Concat`].
+    ConcatRhs(usize),
+}
+
+/// Fold one contributor part into the accumulator (ascending-rank order is
+/// the caller's responsibility). Shared by the coalesced and legacy paths
+/// so both produce bitwise-identical combines.
+fn combine_fold(acc: Option<Vec<f64>>, part: Vec<f64>, combine: Combine) -> Vec<f64> {
+    match (acc, combine) {
+        (None, _) => part,
+        (Some(mut a), Combine::Concat) => {
+            a.extend_from_slice(&part);
+            a
+        }
+        (Some(mut a), Combine::Sum) => {
+            assert_eq!(a.len(), part.len(), "partial payload length mismatch");
+            for (x, p) in a.iter_mut().zip(part) {
+                *x += p;
+            }
+            a
+        }
+        (Some(a), Combine::ConcatRhs(k)) => {
+            assert!(k >= 1 && a.len() % k == 0 && part.len() % k == 0, "RHS-major payload");
+            let (al, pl) = (a.len() / k, part.len() / k);
+            let mut out = Vec::with_capacity(a.len() + part.len());
+            for q in 0..k {
+                out.extend_from_slice(&a[q * al..(q + 1) * al]);
+                out.extend_from_slice(&part[q * pl..(q + 1) * pl]);
+            }
+            out
+        }
+    }
 }
 
 /// Which user relation receives the combined payload.
@@ -280,20 +316,7 @@ impl ExchangePlan<'_> {
                             .remove(&(src, *b))
                             .expect("contributor's gather packet carried this box")
                     };
-                    acc = Some(match (acc, self.combine) {
-                        (None, _) => part,
-                        (Some(mut a), Combine::Concat) => {
-                            a.extend_from_slice(&part);
-                            a
-                        }
-                        (Some(mut a), Combine::Sum) => {
-                            assert_eq!(a.len(), part.len(), "partial payload length mismatch");
-                            for (x, p) in a.iter_mut().zip(part) {
-                                *x += p;
-                            }
-                            a
-                        }
-                    });
+                    acc = Some(combine_fold(acc, part, self.combine));
                 }
                 combined.insert(*b, acc.expect("owner contributes, so at least one part"));
             }
@@ -411,20 +434,7 @@ pub fn legacy_exchange(
             } else {
                 decode_f64s(&comm.recv(src, encode_tag(NS_GATHER, salt, b as u64)))
             };
-            acc = Some(match (acc, combine) {
-                (None, _) => part,
-                (Some(mut a), Combine::Concat) => {
-                    a.extend_from_slice(&part);
-                    a
-                }
-                (Some(mut a), Combine::Sum) => {
-                    assert_eq!(a.len(), part.len(), "partial payload length mismatch");
-                    for (x, p) in a.iter_mut().zip(part) {
-                        *x += p;
-                    }
-                    a
-                }
-            });
+            acc = Some(combine_fold(acc, part, combine));
         }
         let combined = acc.expect("owner contributes, so at least one part");
         let wire = encode_f64s(&combined);
@@ -554,6 +564,59 @@ mod tests {
                     assert_eq!(global[&b][0], dt.global_counts[b as usize] as f64);
                 }
             }
+        });
+    }
+
+    /// ConcatRhs keeps RHS-major segment ordering: combining `k` RHS-major
+    /// parts yields, per RHS, the ascending-rank concatenation — and
+    /// `ConcatRhs(1)` is bitwise `Concat`.
+    #[test]
+    fn concat_rhs_combine_is_rhs_major() {
+        let all = uniform_cube(1100, 17);
+        let chunks = chunked(&all, 3);
+        run(3, |comm| {
+            let (dt, own) = setup(comm, &chunks, 40);
+            let leaves: Vec<u32> = dt
+                .tree
+                .leaves()
+                .filter(|&b| own.has_src_users(b as usize))
+                .collect();
+            const K: usize = 3;
+            // Per box: K RHS-major segments of one value each, tagged so
+            // the RHS a value belongs to is recoverable.
+            let mut payload = |b: u32| -> Vec<f64> {
+                let n = dt.tree.nodes[b as usize].num_points() as f64;
+                (0..K).map(|q| q as f64 * 1000.0 + n).collect()
+            };
+            let route = ExchangeRoute::build(comm, &own, &leaves, UserKind::Source);
+            let plan = route.begin(comm, 3, Combine::ConcatRhs(K), &mut payload);
+            let global = plan.complete(comm, payload);
+            for &b in &leaves {
+                if own.is_src_user(b as usize, comm.rank()) {
+                    let nc = own.contributors(b as usize).len();
+                    let v = &global[&b];
+                    assert_eq!(v.len(), K * nc, "K equal segments");
+                    for q in 0..K {
+                        let seg = &v[q * nc..(q + 1) * nc];
+                        let sum: f64 = seg.iter().map(|x| x - q as f64 * 1000.0).sum();
+                        assert_eq!(
+                            sum, dt.global_counts[b as usize] as f64,
+                            "segment q holds every contributor's RHS-q value"
+                        );
+                    }
+                }
+            }
+            // ConcatRhs(1) == Concat, bitwise.
+            let mut pts_payload = |b: u32| -> Vec<f64> {
+                vec![dt.tree.nodes[b as usize].num_points() as f64; 2]
+            };
+            let p1 = route
+                .begin(comm, 4, Combine::Concat, &mut pts_payload)
+                .complete(comm, &mut pts_payload);
+            let p2 = route
+                .begin(comm, 5, Combine::ConcatRhs(1), &mut pts_payload)
+                .complete(comm, &mut pts_payload);
+            assert_eq!(p1, p2);
         });
     }
 

@@ -16,7 +16,7 @@
 //! would use. Worker threads race only over *which* index they claim next
 //! (an atomic counter), never over the contents of an element, so results
 //! are **bit-identical to the serial execution for any thread count** —
-//! the property `Fmm::evaluate_parallel` documents and tests.
+//! the property the pool-dispatch evaluation documents and tests.
 //!
 //! ## Pool model
 //!
@@ -241,6 +241,97 @@ pub fn par_for_each_with<I: Send>(threads: usize, items: Vec<I>, f: impl Fn(usiz
     });
 }
 
+/// A lock-free fixed-capacity object pool.
+///
+/// `checkout()` pops any pooled object (or `None` when the pool is
+/// drained — the caller then constructs a fresh one); `checkin(obj)`
+/// returns an object to the pool, dropping it when every slot is
+/// occupied. Both operations are wait-free scans over an array of
+/// `AtomicPtr` slots: a checkout `swap`s a slot to null, a checkin
+/// `compare_exchange`s a null slot to the object, so no slot can hand
+/// the same object to two callers and there is no ABA hazard (a slot
+/// holds either null or a uniquely-owned pointer).
+///
+/// Built for sharing `EngineWorkspace`-style scratch between session
+/// threads: many concurrent evaluations check scratch out, run, and
+/// check it back in without serializing on a mutex.
+pub struct Freelist<T> {
+    slots: Box<[std::sync::atomic::AtomicPtr<T>]>,
+}
+
+impl<T> Freelist<T> {
+    /// An empty pool retaining at most `capacity` objects (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Freelist {
+            slots: (0..capacity)
+                .map(|_| std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    /// Pop any pooled object; `None` when the pool is empty.
+    pub fn checkout(&self) -> Option<Box<T>> {
+        for slot in self.slots.iter() {
+            let p = slot.swap(std::ptr::null_mut(), atomic::Ordering::AcqRel);
+            if !p.is_null() {
+                // Owned by this thread now: the swap made the slot null,
+                // so no other checkout can observe `p`.
+                return Some(unsafe { Box::from_raw(p) });
+            }
+        }
+        None
+    }
+
+    /// Return an object to the pool; drops it if every slot is full.
+    pub fn checkin(&self, obj: Box<T>) {
+        let p = Box::into_raw(obj);
+        for slot in self.slots.iter() {
+            if slot
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    p,
+                    atomic::Ordering::AcqRel,
+                    atomic::Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+        // Pool full: reclaim and drop.
+        drop(unsafe { Box::from_raw(p) });
+    }
+
+    /// Number of objects currently pooled (racy snapshot, for tests).
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| !s.load(atomic::Ordering::Acquire).is_null()).count()
+    }
+
+    /// True when no object is pooled (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Freelist<T> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let p = slot.swap(std::ptr::null_mut(), atomic::Ordering::AcqRel);
+            if !p.is_null() {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+// The pool owns its `T`s; moving/sharing the pool across threads is
+// moving/sharing those owned objects.
+unsafe impl<T: Send> Send for Freelist<T> {}
+unsafe impl<T: Send> Sync for Freelist<T> {}
+
+use std::sync::atomic;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +493,65 @@ mod tests {
         }
         par_for_each_with(2, parts, |i, part| part.fill(i as u8 + 1));
         assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn freelist_checkout_checkin_roundtrip() {
+        let pool: Freelist<Vec<u64>> = Freelist::new(4);
+        assert!(pool.checkout().is_none(), "fresh pool is empty");
+        pool.checkin(Box::new(vec![1, 2, 3]));
+        pool.checkin(Box::new(vec![4]));
+        assert_eq!(pool.len(), 2);
+        let a = pool.checkout().expect("pooled object");
+        let b = pool.checkout().expect("pooled object");
+        assert!(pool.checkout().is_none());
+        let mut got = vec![a.len(), b.len()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn freelist_drops_overflow_and_remaining() {
+        struct Count<'a>(&'a AtomicU64);
+        impl Drop for Count<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = AtomicU64::new(0);
+        {
+            let pool: Freelist<Count> = Freelist::new(2);
+            pool.checkin(Box::new(Count(&drops)));
+            pool.checkin(Box::new(Count(&drops)));
+            pool.checkin(Box::new(Count(&drops))); // overflow: dropped now
+            assert_eq!(drops.load(Ordering::Relaxed), 1);
+        } // pool drop frees the two retained objects
+        assert_eq!(drops.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn freelist_concurrent_unique_ownership() {
+        // 8 threads hammer checkout/checkin; every checked-out object must
+        // be exclusively owned (no slot may hand one object out twice).
+        let pool: Freelist<AtomicU64> = Freelist::new(4);
+        for _ in 0..4 {
+            pool.checkin(Box::new(AtomicU64::new(0)));
+        }
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..2000 {
+                        if let Some(obj) = pool.checkout() {
+                            let claimed = obj.fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(claimed, 0, "object handed to two owners");
+                            obj.fetch_sub(1, Ordering::SeqCst);
+                            pool.checkin(obj);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(pool.len() <= 4);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! scenario).
 
 use crate::gmres::{gmres, GmresOptions, GmresResult};
-use kifmm_core::{direct_eval, Fmm, FmmOptions};
+use kifmm_core::{direct_eval, Fmm, FmmOptions, PlanCache, Session};
 use kifmm_geom::{fibonacci_sphere, Point3};
 use kifmm_kernels::Kernel;
 
@@ -76,6 +76,28 @@ impl<K: Kernel> SingleLayerOperator<K> {
     /// Build the FMM over the quadrature nodes.
     pub fn new(kernel: K, quad: SurfaceQuadrature, opts: FmmOptions) -> Self {
         let fmm = Fmm::new(kernel, &quad.points, opts);
+        SingleLayerOperator { fmm, quad, matvecs: std::cell::Cell::new(0) }
+    }
+
+    /// As [`SingleLayerOperator::new`], but resolving the evaluation plan
+    /// through a [`PlanCache`]: a geometry the cache has seen before
+    /// (same kernel, order, M2L mode, leaf bound and point set — e.g. a
+    /// rigid body expressed in its own body frame at every time step)
+    /// skips tree, list and operator setup entirely and shares the cached
+    /// plan's memory.
+    ///
+    /// # Panics
+    /// On invalid build inputs (empty quadrature, order < 2).
+    pub fn with_plan_cache(
+        kernel: K,
+        quad: SurfaceQuadrature,
+        opts: FmmOptions,
+        cache: &PlanCache<K>,
+    ) -> Self {
+        let plan = cache
+            .get_or_plan(&kernel, &quad.points, opts)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let fmm = Fmm::from_session(Session::new(plan));
         SingleLayerOperator { fmm, quad, matvecs: std::cell::Cell::new(0) }
     }
 
@@ -244,6 +266,22 @@ mod tests {
             errs[1] < errs[0],
             "drag error must decrease with refinement: {errs:?}"
         );
+    }
+
+    /// Two operators over the same quadrature share one cached plan: the
+    /// second construction is a cache hit (no setup) and both produce
+    /// bit-identical matvecs.
+    #[test]
+    fn plan_cache_reuse_across_operators() {
+        let cache = PlanCache::unbounded();
+        let q = SurfaceQuadrature::sphere([0.0; 3], 1.0, 300);
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 40, ..Default::default() };
+        let op1 = SingleLayerOperator::with_plan_cache(Laplace, q.clone(), opts, &cache);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let op2 = SingleLayerOperator::with_plan_cache(Laplace, q.clone(), opts, &cache);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1), "second build is a warm hit");
+        let density: Vec<f64> = (0..300).map(|i| (i as f64 * 0.01).cos()).collect();
+        assert_eq!(op1.apply(&density), op2.apply(&density));
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!                                           # per-phase message count
 //!                                           # (the comm-regression gate)
 //! validate_json <file> --chrome [min_ranks]# chrome-trace invariants
+//! validate_json <file> --service-throughput [--max-batch-ratio R]
+//!                                           # kifmm-service-v1 invariants;
+//!                                           # optionally require
+//!                                           # batch.ratio <= R (the
+//!                                           # multi-RHS amortization gate)
 //! ```
 //!
 //! Exits nonzero with a diagnostic on the first violated invariant, so
@@ -53,6 +58,20 @@ fn run(args: &[String]) -> Result<String, String> {
                 "{path}: valid kifmm-bench-v1 summary ({eval_msgs} eval messages)"
             ))
         }
+        Some("--service-throughput") => {
+            let max_ratio: Option<f64> = match args.get(2).map(String::as_str) {
+                Some("--max-batch-ratio") => {
+                    Some(args.get(3).and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+                }
+                Some(_) => return Err(usage()),
+                None => None,
+            };
+            let ratio =
+                check_service(&doc, max_ratio).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "{path}: valid kifmm-service-v1 summary (batch ratio {ratio:.3})"
+            ))
+        }
         Some("--chrome") => {
             let min_ranks: usize = match args.get(2) {
                 Some(v) => v.parse().map_err(|_| usage())?,
@@ -66,8 +85,81 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: validate_json <file> [--bench-summary [--max-eval-messages N] | --chrome [min_ranks]]"
+    "usage: validate_json <file> [--bench-summary [--max-eval-messages N] | \
+     --chrome [min_ranks] | --service-throughput [--max-batch-ratio R]]"
         .to_string()
+}
+
+/// `BENCH_service_throughput.json` invariants: schema tag, a plan-cache
+/// block that proves a warm hit happened (`hits >= 1`), a batch block
+/// whose `ratio` is consistent with its timings, and a nonempty
+/// throughput array with positive request rates for every batch width.
+/// Returns `batch.ratio`; when `max_ratio` is given, the ratio must not
+/// exceed it — the multi-RHS sweep must actually amortize the passes.
+fn check_service(doc: &Json, max_ratio: Option<f64>) -> Result<f64, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'schema'")?;
+    if schema != "kifmm-service-v1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    doc.get("bench").and_then(Json::as_str).ok_or("missing string field 'bench'")?;
+    for key in ["n", "order", "clients"] {
+        doc.get(key).and_then(Json::as_f64).ok_or(format!("missing numeric field '{key}'"))?;
+    }
+    let kernels = doc.get("kernels").and_then(Json::as_arr).ok_or("missing 'kernels' array")?;
+    if kernels.len() < 2 {
+        return Err(format!("{} kernels (the service bench mixes >= 2)", kernels.len()));
+    }
+    let pc = doc.get("plan_cache").ok_or("missing 'plan_cache' object")?;
+    let hits =
+        pc.get("hits").and_then(Json::as_f64).ok_or("missing 'plan_cache.hits'")?;
+    pc.get("misses").and_then(Json::as_f64).ok_or("missing 'plan_cache.misses'")?;
+    if hits < 1.0 {
+        return Err("plan_cache.hits = 0 (the warm-hit path was never exercised)".into());
+    }
+    let batch = doc.get("batch").ok_or("missing 'batch' object")?;
+    let k = batch.get("k").and_then(Json::as_f64).ok_or("missing 'batch.k'")?;
+    let seq = batch
+        .get("sequential_seconds")
+        .and_then(Json::as_f64)
+        .ok_or("missing 'batch.sequential_seconds'")?;
+    let bat = batch
+        .get("batched_seconds")
+        .and_then(Json::as_f64)
+        .ok_or("missing 'batch.batched_seconds'")?;
+    let ratio = batch.get("ratio").and_then(Json::as_f64).ok_or("missing 'batch.ratio'")?;
+    if k < 2.0 || seq <= 0.0 || bat <= 0.0 || ratio <= 0.0 {
+        return Err(format!("implausible batch block (k={k}, seq={seq}, batched={bat})"));
+    }
+    if (ratio - bat / seq).abs() > 0.01 * ratio.max(1e-9) {
+        return Err(format!("batch.ratio {ratio} inconsistent with {bat}/{seq}"));
+    }
+    if let Some(bound) = max_ratio {
+        if ratio > bound {
+            return Err(format!(
+                "batch amortization regression: eval_many(k={k}) took {ratio:.3}× the \
+                 sequential evals (bound {bound})"
+            ));
+        }
+    }
+    let tp = doc.get("throughput").and_then(Json::as_arr).ok_or("missing 'throughput' array")?;
+    if tp.is_empty() {
+        return Err("empty 'throughput' array".into());
+    }
+    for (i, e) in tp.iter().enumerate() {
+        for key in ["k", "requests", "rhs", "seconds", "requests_per_second", "rhs_per_second"] {
+            let v = e
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("throughput[{i}] missing '{key}'"))?;
+            if v <= 0.0 {
+                return Err(format!("throughput[{i}].{key} = {v} (expected > 0)"));
+            }
+        }
+    }
+    Ok(ratio)
 }
 
 /// `BENCH_*.json` invariants: schema tag, all seven phase keys with

@@ -59,11 +59,16 @@ pub enum Counter {
     MessagesRecv = 4,
     /// Tree cells (boxes) touched by compute phases.
     CellsTouched = 5,
+    /// Plan-cache lookups served from a cached plan (precompute
+    /// skipped entirely).
+    PlanCacheHits = 6,
+    /// Plan-cache lookups that had to build a fresh plan.
+    PlanCacheMisses = 7,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// All counters, in export order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -73,6 +78,8 @@ impl Counter {
         Counter::MessagesSent,
         Counter::MessagesRecv,
         Counter::CellsTouched,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
     ];
 
     /// Stable snake_case key used in JSON exports.
@@ -84,6 +91,8 @@ impl Counter {
             Counter::MessagesSent => "messages_sent",
             Counter::MessagesRecv => "messages_recv",
             Counter::CellsTouched => "cells_touched",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
         }
     }
 }

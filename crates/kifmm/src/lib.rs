@@ -23,6 +23,13 @@
 //! assert!(report.stats.total_flops() > 0);
 //! ```
 //!
+//! Under the hood `build()` produces an immutable, shareable [`Plan`]
+//! (tree + interaction lists + precomputed operators) wrapped in a
+//! [`Session`] (pooled evaluation scratch). Long-running services keep a
+//! [`PlanCache`] keyed on (kernel, order, M2L mode, geometry) so repeated
+//! geometries skip setup entirely, and batch `k` charge vectors through
+//! one sweep with [`Evaluator::eval_many`].
+//!
 //! Attach a [`Tracer`] via [`FmmBuilder::trace`] to capture per-rank span
 //! timelines, byte/message counters, and a Perfetto-loadable chrome-trace
 //! export — see the [`trace`] module and DESIGN.md's "Observability".
@@ -54,8 +61,9 @@ pub use kifmm_trace as trace;
 pub use kifmm_tree as tree;
 
 pub use kifmm_core::{
-    direct_eval, rel_l2_error, EvalReport, Evaluator, Fmm, FmmBuilder, FmmOptions, M2lMode,
-    Phase, PhaseStats, PHASES, PHASE_NAMES,
+    direct_eval, geometry_hash, rel_l2_error, BuildError, EvalReport, Evaluator, Fmm,
+    FmmBuilder, FmmOptions, M2lMode, Phase, PhaseStats, Plan, PlanCache, PlanKey, Session,
+    PHASES, PHASE_NAMES,
 };
 pub use kifmm_kernels::{Kernel, Laplace, ModifiedLaplace, Point3, Stokes};
 pub use kifmm_mpi::PeerTraffic;

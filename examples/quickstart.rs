@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use kifmm::{Fmm, FmmOptions, Laplace, Phase, PHASE_NAMES};
+use kifmm::{Fmm, Laplace, Phase, PHASE_NAMES};
 use std::time::Instant;
 
 fn main() {
@@ -16,9 +16,9 @@ fn main() {
     let points = kifmm::geom::sphere_grid(n, 8);
     let densities = kifmm::geom::random_densities(n, 1, 42);
 
-    // Build once (tree + interaction lists + translation operators)…
+    // Plan once (tree + interaction lists + translation operators)…
     let t0 = Instant::now();
-    let fmm = Fmm::new(Laplace, &points, FmmOptions::default());
+    let fmm = Fmm::builder(Laplace).points(&points).build();
     println!(
         "setup: {:.2}s (tree depth {}, {} boxes)",
         t0.elapsed().as_secs_f64(),
@@ -44,6 +44,22 @@ fn main() {
             stats.flops[ph as usize] / 1_000_000
         );
     }
+
+    // Batch several charge vectors through ONE sweep of the passes — the
+    // many-right-hand-sides service workload. Each batched result is
+    // bit-identical to its standalone eval.
+    let batch: Vec<Vec<f64>> =
+        (0..4u64).map(|s| kifmm::geom::random_densities(n, 1, 100 + s)).collect();
+    let refs: Vec<&[f64]> = batch.iter().map(Vec::as_slice).collect();
+    let t2 = Instant::now();
+    let reports = fmm.eval_many(&refs);
+    let batched = t2.elapsed().as_secs_f64();
+    println!(
+        "eval_many: {batched:.2}s wall for {} charge vectors ({:.2}s per RHS vs {elapsed:.2}s standalone)",
+        reports.len(),
+        batched / reports.len() as f64
+    );
+    assert_eq!(reports[0].potentials, fmm.eval(&batch[0]).potentials);
 
     // Accuracy check against O(N²) truth on a 200-target sample.
     let sample: Vec<[f64; 3]> = points.iter().step_by(n / 200).copied().collect();

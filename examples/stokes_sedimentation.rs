@@ -19,7 +19,7 @@
 //! ```
 
 use kifmm::solver::{net_force, rigid_body_velocity, SingleLayerOperator, SurfaceQuadrature};
-use kifmm::{FmmOptions, GmresOptions, Stokes};
+use kifmm::{FmmOptions, GmresOptions, PlanCache, Stokes};
 
 const MU: f64 = 1.0;
 const RADIUS: f64 = 0.3;
@@ -31,16 +31,30 @@ const F_GRAVITY: [f64; 3] = [0.0, 0.0, -1.0];
 /// resistance problem for a unit collective velocity, then scale so the
 /// net hydrodynamic drag balances gravity (valid for identical spheres
 /// moving together along z).
-fn settling_velocity(centers: &[[f64; 3]]) -> (f64, usize) {
+///
+/// Stokes flow is translation-invariant, so the problem is solved in the
+/// **body frame** (centroid at the origin): as the spheres fall rigidly,
+/// every time step presents the *identical* quadrature geometry, the
+/// [`PlanCache`] hit skips tree/list/operator setup entirely, and only
+/// the GMRES solve (the FMM matvecs) is paid per step.
+fn settling_velocity(centers: &[[f64; 3]], cache: &PlanCache<Stokes>) -> (f64, usize) {
+    let m = centers.len() as f64;
+    let centroid = centers.iter().fold([0.0; 3], |a, c| {
+        [a[0] + c[0] / m, a[1] + c[1] / m, a[2] + c[2] / m]
+    });
     let quads: Vec<SurfaceQuadrature> = centers
         .iter()
-        .map(|&c| SurfaceQuadrature::sphere(c, RADIUS, NODES_PER_SPHERE))
+        .map(|&c| {
+            let body = [c[0] - centroid[0], c[1] - centroid[1], c[2] - centroid[2]];
+            SurfaceQuadrature::sphere(body, RADIUS, NODES_PER_SPHERE)
+        })
         .collect();
     let quad = SurfaceQuadrature::union(&quads);
-    let op = SingleLayerOperator::new(
+    let op = SingleLayerOperator::with_plan_cache(
         Stokes::new(MU),
         quad.clone(),
         FmmOptions { order: 6, max_pts_per_leaf: 50, ..Default::default() },
+        cache,
     );
     // Resistance problem: all spheres translate with unit velocity -z.
     let mut bc = Vec::with_capacity(quad.len() * 3);
@@ -63,8 +77,12 @@ fn main() {
         "spheres: R = {RADIUS}, μ = {MU}, {NODES_PER_SPHERE} quadrature nodes each\n"
     );
 
+    // One plan cache for the whole simulation: the isolated sphere and the
+    // pair each plan once; every later time step is a warm hit.
+    let cache = PlanCache::unbounded();
+
     // Reference: isolated sphere vs Stokes law.
-    let (u_single, matvecs) = settling_velocity(&[[0.0, 0.0, 0.0]]);
+    let (u_single, matvecs) = settling_velocity(&[[0.0, 0.0, 0.0]], &cache);
     let u_stokes = F_GRAVITY[2].abs() / (6.0 * std::f64::consts::PI * MU * RADIUS);
     println!(
         "isolated sphere: U = {u_single:.4} (Stokes law {u_stokes:.4}, \
@@ -74,7 +92,7 @@ fn main() {
 
     // Two interacting spheres falling side by side.
     let gap = 3.0 * RADIUS;
-    let (u_pair, _) = settling_velocity(&[[-gap / 2.0, 0.0, 0.0], [gap / 2.0, 0.0, 0.0]]);
+    let (u_pair, _) = settling_velocity(&[[-gap / 2.0, 0.0, 0.0], [gap / 2.0, 0.0, 0.0]], &cache);
     println!(
         "sphere pair (gap {gap:.2}): U = {u_pair:.4} — {:.1}% faster than isolated",
         100.0 * (u_pair / u_single - 1.0)
@@ -90,9 +108,19 @@ fn main() {
     for step in 0..5 {
         let shifted: Vec<[f64; 3]> =
             centers.iter().map(|c| [c[0], c[1], c[2] + z]).collect();
-        let (u, _) = settling_velocity(&shifted);
+        let (u, _) = settling_velocity(&shifted, &cache);
         println!("  {:>4.1}  {:>6.3}  {:>7.4}", step as f64 * dt, z, u);
         z -= u * dt;
     }
+
+    // The pair falls rigidly, so all 5 time steps reuse the plan built for
+    // the very first pair solve: 2 misses (isolated, pair), 5 hits.
+    println!(
+        "\nplan cache: {} hits / {} misses (setup amortized across time steps)",
+        cache.hits(),
+        cache.misses()
+    );
+    assert_eq!(cache.misses(), 2, "only two distinct geometries were planned");
+    assert!(cache.hits() >= 5, "every time step must be a warm hit");
     println!("\nOK");
 }

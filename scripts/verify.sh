@@ -64,14 +64,28 @@ echo "artifact + comm-regression gate: OK"
 cargo run -q --release --offline -p kifmm-bench --bin cross_path_check
 echo "cross-path gate: OK"
 
-# 5. Shim gate: the `#[deprecated]` evaluate* entry points exist only for
-#    downstream compatibility; nothing inside the repo may call them.
+# 5. Shim gate: the `#[deprecated]` evaluate* shims were removed with the
+#    plan/execute API split; neither the shims nor callers of them may
+#    come back. (`evaluate_at`/`evaluate_off_surface` are live API.)
 shim_calls=$(grep -rnE '\.evaluate(_with_stats|_parallel(_with_stats)?)?\(' \
     crates tests examples --include='*.rs' || true)
-if [ -n "$shim_calls" ]; then
-    echo "FAIL: internal code calls a deprecated evaluate* shim:"
+shim_attrs=$(grep -rn '#\[deprecated' crates tests examples --include='*.rs' || true)
+if [ -n "$shim_calls$shim_attrs" ]; then
+    echo "FAIL: deprecated shims (or callers of them) reintroduced:"
     echo "$shim_calls"
+    echo "$shim_attrs"
     exit 1
 fi
-echo "shim gate: OK (no internal deprecated-shim callers)"
+echo "shim gate: OK (no deprecated shims, no shim callers)"
+
+# 6. Service-throughput gate: the plan/execute service bench (small N)
+#    must emit a valid kifmm-service-v1 artifact with a warm plan-cache
+#    hit, and eval_many(k=8) must amortize to at most 0.55x the wall time
+#    of 8 sequential evaluations (the full-size run in EXPERIMENTS.md is
+#    gated at 0.5; the small-N CI geometry gets a little slack).
+KIFMM_N=8000 KIFMM_REQUESTS=1 KIFMM_BENCH_DIR="$artifacts" \
+    cargo run -q --release --offline --example service_throughput > /dev/null
+"$validate" "$artifacts/BENCH_service_throughput.json" \
+    --service-throughput --max-batch-ratio 0.55
+echo "service-throughput gate: OK"
 echo "verify: ALL OK"
