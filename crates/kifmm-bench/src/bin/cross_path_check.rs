@@ -2,17 +2,20 @@
 //! all three drivers (serial, shared-memory pool, distributed P=4) must
 //! agree — serial vs pool bit-identically (one engine, one task order),
 //! distributed vs serial to 1e-12 relative l2 (owner-side summation of
-//! partial equivalents reassociates additions, nothing more).
+//! partial equivalents reassociates additions, nothing more). The matrix
+//! covers every M2L execution mode: Fft, Svd and plan-time Auto (Direct
+//! rides along inside Auto's candidate set).
 //!
 //! Exits nonzero (panics) on any disagreement.
 
-use kifmm::{Fmm, FmmOptions, Kernel, Laplace, Stokes};
-use kifmm_testkit::check_matches_serial_tol;
+use kifmm::{Fmm, FmmOptions, Kernel, Laplace, M2lMode, Stokes};
+use kifmm_testkit::check_matches_serial_opts;
 
-fn check_paths<K: Kernel>(name: &str, kernel: K, pts: Vec<[f64; 3]>) {
+fn check_paths<K: Kernel>(name: &str, kernel: K, pts: Vec<[f64; 3]>, mode: M2lMode) {
     let n = pts.len();
     let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 9);
-    let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
+    let opts =
+        FmmOptions { order: 4, max_pts_per_leaf: 20, m2l_mode: mode, ..Default::default() };
 
     let mut fmm = Fmm::new(kernel.clone(), &pts, opts);
     let serial = fmm.eval(&dens).potentials;
@@ -21,12 +24,17 @@ fn check_paths<K: Kernel>(name: &str, kernel: K, pts: Vec<[f64; 3]>) {
     assert_eq!(serial, pool, "{name}: pool path must be bit-identical to serial");
     println!("cross-path {name}: serial == pool (bitwise) OK");
 
-    check_matches_serial_tol(kernel, pts, 4, K::SRC_DIM, 1e-12);
+    check_matches_serial_opts(kernel, pts, 4, K::SRC_DIM, 1e-12, opts);
     println!("cross-path {name}: distributed P=4 within 1e-12 OK");
 }
 
 fn main() {
-    check_paths("laplace/uniform", Laplace, kifmm::geom::uniform_cube(600, 31));
-    check_paths("stokes/clustered", Stokes::default(), kifmm::geom::corner_clusters(450, 32));
+    let uni = kifmm::geom::uniform_cube(600, 31);
+    let clu = kifmm::geom::corner_clusters(450, 32);
+    check_paths("laplace/uniform/fft", Laplace, uni.clone(), M2lMode::Fft);
+    check_paths("laplace/uniform/svd", Laplace, uni.clone(), M2lMode::Svd);
+    check_paths("laplace/uniform/auto", Laplace, uni, M2lMode::Auto);
+    check_paths("stokes/clustered/fft", Stokes::default(), clu.clone(), M2lMode::Fft);
+    check_paths("stokes/clustered/svd", Stokes::default(), clu, M2lMode::Svd);
     println!("cross-path gate: ALL OK");
 }

@@ -273,6 +273,21 @@ mod tests {
     }
 
     #[test]
+    fn svd_m2l_mode_matches_fft_mode() {
+        let pts = cloud(500, 77);
+        let dens = densities(500, 1);
+        let base = FmmOptions { order: 5, max_pts_per_leaf: 15, ..Default::default() };
+        let fft = Fmm::new(Laplace, &pts, FmmOptions { m2l_mode: M2lMode::Fft, ..base });
+        let svd = Fmm::new(Laplace, &pts, FmmOptions { m2l_mode: M2lMode::Svd, ..base });
+        let uf = fft.eval(&dens).potentials;
+        let us = svd.eval(&dens).potentials;
+        // The SVD truncation sits at machine precision, so the two paths
+        // differ only by round-off — the same inter-mode gate as Direct.
+        let e = rel_err(&uf, &us);
+        assert!(e < 1e-9, "FFT and SVD M2L must agree: {e}");
+    }
+
+    #[test]
     fn shallow_tree_falls_back_to_dense() {
         // Few points: depth < 2, everything goes through U lists.
         let pts = cloud(50, 8);

@@ -44,8 +44,10 @@ pub use direct::{direct_eval, direct_eval_src_trg, rel_l2_error};
 pub use engine::{ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine, SourceProvider};
 pub use evaluator::{EvalReport, Evaluator, FmmBuilder};
 pub use fmm::{Fmm, FmmOptions};
-pub use plan::{geometry_hash, BuildError, Plan, PlanCache, PlanKey, Session};
-pub use m2l::{v_list_directions, M2lDirect, M2lFft, M2lMode};
+pub use plan::{
+    geometry_hash, resolve_m2l_modes, BuildError, M2lChoice, Plan, PlanCache, PlanKey, Session,
+};
+pub use m2l::{v_list_directions, M2lDirect, M2lFft, M2lMode, M2lSvd, SvdSlot};
 pub use operators::{LevelOps, OperatorTable, FIRST_FMM_LEVEL};
 pub use precompute::{Precomputed, PrecomputeCache};
 pub use stats::{thread_cpu_time, Phase, PhaseStats, PHASES, PHASE_NAMES};

@@ -20,7 +20,7 @@
 use crate::surface::{surface_grid_indices, surface_points, RAD_INNER};
 use kifmm_fft::{pointwise_mul_add, C64, Fft3};
 use kifmm_kernels::{assemble, Kernel};
-use kifmm_linalg::Mat;
+use kifmm_linalg::{axpy, dot, gemm, gemm_tn, gemv, svd, Mat};
 use std::collections::HashMap;
 
 /// How M2L translations are executed.
@@ -32,6 +32,14 @@ pub enum M2lMode {
     /// Dense matrix application per interaction (the ablation baseline:
     /// higher flop rate, far more flops — paper footnote 5).
     Direct,
+    /// SVD-compressed: every direction's translation matrix is projected
+    /// onto shared low-rank bases at plan time, and the V-list pass runs
+    /// small per-direction cores as BLAS-3 over the whole level.
+    Svd,
+    /// Plan-time autotune: micro-benchmark the three explicit modes per
+    /// level and record the winner in the plan (never survives into an
+    /// executing engine — plans resolve it to a concrete mode per level).
+    Auto,
 }
 
 /// All 316 V-list directions: offsets `v ∈ [−3, 3]³` with `max|v_i| > 1`.
@@ -341,6 +349,243 @@ impl<K: Kernel> M2lDirect<K> {
     }
 }
 
+/// Absorb a block of rows into the triangular factor of an incremental
+/// (TSQR-style) R-only Householder QR.
+///
+/// `r` is the running `n × n` upper-triangular factor; `bt` holds the new
+/// block *transposed* (`n × nb`: row `j` of `bt` is column `j` of the
+/// absorbed block), so every Householder update is a contiguous
+/// dot/axpy pair over `bt` rows. After the call, `r` is the triangular
+/// factor of the stack `[R; Bᵀᵗ]` and `bt`'s contents are destroyed.
+///
+/// Why R-only: the shared M2L bases only need the row space of the
+/// stacked kernel matrices, which the small `R` carries exactly — unlike
+/// the Gram-matrix shortcut (`AᵀA`), which squares the condition number
+/// and loses the small singular values the truncation test inspects.
+fn qr_absorb(r: &mut Mat, bt: &mut Mat) {
+    let n = r.rows();
+    debug_assert_eq!(r.cols(), n, "R must be square");
+    debug_assert_eq!(bt.rows(), n, "transposed block must have n rows");
+    let nb = bt.cols();
+    let data = bt.as_mut_slice();
+    for j in 0..n {
+        // Split so row j (the Householder tail) and rows k > j (the
+        // columns it updates) borrow disjointly.
+        let (head, tail) = data.split_at_mut((j + 1) * nb);
+        let row_j = &mut head[j * nb..];
+        let normsq = dot(row_j, row_j);
+        if normsq == 0.0 {
+            continue; // column already triangular
+        }
+        let rjj = r[(j, j)];
+        // Sign opposite the diagonal for a well-conditioned reflector.
+        let alpha = -rjj.signum() * (rjj * rjj + normsq).sqrt();
+        let v0 = rjj - alpha;
+        let inv = 2.0 / (v0 * v0 + normsq);
+        r[(j, j)] = alpha;
+        for k in j + 1..n {
+            let row_k = &mut tail[(k - j - 1) * nb..(k - j) * nb];
+            let w = inv * (v0 * r[(j, k)] + dot(row_j, row_k));
+            r[(j, k)] -= w * v0;
+            axpy(-w, row_j, row_k);
+        }
+    }
+}
+
+/// The orthonormal row basis of `r` truncated at `σ ≥ tol·σ₀` (at least
+/// rank 1): the leading rows of `svd(r).vt`, returned as a `rank × n`
+/// matrix.
+fn truncated_row_basis(r: &Mat, tol: f64) -> Mat {
+    let f = svd(r);
+    let s0 = f.s.first().copied().unwrap_or(0.0);
+    let rank = f.s.iter().take_while(|&&s| s >= tol * s0).count().max(1);
+    Mat::from_fn(rank, r.cols(), |i, j| f.vt[(i, j)])
+}
+
+/// One level slot of the SVD-compressed M2L family: shared bases plus a
+/// small core per V-list direction.
+pub struct SvdSlot {
+    /// Target (check-surface) basis, `cs × r_t`, orthonormal columns:
+    /// check potentials are expanded as `check += scale · U · w`.
+    pub u: Mat,
+    /// Source (equivalent-surface) projector, `r_s × es`: equivalent
+    /// densities are compressed as `y = Vᵀ · equiv`.
+    pub vt: Mat,
+    /// Compressed cores `C_d = Uᵀ K_d V`, one per direction in the
+    /// canonical sorted order of [`M2lSvd::dirs`], each `r_t × r_s`.
+    pub cores: Vec<Mat>,
+}
+
+impl SvdSlot {
+    /// Retained target rank `r_t`.
+    pub fn rank_trg(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Retained source rank `r_s`.
+    pub fn rank_src(&self) -> usize {
+        self.vt.rows()
+    }
+
+    /// Stored floats of this slot (bases + all cores) over the dense
+    /// family it replaces (316 full matrices) — below 1 when the shared
+    /// bases actually compress.
+    pub fn compression(&self) -> f64 {
+        let (cs, rt) = self.u.shape();
+        let (rs, es) = self.vt.shape();
+        let nd = self.cores.len();
+        let stored = cs * rt + rs * es + nd * rt * rs;
+        stored as f64 / (nd * cs * es) as f64
+    }
+
+    /// Bytes held by this slot.
+    pub fn bytes(&self) -> usize {
+        let (cs, rt) = self.u.shape();
+        let (rs, es) = self.vt.shape();
+        (cs * rt + rs * es + self.cores.len() * rt * rs) * std::mem::size_of::<f64>()
+    }
+}
+
+/// SVD-compressed M2L operators with bases shared across all 316
+/// directions of a level.
+///
+/// At plan time, the per-direction dense translation matrices
+/// `K_d` (`cs × es`) are swept twice through an incremental R-only QR
+/// ([`qr_absorb`]): the row space of `[K_1; …; K_316]` gives the shared
+/// source basis, the row space of `[K_1ᵀ; …; K_316ᵀ]` the shared target
+/// basis. Each sweep reduces to one small `R` whose SVD is truncated at
+/// `σ ≥ ns·ε·σ₀` (`ns` surface points, `ε = 2⁻⁵²` roundoff) — a
+/// tolerance tied to the surface order, far below the discretization
+/// error, so the compressed path stays within the cross-mode agreement
+/// gates. The V-list pass then runs per-direction `r_t × r_s` cores as
+/// BLAS-3 over the whole level (see the engine's SVD M2L stage).
+///
+/// Homogeneous kernels share one slot built at the level-2 reference
+/// half-width with a per-level scale, exactly like [`M2lFft`].
+pub struct M2lSvd<K: Kernel> {
+    /// The 316 directions in canonical sorted order — the engine
+    /// accumulates per-direction contributions in exactly this order, so
+    /// serial and pool executions sum identically.
+    dirs: Vec<[i32; 3]>,
+    /// Direction → index into `dirs` / `SvdSlot::cores`.
+    dir_index: HashMap<[i32; 3], u32>,
+    /// One slot for homogeneous kernels, one per level otherwise.
+    slots: Vec<SvdSlot>,
+    /// Level → (slot, scale) lookup.
+    level_slot: Vec<(usize, f64)>,
+    _kernel: std::marker::PhantomData<K>,
+}
+
+impl<K: Kernel> M2lSvd<K> {
+    /// Build compressed operators for levels `2..=depth` of a tree with
+    /// root half-width `root_half`.
+    pub fn build(kernel: &K, p: usize, root_half: f64, depth: u8) -> Self {
+        let mut dirs = v_list_directions();
+        dirs.sort_unstable();
+        let dir_index: HashMap<[i32; 3], u32> =
+            dirs.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
+        let mut slots = Vec::new();
+        let mut level_slot = vec![(usize::MAX, 0.0); depth as usize + 1];
+        if depth >= 2 {
+            match kernel.homogeneity() {
+                Some(deg) => {
+                    let ref_half = root_half / 4.0; // level 2
+                    slots.push(build_svd_slot(kernel, p, &dirs, ref_half));
+                    for l in 2..=depth as usize {
+                        let half = root_half / (1u64 << l) as f64;
+                        level_slot[l] = (0, (half / ref_half).powf(deg));
+                    }
+                }
+                None => {
+                    for l in 2..=depth as usize {
+                        let half = root_half / (1u64 << l) as f64;
+                        level_slot[l] = (slots.len(), 1.0);
+                        slots.push(build_svd_slot(kernel, p, &dirs, half));
+                    }
+                }
+            }
+        }
+        M2lSvd { dirs, dir_index, slots, level_slot, _kernel: std::marker::PhantomData }
+    }
+
+    /// The directions in canonical (sorted) accumulation order.
+    pub fn dirs(&self) -> &[[i32; 3]] {
+        &self.dirs
+    }
+
+    /// Index of `dir` in the canonical order (`None` for non-V offsets).
+    pub fn dir_index(&self, dir: [i32; 3]) -> Option<u32> {
+        self.dir_index.get(&dir).copied()
+    }
+
+    /// The slot and homogeneity scale serving `level`.
+    pub fn slot(&self, level: u8) -> (&SvdSlot, f64) {
+        let (si, scale) = self.level_slot[level as usize];
+        (&self.slots[si], scale)
+    }
+
+    /// Total bytes held by all slots.
+    pub fn bytes(&self) -> usize {
+        self.slots.iter().map(SvdSlot::bytes).sum()
+    }
+
+    /// Apply one compressed interaction,
+    /// `check += scale · U (C_d (Vᵀ equiv))` — the per-pair reference
+    /// path used by tests and flop accounting. Returns the flops charged.
+    pub fn apply(&self, level: u8, dir: [i32; 3], equiv: &[f64], check: &mut [f64]) -> u64 {
+        let (slot, scale) = self.slot(level);
+        let di = self.dir_index[&dir] as usize;
+        let core = &slot.cores[di];
+        let y = slot.vt.matvec(equiv);
+        let z = core.matvec(&y);
+        gemv(scale, &slot.u, &z, 1.0, check);
+        let (cs, rt) = slot.u.shape();
+        let (rs, es) = slot.vt.shape();
+        (2 * (rs * es + rt * rs + cs * rt)) as u64
+    }
+}
+
+/// Build one [`SvdSlot`] for boxes of half-width `half`: two QR sweeps
+/// over the 316 dense matrices (assembled on the fly — memory stays
+/// `O(cs·es)`), SVD-truncate the small triangular factors, then a third
+/// sweep forms the cores against the retained bases.
+fn build_svd_slot<K: Kernel>(kernel: &K, p: usize, dirs: &[[i32; 3]], half: f64) -> SvdSlot {
+    let dc = surface_points(p, RAD_INNER, [0.0; 3], half);
+    let ns = dc.len();
+    let cs = ns * K::TRG_DIM;
+    let es = ns * K::SRC_DIM;
+    let side = 2.0 * half;
+    let src_surface = |v: [i32; 3]| {
+        let c = [side * v[0] as f64, side * v[1] as f64, side * v[2] as f64];
+        surface_points(p, RAD_INNER, c, half)
+    };
+    let mut r_row = Mat::zeros(cs, cs); // QR of the stacked K_dᵀ blocks
+    let mut r_col = Mat::zeros(es, es); // QR of the stacked K_d blocks
+    for &v in dirs {
+        let kd = assemble(kernel, &dc, &src_surface(v));
+        // Absorbing block K_dᵀ: its transpose is K_d itself.
+        let mut bt = kd.clone();
+        qr_absorb(&mut r_row, &mut bt);
+        let mut bt = kd.transpose();
+        qr_absorb(&mut r_col, &mut bt);
+    }
+    let tol = ns as f64 * f64::EPSILON / 2.0; // ns · 2⁻⁵³ ≈ ns·1.1e-16
+    let u = truncated_row_basis(&r_row, tol).transpose(); // cs × r_t
+    let vt = truncated_row_basis(&r_col, tol); // r_s × es
+    let (rt, rs) = (u.cols(), vt.rows());
+    let v = vt.transpose(); // es × r_s
+    let mut cores = Vec::with_capacity(dirs.len());
+    for &dir in dirs {
+        let kd = assemble(kernel, &dc, &src_surface(dir));
+        let mut kv = Mat::zeros(cs, rs);
+        gemm(1.0, &kd, &v, 0.0, &mut kv);
+        let mut core = Mat::zeros(rt, rs);
+        gemm_tn(1.0, &u, &kv, 0.0, &mut core);
+        cores.push(core);
+    }
+    SvdSlot { u, vt, cores }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +667,97 @@ mod tests {
         assert_eq!(fft.tensors.len(), 3, "levels 2, 3, 4");
         for l in 2..=4 {
             assert!((fft.level_slot[l].1 - 1.0).abs() < 1e-15);
+        }
+    }
+
+    /// `qr_absorb` keeps the defining invariant of a triangular factor:
+    /// after absorbing blocks `B₁, B₂, …`, `RᵀR = Σ BᵢᵀBᵢ`.
+    #[test]
+    fn qr_absorb_preserves_gram() {
+        let n = 6;
+        let blocks: Vec<Mat> = (0..3)
+            .map(|b| Mat::from_fn(4 + b, n, |i, j| ((i * 7 + j * 3 + b * 11) as f64).sin()))
+            .collect();
+        let mut r = Mat::zeros(n, n);
+        for blk in &blocks {
+            let mut bt = blk.transpose();
+            qr_absorb(&mut r, &mut bt);
+        }
+        let mut gram = Mat::zeros(n, n);
+        for blk in &blocks {
+            gemm_tn(1.0, blk, blk, 1.0, &mut gram);
+        }
+        let rtr = r.transpose().matmul(&r);
+        let scale = gram.max_abs().max(1.0);
+        for (a, b) in rtr.as_slice().iter().zip(gram.as_slice()) {
+            assert!((a - b).abs() < 1e-12 * scale, "RᵀR {a} vs Gram {b}");
+        }
+        // R is upper triangular.
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0, "subdiagonal ({i},{j})");
+            }
+        }
+    }
+
+    /// The compressed path must agree with the dense path to near machine
+    /// precision — the truncation tolerance sits far below it.
+    #[test]
+    fn svd_matches_direct_laplace() {
+        svd_matches_direct(&Laplace, 4, &[[2, 0, 0], [-3, 2, 1], [3, 3, 3]]);
+    }
+
+    #[test]
+    fn svd_matches_direct_stokes() {
+        svd_matches_direct(&Stokes::default(), 3, &[[0, 2, -2], [-2, 0, 3]]);
+    }
+
+    fn svd_matches_direct<K: Kernel>(kernel: &K, p: usize, dirs: &[[i32; 3]]) {
+        let root_half = 1.0;
+        let depth = 3u8;
+        let ns = crate::surface::num_surface_points(p);
+        let equiv: Vec<f64> =
+            (0..ns * K::SRC_DIM).map(|i| ((i * 13 % 17) as f64) / 17.0 - 0.4).collect();
+        let svdm = M2lSvd::build(kernel, p, root_half, depth);
+        let direct = M2lDirect::new(kernel, p, root_half, depth);
+        for &dir in dirs {
+            for level in 2..=depth {
+                let mut check_svd = vec![0.0; ns * K::TRG_DIM];
+                svdm.apply(level, dir, &equiv, &mut check_svd);
+                let mut check_dir = vec![0.0; ns * K::TRG_DIM];
+                direct.apply(level, dir, &equiv, &mut check_dir);
+                let scale = check_dir.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+                for (a, b) in check_svd.iter().zip(&check_dir) {
+                    assert!(
+                        (a - b).abs() < 1e-12 * scale.max(1e-30),
+                        "SVD {a} vs direct {b} (dir {dir:?}, p={p}, level {level})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn svd_homogeneous_levels_share_one_slot() {
+        let m = M2lSvd::build(&Laplace, 3, 1.0, 6);
+        assert_eq!(m.slots.len(), 1, "Laplace shares one compressed slot");
+        let (s2, sc2) = m.level_slot[2];
+        let (s3, sc3) = m.level_slot[3];
+        assert_eq!(s2, s3);
+        assert!((sc3 / sc2 - 2.0).abs() < 1e-12, "λ^{{-1}} level scaling");
+        let (slot, _) = m.slot(3);
+        assert!(slot.rank_trg() >= 1 && slot.rank_trg() <= slot.u.rows());
+        assert!(slot.compression() > 0.0);
+        assert!(m.bytes() > 0);
+    }
+
+    #[test]
+    fn svd_inhomogeneous_levels_get_own_slots() {
+        let k = kifmm_kernels::ModifiedLaplace::new(1.0);
+        let m = M2lSvd::build(&k, 3, 1.0, 4);
+        assert_eq!(m.slots.len(), 3, "levels 2, 3, 4");
+        for l in 2..=4u8 {
+            assert!((m.slot(l).1 - 1.0).abs() < 1e-15);
         }
     }
 

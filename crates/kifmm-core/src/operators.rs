@@ -98,11 +98,25 @@ impl OperatorTable {
         OperatorTable { levels, order }
     }
 
-    /// Operators at `level`; panics if the level carries none.
+    /// Operators at `level`, or `None` when the level carries none
+    /// (coarser than [`FIRST_FMM_LEVEL`], or beyond the table's depth).
+    pub fn try_at(&self, level: u8) -> Option<&LevelOps> {
+        self.levels.get(level as usize).and_then(Option::as_ref)
+    }
+
+    /// Operators at `level`; panics if the level carries none. Plan
+    /// construction validates coverage up front (surfacing gaps as a
+    /// typed `BuildError`), so reaching this panic from an engine pass
+    /// means a caller bypassed that validation — use
+    /// [`OperatorTable::try_at`] where absence is an expected outcome.
     pub fn at(&self, level: u8) -> &LevelOps {
-        self.levels[level as usize]
-            .as_ref()
-            .expect("no operators at this level")
+        self.try_at(level).unwrap_or_else(|| {
+            panic!(
+                "no operators at level {level} (table covers {}..={})",
+                FIRST_FMM_LEVEL,
+                self.levels.len().saturating_sub(1)
+            )
+        })
     }
 
     /// Number of surface points per surface.
@@ -323,5 +337,22 @@ mod tests {
     fn shallow_tree_has_no_operators() {
         let t = OperatorTable::build(&Laplace, 4, 1.0, 1, 1e-12);
         assert!(t.levels.iter().all(|l| l.is_none()));
+    }
+
+    #[test]
+    fn try_at_covers_exactly_the_fmm_levels() {
+        let t = OperatorTable::build(&Laplace, 3, 1.0, 4, 1e-12);
+        assert!(t.try_at(0).is_none() && t.try_at(1).is_none());
+        for level in FIRST_FMM_LEVEL..=4 {
+            assert!(t.try_at(level).is_some(), "level {level} missing");
+        }
+        assert!(t.try_at(5).is_none(), "beyond the table's depth");
+    }
+
+    #[test]
+    #[should_panic(expected = "no operators at level 1")]
+    fn at_panics_with_level_and_coverage() {
+        let t = OperatorTable::build(&Laplace, 3, 1.0, 3, 1e-12);
+        let _ = t.at(1);
     }
 }

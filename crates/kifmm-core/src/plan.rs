@@ -28,6 +28,7 @@ use crate::m2l::M2lMode;
 use crate::operators::FIRST_FMM_LEVEL;
 use crate::precompute::{Precomputed, PrecomputeCache};
 use crate::stats::{thread_cpu_time, Phase, PhaseStats};
+use crate::surface::num_surface_points;
 use kifmm_kernels::{Kernel, Point3};
 use kifmm_runtime::{Dispatch, Freelist};
 use kifmm_tree::{build_lists, InteractionLists, Octree};
@@ -45,6 +46,15 @@ pub enum BuildError {
     EmptyPoints,
     /// Surface order below the minimum of 2.
     OrderTooSmall(usize),
+    /// The precomputed operator table lacks a level the tree requires.
+    /// Surfaced at build time as a typed error instead of the
+    /// `OperatorTable::at` panic a later evaluation would hit.
+    MissingOperators {
+        /// First level found without operators.
+        level: u8,
+        /// Depth of the tree the plan was being built for.
+        depth: u8,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -57,11 +67,32 @@ impl std::fmt::Display for BuildError {
             BuildError::OrderTooSmall(p) => {
                 write!(f, "surface order must be ≥ 2 (got {p})")
             }
+            BuildError::MissingOperators { level, depth } => {
+                write!(
+                    f,
+                    "operator table has no level-{level} operators for a depth-{depth} tree"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+/// Verify the operator table carries every level a depth-`depth` tree
+/// executes (`FIRST_FMM_LEVEL..=depth`), turning a would-be panic deep in
+/// an engine pass into a typed build-time error.
+pub(crate) fn check_operator_coverage(
+    ops: &crate::operators::OperatorTable,
+    depth: u8,
+) -> Result<(), BuildError> {
+    for level in FIRST_FMM_LEVEL..=depth {
+        if ops.try_at(level).is_none() {
+            return Err(BuildError::MissingOperators { level, depth });
+        }
+    }
+    Ok(())
+}
 
 /// FNV-1a over the bit patterns of a point set (length-prefixed). Two
 /// geometries hash equal iff every coordinate is bit-identical — the
@@ -83,6 +114,118 @@ pub fn geometry_hash(points: &[Point3]) -> u64 {
         }
     }
     h
+}
+
+/// One level's verdict from the plan-time M2L autotuner (populated when
+/// the plan was built with [`M2lMode::Auto`]).
+#[derive(Clone, Copy, Debug)]
+pub struct M2lChoice {
+    /// Tree level the verdict applies to.
+    pub level: u8,
+    /// The winning execution mode for this level.
+    pub mode: M2lMode,
+    /// Modeled flops of one single-RHS FFT pass over the level.
+    pub fft_flops: u64,
+    /// Modeled flops of one single-RHS SVD pass over the level.
+    pub svd_flops: u64,
+    /// Modeled flops of one single-RHS dense pass over the level.
+    pub direct_flops: u64,
+    /// Measured SVD target-side rank at this level (out of `n_s·TRG_DIM`).
+    pub rank_trg: usize,
+    /// Measured SVD source-side rank at this level (out of `n_s·SRC_DIM`).
+    pub rank_src: usize,
+    /// Stored-entry fraction of the level's SVD tables relative to 316
+    /// dense operators (smaller is better; 1.0 means no compression).
+    pub compression: f64,
+}
+
+/// Resolve an [`FmmOptions`] M2L mode into the per-level execution modes a
+/// [`PassEngine`] runs with, plus the autotuner report. Concrete modes pass
+/// through as a one-entry slice (the engine broadcasts it to every level);
+/// [`M2lMode::Auto`] scores the three candidate families per level with the
+/// engine's exact single-RHS flop formulas over the full tree's V-list
+/// statistics and picks the cheapest, ties resolved Svd → Fft → Direct.
+///
+/// The score is a deterministic function of `(kernel, order, tree, lists)`
+/// and the measured SVD ranks — never wall-clock — so every rank of a
+/// distributed run resolves `Auto` to the identical mode vector and the
+/// cross-path equivalence gates keep holding. (Wall-clock microbenching of
+/// the resolved plan lives in the `ablation_m2l` bench, which feeds
+/// `BENCH_m2l_ablation.json`.)
+pub fn resolve_m2l_modes<K: Kernel>(
+    pre: &Precomputed<K>,
+    tree: &Octree,
+    lists: &InteractionLists,
+    opts: &FmmOptions,
+) -> (Vec<M2lMode>, Vec<M2lChoice>) {
+    if opts.m2l_mode != M2lMode::Auto {
+        return (vec![opts.m2l_mode], Vec::new());
+    }
+    let depth = tree.depth();
+    if depth < FIRST_FMM_LEVEL {
+        // No M2L ever runs; any concrete mode will do.
+        return (vec![M2lMode::Fft], Vec::new());
+    }
+    let ns = num_surface_points(opts.order);
+    let (es, cs) = (ns * K::SRC_DIM, ns * K::TRG_DIM);
+    let fft = pre.m2l_fft.as_ref().expect("Auto plans build FFT tables");
+    let svd = pre.m2l_svd.as_ref().expect("Auto plans build SVD tables");
+    let mut modes = vec![M2lMode::Fft; depth as usize + 1];
+    let mut report = Vec::with_capacity((depth - FIRST_FMM_LEVEL + 1) as usize);
+    let hadamard = (K::TRG_DIM * K::SRC_DIM * fft.slab_len() * 8) as u64;
+    for level in FIRST_FMM_LEVEL..=depth {
+        // Deterministic level statistics: selected targets, V pairs and
+        // distinct sources — the same quantities the engine's per-mode
+        // flop counters charge against.
+        let mut nsel = 0u64;
+        let mut np = 0u64;
+        let mut needed: Vec<u32> = Vec::new();
+        for &ni in &tree.levels[level as usize] {
+            let vlist = &lists.v[ni as usize];
+            if !vlist.is_empty() {
+                nsel += 1;
+                np += vlist.len() as u64;
+                needed.extend_from_slice(vlist);
+            }
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        let nneeded = needed.len() as u64;
+        let fft_cost = nneeded * fft.fft_flops(K::SRC_DIM)
+            + np * hadamard
+            + nsel * fft.fft_flops(K::TRG_DIM);
+        let (slot, _) = svd.slot(level);
+        let (rt, rs) = (slot.rank_trg() as u64, slot.rank_src() as u64);
+        let svd_cost = 2 * rs * es as u64 * nneeded
+            + 2 * rt * rs * np
+            + 2 * cs as u64 * rt * nsel;
+        let direct_cost = 2 * (cs * es) as u64 * np;
+        let mode = if svd_cost <= fft_cost && svd_cost <= direct_cost {
+            M2lMode::Svd
+        } else if fft_cost <= direct_cost {
+            M2lMode::Fft
+        } else {
+            M2lMode::Direct
+        };
+        modes[level as usize] = mode;
+        report.push(M2lChoice {
+            level,
+            mode,
+            fft_flops: fft_cost,
+            svd_flops: svd_cost,
+            direct_flops: direct_cost,
+            rank_trg: rt as usize,
+            rank_src: rs as usize,
+            compression: slot.compression(),
+        });
+    }
+    // Levels above FIRST_FMM_LEVEL never run M2L; fill them with the first
+    // real verdict so the vector is total over the tree.
+    let first = modes[FIRST_FMM_LEVEL as usize];
+    for m in modes.iter_mut().take(FIRST_FMM_LEVEL as usize) {
+        *m = first;
+    }
+    (modes, report)
 }
 
 /// The identity of a [`Plan`] inside a [`PlanCache`].
@@ -121,6 +264,11 @@ pub struct Plan<K: Kernel> {
     pub(crate) num_points: usize,
     /// Every box is active: a plan covers the whole tree.
     pub(crate) active: ActiveSet,
+    /// Per-level resolved M2L execution modes (see [`resolve_m2l_modes`]);
+    /// a one-entry vector broadcasts one concrete mode to every level.
+    pub(crate) m2l_modes: Vec<M2lMode>,
+    /// Autotuner verdicts (empty unless built with [`M2lMode::Auto`]).
+    pub(crate) m2l_report: Vec<M2lChoice>,
     geometry: u64,
 }
 
@@ -155,9 +303,11 @@ impl<K: Kernel> Plan<K> {
         let depth = tree.depth();
         let root_half = tree.domain.half;
         let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
+        check_operator_coverage(&pre.ops, depth)?;
         let sorted_points: Vec<Point3> =
             tree.perm.iter().map(|&i| points[i as usize]).collect();
         let active = ActiveSet::build(&tree, |_| true);
+        let (m2l_modes, m2l_report) = resolve_m2l_modes::<K>(&pre, &tree, &lists, &opts);
         Ok(Plan {
             kernel,
             opts,
@@ -167,6 +317,8 @@ impl<K: Kernel> Plan<K> {
             sorted_points,
             num_points: points.len(),
             active,
+            m2l_modes,
+            m2l_report,
             geometry,
         })
     }
@@ -213,6 +365,19 @@ impl<K: Kernel> Plan<K> {
         &self.pre
     }
 
+    /// Per-level resolved M2L execution modes; index = level, and a
+    /// one-entry slice broadcasts a single concrete mode to every level.
+    pub fn m2l_modes(&self) -> &[M2lMode] {
+        &self.m2l_modes
+    }
+
+    /// Per-level autotuner verdicts (modeled costs, winning mode, measured
+    /// SVD ranks and compression). Empty unless the plan was built with
+    /// [`M2lMode::Auto`].
+    pub fn m2l_report(&self) -> &[M2lChoice] {
+        &self.m2l_report
+    }
+
     /// The points in Morton order (leaf point ranges index into this).
     pub fn morton_points(&self) -> &[Point3] {
         &self.sorted_points
@@ -235,16 +400,20 @@ impl<K: Kernel> Plan<K> {
         // 8 M2M + 8 L2L forward maps and 2 inversions per level, all
         // es×cs-sized.
         let ops = op_levels * 18 * es * cs * 8;
-        let m2l = match &self.pre.m2l_fft {
-            Some(fft) => {
-                let tensor_levels =
-                    if self.kernel.homogeneity().is_some() { 1 } else { op_levels };
-                tensor_levels * 316 * K::SRC_DIM * K::TRG_DIM * fft.grid_len() * 16
-            }
+        let mut m2l = 0usize;
+        if let Some(fft) = &self.pre.m2l_fft {
+            let tensor_levels =
+                if self.kernel.homogeneity().is_some() { 1 } else { op_levels };
+            m2l += tensor_levels * 316 * K::SRC_DIM * K::TRG_DIM * fft.grid_len() * 16;
+        }
+        if let Some(svd) = &self.pre.m2l_svd {
+            m2l += svd.bytes();
+        }
+        if self.pre.m2l_direct.is_some() {
             // Dense tables fill lazily; charge the same footprint the
             // fully-warm cache would reach.
-            None => 316 * es * cs * 8,
-        };
+            m2l += 316 * es * cs * 8;
+        }
         let tree = self.tree.num_nodes() * 96 + self.num_points * 4;
         let lists: usize = [&self.lists.u, &self.lists.v, &self.lists.w, &self.lists.x]
             .iter()
@@ -264,7 +433,7 @@ impl<K: Kernel> Plan<K> {
             &self.pre,
             &self.sorted_points,
             self.opts.order,
-            self.opts.m2l_mode,
+            &self.m2l_modes,
             dispatch,
             &self.active,
         )
@@ -868,6 +1037,120 @@ mod tests {
         // The first plan was evicted: fetching it again is a miss.
         cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (0, 3));
+    }
+
+    #[test]
+    fn missing_operator_levels_surface_as_build_error() {
+        use crate::operators::OperatorTable;
+        // A table built for a depth-1 tree has no level-2 operators; a
+        // depth-3 tree demanding them must get a typed error, not the
+        // mid-evaluation `OperatorTable::at` panic.
+        let shallow = OperatorTable::build(&Laplace, 3, 1.0, 1, 1e-12);
+        assert_eq!(
+            check_operator_coverage(&shallow, 3),
+            Err(BuildError::MissingOperators { level: 2, depth: 3 })
+        );
+        let err = BuildError::MissingOperators { level: 2, depth: 3 };
+        assert!(err.to_string().contains("level-2"), "{err}");
+        let full = OperatorTable::build(&Laplace, 3, 1.0, 3, 1e-12);
+        assert_eq!(check_operator_coverage(&full, 3), Ok(()));
+        // Shallow trees demand nothing and pass vacuously.
+        assert_eq!(check_operator_coverage(&shallow, 1), Ok(()));
+    }
+
+    #[test]
+    fn plan_cache_retains_single_oversized_plan() {
+        // A plan bigger than the whole byte bound must still be usable:
+        // the newest entry is exempt from eviction, so the sole resident
+        // plan stays and the next lookup is a warm hit — the cache never
+        // thrashes by evicting the only thing it holds.
+        let pts = cloud(250, 3);
+        let cache = PlanCache::new(1);
+        let a = cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert!(a.approx_bytes() > 1, "plan must exceed the bound");
+        assert_eq!(cache.len(), 1);
+        let b = cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used_not_oldest() {
+        // Insert A and B, touch A, then insert C over budget: the victim
+        // must be B (least recently used), not A (oldest inserted).
+        let pts_a = cloud(250, 3);
+        let pts_b = cloud(250, 4);
+        let pts_c = cloud(250, 5);
+        let one = Plan::try_new(Laplace, &pts_a, opts_small()).unwrap().approx_bytes();
+        let cache = PlanCache::new(one * 2 + one / 2);
+        cache.get_or_plan(&Laplace, &pts_a, opts_small()).unwrap();
+        cache.get_or_plan(&Laplace, &pts_b, opts_small()).unwrap();
+        cache.get_or_plan(&Laplace, &pts_a, opts_small()).unwrap(); // touch A
+        cache.get_or_plan(&Laplace, &pts_c, opts_small()).unwrap(); // evicts B
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+        cache.get_or_plan(&Laplace, &pts_a, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (2, 3), "A survived the eviction");
+        cache.get_or_plan(&Laplace, &pts_b, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (2, 4), "B was the victim");
+    }
+
+    #[test]
+    fn plan_cache_keys_on_m2l_mode_including_auto() {
+        // Auto and Fft resolve to different table sets; sharing a cache
+        // slot would hand one mode the other's plan. They must miss each
+        // other and hit themselves.
+        let pts = cloud(300, 3);
+        let cache = PlanCache::unbounded();
+        let auto_opts = FmmOptions { m2l_mode: M2lMode::Auto, ..opts_small() };
+        let a = cache.get_or_plan(&Laplace, &pts, auto_opts).unwrap();
+        let f = cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &f));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        let a2 = cache.get_or_plan(&Laplace, &pts, auto_opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn auto_mode_resolves_per_level_and_matches_fft() {
+        let pts = cloud(800, 19);
+        let d = densities(800, 1, 0);
+        let auto_plan = Plan::try_new(
+            Laplace,
+            &pts,
+            FmmOptions { m2l_mode: M2lMode::Auto, ..opts_small() },
+        )
+        .unwrap();
+        // The tuner resolved Auto away: every executed level carries a
+        // concrete mode and a report row with real ranks.
+        assert!(!auto_plan.m2l_modes().contains(&M2lMode::Auto));
+        assert_eq!(auto_plan.m2l_modes().len(), auto_plan.tree.depth() as usize + 1);
+        assert!(!auto_plan.m2l_report().is_empty());
+        let (_, es, _) = {
+            let ns = num_surface_points(4);
+            (ns, ns, ns)
+        };
+        for c in auto_plan.m2l_report() {
+            assert!(c.rank_trg > 0 && c.rank_src > 0, "level {}: empty basis", c.level);
+            assert!(c.rank_trg <= es && c.rank_src <= es, "rank exceeds dimension");
+            // The machine-precision truncation keeps SVD results inside
+            // the 1e-12 cross-mode gate; at order 4 the kernel matrices
+            // are numerically full-rank, so the worst case is the dense
+            // footprint plus the two shared bases: 318/316 ≈ 1.0064.
+            assert!(
+                c.compression < 1.01,
+                "level {}: SVD stores more than full rank allows ({})",
+                c.level,
+                c.compression
+            );
+            assert_ne!(c.mode, M2lMode::Auto);
+        }
+        let fft_plan = Plan::try_new(Laplace, &pts, opts_small()).unwrap();
+        let auto_pot = Session::from_plan(auto_plan).eval(&d).potentials;
+        let fft_pot = Session::from_plan(fft_plan).eval(&d).potentials;
+        let err = crate::direct::rel_l2_error(&auto_pot, &fft_pot);
+        assert!(err < 1e-12, "Auto vs Fft rel error {err}");
     }
 
     #[test]

@@ -107,6 +107,21 @@ pub trait Kernel: Clone + Send + Sync + 'static {
     }
 }
 
+/// Run `f` over a zeroed per-source weight buffer, stack-allocated when the
+/// source box is small (the common U-list case — `max_pts_per_leaf`
+/// defaults to 60) so the restructured `p2p` loops stay allocation-free.
+#[inline]
+pub(crate) fn with_weight_buf<R>(ns: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    const STACK: usize = 128;
+    if ns <= STACK {
+        let mut buf = [0.0f64; STACK];
+        f(&mut buf[..ns])
+    } else {
+        let mut buf = vec![0.0f64; ns];
+        f(&mut buf)
+    }
+}
+
 /// Squared distance plus the displacement, shared by all kernels.
 #[inline(always)]
 pub(crate) fn displacement(x: Point3, y: Point3) -> (f64, f64, f64, f64) {

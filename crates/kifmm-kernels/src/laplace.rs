@@ -1,7 +1,8 @@
 //! The 3-D Laplace single-layer kernel `G(x, y) = 1/(4π|x − y|)`.
 
-use crate::kernel::{displacement, Kernel};
+use crate::kernel::{displacement, with_weight_buf, Kernel};
 use crate::Point3;
+use kifmm_linalg::simd;
 
 const FOUR_PI_INV: f64 = 1.0 / (4.0 * std::f64::consts::PI);
 
@@ -30,6 +31,11 @@ impl Kernel for Laplace {
         block[0] = if r2 == 0.0 { 0.0 } else { FOUR_PI_INV / r2.sqrt() };
     }
 
+    /// Per target: fill the squared-distance buffer, turn it into weights
+    /// `w = 1/√r²` with the vector [`simd::recip_sqrt`] microkernel
+    /// (`w = 0` marks a coincident pair), then reduce with [`simd::dot`].
+    /// [`Laplace::p2p_many`] runs the identical chain, so results are
+    /// bit-identical per RHS.
     fn p2p(
         &self,
         targets: &[Point3],
@@ -39,24 +45,22 @@ impl Kernel for Laplace {
     ) {
         debug_assert_eq!(densities.len(), sources.len());
         debug_assert_eq!(potentials.len(), targets.len());
-        for (ti, &x) in targets.iter().enumerate() {
-            let mut acc = 0.0;
-            for (si, &y) in sources.iter().enumerate() {
-                let (_, _, _, r2) = displacement(x, y);
-                // Branchless: a coincident pair contributes w = 0, so the
-                // accumulation vectorizes (and matches `p2p_many` bitwise).
-                let w = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
-                acc += densities[si] * w;
+        with_weight_buf(sources.len(), |w| {
+            for (ti, &x) in targets.iter().enumerate() {
+                for (si, &y) in sources.iter().enumerate() {
+                    let (_, _, _, r2) = displacement(x, y);
+                    w[si] = r2;
+                }
+                simd::recip_sqrt(w);
+                potentials[ti] += FOUR_PI_INV * simd::dot(densities, w);
             }
-            potentials[ti] += FOUR_PI_INV * acc;
-        }
+        });
     }
 
-    /// Hoists the full pair weight `w = 1/√r²` out of the RHS loop
-    /// (`w = 0` marks a coincident pair); the marginal cost of each extra
-    /// RHS is one multiply-accumulate per pair. [`Laplace::p2p`] computes
-    /// the identical `dens · w` chain, so results are bit-identical per
-    /// RHS.
+    /// Hoists the full pair weight `w = 1/√r²` out of the RHS loop; the
+    /// marginal cost of each extra RHS is one dot product over the shared
+    /// weights. [`Laplace::p2p`] computes the identical weight buffer and
+    /// reduction, so results are bit-identical per RHS.
     fn p2p_many(
         &self,
         targets: &[Point3],
@@ -65,20 +69,18 @@ impl Kernel for Laplace {
         potentials: &mut [&mut [f64]],
     ) {
         assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
-        let mut w = vec![0.0; sources.len()];
-        for (ti, &x) in targets.iter().enumerate() {
-            for (si, &y) in sources.iter().enumerate() {
-                let (_, _, _, r2) = displacement(x, y);
-                w[si] = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
-            }
-            for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
-                let mut acc = 0.0;
-                for (si, &wi) in w.iter().enumerate() {
-                    acc += dens[si] * wi;
+        with_weight_buf(sources.len(), |w| {
+            for (ti, &x) in targets.iter().enumerate() {
+                for (si, &y) in sources.iter().enumerate() {
+                    let (_, _, _, r2) = displacement(x, y);
+                    w[si] = r2;
                 }
-                pot[ti] += FOUR_PI_INV * acc;
+                simd::recip_sqrt(w);
+                for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
+                    pot[ti] += FOUR_PI_INV * simd::dot(dens, w);
+                }
             }
-        }
+        });
     }
 }
 

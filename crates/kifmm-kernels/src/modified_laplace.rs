@@ -6,8 +6,9 @@
 //! molecular dynamics, one of the motivating applications in the
 //! introduction.
 
-use crate::kernel::{displacement, Kernel};
+use crate::kernel::{displacement, with_weight_buf, Kernel};
 use crate::Point3;
+use kifmm_linalg::simd;
 
 const FOUR_PI_INV: f64 = 1.0 / (4.0 * std::f64::consts::PI);
 
@@ -70,6 +71,11 @@ impl Kernel for ModifiedLaplace {
         };
     }
 
+    /// Per target: fill the pair-weight buffer `w = e^{−λr}/r` (the `exp`
+    /// stays scalar — `libm` exp is not required to be correctly rounded,
+    /// so a vector variant could drift from the scalar path), then reduce
+    /// with the vector [`simd::dot`]. [`ModifiedLaplace::p2p_many`] runs
+    /// the identical chain, so results are bit-identical per RHS.
     fn p2p(
         &self,
         targets: &[Point3],
@@ -80,29 +86,27 @@ impl Kernel for ModifiedLaplace {
         debug_assert_eq!(densities.len(), sources.len());
         debug_assert_eq!(potentials.len(), targets.len());
         let lambda = self.lambda;
-        for (ti, &x) in targets.iter().enumerate() {
-            let mut acc = 0.0;
-            for (si, &y) in sources.iter().enumerate() {
-                let (_, _, _, r2) = displacement(x, y);
-                // Branchless: a coincident pair contributes w = 0, so the
-                // accumulation vectorizes (and matches `p2p_many` bitwise).
-                let w = if r2 > 0.0 {
-                    let r = r2.sqrt();
-                    (-lambda * r).exp() / r
-                } else {
-                    0.0
-                };
-                acc += densities[si] * w;
+        with_weight_buf(sources.len(), |w| {
+            for (ti, &x) in targets.iter().enumerate() {
+                for (si, &y) in sources.iter().enumerate() {
+                    let (_, _, _, r2) = displacement(x, y);
+                    w[si] = if r2 > 0.0 {
+                        let r = r2.sqrt();
+                        (-lambda * r).exp() / r
+                    } else {
+                        0.0
+                    };
+                }
+                potentials[ti] += FOUR_PI_INV * simd::dot(densities, w);
             }
-            potentials[ti] += FOUR_PI_INV * acc;
-        }
+        });
     }
 
     /// Hoists the full pair weight `w = e^{−λr}/r` — including the
     /// expensive `exp` — out of the RHS loop (`w = 0` marks a coincident
-    /// pair); the marginal cost of each extra RHS is one
-    /// multiply-accumulate per pair. [`ModifiedLaplace::p2p`] computes the
-    /// identical `dens · w` chain, so results are bit-identical per RHS.
+    /// pair); the marginal cost of each extra RHS is one dot product over
+    /// the shared weights. [`ModifiedLaplace::p2p`] computes the identical
+    /// weight buffer and reduction, so results are bit-identical per RHS.
     fn p2p_many(
         &self,
         targets: &[Point3],
@@ -112,26 +116,22 @@ impl Kernel for ModifiedLaplace {
     ) {
         assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
         let lambda = self.lambda;
-        let ns = sources.len();
-        let mut w = vec![0.0; ns];
-        for (ti, &x) in targets.iter().enumerate() {
-            for (si, &y) in sources.iter().enumerate() {
-                let (_, _, _, r2) = displacement(x, y);
-                w[si] = if r2 > 0.0 {
-                    let r = r2.sqrt();
-                    (-lambda * r).exp() / r
-                } else {
-                    0.0
-                };
-            }
-            for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
-                let mut acc = 0.0;
-                for (si, &wi) in w.iter().enumerate() {
-                    acc += dens[si] * wi;
+        with_weight_buf(sources.len(), |w| {
+            for (ti, &x) in targets.iter().enumerate() {
+                for (si, &y) in sources.iter().enumerate() {
+                    let (_, _, _, r2) = displacement(x, y);
+                    w[si] = if r2 > 0.0 {
+                        let r = r2.sqrt();
+                        (-lambda * r).exp() / r
+                    } else {
+                        0.0
+                    };
                 }
-                pot[ti] += FOUR_PI_INV * acc;
+                for (dens, pot) in densities.iter().zip(potentials.iter_mut()) {
+                    pot[ti] += FOUR_PI_INV * simd::dot(dens, w);
+                }
             }
-        }
+        });
     }
 }
 

@@ -7,30 +7,29 @@
 
 use crate::matrix::Mat;
 
-/// Dot product with four-way accumulator splitting (enables SIMD reduction).
+/// Dot product with four-way accumulator splitting (explicit AVX2 lanes
+/// where available — see [`crate::simd`]; the scalar path is bit-identical).
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
-    let n = x.len();
-    let chunks = n / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for c in 0..chunks {
-        let i = 4 * c;
-        s0 += x[i] * y[i];
-        s1 += x[i + 1] * y[i + 1];
-        s2 += x[i + 2] * y[i + 2];
-        s3 += x[i + 3] * y[i + 3];
-    }
-    let mut s = (s0 + s1) + (s2 + s3);
-    for i in 4 * chunks..n {
-        s += x[i] * y[i];
-    }
-    s
+    crate::simd::dot(x, y)
 }
 
 /// Euclidean norm, computed with scaling to avoid overflow/underflow.
+///
+/// NaN elements propagate: `f64::max` would silently drop them (making a
+/// poisoned vector look finite and corrupting QR/SVD rank decisions
+/// downstream), so the scan checks explicitly. Any ±∞ element yields +∞.
 pub fn nrm2(x: &[f64]) -> f64 {
-    let amax = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let mut amax = 0.0_f64;
+    for &v in x {
+        let a = v.abs();
+        if a.is_nan() {
+            return f64::NAN;
+        }
+        if a > amax {
+            amax = a;
+        }
+    }
     if amax == 0.0 || !amax.is_finite() {
         return amax;
     }
@@ -42,13 +41,11 @@ pub fn nrm2(x: &[f64]) -> f64 {
     amax * s.sqrt()
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (explicit AVX2 lanes where available — see
+/// [`crate::simd`]; the scalar path is bit-identical).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::simd::axpy(alpha, x, y)
 }
 
 /// `y = alpha * A * x + beta * y` for row-major `A`.
@@ -202,6 +199,19 @@ mod tests {
         // Values whose squares overflow f64.
         let big = 1e200;
         assert!((nrm2(&[big, big]) - big * 2f64.sqrt()).abs() / big < 1e-14);
+    }
+
+    #[test]
+    fn nrm2_propagates_nan_and_inf() {
+        // NaN anywhere — including after a larger finite element, where the
+        // old `fold(max)` scan silently dropped it — must poison the norm.
+        assert!(nrm2(&[f64::NAN]).is_nan());
+        assert!(nrm2(&[1.0, f64::NAN, 2.0]).is_nan());
+        assert!(nrm2(&[1e300, f64::NAN]).is_nan());
+        assert!(nrm2(&[f64::NAN, f64::INFINITY]).is_nan());
+        // Infinities (no NaN present) give +∞, regardless of sign/position.
+        assert_eq!(nrm2(&[f64::INFINITY]), f64::INFINITY);
+        assert_eq!(nrm2(&[1.0, f64::NEG_INFINITY, 3.0]), f64::INFINITY);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod lu;
 pub mod matrix;
 pub mod pinv;
 pub mod qr;
+pub mod simd;
 pub mod svd;
 
 pub use blas::{axpy, dot, gemm, gemm_slices, gemm_tn, gemv, gemv_t, nrm2};

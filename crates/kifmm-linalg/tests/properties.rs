@@ -1,6 +1,6 @@
 //! Property-based tests for the linear algebra substrate.
 
-use kifmm_linalg::{gemv, gemv_t, householder_qr, lstsq, lu_factor, lu_solve, pinv, svd, Mat};
+use kifmm_linalg::{gemv, gemv_t, householder_qr, lstsq, lu_factor, lu_solve, nrm2, pinv, svd, Mat};
 use kifmm_testkit::{check, prop_assert, prop_assume, Gen};
 
 fn gen_mat(g: &mut Gen, max_dim: usize) -> Mat {
@@ -39,6 +39,49 @@ fn pinv_satisfies_moore_penrose() {
         let pscale = p.max_abs().max(1.0);
         for (x, y) in pap.as_slice().iter().zip(p.as_slice()) {
             prop_assert!((x - y).abs() < 1e-7 * pscale, "A+ A A+ = A+");
+        }
+    });
+}
+
+#[test]
+fn nrm2_nan_propagates_at_any_position() {
+    check("nrm2_nan_propagates_at_any_position", 40, |g| {
+        let n = g.usize(1, 40);
+        let mut v = g.vec_f64(-1e5, 1e5, n);
+        let pos = g.usize(0, n);
+        v[pos] = f64::NAN;
+        prop_assert!(nrm2(&v).is_nan(), "NaN at index {pos} must poison the norm");
+    });
+}
+
+#[test]
+fn nrm2_inf_without_nan_is_inf() {
+    check("nrm2_inf_without_nan_is_inf", 40, |g| {
+        let n = g.usize(1, 40);
+        let mut v = g.vec_f64(-1e5, 1e5, n);
+        let pos = g.usize(0, n);
+        v[pos] = if g.usize(0, 2) == 0 { f64::INFINITY } else { f64::NEG_INFINITY };
+        prop_assert!(nrm2(&v) == f64::INFINITY);
+    });
+}
+
+#[test]
+fn nrm2_scales_past_overflow_and_underflow() {
+    check("nrm2_scales_past_overflow_and_underflow", 40, |g| {
+        // Exact powers of two: rescaling by them is lossless, so the norm
+        // of 2^e·v must equal 2^e·‖v‖ to high relative accuracy even when
+        // the squares over/underflow f64.
+        let n = g.usize(1, 20);
+        let v = g.vec_f64(-1.0, 1.0, n);
+        let base = nrm2(&v);
+        prop_assume!(base > 0.0);
+        for e in [600i32, -600] {
+            let scale = (e as f64).exp2();
+            let scaled: Vec<f64> = v.iter().map(|&x| x * scale).collect();
+            let got = nrm2(&scaled);
+            prop_assert!(got.is_finite(), "norm must not overflow: {got}");
+            let rel = (got / scale - base).abs() / base;
+            prop_assert!(rel < 1e-14, "relative error {rel} at 2^{e}");
         }
     });
 }

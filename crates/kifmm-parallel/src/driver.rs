@@ -46,8 +46,8 @@ use kifmm_core::engine::{
 };
 use kifmm_core::stats::thread_cpu_time;
 use kifmm_core::{
-    BuildError, EvalReport, Evaluator, FmmBuilder, FmmOptions, Phase, PhaseStats,
-    PrecomputeCache, Precomputed, FIRST_FMM_LEVEL,
+    resolve_m2l_modes, BuildError, EvalReport, Evaluator, FmmBuilder, FmmOptions, M2lMode,
+    Phase, PhaseStats, PrecomputeCache, Precomputed, FIRST_FMM_LEVEL,
 };
 use kifmm_kernels::{Kernel, Point3};
 use kifmm_mpi::Comm;
@@ -129,6 +129,11 @@ pub struct ParallelFmm<K: Kernel> {
     /// Contributor/user masks and owners.
     pub own: Ownership,
     pre: std::sync::Arc<Precomputed<K>>,
+    /// Per-level resolved M2L execution modes. [`M2lMode::Auto`] is
+    /// resolved here at construction from full-tree statistics — a
+    /// deterministic function of the globally agreed tree and lists, never
+    /// wall-clock — so every rank runs the identical mode vector.
+    m2l_modes: Vec<M2lMode>,
     /// This rank's ownership filter: the boxes it holds points in.
     active: ActiveSet,
     /// Pooled expansion storage + scratch, reused across evaluations.
@@ -190,6 +195,7 @@ impl<K: Kernel> ParallelFmm<K> {
         // operator tables are particle-independent and shared.
         let tree_seconds = t0.elapsed().as_secs_f64();
         let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
+        let (m2l_modes, _) = resolve_m2l_modes::<K>(&pre, &dtree.tree, &lists, &opts);
         let t1 = Instant::now();
 
         // Exchange ghost geometry once (positions are fixed across the
@@ -233,6 +239,7 @@ impl<K: Kernel> ParallelFmm<K> {
             lists,
             own,
             pre,
+            m2l_modes,
             active,
             scratch: Mutex::new(Vec::new()),
             ghost_points,
@@ -262,6 +269,11 @@ impl<K: Kernel> ParallelFmm<K> {
         self.dtree.sorted_points.len()
     }
 
+    /// Per-level resolved M2L execution modes (identical on every rank).
+    pub fn m2l_modes(&self) -> &[M2lMode] {
+        &self.m2l_modes
+    }
+
     /// Predicted per-point workload (flops) for this rank's points, in
     /// the caller's original local order — the "work estimates from a
     /// previous time step" the paper proposes for better load balancing.
@@ -289,7 +301,7 @@ impl<K: Kernel> ParallelFmm<K> {
             &self.pre,
             &self.dtree.sorted_points,
             self.opts.order,
-            self.opts.m2l_mode,
+            &self.m2l_modes,
             Dispatch::Serial,
             &self.active,
         )
@@ -349,10 +361,14 @@ impl<K: Kernel> ParallelFmm<K> {
             dens: &dens_refs,
             src_dim: K::SRC_DIM,
         };
+        // A panicking evaluation elsewhere poisons this mutex, but the
+        // pooled Vec is never left mid-invariant (push/pop are atomic with
+        // respect to panics), so recover the guard instead of turning one
+        // dead evaluation into a poisoned pool for every later one.
         let (mut store, mut ws) = self
             .scratch
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_else(|| (engine.new_store_many(k), EngineWorkspace::default()));
         engine.prepare_store(&mut store, k);
@@ -562,7 +578,10 @@ impl<K: Kernel> ParallelFmm<K> {
             drop(span);
         }
         drop(pot_refs);
-        self.scratch.lock().unwrap().push((store, ws));
+        self.scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((store, ws));
 
         // Un-permute local potentials ("scatter" back to caller order).
         let span = rt.span("Eval", "scatter");
@@ -784,6 +803,65 @@ mod tests {
                 assert!(e <= 1e-12, "RHS {q} diverged from its independent eval: {e}");
             }
         });
+    }
+
+    #[test]
+    fn scratch_pool_survives_poisoned_lock() {
+        // Regression: a panic in a thread holding the scratch lock used to
+        // make every later eval on this ParallelFmm panic on `unwrap()`.
+        let all = uniform_cube(500, 13);
+        let dens = random_densities(500, 1, 9);
+        let opts = FmmOptions { order: 3, max_pts_per_leaf: 25, ..Default::default() };
+        run(1, move |comm| {
+            let pfmm = ParallelFmm::new(comm, Laplace, &all, opts);
+            let before = pfmm.eval(comm, &dens).potentials;
+            let injected = std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _guard = pfmm.scratch.lock().unwrap();
+                    panic!("injected panic while holding the scratch lock");
+                })
+                .join()
+            });
+            assert!(injected.is_err(), "the injected panic must fire");
+            assert!(pfmm.scratch.lock().is_err(), "lock must actually be poisoned");
+            let after = pfmm.eval(comm, &dens).potentials;
+            assert_eq!(before, after, "recovered pool must not change results");
+        });
+    }
+
+    #[test]
+    fn auto_mode_resolves_identically_across_ranks() {
+        // Auto resolves from full-tree statistics before any engine runs,
+        // so both ranks execute the same concrete per-level modes and the
+        // distributed result stays within the cross-path tolerance.
+        let all = uniform_cube(900, 31);
+        let chunks = split_points(&all, 2);
+        let opts = FmmOptions {
+            order: 4,
+            max_pts_per_leaf: 25,
+            m2l_mode: kifmm_core::M2lMode::Auto,
+            ..Default::default()
+        };
+        let dens: Vec<Vec<f64>> = chunks
+            .iter()
+            .enumerate()
+            .map(|(r, c)| random_densities(c.len(), 1, 40 + r as u64))
+            .collect();
+        let serial = serial_reference(Laplace, &chunks, &dens, opts);
+        let dens2 = dens.clone();
+        let out = run(2, move |comm| {
+            let r = comm.rank();
+            let pfmm = ParallelFmm::new(comm, Laplace, &chunks[r], opts);
+            assert!(
+                !pfmm.m2l_modes().contains(&kifmm_core::M2lMode::Auto),
+                "Auto must be resolved before execution"
+            );
+            pfmm.eval(comm, &dens2[r]).potentials
+        });
+        for (r, pot) in out.iter().enumerate() {
+            let e = rel_l2_error(pot, &serial[r]);
+            assert!(e <= 1e-12, "rank {r} Auto-mode error {e}");
+        }
     }
 
     #[test]

@@ -68,13 +68,26 @@ pub fn check_matches_serial_tol<K: Kernel>(
     dim: usize,
     tol: f64,
 ) {
+    let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
+    check_matches_serial_opts(kernel, all, ranks, dim, tol, opts);
+}
+
+/// As [`check_matches_serial_tol`], with caller-chosen [`FmmOptions`]
+/// (e.g. a specific M2L mode) applied to both paths.
+pub fn check_matches_serial_opts<K: Kernel>(
+    kernel: K,
+    all: Vec<Point3>,
+    ranks: usize,
+    dim: usize,
+    tol: f64,
+    opts: FmmOptions,
+) {
     let chunks = split_points(&all, ranks);
     let dens: Vec<Vec<f64>> = chunks
         .iter()
         .enumerate()
         .map(|(r, c)| random_densities(c.len(), dim, r as u64 + 1))
         .collect();
-    let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
     let serial = serial_reference(kernel.clone(), &chunks, &dens, opts);
     let chunks2 = chunks.clone();
     let dens2 = dens.clone();

@@ -27,7 +27,8 @@ pub mod fixtures;
 pub mod json;
 
 pub use fixtures::{
-    check_matches_serial, check_matches_serial_tol, cloud, serial_reference, split_points,
+    check_matches_serial, check_matches_serial_opts, check_matches_serial_tol, cloud,
+    serial_reference, split_points,
 };
 
 /// Per-case input generator: thin convenience layer over [`Rng`].

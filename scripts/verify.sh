@@ -88,4 +88,20 @@ KIFMM_N=8000 KIFMM_REQUESTS=1 KIFMM_BENCH_DIR="$artifacts" \
 "$validate" "$artifacts/BENCH_service_throughput.json" \
     --service-throughput --max-batch-ratio 0.55
 echo "service-throughput gate: OK"
+
+# 7. M2L ablation gate: the three-mode ablation (small N) must emit a
+#    valid kifmm-m2l-ablation-v1 artifact whose plan-time autotuner rows
+#    are coherent — every level resolved to a concrete mode, the chosen
+#    mode's modeled flops is the minimum of the three candidates, and the
+#    SVD storage ratio stays below dense + shared-basis overhead.
+KIFMM_N=3000 KIFMM_BENCH_DIR="$artifacts" \
+    cargo run -q --release --offline -p kifmm-bench --bin ablation_m2l > /dev/null
+"$validate" "$artifacts/BENCH_m2l_ablation.json" --m2l-ablation
+echo "m2l-ablation gate: OK"
+
+# 8. SIMD gate: the vector microkernels and the FMM evaluations built on
+#    them must be bit-identical to the scalar reference path (flipped
+#    in-process via set_force_scalar).
+cargo run -q --release --offline -p kifmm-bench --bin simd_check > /dev/null
+echo "simd gate: OK"
 echo "verify: ALL OK"

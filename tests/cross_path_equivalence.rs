@@ -6,9 +6,9 @@
 //!
 //! Matrix: 4 kernels × 2 distributions (uniform, clustered) × 3 paths.
 
-use kifmm::{Fmm, FmmOptions, Kernel, Laplace, ModifiedLaplace, Stokes};
+use kifmm::{Fmm, FmmOptions, Kernel, Laplace, M2lMode, ModifiedLaplace, Stokes};
 use kifmm_kernels::LaplaceDipole;
-use kifmm_testkit::check_matches_serial_tol;
+use kifmm_testkit::{check_matches_serial_opts, check_matches_serial_tol};
 
 fn uniform(n: usize, seed: u64) -> Vec<[f64; 3]> {
     kifmm::geom::uniform_cube(n, seed)
@@ -61,3 +61,75 @@ cross_path_case!(modified_laplace_uniform, ModifiedLaplace::new(1.5), uniform, 6
 cross_path_case!(modified_laplace_clustered, ModifiedLaplace::new(1.5), clustered, 600, 16);
 cross_path_case!(stokes_uniform, Stokes::default(), uniform, 450, 17);
 cross_path_case!(stokes_clustered, Stokes::default(), clustered, 450, 18);
+
+/// The same gates under the SVD-compressed (and autotuned) M2L: the SVD
+/// pass groups V-list pairs by direction and runs batched GEMMs, so its
+/// serial/pool identity and its pred-split determinism (the distributed
+/// driver runs each level as two complementary target subsets) are
+/// independently at risk from the Fft path's.
+mod svd_mode {
+    use super::*;
+
+    fn opts(mode: M2lMode) -> FmmOptions {
+        FmmOptions { order: 4, max_pts_per_leaf: 20, m2l_mode: mode, ..Default::default() }
+    }
+
+    fn pool_bitwise<K: Kernel>(kernel: K, pts: Vec<[f64; 3]>, mode: M2lMode) {
+        let n = pts.len();
+        let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 7);
+        let mut fmm = Fmm::new(kernel, &pts, opts(mode));
+        let serial = fmm.eval(&dens).potentials;
+        fmm.set_parallel_eval(true);
+        let pool = fmm.eval(&dens).potentials;
+        assert_eq!(serial, pool, "pool path must be bit-identical to serial");
+    }
+
+    #[test]
+    fn svd_laplace_uniform_pool_bitwise() {
+        pool_bitwise(Laplace, uniform(700, 11), M2lMode::Svd);
+    }
+
+    #[test]
+    fn svd_laplace_clustered_pool_bitwise() {
+        pool_bitwise(Laplace, clustered(700, 12), M2lMode::Svd);
+    }
+
+    #[test]
+    fn svd_modified_laplace_uniform_pool_bitwise() {
+        // Inhomogeneous: per-level SVD slots.
+        pool_bitwise(ModifiedLaplace::new(1.5), uniform(600, 15), M2lMode::Svd);
+    }
+
+    #[test]
+    fn svd_stokes_clustered_pool_bitwise() {
+        // Matrix kernel: interleaved SRC/TRG components through the bases.
+        pool_bitwise(Stokes::default(), clustered(450, 18), M2lMode::Svd);
+    }
+
+    #[test]
+    fn auto_laplace_clustered_pool_bitwise() {
+        pool_bitwise(Laplace, clustered(700, 19), M2lMode::Auto);
+    }
+
+    #[test]
+    fn svd_laplace_uniform_distributed_1e12() {
+        check_matches_serial_opts(Laplace, uniform(700, 11), 4, 1, 1e-12, opts(M2lMode::Svd));
+    }
+
+    #[test]
+    fn svd_modified_laplace_clustered_distributed_1e12() {
+        check_matches_serial_opts(
+            ModifiedLaplace::new(1.5),
+            clustered(600, 16),
+            4,
+            1,
+            1e-12,
+            opts(M2lMode::Svd),
+        );
+    }
+
+    #[test]
+    fn auto_laplace_uniform_distributed_1e12() {
+        check_matches_serial_opts(Laplace, uniform(700, 21), 4, 1, 1e-12, opts(M2lMode::Auto));
+    }
+}
