@@ -32,6 +32,7 @@ use crate::m2l::M2lMode;
 use crate::plan::{Plan, Session};
 use crate::precompute::PrecomputeCache;
 use kifmm_kernels::{Kernel, Point3};
+use kifmm_tree::TreeBuild;
 
 /// Evaluator configuration.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +49,10 @@ pub struct FmmOptions {
     pub m2l_mode: M2lMode,
     /// Relative truncation for the check-to-equivalent pseudoinverses.
     pub pinv_tol: f64,
+    /// Distributed tree construction algorithm (sample sort vs the
+    /// paper's per-level Allreduce). Both yield bitwise-identical
+    /// structure; serial builds ignore this.
+    pub tree_build: TreeBuild,
 }
 
 impl Default for FmmOptions {
@@ -58,6 +63,7 @@ impl Default for FmmOptions {
             max_level: 12,
             m2l_mode: M2lMode::Fft,
             pinv_tol: 1e-10,
+            tree_build: TreeBuild::default(),
         }
     }
 }

@@ -46,7 +46,9 @@ pub use evaluator::{EvalReport, Evaluator, FmmBuilder};
 pub use fmm::{Fmm, FmmOptions};
 pub use plan::{
     geometry_hash, resolve_m2l_modes, BuildError, M2lChoice, Plan, PlanCache, PlanKey, Session,
+    UpdateError,
 };
+pub use kifmm_tree::TreeBuild;
 pub use m2l::{v_list_directions, M2lDirect, M2lFft, M2lMode, M2lSvd, SvdSlot};
 pub use operators::{LevelOps, OperatorTable, FIRST_FMM_LEVEL};
 pub use precompute::{Precomputed, PrecomputeCache};

@@ -31,7 +31,7 @@ use crate::stats::{thread_cpu_time, Phase, PhaseStats};
 use crate::surface::num_surface_points;
 use kifmm_kernels::{Kernel, Point3};
 use kifmm_runtime::{Dispatch, Freelist};
-use kifmm_tree::{build_lists, InteractionLists, Octree};
+use kifmm_tree::{build_lists, build_lists_sorted, update_octree, InteractionLists, Octree};
 use kifmm_trace::{Counter, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -79,6 +79,74 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Why [`Plan::update_points`] could not patch an existing plan. Every
+/// variant means "rebuild from scratch" (e.g. via
+/// [`PlanCache::get_or_update`], which does so automatically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// A point drifted outside the plan's root cube. The Morton mapping
+    /// would silently clamp it to the boundary, corrupting near/far
+    /// classification — so drift is a typed error forcing a re-rooted
+    /// rebuild.
+    DomainOverflow {
+        /// Index of the first offending point.
+        point: usize,
+        /// Coordinate axis (0/1/2) that left the cube.
+        dim: usize,
+    },
+    /// The new point set has a different cardinality; an update cannot
+    /// describe insertions or deletions.
+    PointCountChanged {
+        /// Points the plan was built over.
+        old: usize,
+        /// Points supplied to the update.
+        new: usize,
+    },
+    /// The patched tree is deeper than the plan's operator tables cover
+    /// (points clustered more tightly than any configuration seen at
+    /// plan time).
+    StructureOutgrown {
+        /// Depth the updated tree reached.
+        depth: u8,
+        /// Deepest level the existing operator tables cover.
+        covered: u8,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::DomainOverflow { point, dim } => write!(
+                f,
+                "point {point} left the plan's domain cube along axis {dim}; rebuild required"
+            ),
+            UpdateError::PointCountChanged { old, new } => {
+                write!(f, "point count changed from {old} to {new}; rebuild required")
+            }
+            UpdateError::StructureOutgrown { depth, covered } => write!(
+                f,
+                "updated tree reaches depth {depth} but operators cover only level {covered}; \
+                 rebuild required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<kifmm_tree::UpdateError> for UpdateError {
+    fn from(e: kifmm_tree::UpdateError) -> Self {
+        match e {
+            kifmm_tree::UpdateError::DomainOverflow { point, dim } => {
+                UpdateError::DomainOverflow { point, dim }
+            }
+            kifmm_tree::UpdateError::PointCountChanged { old, new } => {
+                UpdateError::PointCountChanged { old, new }
+            }
+        }
+    }
+}
+
 /// Verify the operator table carries every level a depth-`depth` tree
 /// executes (`FIRST_FMM_LEVEL..=depth`), turning a would-be panic deep in
 /// an engine pass into a typed build-time error.
@@ -94,24 +162,38 @@ pub(crate) fn check_operator_coverage(
     Ok(())
 }
 
-/// FNV-1a over the bit patterns of a point set (length-prefixed). Two
-/// geometries hash equal iff every coordinate is bit-identical — the
-/// condition under which a plan is exactly reusable.
+/// FNV-1a over the bit patterns of a point set (length-prefixed,
+/// word-granular, hashed in fixed-size chunks whose digests are folded
+/// in order — deterministic for any thread count, and an update-path
+/// hot spot at millions of points). Two geometries hash equal iff every
+/// coordinate is bit-identical — the condition under which a plan is
+/// exactly reusable.
 pub fn geometry_hash(points: &[Point3]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
+    const CHUNK: usize = 1 << 16;
+    fn digest(seed: u64, points: &[Point3]) -> u64 {
+        let mut h = seed;
+        for p in points {
+            for c in p {
+                h ^= c.to_bits();
+                h = h.wrapping_mul(PRIME);
+            }
         }
-    };
-    mix(points.len() as u64);
-    for p in points {
-        for c in p {
-            mix(c.to_bits());
-        }
+        h
+    }
+    let mut h = OFFSET ^ points.len() as u64;
+    h = h.wrapping_mul(PRIME);
+    if points.len() <= CHUNK {
+        return digest(h, points);
+    }
+    let chunks = points.len().div_ceil(CHUNK);
+    let partials = kifmm_runtime::par_map(chunks, |c| {
+        digest(OFFSET, &points[c * CHUNK..((c + 1) * CHUNK).min(points.len())])
+    });
+    for d in partials {
+        h ^= d;
+        h = h.wrapping_mul(PRIME);
     }
     h
 }
@@ -256,8 +338,10 @@ pub struct Plan<K: Kernel> {
     pub(crate) opts: FmmOptions,
     /// The computation tree.
     pub tree: Octree,
-    /// U/V/W/X lists per box.
-    pub lists: InteractionLists,
+    /// U/V/W/X lists per box. Behind an `Arc` so an incremental update
+    /// that preserves the structure shares them instead of deep-cloning
+    /// ~100k nested vectors.
+    pub lists: Arc<InteractionLists>,
     pub(crate) pre: Arc<Precomputed<K>>,
     /// Points permuted into Morton order (leaf ranges contiguous).
     pub(crate) sorted_points: Vec<Point3>,
@@ -312,10 +396,69 @@ impl<K: Kernel> Plan<K> {
             kernel,
             opts,
             tree,
-            lists,
+            lists: Arc::new(lists),
             pre,
             sorted_points,
             num_points: points.len(),
+            active,
+            m2l_modes,
+            m2l_report,
+            geometry,
+        })
+    }
+
+    /// Patch this plan for a moved point set instead of rebuilding it:
+    /// re-sort with the old permutation as a near-sorted hint, re-derive
+    /// the structure, and — when the structure is unchanged, the common
+    /// case for small motion — reuse the interaction lists and resolved
+    /// M2L modes wholesale. The operator tables (`Arc<Precomputed>`) are
+    /// always shared: they depend on the domain and depth, not on the
+    /// points.
+    ///
+    /// Errors ([`UpdateError`]) mean the plan cannot be patched and a
+    /// full rebuild is required; [`PlanCache::get_or_update`] performs
+    /// that fallback automatically.
+    pub fn update_points(&self, new_points: &[Point3]) -> Result<Plan<K>, UpdateError> {
+        let upd = update_octree(
+            &self.tree,
+            new_points,
+            self.opts.max_pts_per_leaf,
+            self.opts.max_level,
+        )?;
+        let depth = upd.tree.depth();
+        if check_operator_coverage(&self.pre.ops, depth).is_err() {
+            return Err(UpdateError::StructureOutgrown {
+                depth,
+                covered: self.tree.depth(),
+            });
+        }
+        let tree = upd.tree;
+        let (lists, m2l_modes, m2l_report) = if upd.same_structure {
+            // Same structure: the lists are valid verbatim — share them.
+            (Arc::clone(&self.lists), self.m2l_modes.clone(), self.m2l_report.clone())
+        } else {
+            let lists = build_lists_sorted(&tree);
+            let (modes, report) = resolve_m2l_modes::<K>(&self.pre, &tree, &lists, &self.opts);
+            (Arc::new(lists), modes, report)
+        };
+        let mut sorted_points = vec![[0.0f64; 3]; new_points.len()];
+        const CHUNK: usize = 1 << 16;
+        kifmm_runtime::par_chunks_mut(&mut sorted_points, CHUNK, |ci, chunk| {
+            let base = ci * CHUNK;
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = new_points[tree.perm[base + j] as usize];
+            }
+        });
+        let active = ActiveSet::build(&tree, |_| true);
+        let geometry = geometry_hash(new_points);
+        Ok(Plan {
+            kernel: self.kernel.clone(),
+            opts: self.opts,
+            tree,
+            lists,
+            pre: self.pre.clone(),
+            sorted_points,
+            num_points: new_points.len(),
             active,
             m2l_modes,
             m2l_report,
@@ -758,6 +901,7 @@ pub struct PlanCache<K: Kernel> {
     max_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    updates: AtomicU64,
     trace: Tracer,
 }
 
@@ -772,6 +916,7 @@ impl<K: Kernel> PlanCache<K> {
             max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             trace: Tracer::disabled(),
         }
     }
@@ -794,6 +939,12 @@ impl<K: Kernel> PlanCache<K> {
     /// Plan-cache lookups that had to build a new plan.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served by patching an existing plan
+    /// ([`PlanCache::get_or_update`]) instead of a full build.
+    pub fn updates(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
     }
 
     /// Number of resident plans.
@@ -841,13 +992,65 @@ impl<K: Kernel> PlanCache<K> {
         let plan = Arc::new(Plan::try_new(kernel.clone(), points, opts)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.trace.rank(0).add(Counter::PlanCacheMisses, 1);
+        Ok(self.insert_entry(key, plan, stamp))
+    }
+
+    /// Fetch the plan for `base`'s kernel/options over `new_points`,
+    /// *patching* `base` via [`Plan::update_points`] on a miss instead of
+    /// building from scratch — the time-stepping fast path (points move a
+    /// little every step, so the tree is re-derived from a near-sorted
+    /// permutation and the operator tables are shared). When the patch is
+    /// impossible ([`UpdateError`]: domain drift, changed point count,
+    /// deeper structure than the operators cover) this falls back to a
+    /// full [`PlanCache::get_or_plan`] build.
+    ///
+    /// Counters: a cached plan for the new geometry counts as a hit, a
+    /// successful patch as an *update* ([`PlanCache::updates`]), and the
+    /// fallback as a miss.
+    pub fn get_or_update(
+        &self,
+        base: &Arc<Plan<K>>,
+        new_points: &[Point3],
+    ) -> Result<Arc<Plan<K>>, BuildError> {
+        let opts = *base.options();
+        let key = PlanKey {
+            kernel_id: base.kernel().id_bits(),
+            order: opts.order,
+            m2l_mode: opts.m2l_mode,
+            max_pts_per_leaf: opts.max_pts_per_leaf,
+            max_level: opts.max_level,
+            geometry: geometry_hash(new_points),
+        };
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner =
+                self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(e) = inner.iter_mut().find(|e| e.key == key) {
+                e.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.trace.rank(0).add(Counter::PlanCacheHits, 1);
+                return Ok(e.plan.clone());
+            }
+        }
+        match base.update_points(new_points) {
+            Ok(plan) => {
+                self.updates.fetch_add(1, Ordering::Relaxed);
+                Ok(self.insert_entry(key, Arc::new(plan), stamp))
+            }
+            Err(_) => self.get_or_plan(base.kernel(), new_points, opts),
+        }
+    }
+
+    /// Insert a freshly built plan (outside the lock) and run LRU
+    /// eviction. If a concurrent builder won the race for `key`, its plan
+    /// is shared instead.
+    fn insert_entry(&self, key: PlanKey, plan: Arc<Plan<K>>, stamp: u64) -> Arc<Plan<K>> {
         let bytes = plan.approx_bytes();
         let mut inner =
             self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(e) = inner.iter_mut().find(|e| e.key == key) {
-            // A concurrent builder won the race; share its plan.
             e.stamp = stamp;
-            return Ok(e.plan.clone());
+            return e.plan.clone();
         }
         inner.push(CacheEntry { key, plan: plan.clone(), bytes, stamp });
         let newest = stamp;
@@ -862,7 +1065,7 @@ impl<K: Kernel> PlanCache<K> {
             total -= inner[idx].bytes;
             inner.remove(idx);
         }
-        Ok(plan)
+        plan
     }
 }
 
@@ -904,6 +1107,120 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Shrink every point toward the domain center by `factor` — motion
+    /// that stays inside the root cube by construction.
+    fn shrink_toward(points: &[Point3], center: Point3, factor: f64) -> Vec<Point3> {
+        points
+            .iter()
+            .map(|p| std::array::from_fn(|d| center[d] + (p[d] - center[d]) * factor))
+            .collect()
+    }
+
+    #[test]
+    fn update_points_identical_geometry_preserves_everything() {
+        let pts = cloud(800, 21);
+        let plan = Plan::try_new(Laplace, &pts, opts_small()).unwrap();
+        let upd = plan.update_points(&pts).unwrap();
+        assert!(upd.tree.structure_eq(&plan.tree));
+        assert_eq!(upd.lists, plan.lists);
+        assert_eq!(upd.geometry_hash(), plan.geometry_hash());
+        let d = densities(800, 1, 3);
+        let a = Session::from_plan(plan).eval(&d).potentials;
+        let b = Session::from_plan(upd).eval(&d).potentials;
+        assert_eq!(a, b, "identical geometry must evaluate bitwise identically");
+    }
+
+    #[test]
+    fn update_points_small_motion_matches_fresh_plan() {
+        let pts = cloud(900, 22);
+        let base = Plan::try_new(Laplace, &pts, opts_small()).unwrap();
+        let center = base.tree.domain.center;
+        let moved = shrink_toward(&pts, center, 0.999);
+        let upd = base.update_points(&moved).unwrap();
+        // The patched plan stays as accurate as a from-scratch build
+        // against the direct sum. (The builds are not bitwise comparable:
+        // a fresh build fits a slightly smaller root cube to the moved
+        // points, while the patch keeps the old one.)
+        let fresh = Plan::try_new(Laplace, &moved, opts_small()).unwrap();
+        let d = densities(900, 1, 7);
+        let exact = crate::direct::direct_eval(&Laplace, &moved, &d);
+        let err_of = |plan: Plan<Laplace>| {
+            let pot = Session::from_plan(plan).eval(&d).potentials;
+            crate::direct::rel_l2_error(&pot, &exact)
+        };
+        let e_upd = err_of(upd);
+        let e_fresh = err_of(fresh);
+        assert!(
+            e_upd < 2.0 * e_fresh.max(1e-8),
+            "patched plan error {e_upd} vs fresh {e_fresh}"
+        );
+    }
+
+    #[test]
+    fn update_points_detects_domain_drift_and_count_change() {
+        let pts = cloud(500, 23);
+        let plan = Plan::try_new(Laplace, &pts, opts_small()).unwrap();
+        // Push one point far outside the root cube.
+        let mut out = pts.clone();
+        out[137][2] += 100.0 * plan.tree.domain.half;
+        assert_eq!(
+            plan.update_points(&out).map(|_| ()).unwrap_err(),
+            UpdateError::DomainOverflow { point: 137, dim: 2 },
+        );
+        // Different cardinality.
+        assert_eq!(
+            plan.update_points(&pts[..499]).map(|_| ()).unwrap_err(),
+            UpdateError::PointCountChanged { old: 500, new: 499 },
+        );
+    }
+
+    #[test]
+    fn update_points_rejects_structure_deeper_than_operators() {
+        let pts = cloud(600, 24);
+        let plan = Plan::try_new(Laplace, &pts, opts_small()).unwrap();
+        // Collapse all points into a tiny ball: the refined tree goes far
+        // deeper than the original, beyond operator coverage.
+        let center = plan.tree.domain.center;
+        let tiny = shrink_toward(&pts, center, 1e-4);
+        match plan.update_points(&tiny) {
+            Err(UpdateError::StructureOutgrown { depth, covered }) => {
+                assert!(depth > covered, "depth {depth} vs covered {covered}");
+            }
+            Ok(_) => panic!("collapsing points must outgrow the operator tables"),
+            Err(e) => panic!("expected StructureOutgrown, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_cache_get_or_update_hits_updates_and_falls_back() {
+        let pts = cloud(700, 25);
+        let cache = PlanCache::unbounded();
+        let base = cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.updates()), (0, 1, 0));
+        // Same geometry → hit, same Arc.
+        let again = cache.get_or_update(&base, &pts).unwrap();
+        assert!(Arc::ptr_eq(&base, &again));
+        assert_eq!((cache.hits(), cache.misses(), cache.updates()), (1, 1, 0));
+        // Small motion → patched plan, counted as an update.
+        let center = base.tree.domain.center;
+        let moved = shrink_toward(&pts, center, 0.999);
+        let patched = cache.get_or_update(&base, &moved).unwrap();
+        assert!(std::ptr::eq(patched.precomputed(), base.precomputed()));
+        assert_eq!((cache.hits(), cache.misses(), cache.updates()), (1, 1, 1));
+        // Re-request of the patched geometry → hit.
+        let patched2 = cache.get_or_update(&base, &moved).unwrap();
+        assert!(Arc::ptr_eq(&patched, &patched2));
+        assert_eq!(cache.hits(), 2);
+        // Out-of-domain drift → full rebuild fallback, counted as a miss.
+        let mut out = pts.clone();
+        for p in &mut out {
+            p[0] += 10.0 * base.tree.domain.half;
+        }
+        let rebuilt = cache.get_or_update(&base, &out).unwrap();
+        assert!(!std::ptr::eq(rebuilt.precomputed(), base.precomputed()));
+        assert_eq!((cache.hits(), cache.misses(), cache.updates()), (2, 2, 1));
     }
 
     #[test]

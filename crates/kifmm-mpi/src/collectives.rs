@@ -177,6 +177,67 @@ pub fn alltoallv(comm: &Comm, send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
     out
 }
 
+/// Typed `u64` allgatherv: gather each rank's slice onto every rank.
+pub fn allgatherv_u64(comm: &Comm, data: &[u64]) -> Vec<Vec<u64>> {
+    allgatherv(comm, &encode_u64s(data)).iter().map(|p| decode_u64s(p)).collect()
+}
+
+/// Typed `u64` personalized all-to-all.
+pub fn alltoallv_u64(comm: &Comm, send: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    let raw: Vec<Vec<u8>> = send.iter().map(|v| encode_u64s(v)).collect();
+    alltoallv(comm, raw).iter().map(|p| decode_u64s(p)).collect()
+}
+
+/// Parallel sample sort of `u64` keys (regular sampling).
+///
+/// Input: this rank's keys, **already locally sorted**. Output: this
+/// rank's *chunk* of the globally sorted key array — chunks are
+/// contiguous in value space and ascending by rank, i.e. concatenating
+/// the outputs over ranks 0..P yields the sorted multiset union of all
+/// inputs, and keys comparing equal never straddle a chunk boundary.
+///
+/// Three steps, O(1) collectives total (the point of the sample-sort
+/// tree construction — the paper's per-level `Allreduce` build needs
+/// O(depth) of them): each rank contributes P regular samples
+/// (one allgatherv); every rank sorts the sample union identically and
+/// picks the same P−1 splitters; keys are bucketed by binary search and
+/// exchanged (one alltoallv); received sorted runs are merged locally.
+pub fn sample_sort_u64(comm: &Comm, local_sorted: &[u64]) -> Vec<u64> {
+    let p = comm.size();
+    debug_assert!(local_sorted.windows(2).all(|w| w[0] <= w[1]), "input must be locally sorted");
+    if p == 1 {
+        return local_sorted.to_vec();
+    }
+    // 1. Regular sampling: P evenly spaced local samples per rank.
+    let n = local_sorted.len();
+    let samples: Vec<u64> =
+        (0..p).filter_map(|i| local_sorted.get((i + 1) * n / (p + 1)).copied()).collect();
+    let mut all_samples: Vec<u64> = allgatherv_u64(comm, &samples).concat();
+    all_samples.sort_unstable();
+    // 2. Deterministic splitters: every rank picks the same P−1 quantiles
+    //    of the sample union. A key `k` belongs to bucket r iff
+    //    splitters[r-1] <= k < splitters[r], so duplicates of one value
+    //    all land in one bucket.
+    let m = all_samples.len();
+    if m == 0 {
+        // Every rank is empty: nothing to exchange.
+        return Vec::new();
+    }
+    let splitters: Vec<u64> = (1..p).map(|r| all_samples[r * m / p]).collect();
+    let mut send: Vec<Vec<u64>> = Vec::with_capacity(p);
+    let mut lo = 0usize;
+    for &s in &splitters {
+        let hi = local_sorted.partition_point(|&k| k < s);
+        send.push(local_sorted[lo..hi.max(lo)].to_vec());
+        lo = hi.max(lo);
+    }
+    send.push(local_sorted[lo..].to_vec());
+    // 3. Exchange buckets; merge the received sorted runs.
+    let mut chunk: Vec<u64> = alltoallv_u64(comm, send).concat();
+    chunk.sort_unstable();
+    chunk
+}
+
 fn split_length_prefixed(flat: &[u8], parts: usize) -> Vec<Vec<u8>> {
     let mut out = Vec::with_capacity(parts);
     let mut cursor = 0usize;
@@ -317,6 +378,89 @@ mod tests {
             for (src, payload) in received.into_iter().enumerate() {
                 assert_eq!(payload, vec![(10 * src + me) as u8; me + 1]);
             }
+        }
+    }
+
+    /// Runs `sample_sort_u64` over per-rank inputs and checks the output
+    /// contract: chunk concatenation == sorted union, each chunk sorted,
+    /// chunks ascending by rank, and no equal keys straddling a boundary.
+    fn check_sample_sort(inputs: Vec<Vec<u64>>) {
+        let p = inputs.len();
+        let mut expected: Vec<u64> = inputs.concat();
+        expected.sort_unstable();
+        let inputs2 = inputs.clone();
+        let chunks = run(p, move |comm| {
+            let mut mine = inputs2[comm.rank()].clone();
+            mine.sort_unstable();
+            sample_sort_u64(comm, &mine)
+        });
+        for c in &chunks {
+            assert!(c.windows(2).all(|w| w[0] <= w[1]), "chunk not sorted");
+        }
+        for w in chunks.windows(2) {
+            if let (Some(&last), Some(&first)) = (w[0].last(), w[1].first()) {
+                assert!(
+                    last < first,
+                    "equal keys must not straddle a chunk boundary: {last} vs {first}"
+                );
+            }
+        }
+        assert_eq!(chunks.concat(), expected, "inputs {inputs:?}");
+    }
+
+    #[test]
+    fn sample_sort_matches_serial_sort() {
+        // Deterministic pseudo-random inputs, uneven sizes.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let inputs: Vec<Vec<u64>> =
+            (0..4).map(|r| (0..(500 + 137 * r)).map(|_| next() % 1000).collect()).collect();
+        check_sample_sort(inputs);
+    }
+
+    #[test]
+    fn sample_sort_handles_empty_and_skewed_ranks() {
+        // One rank hoards everything; others are empty.
+        check_sample_sort(vec![(0..2000).collect(), vec![], vec![], vec![]]);
+        // All ranks empty.
+        check_sample_sort(vec![vec![]; 4]);
+        // Single element total.
+        check_sample_sort(vec![vec![], vec![7], vec![], vec![]]);
+        // Single rank degenerates to a local sort.
+        check_sample_sort(vec![(0..100).rev().map(|i| i * 3).collect()]);
+    }
+
+    #[test]
+    fn sample_sort_all_equal_keys_land_on_one_rank() {
+        // Heavy duplication: every key identical. The whole multiset must
+        // land on exactly one rank (no-straddle rule).
+        let inputs = vec![vec![42u64; 300]; 4];
+        let chunks = run(4, |comm| sample_sort_u64(comm, &vec![42u64; 300]));
+        let nonempty = chunks.iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(nonempty, 1, "all duplicates of one value go to one rank");
+        assert_eq!(chunks.concat().len(), 4 * 300);
+        check_sample_sort(inputs);
+    }
+
+    #[test]
+    fn typed_u64_collectives_roundtrip() {
+        let out = run(3, |comm| {
+            let r = comm.rank() as u64;
+            let gathered = allgatherv_u64(comm, &[r, r + 10]);
+            let send: Vec<Vec<u64>> = (0..3).map(|d| vec![100 * r + d as u64]).collect();
+            let received = alltoallv_u64(comm, send);
+            (gathered, received)
+        });
+        for (me, (gathered, received)) in out.into_iter().enumerate() {
+            assert_eq!(gathered, vec![vec![0, 10], vec![1, 11], vec![2, 12]]);
+            let expect: Vec<Vec<u64>> =
+                (0..3).map(|src| vec![100 * src as u64 + me as u64]).collect();
+            assert_eq!(received, expect);
         }
     }
 

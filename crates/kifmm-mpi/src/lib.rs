@@ -25,7 +25,8 @@ pub mod packet;
 pub mod tag;
 
 pub use collectives::{
-    allgatherv, allreduce_f64, allreduce_u64, alltoallv, barrier, bcast, ReduceOp,
+    allgatherv, allgatherv_u64, allreduce_f64, allreduce_u64, alltoallv, alltoallv_u64, barrier,
+    bcast, sample_sort_u64, ReduceOp,
 };
 pub use comm::{run, Comm, CommStats, PeerTraffic};
 pub use datatypes::{decode_f64s, decode_u32s, decode_u64s, encode_f64s, encode_u32s, encode_u64s};

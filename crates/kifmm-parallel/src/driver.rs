@@ -39,7 +39,7 @@
 //! installation of globally summed equivalents between engine phases.
 
 use crate::exchange::{Combine, ExchangeRoute, UserKind};
-use crate::global_tree::{build_distributed_tree, DistributedTree};
+use crate::global_tree::{build_distributed_tree_with, DistributedTree};
 use crate::ownership::Ownership;
 use kifmm_core::engine::{
     ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine, SourceProvider,
@@ -53,7 +53,7 @@ use kifmm_kernels::{Kernel, Point3};
 use kifmm_mpi::Comm;
 use kifmm_runtime::Dispatch;
 use kifmm_trace::{Counter, Tracer};
-use kifmm_tree::{build_lists, InteractionLists};
+use kifmm_tree::{build_lists, build_lists_sorted, InteractionLists};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -178,9 +178,19 @@ impl<K: Kernel> ParallelFmm<K> {
         cache: &PrecomputeCache<K>,
     ) -> Self {
         let t0 = Instant::now();
-        let dtree =
-            build_distributed_tree(comm, local_points, opts.max_pts_per_leaf, opts.max_level);
-        let lists = build_lists(&dtree.tree);
+        let dtree = build_distributed_tree_with(
+            comm,
+            local_points,
+            opts.max_pts_per_leaf,
+            opts.max_level,
+            opts.tree_build,
+        );
+        let lists = match opts.tree_build {
+            // Sample-sort path: derive lists by binary search over the
+            // sorted level key arrays (no hash map).
+            kifmm_tree::TreeBuild::SampleSort => build_lists_sorted(&dtree.tree),
+            kifmm_tree::TreeBuild::Paper => build_lists(&dtree.tree),
+        };
         let nn = dtree.tree.num_nodes();
         let own = Ownership::build(
             comm,

@@ -1,12 +1,23 @@
-//! Distributed tree generation (paper §3.1).
+//! Distributed tree generation (paper §3.1), two algorithms.
 //!
-//! "All processors begin at level 0 with the same box … At every level l,
-//! each processor puts its local number of points in boxes at level l into
-//! its local copy of the global tree array. Then, an `MPI_Allreduce` is
-//! used over all local copies … to sum up the local number of points for
-//! each box … By comparing each box's global number of points with `s`,
-//! each processor can decide whether a box in level l should be further
-//! subdivided."
+//! **Paper** ([`TreeBuild::Paper`]): "All processors begin at level 0 with
+//! the same box … At every level l, each processor puts its local number
+//! of points in boxes at level l into its local copy of the global tree
+//! array. Then, an `MPI_Allreduce` is used over all local copies … to sum
+//! up the local number of points for each box … By comparing each box's
+//! global number of points with `s`, each processor can decide whether a
+//! box in level l should be further subdivided." One Allreduce per level,
+//! i.e. O(depth) collectives.
+//!
+//! **SampleSort** ([`TreeBuild::SampleSort`], the default): a parallel
+//! sample sort of the max-depth Morton codes replaces the per-level
+//! Allreduce with O(1) collectives. Each rank receives one
+//! value-contiguous chunk of the globally sorted code array, summarizes
+//! it into a compact set of disjoint boxes with exact global counts
+//! ([`chunk_summary`]), and allgathers the summaries once. The resulting
+//! [`GlobalCounts`] oracle answers every "global points in box b" query
+//! of the level-by-level loop locally, so both algorithms run the *same*
+//! refinement loop and produce bitwise-identical structure.
 //!
 //! The result on every rank is the same *global structure tree* (the
 //! paper's compact global tree array: counts + child indices), with
@@ -14,8 +25,13 @@
 //! 200M-point run is under 16 MB, i.e. it deliberately fits on every rank.
 
 use kifmm_geom::Point3;
-use kifmm_mpi::{allreduce_f64, allreduce_u64, Comm, ReduceOp};
-use kifmm_tree::{point_key, Domain, Node, Octree, MAX_LEVEL, NO_NODE};
+use kifmm_mpi::{
+    allgatherv_u64, allreduce_f64, allreduce_u64, sample_sort_u64, Comm, ReduceOp,
+};
+use kifmm_tree::{
+    chunk_summary, point_key, Domain, GlobalCounts, MortonKey, Node, Octree, SummaryEntry,
+    TreeBuild, MAX_LEVEL, NO_NODE,
+};
 
 /// The per-rank view of the globally agreed computation tree.
 pub struct DistributedTree {
@@ -27,7 +43,8 @@ pub struct DistributedTree {
     pub sorted_points: Vec<Point3>,
 }
 
-/// Build the distributed computation tree over each rank's local points.
+/// Build the distributed computation tree with the default algorithm
+/// ([`TreeBuild::SampleSort`]).
 ///
 /// Collective: every rank must call with the same `s`/`max_level`. A rank
 /// may hold zero points only if some other rank holds at least one.
@@ -36,6 +53,22 @@ pub fn build_distributed_tree(
     local_points: &[Point3],
     max_pts_per_leaf: usize,
     max_level: u8,
+) -> DistributedTree {
+    build_distributed_tree_with(comm, local_points, max_pts_per_leaf, max_level, TreeBuild::default())
+}
+
+/// Build the distributed computation tree with an explicit algorithm.
+///
+/// Both algorithms produce bitwise-identical structure (same node array,
+/// same levels, same global counts); they differ only in how the global
+/// per-box counts are obtained (see the module docs). Every rank must
+/// pass the same `algo`.
+pub fn build_distributed_tree_with(
+    comm: &Comm,
+    local_points: &[Point3],
+    max_pts_per_leaf: usize,
+    max_level: u8,
+    algo: TreeBuild,
 ) -> DistributedTree {
     assert!(max_pts_per_leaf >= 1);
     let max_level = max_level.min(MAX_LEVEL);
@@ -60,32 +93,125 @@ pub fn build_distributed_tree(
     }
     let domain = Domain { center, half: half * (1.0 + 1e-12) };
 
-    // Morton-sort the local points.
+    // Morton-sort the local points. Sorting (code, index) pairs breaks
+    // ties on original index, so the permutation is identical for every
+    // algorithm (and every thread count).
     let n = local_points.len();
-    let codes: Vec<u64> = local_points
+    let mut pairs: Vec<(u64, u32)> = local_points
         .iter()
-        .map(|&p| point_key(p, domain.center, domain.half, MAX_LEVEL).morton_code())
+        .enumerate()
+        .map(|(i, &p)| {
+            (point_key(p, domain.center, domain.half, MAX_LEVEL).morton_code(), i as u32)
+        })
         .collect();
-    let mut perm: Vec<u32> = (0..n as u32).collect();
-    perm.sort_unstable_by_key(|&i| codes[i as usize]);
-    let sorted_codes: Vec<u64> = perm.iter().map(|&i| codes[i as usize]).collect();
+    kifmm_runtime::par_sort_unstable(&mut pairs);
+    let sorted_codes: Vec<u64> = pairs.iter().map(|&(c, _)| c).collect();
+    let perm: Vec<u32> = pairs.iter().map(|&(_, i)| i).collect();
     let sorted_points: Vec<Point3> = perm.iter().map(|&i| local_points[i as usize]).collect();
 
-    // Level-by-level construction with one Allreduce per level.
+    let (nodes, global_counts, levels) = match algo {
+        TreeBuild::Paper => {
+            let root_global = {
+                let mut c = vec![n as u64];
+                allreduce_u64(comm, &mut c, ReduceOp::Sum);
+                c[0]
+            };
+            build_global_levels(
+                &sorted_codes,
+                max_pts_per_leaf,
+                max_level,
+                root_global,
+                |_keys, local| {
+                    let mut g = local.to_vec();
+                    allreduce_u64(comm, &mut g, ReduceOp::Sum);
+                    g
+                },
+            )
+        }
+        TreeBuild::SampleSort => {
+            let oracle = build_counts_oracle(comm, &sorted_codes, max_pts_per_leaf, max_level);
+            build_global_levels(
+                &sorted_codes,
+                max_pts_per_leaf,
+                max_level,
+                oracle.total(),
+                |keys, _local| keys.iter().map(|k| oracle.count(k)).collect(),
+            )
+        }
+    };
+
+    let tree = Octree::from_parts(domain, nodes, perm, levels);
+    DistributedTree { tree, global_counts, sorted_points }
+}
+
+/// Sample-sort the max-depth codes and allgather per-chunk summaries into
+/// a [`GlobalCounts`] oracle. O(1) collectives: one inside the sample
+/// sort's sampling step, one alltoallv for the exchange, and two
+/// allgathers here (chunk ranges, then summaries).
+fn build_counts_oracle(
+    comm: &Comm,
+    sorted_codes: &[u64],
+    max_pts_per_leaf: usize,
+    max_level: u8,
+) -> GlobalCounts {
+    let chunk = sample_sort_u64(comm, sorted_codes);
+    // Every rank's chunk is a value-contiguous range of the global sorted
+    // array; publish [first, last] so each rank knows which of its boxes
+    // are *private* (no other rank holds codes inside them).
+    let my_range: Vec<u64> = match (chunk.first(), chunk.last()) {
+        (Some(&f), Some(&l)) => vec![f, l],
+        _ => Vec::new(),
+    };
+    let ranges = allgatherv_u64(comm, &my_range);
+    let me = comm.rank();
+    let others: Vec<(u64, u64)> = ranges
+        .iter()
+        .enumerate()
+        .filter(|&(r, v)| r != me && v.len() == 2)
+        .map(|(_, v)| (v[0], v[1]))
+        .collect();
+    // A half-open code range [lo, hi) is private iff every other rank's
+    // inclusive [first, last] range misses it entirely.
+    let private = |lo: u64, hi: u64| others.iter().all(|&(f, l)| l < lo || f >= hi);
+    let summaries = chunk_summary(&chunk, max_pts_per_leaf, max_level, &private);
+    // Wire format: (morton code, count) pairs.
+    let wire: Vec<u64> =
+        summaries.iter().flat_map(|e| [e.key.morton_code(), e.count]).collect();
+    let entries: Vec<SummaryEntry> = allgatherv_u64(comm, &wire)
+        .iter()
+        .flat_map(|v| {
+            v.chunks_exact(2)
+                .map(|c| SummaryEntry { key: MortonKey::from_code(c[0]), count: c[1] })
+        })
+        .collect();
+    GlobalCounts::new(entries)
+}
+
+/// The shared level-by-level refinement loop (the paper's Algorithm in
+/// §3.1). `global_counts_of(keys, local_counts)` returns the *global*
+/// point count for each candidate child box; the Paper algorithm
+/// allreduces `local_counts`, the sample-sort algorithm queries its
+/// oracle with `keys`. Because the loop consumes only the returned global
+/// counts, two count providers that agree produce bitwise-identical
+/// structure.
+fn build_global_levels(
+    sorted_codes: &[u64],
+    max_pts_per_leaf: usize,
+    max_level: u8,
+    root_global: u64,
+    mut global_counts_of: impl FnMut(&[MortonKey], &[u64]) -> Vec<u64>,
+) -> (Vec<Node>, Vec<u64>, Vec<Vec<u32>>) {
+    let n = sorted_codes.len();
     let mut nodes = vec![Node {
-        key: kifmm_tree::MortonKey::ROOT,
+        key: MortonKey::ROOT,
         parent: NO_NODE,
         children: [NO_NODE; 8],
         pt_start: 0,
         pt_end: n as u32,
     }];
-    let mut global_counts = {
-        let mut c = vec![n as u64];
-        allreduce_u64(comm, &mut c, ReduceOp::Sum);
-        c
-    };
+    let mut global_counts = vec![root_global];
     let mut levels: Vec<Vec<u32>> = vec![vec![0]];
-    let mut frontier: Vec<u32> = if global_counts[0] > max_pts_per_leaf as u64 && max_level > 0 {
+    let mut frontier: Vec<u32> = if root_global > max_pts_per_leaf as u64 && max_level > 0 {
         vec![0]
     } else {
         Vec::new()
@@ -97,8 +223,11 @@ pub fn build_distributed_tree(
         }
         let depth = level + 1;
         let shift = 3 * (MAX_LEVEL - depth) as u32 + 5;
-        // Local counts for the 8 candidate children of every splitting box
-        // — this is the level slice of the global tree array.
+        // Local counts + ranges for the 8 candidate children of every
+        // splitting box — this is the level slice of the global tree
+        // array. The octant digit is non-decreasing inside a parent's
+        // sorted range, so each cut is a binary search.
+        let mut cand_keys = Vec::with_capacity(frontier.len() * 8);
         let mut cand_counts = vec![0u64; frontier.len() * 8];
         let mut cand_ranges = vec![(0u32, 0u32); frontier.len() * 8];
         for (fi, &ni) in frontier.iter().enumerate() {
@@ -106,21 +235,26 @@ pub fn build_distributed_tree(
                 let nd = &nodes[ni as usize];
                 (nd.pt_start, nd.pt_end)
             };
+            let key = nodes[ni as usize].key;
             let mut lo_i = start;
             for oct in 0..8u8 {
-                let mut hi_i = lo_i;
-                while hi_i < end
-                    && ((sorted_codes[hi_i as usize] >> shift) & 7) as u8 == oct
-                {
-                    hi_i += 1;
-                }
+                let hi_i = lo_i
+                    + sorted_codes[lo_i as usize..end as usize]
+                        .partition_point(|&c| ((c >> shift) & 7) as u8 <= oct)
+                        as u32;
+                cand_keys.push(key.child(oct));
                 cand_counts[fi * 8 + oct as usize] = (hi_i - lo_i) as u64;
                 cand_ranges[fi * 8 + oct as usize] = (lo_i, hi_i);
                 lo_i = hi_i;
             }
             debug_assert_eq!(lo_i, end);
         }
-        allreduce_u64(comm, &mut cand_counts, ReduceOp::Sum);
+        let cand_global = global_counts_of(&cand_keys, &cand_counts);
+        debug_assert_eq!(cand_global.len(), cand_counts.len());
+        debug_assert!(
+            cand_global.iter().zip(&cand_counts).all(|(&g, &l)| g >= l),
+            "global candidate counts must dominate local counts"
+        );
 
         // Materialize globally nonempty children; decide next splits.
         let mut next = Vec::new();
@@ -128,7 +262,7 @@ pub fn build_distributed_tree(
         for (fi, &ni) in frontier.iter().enumerate() {
             let key = nodes[ni as usize].key;
             for oct in 0..8u8 {
-                let g = cand_counts[fi * 8 + oct as usize];
+                let g = cand_global[fi * 8 + oct as usize];
                 if g == 0 {
                     continue;
                 }
@@ -156,8 +290,7 @@ pub fn build_distributed_tree(
         frontier = next;
     }
 
-    let tree = Octree::from_parts(domain, nodes, perm, levels);
-    DistributedTree { tree, global_counts, sorted_points }
+    (nodes, global_counts, levels)
 }
 
 #[cfg(test)]
@@ -166,6 +299,8 @@ mod tests {
     use kifmm_geom::uniform_cube;
     use kifmm_mpi::run;
     use kifmm_tree::partition_points;
+
+    const ALGOS: [TreeBuild; 2] = [TreeBuild::SampleSort, TreeBuild::Paper];
 
     fn split(points: &[Point3], ranks: usize) -> Vec<Vec<Point3>> {
         let part = partition_points(points, ranks);
@@ -181,18 +316,56 @@ mod tests {
         let ranks = 4;
         let chunks = split(&all, ranks);
         let serial = Octree::build(&all, 40, MAX_LEVEL);
-        let out = run(ranks, |comm| {
-            let dt = build_distributed_tree(comm, &chunks[comm.rank()], 40, MAX_LEVEL);
-            let keys: Vec<_> = dt.tree.nodes.iter().map(|n| n.key).collect();
-            let counts = dt.global_counts.clone();
-            (keys, counts)
-        });
         let serial_keys: Vec<_> = serial.nodes.iter().map(|n| n.key).collect();
-        for (keys, counts) in out {
-            assert_eq!(keys, serial_keys, "distributed structure equals serial");
-            for (i, &c) in counts.iter().enumerate() {
-                assert_eq!(c as usize, serial.nodes[i].num_points(), "global counts");
+        for algo in ALGOS {
+            let chunks = chunks.clone();
+            let out = run(ranks, move |comm| {
+                let dt =
+                    build_distributed_tree_with(comm, &chunks[comm.rank()], 40, MAX_LEVEL, algo);
+                let keys: Vec<_> = dt.tree.nodes.iter().map(|n| n.key).collect();
+                let counts = dt.global_counts.clone();
+                (keys, counts)
+            });
+            for (keys, counts) in out {
+                assert_eq!(keys, serial_keys, "distributed {algo:?} structure equals serial");
+                for (i, &c) in counts.iter().enumerate() {
+                    assert_eq!(c as usize, serial.nodes[i].num_points(), "global counts");
+                }
             }
+        }
+    }
+
+    #[test]
+    fn sample_sort_and_paper_builds_are_bitwise_identical() {
+        // The tentpole gate, at unit level: identical node arrays, levels,
+        // permutations and global counts, including for clustered inputs
+        // that force deep refinement.
+        let mut all = uniform_cube(1500, 9);
+        for p in uniform_cube(500, 10) {
+            all.push([p[0] * 0.01 + 0.4, p[1] * 0.01 + 0.4, p[2] * 0.01 + 0.4]);
+        }
+        for ranks in [1, 2, 4, 8] {
+            let chunks = split(&all, ranks);
+            let out = run(ranks, move |comm| {
+                let a = build_distributed_tree_with(
+                    comm,
+                    &chunks[comm.rank()],
+                    30,
+                    MAX_LEVEL,
+                    TreeBuild::SampleSort,
+                );
+                let b = build_distributed_tree_with(
+                    comm,
+                    &chunks[comm.rank()],
+                    30,
+                    MAX_LEVEL,
+                    TreeBuild::Paper,
+                );
+                assert!(a.tree.structure_eq(&b.tree), "P={} structure differs", comm.size());
+                assert_eq!(a.global_counts, b.global_counts, "global counts differ");
+                assert_eq!(a.sorted_points, b.sorted_points);
+            });
+            drop(out);
         }
     }
 
@@ -200,43 +373,49 @@ mod tests {
     fn local_ranges_partition_local_points() {
         let all = uniform_cube(2000, 5);
         let chunks = split(&all, 3);
-        run(3, |comm| {
-            let local = &chunks[comm.rank()];
-            let dt = build_distributed_tree(comm, local, 30, MAX_LEVEL);
-            // Root covers all local points.
-            assert_eq!(dt.tree.nodes[0].num_points(), local.len());
-            // Children partition parents.
-            for nd in &dt.tree.nodes {
-                if nd.is_leaf() {
-                    continue;
-                }
-                let mut cursor = nd.pt_start;
-                for &c in &nd.children {
-                    if c == NO_NODE {
+        for algo in ALGOS {
+            let chunks = chunks.clone();
+            run(3, move |comm| {
+                let local = &chunks[comm.rank()];
+                let dt = build_distributed_tree_with(comm, local, 30, MAX_LEVEL, algo);
+                // Root covers all local points.
+                assert_eq!(dt.tree.nodes[0].num_points(), local.len());
+                // Children partition parents.
+                for nd in &dt.tree.nodes {
+                    if nd.is_leaf() {
                         continue;
                     }
-                    let ch = &dt.tree.nodes[c as usize];
-                    assert_eq!(ch.pt_start, cursor);
-                    cursor = ch.pt_end;
+                    let mut cursor = nd.pt_start;
+                    for &c in &nd.children {
+                        if c == NO_NODE {
+                            continue;
+                        }
+                        let ch = &dt.tree.nodes[c as usize];
+                        assert_eq!(ch.pt_start, cursor);
+                        cursor = ch.pt_end;
+                    }
+                    assert_eq!(cursor, nd.pt_end);
                 }
-                assert_eq!(cursor, nd.pt_end);
-            }
-        });
+            });
+        }
     }
 
     #[test]
     fn rank_with_no_points_participates() {
         let all = uniform_cube(500, 13);
-        run(3, |comm| {
-            // Rank 2 holds nothing.
-            let local: Vec<Point3> =
-                if comm.rank() == 2 { Vec::new() } else { all.clone() };
-            let dt = build_distributed_tree(comm, &local, 50, MAX_LEVEL);
-            assert!(dt.global_counts[0] >= 500);
-            if comm.rank() == 2 {
-                assert_eq!(dt.tree.nodes[0].num_points(), 0);
-            }
-        });
+        for algo in ALGOS {
+            let all = all.clone();
+            run(3, move |comm| {
+                // Rank 2 holds nothing.
+                let local: Vec<Point3> =
+                    if comm.rank() == 2 { Vec::new() } else { all.clone() };
+                let dt = build_distributed_tree_with(comm, &local, 50, MAX_LEVEL, algo);
+                assert!(dt.global_counts[0] >= 500);
+                if comm.rank() == 2 {
+                    assert_eq!(dt.tree.nodes[0].num_points(), 0);
+                }
+            });
+        }
     }
 
     #[test]
@@ -251,19 +430,37 @@ mod tests {
             .into_iter()
             .map(|p| [p[0] * 0.05 + 0.9, p[1] * 0.05 + 0.9, p[2] * 0.05 + 0.9])
             .collect();
-        let (a2, b2) = (a.clone(), b.clone());
-        run(2, move |comm| {
-            let local = if comm.rank() == 0 { &a2 } else { &b2 };
-            let dt = build_distributed_tree(comm, local, 20, MAX_LEVEL);
-            // Some box has global points but no local points.
-            let ghost_boxes = dt
-                .tree
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|(i, nd)| dt.global_counts[*i] > 0 && nd.num_points() == 0)
-                .count();
-            assert!(ghost_boxes > 0, "must materialize remote-only boxes");
+        for algo in ALGOS {
+            let (a2, b2) = (a.clone(), b.clone());
+            run(2, move |comm| {
+                let local = if comm.rank() == 0 { &a2 } else { &b2 };
+                let dt = build_distributed_tree_with(comm, local, 20, MAX_LEVEL, algo);
+                // Some box has global points but no local points.
+                let ghost_boxes = dt
+                    .tree
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, nd)| dt.global_counts[*i] > 0 && nd.num_points() == 0)
+                    .count();
+                assert!(ghost_boxes > 0, "must materialize remote-only boxes");
+            });
+        }
+    }
+
+    #[test]
+    fn coincident_points_across_ranks_stop_at_max_level() {
+        // Every rank holds copies of the same two points: no refinement
+        // can separate them, so both algorithms must stop at max_level
+        // and still agree.
+        run(4, |comm| {
+            let local = vec![[0.1, 0.2, 0.3]; 10];
+            let a =
+                build_distributed_tree_with(comm, &local, 4, 6, TreeBuild::SampleSort);
+            let b = build_distributed_tree_with(comm, &local, 4, 6, TreeBuild::Paper);
+            assert!(a.tree.structure_eq(&b.tree));
+            assert_eq!(a.tree.depth(), 6);
+            assert_eq!(a.global_counts, b.global_counts);
         });
     }
 }

@@ -65,9 +65,17 @@ impl Ownership {
                 my_bit(&mut equiv_users, a as usize);
             }
         }
-        allreduce_u64(comm, &mut contributors, ReduceOp::BitOr);
-        allreduce_u64(comm, &mut src_users, ReduceOp::BitOr);
-        allreduce_u64(comm, &mut equiv_users, ReduceOp::BitOr);
+        // One allreduce over the three mask arrays concatenated instead of
+        // three — same bits, a third of the collective latency.
+        let section = num_nodes * words;
+        let mut masks = Vec::with_capacity(3 * section);
+        masks.extend_from_slice(&contributors);
+        masks.extend_from_slice(&src_users);
+        masks.extend_from_slice(&equiv_users);
+        allreduce_u64(comm, &mut masks, ReduceOp::BitOr);
+        contributors.copy_from_slice(&masks[..section]);
+        src_users.copy_from_slice(&masks[section..2 * section]);
+        equiv_users.copy_from_slice(&masks[2 * section..]);
 
         // Owner assignment: sole contributors own; the rest are assigned by
         // an identical sequential min-load pass on every rank.

@@ -1,0 +1,165 @@
+//! Property sweep for the tentpole equivalence gate of the sample-sort
+//! tree build: for random point distributions (uniform, clustered,
+//! degenerate plane/line, duplicate-heavy) scattered across random rank
+//! counts by random ownership strategies, the [`TreeBuild::SampleSort`]
+//! build, the [`TreeBuild::Paper`] per-level-Allreduce build, and the
+//! serial [`Octree::build`] must produce bitwise-identical structure:
+//! the same node array, the same global counts, and — between the two
+//! distributed algorithms — the same globally sorted point order.
+//!
+//! The serial comparison only holds when every point is inside the
+//! distributed domain *and* the domains match; the distributed build
+//! computes its bounding cube by Allreduce over exactly the same points,
+//! so it does. What the sweep is really hunting is splitter pathologies:
+//! duplicate Morton keys straddling rank boundaries, empty ranks, one
+//! rank hoarding everything, or clusters so tight that whole subtrees
+//! live on one rank while the others see none of it.
+
+use kifmm_mpi::run;
+use kifmm_parallel::build_distributed_tree_with;
+use kifmm_testkit::{check, Gen};
+use kifmm_tree::{MortonKey, Octree, TreeBuild, MAX_LEVEL};
+use std::sync::Arc;
+
+/// Random point cloud of one of four shapes (uniform cube, tight
+/// cluster + background, degenerate plane/line, duplicate-heavy).
+fn random_points(g: &mut Gen) -> Vec<[f64; 3]> {
+    let n = g.usize(40, 700);
+    let shape = g.usize(0, 4);
+    let mut pts = Vec::with_capacity(n);
+    match shape {
+        // Uniform cube.
+        0 => {
+            for _ in 0..n {
+                pts.push([g.f64(0.0, 1.0), g.f64(0.0, 1.0), g.f64(0.0, 1.0)]);
+            }
+        }
+        // Tight cluster (forces deep refinement) over a sparse background.
+        1 => {
+            let c = [g.f64(0.2, 0.8), g.f64(0.2, 0.8), g.f64(0.2, 0.8)];
+            let w = g.f64(1e-5, 1e-2);
+            for i in 0..n {
+                if i % 4 == 0 {
+                    pts.push([g.f64(0.0, 1.0), g.f64(0.0, 1.0), g.f64(0.0, 1.0)]);
+                } else {
+                    pts.push([
+                        c[0] + g.f64(-w, w),
+                        c[1] + g.f64(-w, w),
+                        c[2] + g.f64(-w, w),
+                    ]);
+                }
+            }
+        }
+        // Degenerate: all points on an axis-aligned plane or line.
+        2 => {
+            let fixed = g.f64(0.0, 1.0);
+            let line = g.usize(0, 2) == 0;
+            for _ in 0..n {
+                let (a, b) = (g.f64(0.0, 1.0), g.f64(0.0, 1.0));
+                pts.push(if line { [a, fixed, fixed] } else { [a, b, fixed] });
+            }
+        }
+        // Duplicate-heavy: few distinct sites, many copies each — the
+        // worst case for splitter selection (equal keys must never
+        // straddle a rank boundary).
+        _ => {
+            let sites = g.usize(1, 8);
+            let base: Vec<[f64; 3]> = (0..sites)
+                .map(|_| [g.f64(0.0, 1.0), g.f64(0.0, 1.0), g.f64(0.0, 1.0)])
+                .collect();
+            for i in 0..n {
+                pts.push(base[i % sites]);
+            }
+        }
+    }
+    pts
+}
+
+/// Scatter `all` across `ranks` by one of four ownership strategies.
+fn random_split(g: &mut Gen, all: &[[f64; 3]], ranks: usize) -> Vec<Vec<[f64; 3]>> {
+    let mut chunks = vec![Vec::new(); ranks];
+    match g.usize(0, 4) {
+        // Contiguous equal chunks.
+        0 => {
+            for (i, &p) in all.iter().enumerate() {
+                chunks[i * ranks / all.len().max(1)].push(p);
+            }
+        }
+        // Round-robin.
+        1 => {
+            for (i, &p) in all.iter().enumerate() {
+                chunks[i % ranks].push(p);
+            }
+        }
+        // One rank hoards everything; the rest start empty.
+        2 => {
+            let hoarder = g.usize(0, ranks);
+            chunks[hoarder].extend_from_slice(all);
+        }
+        // Independent random owner per point (some ranks may be empty).
+        _ => {
+            for &p in all {
+                let r = g.usize(0, ranks);
+                chunks[r].push(p);
+            }
+        }
+    }
+    chunks
+}
+
+#[test]
+fn sample_sort_paper_and_serial_agree_on_random_inputs() {
+    check("tree_equivalence", 24, |g| {
+        let all = random_points(g);
+        let ranks = [1usize, 2, 4, 8][g.usize(0, 4)];
+        let leaf = g.usize(4, 64);
+        let max_level = [6u8, MAX_LEVEL][g.usize(0, 2)];
+        let chunks = Arc::new(random_split(g, &all, ranks));
+
+        // Serial reference over the union (the distributed domain is the
+        // Allreduce bounding cube of the same points, so they coincide).
+        let serial = Octree::build(&all, leaf, max_level);
+        let serial_keys: Vec<MortonKey> = serial.nodes.iter().map(|n| n.key).collect();
+        let serial_counts: Vec<u64> =
+            serial.nodes.iter().map(|n| n.num_points() as u64).collect();
+
+        let out = run(ranks, {
+            let chunks = chunks.clone();
+            move |comm| {
+                let local = &chunks[comm.rank()];
+                let a = build_distributed_tree_with(
+                    comm,
+                    local,
+                    leaf,
+                    max_level,
+                    TreeBuild::SampleSort,
+                );
+                let b =
+                    build_distributed_tree_with(comm, local, leaf, max_level, TreeBuild::Paper);
+                let keys: Vec<MortonKey> = a.tree.nodes.iter().map(|n| n.key).collect();
+                (
+                    keys,
+                    a.global_counts.clone(),
+                    a.tree.structure_eq(&b.tree),
+                    a.global_counts == b.global_counts,
+                    a.sorted_points == b.sorted_points,
+                )
+            }
+        });
+        for (keys, counts, structure_eq, counts_eq, points_eq) in out {
+            kifmm_testkit::prop_assert!(
+                structure_eq,
+                "sample-sort vs paper structure (P={ranks}, n={}, s={leaf})",
+                all.len()
+            );
+            kifmm_testkit::prop_assert!(counts_eq, "sample-sort vs paper global counts");
+            kifmm_testkit::prop_assert!(points_eq, "sample-sort vs paper sorted points");
+            kifmm_testkit::prop_assert_eq!(keys, serial_keys, "distributed vs serial keys");
+            kifmm_testkit::prop_assert_eq!(
+                counts,
+                serial_counts,
+                "distributed vs serial counts"
+            );
+        }
+    });
+}

@@ -241,6 +241,71 @@ pub fn par_for_each_with<I: Send>(threads: usize, items: Vec<I>, f: impl Fn(usiz
     });
 }
 
+/// Below this length the parallel sort runs `sort_unstable` inline:
+/// spawn-join overhead dominates any split win on small arrays.
+const PAR_SORT_CUTOFF: usize = 1 << 13;
+
+/// Parallel unstable sort: split into one run per worker, `sort_unstable`
+/// each run in parallel, then merge runs pairwise. Like `sort_unstable`,
+/// the relative order of elements that compare equal is unspecified; the
+/// element *multiset* is exactly preserved for any thread count. Built for
+/// the Morton-code sorts of the tree layer, where keys are `(code, index)`
+/// pairs with a unique total order — there the output is the one sorted
+/// sequence regardless of thread count.
+pub fn par_sort_unstable<T: Ord + Copy + Send>(data: &mut [T]) {
+    let threads = num_threads();
+    if threads <= 1 || data.len() < PAR_SORT_CUTOFF {
+        data.sort_unstable();
+        return;
+    }
+    let n = data.len();
+    let runs = threads.min(n);
+    let size = n.div_ceil(runs);
+    par_chunks_mut(data, size, |_, chunk| chunk.sort_unstable());
+    // Merge passes: runs are [i*size, min((i+1)*size, n)); merge adjacent
+    // pairs until one run remains. The merges are memory-bound single
+    // passes, so they stay serial — the O(n log n) work above is what
+    // parallelizes.
+    let mut bounds: Vec<usize> = (0..runs).map(|i| i * size).collect();
+    bounds.push(n);
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    while bounds.len() > 2 {
+        let mut next = Vec::with_capacity(bounds.len() / 2 + 1);
+        let mut k = 0;
+        while k + 2 < bounds.len() {
+            merge_sorted(&data[bounds[k]..bounds[k + 1]], &data[bounds[k + 1]..bounds[k + 2]], &mut scratch);
+            data[bounds[k]..bounds[k + 2]].copy_from_slice(&scratch);
+            next.push(bounds[k]);
+            k += 2;
+        }
+        // An unpaired trailing run carries over to the next pass.
+        while k < bounds.len() - 1 {
+            next.push(bounds[k]);
+            k += 1;
+        }
+        next.push(n);
+        bounds = next;
+    }
+}
+
+/// Merge two sorted slices into `out` (cleared first), taking from `a` on
+/// ties.
+fn merge_sorted<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
 /// A lock-free fixed-capacity object pool.
 ///
 /// `checkout()` pops any pooled object (or `None` when the pool is
@@ -552,6 +617,51 @@ mod tests {
             }
         });
         assert!(pool.len() <= 4);
+    }
+
+    #[test]
+    fn par_sort_matches_std_on_duplicates() {
+        // xorshift-ish deterministic fill with heavy duplication.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut data: Vec<u64> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 997
+            })
+            .collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        par_sort_unstable(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn par_sort_unique_pairs_and_small_inputs() {
+        let mut x = 1u64;
+        let mut pairs: Vec<(u64, u32)> = (0..50_000u32)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x % 512, i)
+            })
+            .collect();
+        let mut expect = pairs.clone();
+        expect.sort_unstable();
+        par_sort_unstable(&mut pairs);
+        assert_eq!(pairs, expect, "(code, index) pairs have a unique sorted order");
+        for n in [0usize, 1, 2, 3, 100] {
+            let mut small: Vec<u64> = (0..n as u64).rev().collect();
+            par_sort_unstable(&mut small);
+            assert_eq!(small, (0..n as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn merge_sorted_takes_left_on_ties() {
+        let mut out = Vec::new();
+        merge_sorted(&[(1, 'a'), (2, 'a')], &[(1, 'b'), (3, 'b')], &mut out);
+        assert_eq!(out, vec![(1, 'a'), (1, 'b'), (2, 'a'), (3, 'b')]);
     }
 
     #[test]

@@ -101,6 +101,20 @@ impl<K: Kernel> SingleLayerOperator<K> {
         SingleLayerOperator { fmm, quad, matvecs: std::cell::Cell::new(0) }
     }
 
+    /// Wrap an already-resolved plan (e.g. one obtained from
+    /// [`PlanCache::get_or_update`] after patching a previous time step's
+    /// plan for the moved quadrature nodes). The plan must have been
+    /// built over exactly `quad.points`.
+    pub fn with_plan(quad: SurfaceQuadrature, plan: std::sync::Arc<kifmm_core::Plan<K>>) -> Self {
+        assert_eq!(
+            plan.len(),
+            quad.len(),
+            "plan was built over a different number of points than the quadrature"
+        );
+        let fmm = Fmm::from_session(Session::new(plan));
+        SingleLayerOperator { fmm, quad, matvecs: std::cell::Cell::new(0) }
+    }
+
     /// The quadrature.
     pub fn quadrature(&self) -> &SurfaceQuadrature {
         &self.quad

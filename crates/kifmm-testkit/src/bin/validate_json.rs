@@ -16,6 +16,14 @@
 //! validate_json <file> --m2l-ablation      # kifmm-m2l-ablation-v1
 //!                                           # invariants: measured modes
 //!                                           # + coherent autotuner rows
+//! validate_json <file> --tree-build [--max-update-ratio R]
+//!                                           # kifmm-tree-build-v1
+//!                                           # invariants: every rank count
+//!                                           # built bitwise-identical
+//!                                           # sample-sort/paper trees;
+//!                                           # optionally require the
+//!                                           # incremental plan update to
+//!                                           # cost <= R of a full rebuild
 //! ```
 //!
 //! Exits nonzero with a diagnostic on the first violated invariant, so
@@ -81,6 +89,21 @@ fn run(args: &[String]) -> Result<String, String> {
                 "{path}: valid kifmm-m2l-ablation-v1 summary ({cases} cases, {rows} autotuner rows)"
             ))
         }
+        Some("--tree-build") => {
+            let max_ratio: Option<f64> = match args.get(2).map(String::as_str) {
+                Some("--max-update-ratio") => {
+                    Some(args.get(3).and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+                }
+                Some(_) => return Err(usage()),
+                None => None,
+            };
+            let (builds, ratio) =
+                check_tree_build(&doc, max_ratio).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "{path}: valid kifmm-tree-build-v1 summary ({builds} rank counts, \
+                 update ratio {ratio:.3})"
+            ))
+        }
         Some("--chrome") => {
             let min_ranks: usize = match args.get(2) {
                 Some(v) => v.parse().map_err(|_| usage())?,
@@ -96,8 +119,93 @@ fn run(args: &[String]) -> Result<String, String> {
 fn usage() -> String {
     "usage: validate_json <file> [--bench-summary [--max-eval-messages N] | \
      --chrome [min_ranks] | --service-throughput [--max-batch-ratio R] | \
-     --m2l-ablation]"
+     --m2l-ablation | --tree-build [--max-update-ratio R]]"
         .to_string()
+}
+
+/// `BENCH_tree_build.json` invariants: schema tag, a nonempty `builds`
+/// array where every rank count reports positive build times, a plausible
+/// node count/depth, and `structure_equal == true` — the sample-sort and
+/// paper Allreduce builds must be bitwise identical, the PR's central
+/// equivalence gate. The `update` block must show a coherent
+/// patch-vs-rebuild measurement (`ratio` consistent with its timings,
+/// `moved_fraction` in (0, 1]); when `max_ratio` is given the incremental
+/// update must cost at most that fraction of a full rebuild — the
+/// time-stepping amortization gate. Returns (build rows, update ratio).
+fn check_tree_build(doc: &Json, max_ratio: Option<f64>) -> Result<(usize, f64), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'schema'")?;
+    if schema != "kifmm-tree-build-v1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    let n = doc.get("n").and_then(Json::as_f64).ok_or("missing numeric field 'n'")?;
+    if n < 1.0 {
+        return Err(format!("implausible n = {n}"));
+    }
+    let builds = doc.get("builds").and_then(Json::as_arr).ok_or("missing 'builds' array")?;
+    if builds.is_empty() {
+        return Err("empty 'builds' array".into());
+    }
+    for (i, row) in builds.iter().enumerate() {
+        let at = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("builds[{i}] missing numeric '{key}'"))
+        };
+        let ranks = at("ranks")?;
+        let t_sample = at("sample_sort_seconds")?;
+        let t_paper = at("paper_seconds")?;
+        let nodes = at("nodes")?;
+        let depth = at("depth")?;
+        if ranks < 1.0 || t_sample <= 0.0 || t_paper <= 0.0 || nodes < 1.0 || depth < 0.0 {
+            return Err(format!(
+                "builds[{i}]: implausible row (ranks={ranks}, sample={t_sample}, \
+                 paper={t_paper}, nodes={nodes}, depth={depth})"
+            ));
+        }
+        let equal = row
+            .get("structure_equal")
+            .and_then(Json::as_bool)
+            .ok_or(format!("builds[{i}] missing bool 'structure_equal'"))?;
+        if !equal {
+            return Err(format!(
+                "builds[{i}]: sample-sort and paper builds disagree at P={ranks} \
+                 (the bitwise equivalence gate failed)"
+            ));
+        }
+    }
+    let upd = doc.get("update").ok_or("missing 'update' object")?;
+    let at = |key: &str| {
+        upd.get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("update missing numeric '{key}'"))
+    };
+    let build = at("build_seconds")?;
+    let update = at("update_seconds")?;
+    let ratio = at("ratio")?;
+    let moved = at("moved_fraction")?;
+    if build <= 0.0 || update <= 0.0 || ratio <= 0.0 {
+        return Err(format!(
+            "implausible update block (build={build}, update={update}, ratio={ratio})"
+        ));
+    }
+    if (ratio - update / build).abs() > 0.01 * ratio.max(1e-9) {
+        return Err(format!("update.ratio {ratio} inconsistent with {update}/{build}"));
+    }
+    if !(moved > 0.0 && moved <= 1.0) {
+        return Err(format!("update.moved_fraction {moved} outside (0, 1]"));
+    }
+    if let Some(bound) = max_ratio {
+        if ratio > bound {
+            return Err(format!(
+                "incremental-update regression: patching the plan took {ratio:.3}× a full \
+                 rebuild (bound {bound}) — time-stepping no longer amortizes setup"
+            ));
+        }
+    }
+    Ok((builds.len(), ratio))
 }
 
 /// `BENCH_m2l_ablation.json` invariants: schema tag, a nonempty `cases`

@@ -52,6 +52,14 @@ impl Json {
         }
     }
 
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String accessor.
     pub fn as_str(&self) -> Option<&str> {
         match self {

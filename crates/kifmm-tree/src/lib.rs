@@ -7,17 +7,30 @@
 //! ([`build_lists`]: U/V/W/X), and the Morton-curve [`partition`]er used
 //! for distributing surface patches across ranks.
 //!
+//! Beyond the paper, the [`linearize`] module derives the same structure
+//! from a sorted Morton-code array (the Hu–Gumerov–Duraiswami sample-sort
+//! construction used by the distributed driver), [`lists::build_lists_sorted`]
+//! derives the interaction lists by binary search over the sorted level
+//! arrays, and [`update`] patches an existing tree for slightly moved
+//! points instead of rebuilding it.
+//!
 //! (Warren & Salmon's SC'92/SC'93 parallel hashed octree papers are cited
 //! as references 23 and 24 in the reproduction target.)
 
+pub mod linearize;
 pub mod lists;
 pub mod morton;
 pub mod octree;
 pub mod partition;
+pub mod update;
 
-pub use lists::{build_lists, InteractionLists};
-pub use morton::{point_key, MortonKey, MAX_LEVEL};
+pub use linearize::{
+    chunk_summary, code_range, structure_from_sorted_codes, GlobalCounts, SummaryEntry, TreeBuild,
+};
+pub use lists::{build_lists, build_lists_sorted, InteractionLists, SortedKeyIndex};
+pub use morton::{point_in_domain, point_key, try_point_key, MortonKey, MAX_LEVEL};
 pub use octree::{Domain, Node, Octree, NO_NODE};
 pub use partition::{
     partition_patches, partition_points, partition_weighted_points, split_by_weight, Partition,
 };
+pub use update::{update_octree, TreeUpdate, UpdateError};

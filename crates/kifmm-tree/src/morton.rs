@@ -158,6 +158,23 @@ impl MortonKey {
             | self.level as u64
     }
 
+    /// Inverse of [`MortonKey::morton_code`]: recover the key from its
+    /// linearized code (used to decode keys off the communication wire).
+    pub fn from_code(code: u64) -> MortonKey {
+        let level = (code & 31) as u8;
+        debug_assert!(level <= MAX_LEVEL, "invalid level bits in Morton code");
+        let interleaved = code >> 5;
+        let shift = MAX_LEVEL - level;
+        MortonKey {
+            level,
+            coords: [
+                (deinterleave3(interleaved) >> shift) as u32,
+                (deinterleave3(interleaved >> 1) >> shift) as u32,
+                (deinterleave3(interleaved >> 2) >> shift) as u32,
+            ],
+        }
+    }
+
     /// Offset `(other − self)` in units of this box's side, when both boxes
     /// are at the same level (used to index the 316 M2L directions).
     pub fn offset_to(&self, other: &MortonKey) -> [i32; 3] {
@@ -182,6 +199,18 @@ fn interleave3(mut v: u64) -> u64 {
     v
 }
 
+/// Inverse of [`interleave3`]: gather every third bit back into the low 21.
+#[inline]
+fn deinterleave3(mut v: u64) -> u64 {
+    v &= 0x1249249249249249;
+    v = (v | (v >> 2)) & 0x10c30c30c30c30c3;
+    v = (v | (v >> 4)) & 0x100f00f00f00f00f;
+    v = (v | (v >> 8)) & 0x1f0000ff0000ff;
+    v = (v | (v >> 16)) & 0x1f00000000ffff;
+    v = (v | (v >> 32)) & 0x1fffff;
+    v
+}
+
 /// Map a point in the unit domain cube to its Morton key at `level`.
 ///
 /// `center`/`half` describe the computational domain (a cube containing
@@ -193,6 +222,36 @@ pub fn point_key(p: [f64; 3], center: [f64; 3], half: f64, level: u8) -> MortonK
         ((t * n as f64) as i64).clamp(0, n as i64 - 1) as u32
     });
     MortonKey { level, coords }
+}
+
+/// True when `p` lies inside the closed domain cube `center ± half`.
+/// `NaN` coordinates count as outside.
+pub fn point_in_domain(p: [f64; 3], center: [f64; 3], half: f64) -> bool {
+    (0..3).all(|d| (p[d] - center[d]).abs() <= half)
+}
+
+/// As [`point_key`], but refusing points outside the domain cube instead
+/// of silently clamping them into boundary boxes. Returns the first
+/// offending dimension on failure.
+///
+/// The static build clamps on purpose: its domain is computed to contain
+/// every point, so the clamp only rescues boundary points from rounding.
+/// The incremental-update path (`kifmm_tree::update`) must not clamp — a
+/// point that drifted outside the original domain would be silently
+/// folded into a boundary box, corrupting the tree while every invariant
+/// check still passes.
+pub fn try_point_key(
+    p: [f64; 3],
+    center: [f64; 3],
+    half: f64,
+    level: u8,
+) -> Result<MortonKey, usize> {
+    for d in 0..3 {
+        if !((p[d] - center[d]).abs() <= half) {
+            return Err(d);
+        }
+    }
+    Ok(point_key(p, center, half, level))
 }
 
 #[cfg(test)]
@@ -298,5 +357,41 @@ mod tests {
     fn interleave_bit_pattern() {
         assert_eq!(interleave3(0b11), 0b1001);
         assert_eq!(interleave3(0b101), 0b1000001);
+    }
+
+    #[test]
+    fn morton_code_roundtrips_through_from_code() {
+        let mut seed = 0x5eedu64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..2000 {
+            let level = (rnd() % (MAX_LEVEL as u32 + 1)) as u8;
+            let mask = if level == 0 { 0 } else { (1u32 << level) - 1 };
+            let k = MortonKey::new(level, [rnd() & mask, rnd() & mask, rnd() & mask]);
+            assert_eq!(MortonKey::from_code(k.morton_code()), k);
+        }
+        assert_eq!(MortonKey::from_code(MortonKey::ROOT.morton_code()), MortonKey::ROOT);
+    }
+
+    #[test]
+    fn try_point_key_accepts_boundary_rejects_drift() {
+        let c = [0.5, -0.5, 0.0];
+        let h = 2.0;
+        // Interior and exact-boundary points succeed and agree with the
+        // clamping map.
+        for p in [[0.5, -0.5, 0.0], [2.5, 1.5, 2.0], [-1.5, -2.5, -2.0]] {
+            assert!(point_in_domain(p, c, h));
+            assert_eq!(try_point_key(p, c, h, 4), Ok(point_key(p, c, h, 4)));
+        }
+        // Drift outside reports the first offending dimension; the clamping
+        // map would have silently folded these into boundary boxes.
+        assert_eq!(try_point_key([2.5 + 1e-9, 0.0, 0.0], c, h, 4), Err(0));
+        assert_eq!(try_point_key([0.5, -2.6, 0.0], c, h, 4), Err(1));
+        assert_eq!(try_point_key([0.5, 0.0, 2.1], c, h, 4), Err(2));
+        assert!(!point_in_domain([0.5, 0.0, 2.1], c, h));
+        // NaN is never inside.
+        assert_eq!(try_point_key([0.5, f64::NAN, 0.0], c, h, 4), Err(1));
     }
 }

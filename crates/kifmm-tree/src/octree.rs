@@ -57,7 +57,7 @@ impl Domain {
 }
 
 /// One box of the tree.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Node {
     /// The box identity.
     pub key: MortonKey,
@@ -128,63 +128,13 @@ impl Octree {
             .collect();
         let mut perm: Vec<u32> = (0..n as u32).collect();
         perm.sort_unstable_by_key(|&i| codes[i as usize]);
+        let sorted_codes: Vec<u64> = perm.iter().map(|&i| codes[i as usize]).collect();
 
-        // Level-by-level construction (the same order the distributed
-        // algorithm materializes the global tree array in).
-        let mut nodes = vec![Node {
-            key: MortonKey::ROOT,
-            parent: NO_NODE,
-            children: [NO_NODE; 8],
-            pt_start: 0,
-            pt_end: n as u32,
-        }];
-        let mut levels: Vec<Vec<u32>> = vec![vec![0]];
-        let mut frontier: Vec<u32> = vec![0];
-        for level in 0..max_level {
-            let mut next = Vec::new();
-            for &ni in &frontier {
-                let (start, end, key) = {
-                    let nd = &nodes[ni as usize];
-                    (nd.pt_start, nd.pt_end, nd.key)
-                };
-                if (end - start) as usize <= max_pts_per_leaf {
-                    continue;
-                }
-                // Split the contiguous range into octants by code prefix.
-                let depth = level + 1;
-                let shift = 3 * (MAX_LEVEL - depth) as u32 + 5;
-                let octant_of = |pi: u32| ((codes[perm[pi as usize] as usize] >> shift) & 7) as u8;
-                let mut lo = start;
-                for oct in 0..8u8 {
-                    let mut hi = lo;
-                    while hi < end && octant_of(hi) == oct {
-                        hi += 1;
-                    }
-                    if hi > lo {
-                        let child_idx = nodes.len() as u32;
-                        nodes.push(Node {
-                            key: key.child(oct),
-                            parent: ni,
-                            children: [NO_NODE; 8],
-                            pt_start: lo,
-                            pt_end: hi,
-                        });
-                        nodes[ni as usize].children[oct as usize] = child_idx;
-                        next.push(child_idx);
-                        lo = hi;
-                    }
-                }
-                debug_assert_eq!(lo, end, "children must partition the parent range");
-            }
-            if next.is_empty() {
-                break;
-            }
-            levels.push(next.clone());
-            frontier = next;
-        }
-
-        let map = nodes.iter().enumerate().map(|(i, nd)| (nd.key, i as u32)).collect();
-        Octree { domain, nodes, perm, levels, map }
+        // Level-by-level structure derivation from the sorted code array
+        // (shared with the distributed builds and the incremental update).
+        let (nodes, levels) =
+            crate::linearize::structure_from_sorted_codes(&sorted_codes, max_pts_per_leaf, max_level);
+        Self::from_parts(domain, nodes, perm, levels)
     }
 
     /// Assemble a tree from prebuilt parts (used by the distributed driver,
@@ -193,15 +143,125 @@ impl Octree {
     ///
     /// Invariants assumed: `nodes[0]` is the root; `levels[l]` lists the
     /// node indices of level `l`; child point ranges partition their
-    /// parent's range.
+    /// parent's range. Debug builds validate them ([`Octree::check_parts`])
+    /// instead of trusting the caller.
     pub fn from_parts(
         domain: Domain,
         nodes: Vec<Node>,
         perm: Vec<u32>,
         levels: Vec<Vec<u32>>,
     ) -> Octree {
+        #[cfg(debug_assertions)]
+        if let Err(e) = Self::check_parts(&nodes, &perm, &levels) {
+            panic!("Octree::from_parts: invariant violated: {e}");
+        }
         let map = nodes.iter().enumerate().map(|(i, nd)| (nd.key, i as u32)).collect();
         Octree { domain, nodes, perm, levels, map }
+    }
+
+    /// Validate the structural invariants [`Octree::from_parts`] documents:
+    /// a root node covering the whole permutation, level arrays consistent
+    /// with node key levels and covering every node exactly once,
+    /// parent/child links mutual and key-consistent, child point ranges
+    /// partitioning their parent's range in octant order, and `perm` an
+    /// actual permutation.
+    pub fn check_parts(nodes: &[Node], perm: &[u32], levels: &[Vec<u32>]) -> Result<(), String> {
+        if nodes.is_empty() {
+            return Err("no nodes (the root must exist)".into());
+        }
+        let root = &nodes[0];
+        if root.key != MortonKey::ROOT || root.parent != NO_NODE {
+            return Err(format!("nodes[0] is not a parentless root: {root:?}"));
+        }
+        if (root.pt_start, root.pt_end) != (0, perm.len() as u32) {
+            return Err(format!(
+                "root range {}..{} does not cover the {} permuted points",
+                root.pt_start,
+                root.pt_end,
+                perm.len()
+            ));
+        }
+        if levels.is_empty() || levels[0] != [0] {
+            return Err("levels[0] must be exactly [root]".into());
+        }
+        let mut seen_in_levels = vec![false; nodes.len()];
+        for (l, idxs) in levels.iter().enumerate() {
+            for &i in idxs {
+                let nd = nodes.get(i as usize).ok_or_else(|| {
+                    format!("levels[{l}] references node {i} out of bounds")
+                })?;
+                if nd.key.level as usize != l {
+                    return Err(format!(
+                        "node {i} (key level {}) listed in levels[{l}]",
+                        nd.key.level
+                    ));
+                }
+                if std::mem::replace(&mut seen_in_levels[i as usize], true) {
+                    return Err(format!("node {i} appears twice in the level arrays"));
+                }
+            }
+        }
+        if let Some(i) = seen_in_levels.iter().position(|&b| !b) {
+            return Err(format!("node {i} missing from the level arrays"));
+        }
+        for (i, nd) in nodes.iter().enumerate() {
+            if nd.pt_start > nd.pt_end || nd.pt_end as usize > perm.len() {
+                return Err(format!("node {i} has invalid point range"));
+            }
+            let mut cursor = nd.pt_start;
+            let mut any_child = false;
+            for (oct, &c) in nd.children.iter().enumerate() {
+                if c == NO_NODE {
+                    continue;
+                }
+                any_child = true;
+                let ch = nodes.get(c as usize).ok_or_else(|| {
+                    format!("node {i} child {oct} references node {c} out of bounds")
+                })?;
+                if ch.key != nd.key.child(oct as u8) {
+                    return Err(format!(
+                        "node {i} child slot {oct} holds key {:?}, expected {:?}",
+                        ch.key,
+                        nd.key.child(oct as u8)
+                    ));
+                }
+                if ch.parent != i as u32 {
+                    return Err(format!("child {c} does not point back to parent {i}"));
+                }
+                if ch.pt_start != cursor {
+                    return Err(format!(
+                        "node {i} children do not tile the parent range: child {c} starts at {} but cursor is {cursor}",
+                        ch.pt_start
+                    ));
+                }
+                cursor = ch.pt_end;
+            }
+            if any_child && cursor != nd.pt_end {
+                return Err(format!(
+                    "node {i} children cover ..{cursor}, parent range ends at {}",
+                    nd.pt_end
+                ));
+            }
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            match seen.get_mut(p as usize) {
+                Some(slot) if !*slot => *slot = true,
+                _ => return Err(format!("perm is not a permutation (index {p})")),
+            }
+        }
+        Ok(())
+    }
+
+    /// True when two trees have identical structure *and* identical local
+    /// point assignment: same domain, node array (keys, links, point
+    /// ranges), level arrays, and permutation. This is the bitwise gate
+    /// between the sample-sort and paper construction paths.
+    pub fn structure_eq(&self, other: &Octree) -> bool {
+        self.domain == other.domain
+            && self.nodes == other.nodes
+            && self.levels == other.levels
+            && self.perm == other.perm
     }
 
     /// Number of boxes.
@@ -382,6 +442,61 @@ mod tests {
             // The capacity cannot be honored here; all points share a leaf.
             assert_eq!(t.nodes[i as usize].num_points(), 100);
         }
+    }
+
+    #[test]
+    fn check_parts_accepts_built_trees_and_catches_corruption() {
+        let pts = cloud(900);
+        let t = Octree::build(&pts, 25, MAX_LEVEL);
+        assert_eq!(Octree::check_parts(&t.nodes, &t.perm, &t.levels), Ok(()));
+
+        // Child range no longer tiling the parent.
+        let mut bad = t.nodes.clone();
+        let victim = bad
+            .iter()
+            .position(|nd| !nd.is_leaf())
+            .and_then(|i| bad[i].children.iter().find(|&&c| c != NO_NODE).copied())
+            .unwrap() as usize;
+        bad[victim].pt_start += 1;
+        assert!(Octree::check_parts(&bad, &t.perm, &t.levels).is_err());
+
+        // Wrong key in a child slot.
+        let mut bad = t.nodes.clone();
+        bad[victim].key = bad[victim].key.parent().unwrap();
+        assert!(Octree::check_parts(&bad, &t.perm, &t.levels).is_err());
+
+        // Broken back-link.
+        let mut bad = t.nodes.clone();
+        bad[victim].parent = NO_NODE;
+        assert!(Octree::check_parts(&bad, &t.perm, &t.levels).is_err());
+
+        // Level array listing a node at the wrong level.
+        let mut bad_levels = t.levels.clone();
+        let moved = bad_levels[1].pop().unwrap();
+        bad_levels[0].push(moved);
+        assert!(Octree::check_parts(&t.nodes, &t.perm, &bad_levels).is_err());
+
+        // A node missing from the level arrays.
+        let mut bad_levels = t.levels.clone();
+        bad_levels.last_mut().unwrap().pop();
+        assert!(Octree::check_parts(&t.nodes, &t.perm, &bad_levels).is_err());
+
+        // perm with a duplicated index.
+        let mut bad_perm = t.perm.clone();
+        bad_perm[0] = bad_perm[1];
+        assert!(Octree::check_parts(&t.nodes, &bad_perm, &t.levels).is_err());
+    }
+
+    #[test]
+    fn structure_eq_flags_any_difference() {
+        let pts = cloud(600);
+        let a = Octree::build(&pts, 30, MAX_LEVEL);
+        let b = Octree::build(&pts, 30, MAX_LEVEL);
+        assert!(a.structure_eq(&b));
+        let mut perm2 = a.perm.clone();
+        perm2.swap(0, 1);
+        let c = Octree::from_parts(a.domain, a.nodes.clone(), perm2, a.levels.clone());
+        assert!(!a.structure_eq(&c), "a permuted point order must not compare equal");
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub fn split_by_weight(weights: &[f64], num_parts: usize) -> Vec<std::ops::Range
     assert!(num_parts >= 1);
     let total: f64 = weights.iter().sum();
     let n = weights.len();
+    if !(total > 0.0) {
+        // All-zero (or otherwise degenerate) total: every greedy target
+        // collapses to 0 and the first part would swallow nearly all
+        // items. Fall back to an even count split, which is the balanced
+        // answer when weights carry no information.
+        return (0..num_parts).map(|p| n * p / num_parts..n * (p + 1) / num_parts).collect();
+    }
     let mut cuts = Vec::with_capacity(num_parts);
     let mut start = 0usize;
     let mut acc = 0.0;
@@ -191,5 +198,62 @@ mod tests {
         assert_eq!(cuts.len(), 5);
         let nonempty = cuts.iter().filter(|c| !c.is_empty()).count();
         assert_eq!(nonempty, 3);
+    }
+
+    /// Ranges must tile `0..n` exactly, in order.
+    fn assert_covers(cuts: &[std::ops::Range<usize>], n: usize) {
+        let mut expect = 0;
+        for c in cuts {
+            assert_eq!(c.start, expect, "ranges must be contiguous");
+            assert!(c.end >= c.start);
+            expect = c.end;
+        }
+        assert_eq!(expect, n, "ranges must cover all items");
+    }
+
+    #[test]
+    fn all_zero_weights_split_evenly() {
+        // Regression: the greedy targets all collapse to 0 on a zero
+        // total, which used to hand part 0 nearly every item.
+        for (n, parts) in [(10, 4), (7, 3), (3, 5), (0, 2), (16, 1)] {
+            let w = vec![0.0; n];
+            let cuts = split_by_weight(&w, parts);
+            assert_eq!(cuts.len(), parts);
+            assert_covers(&cuts, n);
+            let max = cuts.iter().map(|c| c.len()).max().unwrap();
+            let min_expected = n / parts;
+            assert!(
+                max <= min_expected + 1,
+                "zero weights must split evenly: {n} items over {parts} parts gave a group of {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_heavy_item_keeps_ranges_valid() {
+        let mut w = vec![0.0; 9];
+        w[4] = 100.0;
+        for parts in [1, 2, 3, 9, 12] {
+            let cuts = split_by_weight(&w, parts);
+            assert_eq!(cuts.len(), parts);
+            assert_covers(&cuts, w.len());
+            // Exactly one part holds the heavy item.
+            let holders = cuts.iter().filter(|c| c.contains(&4)).count();
+            assert_eq!(holders, 1);
+        }
+        // Heavy item first/last (boundary positions).
+        for pos in [0, 8] {
+            let mut w = vec![0.0; 9];
+            w[pos] = 5.0;
+            let cuts = split_by_weight(&w, 4);
+            assert_covers(&cuts, 9);
+        }
+    }
+
+    #[test]
+    fn zero_weights_with_more_parts_than_items() {
+        let cuts = split_by_weight(&[0.0, 0.0], 6);
+        assert_eq!(cuts.len(), 6);
+        assert_covers(&cuts, 2);
     }
 }

@@ -63,7 +63,7 @@ pub use kifmm_tree as tree;
 pub use kifmm_core::{
     direct_eval, geometry_hash, rel_l2_error, BuildError, EvalReport, Evaluator, Fmm,
     FmmBuilder, FmmOptions, M2lChoice, M2lMode, Phase, PhaseStats, Plan, PlanCache, PlanKey,
-    Session, PHASES, PHASE_NAMES,
+    Session, TreeBuild, UpdateError, PHASES, PHASE_NAMES,
 };
 pub use kifmm_kernels::{Kernel, Laplace, ModifiedLaplace, Point3, Stokes};
 pub use kifmm_mpi::PeerTraffic;

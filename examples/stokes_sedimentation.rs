@@ -19,7 +19,8 @@
 //! ```
 
 use kifmm::solver::{net_force, rigid_body_velocity, SingleLayerOperator, SurfaceQuadrature};
-use kifmm::{FmmOptions, GmresOptions, PlanCache, Stokes};
+use kifmm::{FmmOptions, GmresOptions, Plan, PlanCache, Stokes};
+use std::sync::Arc;
 
 const MU: f64 = 1.0;
 const RADIUS: f64 = 0.3;
@@ -122,5 +123,122 @@ fn main() {
     );
     assert_eq!(cache.misses(), 2, "only two distinct geometries were planned");
     assert!(cache.hits() >= 5, "every time step must be a warm hit");
+
+    drafting_trio();
     println!("\nOK");
+}
+
+/// Three collinear spheres in the **lab frame**: non-rigid motion, served
+/// by incremental plan updates.
+///
+/// The body-frame trick above works because the spheres fall rigidly —
+/// every step presents the identical geometry. When bodies move *relative
+/// to each other* the cache can never hit, and before PR 9 every step
+/// paid full FMM setup. [`PlanCache::get_or_update`] patches the previous
+/// step's plan instead ([`Plan::update_points`]): the nodes are re-sorted
+/// with the old permutation as a near-sorted hint and the operator tables
+/// are shared, so only the changed tree boxes are paid for.
+///
+/// Physics: the middle sphere of a horizontal row sits in the downwash of
+/// both neighbors and settles faster than the edge spheres (drafting), so
+/// the row bows — genuinely non-rigid motion. Each step solves the 2×2
+/// resistance system for (edge, middle) speeds from two unit-velocity
+/// GMRES solves.
+fn drafting_trio() {
+    println!("\nthree collinear spheres (lab frame, incremental plan updates)");
+    let cache = PlanCache::unbounded();
+    let opts = FmmOptions { order: 6, max_pts_per_leaf: 50, ..Default::default() };
+    let sep = 3.0 * RADIUS;
+    // The wide horizontal row gives the root cube vertical headroom: the
+    // spheres can fall several steps before leaving the first step's
+    // domain.
+    let mut centers = [[-sep, 0.0, 0.0], [0.0, 0.0, 0.0], [sep, 0.0, 0.0]];
+    let g = F_GRAVITY[2].abs();
+    let dt = 0.4;
+    let steps = 4;
+
+    // Net z-force on one sphere's contiguous node block.
+    let sphere_force_z = |quad: &SurfaceQuadrature, x: &[f64], s: usize| -> f64 {
+        let mut f = 0.0;
+        for j in s * NODES_PER_SPHERE..(s + 1) * NODES_PER_SPHERE {
+            f += quad.weights[j] * x[3 * j + 2];
+        }
+        f
+    };
+
+    let mut plan: Option<Arc<Plan<Stokes>>> = None;
+    println!("  t      z_edge   z_mid    U_edge   U_mid");
+    for step in 0..steps {
+        let quads: Vec<SurfaceQuadrature> = centers
+            .iter()
+            .map(|&c| SurfaceQuadrature::sphere(c, RADIUS, NODES_PER_SPHERE))
+            .collect();
+        let quad = SurfaceQuadrature::union(&quads);
+        let p = match &plan {
+            None => cache.get_or_plan(&Stokes::new(MU), &quad.points, opts).unwrap(),
+            Some(prev) => cache.get_or_update(prev, &quad.points).unwrap(),
+        };
+        let op = SingleLayerOperator::with_plan(quad.clone(), p.clone());
+        plan = Some(p);
+
+        // One resistance column: the flagged spheres translate with unit
+        // velocity -z, the rest are held. Returns the upward drag
+        // coefficients measured on an edge sphere and the middle sphere.
+        let column = |movers: [bool; 3]| -> [f64; 2] {
+            let mut bc = Vec::with_capacity(quad.len() * 3);
+            for (si, q) in quads.iter().enumerate() {
+                let u = if movers[si] { [0.0, 0.0, -1.0] } else { [0.0; 3] };
+                bc.extend(rigid_body_velocity(q, [0.0; 3], u, [0.0; 3]));
+            }
+            let res = op.solve(&bc, GmresOptions { tol: 1e-4, max_iter: 600, restart: 80 });
+            assert!(res.converged, "GMRES stalled: residual {}", res.residual);
+            [-sphere_force_z(&quad, &res.x, 0), -sphere_force_z(&quad, &res.x, 1)]
+        };
+        let a = column([true, false, true]); // edges move, middle held
+        let b = column([false, true, false]); // middle moves, edges held
+        // Force balance per sphere: a_i·U_e + b_i·U_m = |F_gravity|.
+        let det = a[0] * b[1] - b[0] * a[1];
+        let u_edge = (g * b[1] - g * b[0]) / det;
+        let u_mid = (g * a[0] - g * a[1]) / det;
+        println!(
+            "  {:>4.1}  {:>7.3}  {:>7.3}  {:>7.4}  {:>7.4}",
+            step as f64 * dt,
+            centers[0][2],
+            centers[1][2],
+            u_edge,
+            u_mid
+        );
+        assert!(u_mid > u_edge, "middle sphere must draft faster ({u_mid} vs {u_edge})");
+        for (si, c) in centers.iter_mut().enumerate() {
+            c[2] -= if si == 1 { u_mid } else { u_edge } * dt;
+        }
+    }
+    println!(
+        "\nplan cache: {} miss / {} incremental updates (no full re-plan after step 0)",
+        cache.misses(),
+        cache.updates()
+    );
+    assert_eq!(cache.misses(), 1, "only the first step pays a full plan build");
+    assert!(
+        cache.updates() >= steps as u64 - 1,
+        "every later step must be served by an incremental update"
+    );
+
+    // Eventually the spheres sink out of the original root cube; the
+    // patch then fails with a typed DomainOverflow and get_or_update
+    // falls back to a full re-rooted rebuild.
+    let base = plan.expect("loop ran");
+    for c in &mut centers {
+        c[2] -= 10.0;
+    }
+    let quads: Vec<SurfaceQuadrature> = centers
+        .iter()
+        .map(|&c| SurfaceQuadrature::sphere(c, RADIUS, NODES_PER_SPHERE))
+        .collect();
+    let far = SurfaceQuadrature::union(&quads);
+    assert!(base.update_points(&far.points).is_err(), "drift out of the cube is typed");
+    let rebuilt = cache.get_or_update(&base, &far.points).unwrap();
+    assert_eq!(cache.misses(), 2, "out-of-domain drift falls back to a full rebuild");
+    assert!((rebuilt.tree.domain.center[2] - centers[0][2]).abs() < 1.0);
+    println!("out-of-domain drift: typed DomainOverflow, automatic re-rooted rebuild");
 }

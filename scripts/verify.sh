@@ -104,4 +104,17 @@ echo "m2l-ablation gate: OK"
 #    in-process via set_force_scalar).
 cargo run -q --release --offline -p kifmm-bench --bin simd_check > /dev/null
 echo "simd gate: OK"
+
+# 9. Tree-build gate: the tree-construction bench (small N) must emit a
+#    valid kifmm-tree-build-v1 artifact in which the sample-sort and
+#    paper per-level-Allreduce builds are bitwise identical at every rank
+#    count, and the incremental plan update (1% point motion) costs at
+#    most half of a from-scratch rebuild. (The full-size 1M-point run in
+#    EXPERIMENTS.md lands near 0.18; the small-N CI geometry pays the
+#    same fixed overheads over far less work, so the bound is looser.)
+KIFMM_N=30000 KIFMM_BENCH_DIR="$artifacts" \
+    cargo run -q --release --offline --example tree_build > /dev/null
+"$validate" "$artifacts/BENCH_tree_build.json" \
+    --tree-build --max-update-ratio 0.5
+echo "tree-build gate: OK"
 echo "verify: ALL OK"
