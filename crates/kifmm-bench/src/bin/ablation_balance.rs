@@ -39,7 +39,7 @@ fn run_with_partition<K: Kernel>(
         move |comm| {
             let r = comm.rank();
             let local = &chunks[r];
-            let dens = kifmm::geom::random_densities(local.len(), K::SRC_DIM, r as u64);
+            let dens = kifmm::geom::random_densities(local.len(), kernel.src_dim(), r as u64);
             let pfmm = ParallelFmm::with_cache(comm, kernel.clone(), local, opts, &cache);
             let stats = pfmm.eval(comm, &dens).stats;
             let compute = stats.total_seconds() - stats.seconds[kifmm::Phase::Comm as usize];

@@ -33,7 +33,7 @@ struct Measured {
 
 /// Everything one (kernel, order) case contributes to the artifact.
 struct CaseReport {
-    kernel: &'static str,
+    kernel: String,
     order: usize,
     tree_depth: usize,
     measured: Vec<Measured>,
@@ -50,7 +50,8 @@ fn mode_key(mode: M2lMode) -> &'static str {
 }
 
 fn case<K: Kernel>(kernel: K, points: &[[f64; 3]], order: usize) -> CaseReport {
-    let dens = kifmm::geom::random_densities(points.len(), K::SRC_DIM, 3);
+    let kname = kernel.name().to_string();
+    let dens = kifmm::geom::random_densities(points.len(), kernel.src_dim(), 3);
     let mut measured = Vec::new();
     let mut tree_depth = 0usize;
     for mode in [M2lMode::Fft, M2lMode::Direct, M2lMode::Svd] {
@@ -67,7 +68,7 @@ fn case<K: Kernel>(kernel: K, points: &[[f64; 3]], order: usize) -> CaseReport {
         let flops = stats.flops[Phase::DownV as usize];
         println!(
             "{:>8} p={order} {:>7} M2L: DownV {:>8.3}s {:>9} Mflop {:>9.0} Mflop/s",
-            K::NAME,
+            kname,
             format!("{mode:?}"),
             seconds,
             flops / 1_000_000,
@@ -78,7 +79,7 @@ fn case<K: Kernel>(kernel: K, points: &[[f64; 3]], order: usize) -> CaseReport {
     let (fft, direct) = (&measured[0], &measured[1]);
     println!(
         "{:>8} p={order} summary: dense does {:.1}x the flops; FFT is {:.1}x faster in time",
-        K::NAME,
+        kname,
         direct.flops as f64 / fft.flops as f64,
         direct.seconds / fft.seconds
     );
@@ -94,7 +95,7 @@ fn case<K: Kernel>(kernel: K, points: &[[f64; 3]], order: usize) -> CaseReport {
         println!(
             "{:>8} p={order} auto level {}: {:<6} (fft {:>9} / svd {:>9} / direct {:>9} kflop, \
              rank {}x{}, stored/dense {:.3})",
-            K::NAME,
+            kname,
             c.level,
             format!("{:?}", c.mode),
             c.fft_flops / 1_000,
@@ -106,7 +107,7 @@ fn case<K: Kernel>(kernel: K, points: &[[f64; 3]], order: usize) -> CaseReport {
         );
     }
     println!();
-    CaseReport { kernel: K::NAME, order, tree_depth, measured, auto }
+    CaseReport { kernel: kname, order, tree_depth, measured, auto }
 }
 
 /// Hand-rolled `kifmm-m2l-ablation-v1` document (hermetic: no serde).

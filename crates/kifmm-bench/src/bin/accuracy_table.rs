@@ -16,7 +16,7 @@ use std::time::Instant;
 
 fn sweep<K: Kernel>(kernel: K, points: &[[f64; 3]], orders: &[usize]) {
     let n = points.len();
-    let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 7);
+    let dens = kifmm::geom::random_densities(n, kernel.src_dim(), 7);
     let truth = direct_eval(&kernel, points, &dens);
     for &p in orders {
         let t0 = Instant::now();
@@ -33,7 +33,7 @@ fn sweep<K: Kernel>(kernel: K, points: &[[f64; 3]], orders: &[usize]) {
         let err = rel_l2_error(&u, &truth);
         println!(
             "{:>16} {:>3} {:>10.2e} {:>9.2}s {:>9.2}s {:>12}",
-            K::NAME,
+            kernel.name(),
             p,
             err,
             setup,

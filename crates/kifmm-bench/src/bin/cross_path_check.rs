@@ -13,7 +13,7 @@ use kifmm_testkit::check_matches_serial_opts;
 
 fn check_paths<K: Kernel>(name: &str, kernel: K, pts: Vec<[f64; 3]>, mode: M2lMode) {
     let n = pts.len();
-    let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 9);
+    let dens = kifmm::geom::random_densities(n, kernel.src_dim(), 9);
     let opts =
         FmmOptions { order: 4, max_pts_per_leaf: 20, m2l_mode: mode, ..Default::default() };
 
@@ -24,7 +24,8 @@ fn check_paths<K: Kernel>(name: &str, kernel: K, pts: Vec<[f64; 3]>, mode: M2lMo
     assert_eq!(serial, pool, "{name}: pool path must be bit-identical to serial");
     println!("cross-path {name}: serial == pool (bitwise) OK");
 
-    check_matches_serial_opts(kernel, pts, 4, K::SRC_DIM, 1e-12, opts);
+    let sd = kernel.src_dim();
+    check_matches_serial_opts(kernel, pts, 4, sd, 1e-12, opts);
     println!("cross-path {name}: distributed P=4 within 1e-12 OK");
 }
 

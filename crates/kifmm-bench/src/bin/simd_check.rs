@@ -63,8 +63,9 @@ fn check_microkernels() {
 }
 
 fn check_fmm<K: Kernel>(kernel: K, n: usize, seed: u64) {
+    let name = kernel.name().to_string();
     let pts = kifmm::geom::uniform_cube(n, seed);
-    let dens = kifmm::geom::random_densities(n, K::SRC_DIM, seed + 1);
+    let dens = kifmm::geom::random_densities(n, kernel.src_dim(), seed + 1);
     let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
 
     simd::set_force_scalar(false);
@@ -73,8 +74,8 @@ fn check_fmm<K: Kernel>(kernel: K, n: usize, seed: u64) {
     let scalar = Fmm::new(kernel, &pts, opts).eval(&dens).potentials;
     simd::set_force_scalar(false);
 
-    assert_eq!(vector, scalar, "{}: FMM potentials diverge between SIMD and scalar", K::NAME);
-    println!("simd-check {}: full FMM eval bit-identical OK", K::NAME);
+    assert_eq!(vector, scalar, "{name}: FMM potentials diverge between SIMD and scalar");
+    println!("simd-check {name}: full FMM eval bit-identical OK");
 }
 
 fn main() {

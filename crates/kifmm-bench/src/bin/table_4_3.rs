@@ -17,9 +17,10 @@ use kifmm_bench::{env_usize, run_distributed, summarize, CommModel};
 fn run_case<K: Kernel>(label: &str, kernel: K, n: usize, p: usize, iters: usize) {
     let opts = FmmOptions { order: 6, max_pts_per_leaf: 120, ..Default::default() };
     let points = kifmm::geom::sphere_grid(n, 8);
+    let sd = kernel.src_dim();
     let metrics = run_distributed(kernel, &points, p, opts, iters);
     let row = summarize(&metrics, &CommModel::default());
-    let unknowns = n * K::SRC_DIM;
+    let unknowns = n * sd;
     println!(
         "{:>10} {:>9.3}M {:>9.3} {:>6.2} {:>8.4} {:>8.3} {:>9.3} {:>8.3} {:>8.3} {:>9.3}",
         label,

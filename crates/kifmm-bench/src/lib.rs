@@ -101,7 +101,7 @@ pub fn run_distributed<K: Kernel>(
     kifmm::mpi::run(ranks, move |comm| {
         let r = comm.rank();
         let local = &chunks[r];
-        let dens = kifmm::geom::random_densities(local.len(), K::SRC_DIM, r as u64 + 1);
+        let dens = kifmm::geom::random_densities(local.len(), kernel.src_dim(), r as u64 + 1);
         let pfmm = ParallelFmm::with_cache(comm, kernel.clone(), local, opts, &cache);
         let after_setup = comm.stats();
         let mut phases = PhaseStats::new();

@@ -17,15 +17,49 @@ pub fn direct_eval_src_trg<K: Kernel>(
     densities: &[f64],
     targets: &[Point3],
 ) -> Vec<f64> {
-    assert_eq!(densities.len(), sources.len() * K::SRC_DIM);
-    let mut out = vec![0.0; targets.len() * K::TRG_DIM];
+    let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
+    assert_eq!(densities.len(), sources.len() * sd);
+    let mut out = vec![0.0; targets.len() * td];
     // Chunk targets so tasks have useful grain without per-target overhead.
     let chunk = 64;
-    kifmm_runtime::par_chunks_mut(&mut out, chunk * K::TRG_DIM, |i, o| {
-        let t = &targets[i * chunk..(i * chunk + o.len() / K::TRG_DIM)];
+    kifmm_runtime::par_chunks_mut(&mut out, chunk * td, |i, o| {
+        let t = &targets[i * chunk..(i * chunk + o.len() / td)];
         kernel.p2p(t, sources, densities, o);
     });
     out
+}
+
+/// Exact potentials *and* gradients: `(u_i, ∇u_i)` with the self term
+/// excluded — the reference for the FMM's `PotentialAndGradient` output.
+/// Returns `(potentials, gradients)` with `trg_dim` and `trg_dim·3`
+/// components per target respectively.
+pub fn direct_eval_grad<K: Kernel>(
+    kernel: &K,
+    points: &[Point3],
+    densities: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    direct_eval_grad_src_trg(kernel, points, densities, points)
+}
+
+/// Direct gradient summation with distinct source and target sets.
+pub fn direct_eval_grad_src_trg<K: Kernel>(
+    kernel: &K,
+    sources: &[Point3],
+    densities: &[f64],
+    targets: &[Point3],
+) -> (Vec<f64>, Vec<f64>) {
+    let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
+    assert_eq!(densities.len(), sources.len() * sd);
+    let mut pots = vec![0.0; targets.len() * td];
+    let mut grads = vec![0.0; targets.len() * td * 3];
+    // Parallelize over target chunks; both output buffers are carved with
+    // matching strides so each task owns one disjoint target range.
+    let chunk = 64;
+    kifmm_runtime::par_chunks2_mut(&mut pots, chunk * td, &mut grads, chunk * td * 3, |i, p, g| {
+        let t = &targets[i * chunk..(i * chunk + p.len() / td)];
+        kernel.p2p_grad(t, sources, densities, p, g);
+    });
+    (pots, grads)
 }
 
 /// Relative ℓ² error between an approximation and a reference.
@@ -77,6 +111,28 @@ mod tests {
         assert_eq!(rel_l2_error(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
         assert!((rel_l2_error(&[1.1, 0.0], &[1.0, 0.0]) - 0.1).abs() < 1e-12);
         assert_eq!(rel_l2_error(&[0.5], &[0.0]), 0.5);
+    }
+
+    #[test]
+    fn grad_matches_sequential_fused_loop() {
+        let pts: Vec<[f64; 3]> = (0..97)
+            .map(|i| {
+                let t = i as f64;
+                [(t * 0.9).sin(), (t * 0.4).cos(), (t * 0.2).sin()]
+            })
+            .collect();
+        let dens: Vec<f64> = (0..97 * 3).map(|i| (i as f64 * 0.05).sin()).collect();
+        let k = Stokes::default();
+        let (pu, pg) = direct_eval_grad(&k, &pts, &dens);
+        let mut su = vec![0.0; 97 * 3];
+        let mut sg = vec![0.0; 97 * 9];
+        k.p2p_grad(&pts, &pts, &dens, &mut su, &mut sg);
+        for (a, b) in pu.iter().zip(&su) {
+            assert!((a - b).abs() < 1e-14);
+        }
+        for (a, b) in pg.iter().zip(&sg) {
+            assert!((a - b).abs() < 1e-13);
+        }
     }
 
     #[test]

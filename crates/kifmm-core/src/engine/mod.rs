@@ -173,7 +173,7 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
     /// check row length.
     pub fn dims(&self) -> (usize, usize, usize) {
         let ns = num_surface_points(self.order);
-        (ns, ns * K::SRC_DIM, ns * K::TRG_DIM)
+        (ns, ns * self.kernel.src_dim(), ns * self.kernel.trg_dim())
     }
 
     /// A zeroed single-RHS [`ExpansionStore`] sized for this tree.
@@ -237,6 +237,27 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             let (pts, _) = src.sources(a, 0);
             let dens: Vec<&[f64]> = (0..outs.len()).map(|q| src.sources(a, q).1).collect();
             self.kernel.p2p_many(targets, pts, &dens, outs);
+        }
+    }
+
+    /// Fused potential+gradient analogue of [`PassEngine::p2p_box`]:
+    /// single-RHS calls take [`Kernel::p2p_grad`], batches take
+    /// [`Kernel::p2p_grad_many`] (same bitwise-per-RHS contract).
+    fn p2p_grad_box<S: SourceProvider>(
+        &self,
+        src: &S,
+        a: u32,
+        targets: &[Point3],
+        outs: &mut [&mut [f64]],
+        gouts: &mut [&mut [f64]],
+    ) {
+        if outs.len() == 1 {
+            let (pts, d) = src.sources(a, 0);
+            self.kernel.p2p_grad(targets, pts, d, outs[0], gouts[0]);
+        } else {
+            let (pts, _) = src.sources(a, 0);
+            let dens: Vec<&[f64]> = (0..outs.len()).map(|q| src.sources(a, q).1).collect();
+            self.kernel.p2p_grad_many(targets, pts, &dens, outs, gouts);
         }
     }
 
@@ -445,8 +466,9 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         let nrhs = store.nrhs();
         let (esb, csb) = (es * nrhs, cs * nrhs);
         let g = fft.grid_len();
-        let sg = K::SRC_DIM * g;
-        let tg = K::TRG_DIM * g;
+        let (sd, td) = (self.kernel.src_dim(), self.kernel.trg_dim());
+        let sg = sd * g;
+        let tg = td * g;
         let (ls, le) = self.level_range(level);
         let mask = &self.active.mask;
         ws.needed.clear();
@@ -519,7 +541,7 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         }
         // Exact accounting, matching the per-call counters of
         // `transform_source`/`accumulate`/`extract_check`, `nrhs`-fold.
-        let mut flops = nslabs as u64 * fft.fft_flops(K::SRC_DIM);
+        let mut flops = nslabs as u64 * fft.fft_flops(sd);
         for &ni in &self.active.levels[level as usize] {
             if !pred(ni as usize) {
                 continue;
@@ -527,8 +549,7 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             let nv = self.lists.v[ni as usize].len() as u64;
             if nv > 0 {
                 flops += nrhs as u64
-                    * (nv * (K::TRG_DIM * K::SRC_DIM * fft.slab_len() * 8) as u64
-                        + fft.fft_flops(K::TRG_DIM));
+                    * (nv * (td * sd * fft.slab_len() * 8) as u64 + fft.fft_flops(td));
             }
         }
         flops
@@ -898,23 +919,73 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
         pots: &mut [&mut [f64]],
         f: impl Fn(u32, &[Point3], &mut [&mut [f64]]) + Sync,
     ) {
-        let nrhs = pots.len();
         // Leaves of different levels interleave in BFS id order, so sort
         // by point range before carving the potential vectors into
         // disjoint per-leaf slices.
         let mut order: Vec<u32> = self.active.leaves.to_vec();
         order.sort_unstable_by_key(|&ni| self.tree.nodes[ni as usize].pt_start);
-        // Reborrow (not take): the caller's vectors stay intact for the
-        // next pass over the same potentials.
-        let mut rests: Vec<&mut [f64]> = pots.iter_mut().map(|p| &mut **p).collect();
+        let carved = self.carve_leaf_slices(pots, self.kernel.trg_dim(), &order);
+        let items: Vec<(u32, &[Point3], Vec<&mut [f64]>)> = order
+            .iter()
+            .zip(carved)
+            .map(|(&ni, outs)| {
+                let node = &self.tree.nodes[ni as usize];
+                (ni, &self.targets[node.pt_start as usize..node.pt_end as usize], outs)
+            })
+            .collect();
+        par_for_each_with(self.dispatch.threads(), items, |_, (ni, trg, mut outs)| {
+            f(ni, trg, &mut outs)
+        });
+    }
+
+    /// As [`PassEngine::for_each_active_leaf`], but carving a second set
+    /// of per-RHS gradient vectors (stride `trg_dim·3` per point) in
+    /// lockstep with the potentials, for the fused gradient passes.
+    fn for_each_active_leaf_grad(
+        &self,
+        pots: &mut [&mut [f64]],
+        grads: &mut [&mut [f64]],
+        f: impl Fn(u32, &[Point3], &mut [&mut [f64]], &mut [&mut [f64]]) + Sync,
+    ) {
+        let td = self.kernel.trg_dim();
+        let mut order: Vec<u32> = self.active.leaves.to_vec();
+        order.sort_unstable_by_key(|&ni| self.tree.nodes[ni as usize].pt_start);
+        let pcarved = self.carve_leaf_slices(pots, td, &order);
+        let gcarved = self.carve_leaf_slices(grads, td * 3, &order);
+        let items: Vec<(u32, &[Point3], Vec<&mut [f64]>, Vec<&mut [f64]>)> = order
+            .iter()
+            .zip(pcarved.into_iter().zip(gcarved))
+            .map(|(&ni, (outs, gouts))| {
+                let node = &self.tree.nodes[ni as usize];
+                (ni, &self.targets[node.pt_start as usize..node.pt_end as usize], outs, gouts)
+            })
+            .collect();
+        par_for_each_with(
+            self.dispatch.threads(),
+            items,
+            |_, (ni, trg, mut outs, mut gouts)| f(ni, trg, &mut outs, &mut gouts),
+        );
+    }
+
+    /// Carve each of the `k` per-RHS vectors in `bufs` into disjoint
+    /// per-leaf `&mut` slices following `order` (leaves sorted by
+    /// `pt_start`), `dim` components per point. Reborrows (does not take):
+    /// the caller's vectors stay intact for the next pass.
+    fn carve_leaf_slices<'b>(
+        &self,
+        bufs: &'b mut [&mut [f64]],
+        dim: usize,
+        order: &[u32],
+    ) -> Vec<Vec<&'b mut [f64]>> {
+        let nrhs = bufs.len();
+        let mut rests: Vec<&mut [f64]> = bufs.iter_mut().map(|p| &mut **p).collect();
         let mut consumed = 0usize;
-        let mut items: Vec<(u32, &[Point3], Vec<&mut [f64]>)> =
-            Vec::with_capacity(order.len());
-        for &ni in &order {
+        let mut carved: Vec<Vec<&'b mut [f64]>> = Vec::with_capacity(order.len());
+        for &ni in order {
             let node = &self.tree.nodes[ni as usize];
             let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-            let skip = s * K::TRG_DIM - consumed;
-            let len = (e - s) * K::TRG_DIM;
+            let skip = s * dim - consumed;
+            let len = (e - s) * dim;
             let mut outs = Vec::with_capacity(nrhs);
             for rest in rests.iter_mut() {
                 let (head, tail) = std::mem::take(rest).split_at_mut(skip + len);
@@ -922,11 +993,9 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
                 *rest = tail;
             }
             consumed += skip + len;
-            items.push((ni, &self.targets[s..e], outs));
+            carved.push(outs);
         }
-        par_for_each_with(self.dispatch.threads(), items, |_, (ni, trg, mut outs)| {
-            f(ni, trg, &mut outs)
-        });
+        carved
     }
 
     /// Dense U-list pass onto the local potentials (`k` vectors, one per
@@ -1008,6 +1077,122 @@ impl<'a, K: Kernel> PassEngine<'a, K> {
             } else {
                 let dens: Vec<&[f64]> = (0..nrhs).map(|q| store.down_rhs(ni, q)).collect();
                 self.kernel.p2p_many(trg, &de, &dens, outs);
+            }
+        });
+        self.active
+            .leaves
+            .iter()
+            .filter(|&&ni| self.tree.nodes[ni as usize].key.level >= FIRST_FMM_LEVEL)
+            .map(|&ni| {
+                (self.tree.nodes[ni as usize].num_points() * ns * nrhs) as u64 * kf
+            })
+            .sum()
+    }
+
+    /// Fused potential+gradient U-list pass
+    /// ([`crate::evaluator::OutputSpec::PotentialAndGradient`]): same
+    /// source traversal as [`PassEngine::u_pass`], dispatching the fused
+    /// [`Kernel::p2p_grad`] / [`Kernel::p2p_grad_many`]. The near field is
+    /// the only place real sources are differentiated; everything else
+    /// reads `∇G` off equivalent densities. Returns the flop count.
+    pub fn u_pass_grad<S: SourceProvider>(
+        &self,
+        src: &S,
+        pots: &mut [&mut [f64]],
+        grads: &mut [&mut [f64]],
+    ) -> u64 {
+        let nrhs = src.nrhs();
+        assert_eq!(pots.len(), nrhs, "one potential vector per RHS");
+        assert_eq!(grads.len(), nrhs, "one gradient vector per RHS");
+        let kf = self.kernel.flops_per_grad_eval();
+        self.for_each_active_leaf_grad(pots, grads, |ni, trg, outs, gouts| {
+            for &a in &self.lists.u[ni as usize] {
+                self.p2p_grad_box(src, a, trg, outs, gouts);
+            }
+        });
+        let mut flops = 0u64;
+        for &ni in &self.active.leaves {
+            let t = self.tree.nodes[ni as usize].num_points() as u64;
+            for &a in &self.lists.u[ni as usize] {
+                flops += t * (src.sources(a, 0).0.len() * nrhs) as u64 * kf;
+            }
+        }
+        flops
+    }
+
+    /// Fused potential+gradient W-list pass: `∇G` evaluated from the W
+    /// sources' **upward equivalent densities** — the same densities the
+    /// potential read, no new operators. Returns the flop count.
+    pub fn w_pass_grad(
+        &self,
+        store: &ExpansionStore,
+        pots: &mut [&mut [f64]],
+        grads: &mut [&mut [f64]],
+    ) -> u64 {
+        let (ns, _, _) = self.dims();
+        let nrhs = store.nrhs();
+        assert_eq!(pots.len(), nrhs, "one potential vector per RHS");
+        assert_eq!(grads.len(), nrhs, "one gradient vector per RHS");
+        let kf = self.kernel.flops_per_grad_eval();
+        self.for_each_active_leaf_grad(pots, grads, |ni, trg, outs, gouts| {
+            for &a in &self.lists.w[ni as usize] {
+                let akey = self.tree.nodes[a as usize].key;
+                let ac = self.tree.domain.box_center(&akey);
+                let ah = self.tree.domain.box_half(akey.level);
+                let ue = surface_points(self.order, RAD_INNER, ac, ah);
+                if nrhs == 1 {
+                    self.kernel.p2p_grad(trg, &ue, store.up(a), outs[0], gouts[0]);
+                } else {
+                    let dens: Vec<&[f64]> = (0..nrhs).map(|q| store.up_rhs(a, q)).collect();
+                    self.kernel.p2p_grad_many(trg, &ue, &dens, outs, gouts);
+                }
+            }
+        });
+        self.active
+            .leaves
+            .iter()
+            .map(|&ni| {
+                (self.tree.nodes[ni as usize].num_points()
+                    * self.lists.w[ni as usize].len()
+                    * ns
+                    * nrhs) as u64
+                    * kf
+            })
+            .sum()
+    }
+
+    /// Fused potential+gradient L2T pass: `∇G` evaluated from the leaf's
+    /// **downward equivalent densities** at the `RAD_OUTER` surface —
+    /// the entire V+X far field arrives differentiated through the local
+    /// expansion, with no gradient-specific translation operators.
+    /// Returns the flop count.
+    pub fn l2t_grad(
+        &self,
+        store: &ExpansionStore,
+        pots: &mut [&mut [f64]],
+        grads: &mut [&mut [f64]],
+    ) -> u64 {
+        if self.tree.depth() < FIRST_FMM_LEVEL {
+            return 0;
+        }
+        let (ns, _, _) = self.dims();
+        let nrhs = store.nrhs();
+        assert_eq!(pots.len(), nrhs, "one potential vector per RHS");
+        assert_eq!(grads.len(), nrhs, "one gradient vector per RHS");
+        let kf = self.kernel.flops_per_grad_eval();
+        self.for_each_active_leaf_grad(pots, grads, |ni, trg, outs, gouts| {
+            let node = &self.tree.nodes[ni as usize];
+            if node.key.level < FIRST_FMM_LEVEL {
+                return;
+            }
+            let c = self.tree.domain.box_center(&node.key);
+            let half = self.tree.domain.box_half(node.key.level);
+            let de = surface_points(self.order, RAD_OUTER, c, half);
+            if nrhs == 1 {
+                self.kernel.p2p_grad(trg, &de, store.down(ni), outs[0], gouts[0]);
+            } else {
+                let dens: Vec<&[f64]> = (0..nrhs).map(|q| store.down_rhs(ni, q)).collect();
+                self.kernel.p2p_grad_many(trg, &de, &dens, outs, gouts);
             }
         });
         self.active

@@ -35,12 +35,36 @@ use crate::stats::PhaseStats;
 use kifmm_kernels::{Kernel, Point3};
 use kifmm_trace::Tracer;
 
+/// What an evaluation produces per target point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum OutputSpec {
+    /// Potentials only: `trg_dim` components per point.
+    #[default]
+    Potential,
+    /// Potentials plus spatial gradients `∂u_t/∂x_d`: the far field comes
+    /// free from the equivalent densities (the L2T/W read-off evaluates
+    /// `∇G` from the same equivalent sources; only the near field runs the
+    /// fused `p2p_grad`), so no new translation operators are built.
+    PotentialAndGradient,
+}
+
+impl OutputSpec {
+    /// Whether gradients are produced.
+    pub fn wants_gradient(self) -> bool {
+        matches!(self, OutputSpec::PotentialAndGradient)
+    }
+}
+
 /// The result of one interaction-calculation run.
 #[derive(Clone, Debug)]
 pub struct EvalReport {
-    /// Potentials: `TRG_DIM` interleaved components per point, in the
+    /// Potentials: `trg_dim` interleaved components per point, in the
     /// caller's original point order.
     pub potentials: Vec<f64>,
+    /// Gradients: `trg_dim·3` interleaved components per point
+    /// (`[t·3 + d] = ∂u_t/∂x_d`), caller's original point order. Empty
+    /// unless the plan was built with [`OutputSpec::PotentialAndGradient`].
+    pub gradients: Vec<f64>,
     /// Per-phase seconds and exact flop counts.
     pub stats: PhaseStats,
     /// The tracer that observed the run (disabled unless one was
@@ -140,6 +164,15 @@ impl<'a, K: Kernel> FmmBuilder<'a, K> {
     /// M2L execution mode (default FFT).
     pub fn m2l(mut self, mode: M2lMode) -> Self {
         self.opts.m2l_mode = mode;
+        self
+    }
+
+    /// What each evaluation produces (default potentials only). With
+    /// [`OutputSpec::PotentialAndGradient`], reports carry
+    /// `trg_dim·3` gradient components per point alongside the
+    /// potentials.
+    pub fn output(mut self, output: OutputSpec) -> Self {
+        self.opts.output = output;
         self
     }
 
@@ -253,11 +286,11 @@ impl<K: Kernel> Evaluator for Fmm<K> {
     }
 
     fn src_dim(&self) -> usize {
-        K::SRC_DIM
+        self.kernel.src_dim()
     }
 
     fn trg_dim(&self) -> usize {
-        K::TRG_DIM
+        self.kernel.trg_dim()
     }
 }
 
@@ -275,10 +308,10 @@ impl<K: Kernel> Evaluator for Session<K> {
     }
 
     fn src_dim(&self) -> usize {
-        K::SRC_DIM
+        self.kernel().src_dim()
     }
 
     fn trg_dim(&self) -> usize {
-        K::TRG_DIM
+        self.kernel().trg_dim()
     }
 }

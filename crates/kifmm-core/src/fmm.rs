@@ -27,7 +27,7 @@
 //! [`Plan`]: crate::plan::Plan
 //! [`PlanCache`]: crate::plan::PlanCache
 
-use crate::evaluator::{EvalReport, FmmBuilder};
+use crate::evaluator::{EvalReport, FmmBuilder, OutputSpec};
 use crate::m2l::M2lMode;
 use crate::plan::{Plan, Session};
 use crate::precompute::PrecomputeCache;
@@ -53,6 +53,10 @@ pub struct FmmOptions {
     /// paper's per-level Allreduce). Both yield bitwise-identical
     /// structure; serial builds ignore this.
     pub tree_build: TreeBuild,
+    /// What each evaluation produces: potentials only (default), or
+    /// potentials plus gradients (far field read off the equivalent
+    /// densities; see [`crate::evaluator::OutputSpec`]).
+    pub output: OutputSpec,
 }
 
 impl Default for FmmOptions {
@@ -64,6 +68,7 @@ impl Default for FmmOptions {
             m2l_mode: M2lMode::Fft,
             pinv_tol: 1e-10,
             tree_build: TreeBuild::default(),
+            output: OutputSpec::Potential,
         }
     }
 }

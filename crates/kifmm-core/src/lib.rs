@@ -40,13 +40,15 @@ pub mod surface;
 pub mod targets;
 pub mod work;
 
-pub use direct::{direct_eval, direct_eval_src_trg, rel_l2_error};
+pub use direct::{
+    direct_eval, direct_eval_grad, direct_eval_grad_src_trg, direct_eval_src_trg, rel_l2_error,
+};
 pub use engine::{ActiveSet, EngineWorkspace, ExpansionStore, LocalSources, PassEngine, SourceProvider};
-pub use evaluator::{EvalReport, Evaluator, FmmBuilder};
+pub use evaluator::{EvalReport, Evaluator, FmmBuilder, OutputSpec};
 pub use fmm::{Fmm, FmmOptions};
 pub use plan::{
-    geometry_hash, resolve_m2l_modes, BuildError, M2lChoice, Plan, PlanCache, PlanKey, Session,
-    UpdateError,
+    geometry_hash, kernel_name_hash, resolve_m2l_modes, BuildError, M2lChoice, Plan, PlanCache,
+    PlanKey, Session, UpdateError,
 };
 pub use kifmm_tree::TreeBuild;
 pub use m2l::{v_list_directions, M2lDirect, M2lFft, M2lMode, M2lSvd, SvdSlot};

@@ -77,6 +77,10 @@ pub struct M2lFft<K: Kernel> {
     /// Hadamard stage only touches the half-spectrum slab `w₂ ≤ m/2`;
     /// [`M2lFft::extract_check`] reconstructs the rest via this table.
     mirror: Vec<(u32, u32)>,
+    /// Kernel block dims, captured at build (dims are runtime values so
+    /// closure kernels flow through the same machinery).
+    src_dim: usize,
+    trg_dim: usize,
     _kernel: std::marker::PhantomData<K>,
 }
 
@@ -122,7 +126,17 @@ impl<K: Kernel> M2lFft<K> {
                 }
             }
         }
-        M2lFft { m, plan, surf_idx, tensors, level_slot, mirror, _kernel: std::marker::PhantomData }
+        M2lFft {
+            m,
+            plan,
+            surf_idx,
+            tensors,
+            level_slot,
+            mirror,
+            src_dim: kernel.src_dim(),
+            trg_dim: kernel.trg_dim(),
+            _kernel: std::marker::PhantomData,
+        }
     }
 
     /// Grid volume `m³`.
@@ -141,15 +155,16 @@ impl<K: Kernel> M2lFft<K> {
     /// (`n_s·SRC_DIM`, point-major) into `SRC_DIM` spectral grids.
     pub fn transform_source(&self, equiv: &[f64], out: &mut [C64]) {
         let g = self.grid_len();
-        debug_assert_eq!(equiv.len(), self.surf_idx.len() * K::SRC_DIM);
-        debug_assert_eq!(out.len(), K::SRC_DIM * g);
+        let sd = self.src_dim;
+        debug_assert_eq!(equiv.len(), self.surf_idx.len() * sd);
+        debug_assert_eq!(out.len(), sd * g);
         out.fill(C64::ZERO);
         for (pt, &vi) in self.surf_idx.iter().enumerate() {
-            for s in 0..K::SRC_DIM {
-                out[s * g + vi] = C64::real(equiv[pt * K::SRC_DIM + s]);
+            for s in 0..sd {
+                out[s * g + vi] = C64::real(equiv[pt * sd + s]);
             }
         }
-        for s in 0..K::SRC_DIM {
+        for s in 0..sd {
             self.plan.forward(&mut out[s * g..(s + 1) * g]);
         }
     }
@@ -167,10 +182,11 @@ impl<K: Kernel> M2lFft<K> {
         let tensor = self.tensors[slot]
             .get(&dir)
             .unwrap_or_else(|| panic!("missing M2L tensor for direction {dir:?}"));
-        for t in 0..K::TRG_DIM {
-            for s in 0..K::SRC_DIM {
+        let (sd, td) = (self.src_dim, self.trg_dim);
+        for t in 0..td {
+            for s in 0..sd {
                 let a = &mut acc[t * g..(t + 1) * g];
-                let tn = &tensor[(t * K::SRC_DIM + s) * g..(t * K::SRC_DIM + s + 1) * g];
+                let tn = &tensor[(t * sd + s) * g..(t * sd + s + 1) * g];
                 let sr = &src[s * g..(s + 1) * g];
                 for row in 0..m * m {
                     let b = row * m;
@@ -178,7 +194,7 @@ impl<K: Kernel> M2lFft<K> {
                 }
             }
         }
-        (K::TRG_DIM * K::SRC_DIM * self.slab_len() * 8) as u64
+        (td * sd * self.slab_len() * 8) as u64
     }
 
     /// Inverse-transform an accumulated spectrum and scatter the surface
@@ -188,13 +204,14 @@ impl<K: Kernel> M2lFft<K> {
     /// reconstructed by Hermitian symmetry first.
     pub fn extract_check(&self, level: u8, acc: &mut [C64], check: &mut [f64]) {
         let g = self.grid_len();
-        debug_assert_eq!(check.len(), self.surf_idx.len() * K::TRG_DIM);
+        let td = self.trg_dim;
+        debug_assert_eq!(check.len(), self.surf_idx.len() * td);
         let (_, scale) = self.level_slot[level as usize];
         // Only the embedded surface cube `[0, p)³` is read back, so the
         // inverse transform is pruned to that corner.
         let p = self.m / 2;
         let inv = 1.0 / g as f64;
-        for t in 0..K::TRG_DIM {
+        for t in 0..td {
             let a = &mut acc[t * g..(t + 1) * g];
             for &(dst, src) in &self.mirror {
                 a[dst as usize] = a[src as usize].conj();
@@ -202,8 +219,8 @@ impl<K: Kernel> M2lFft<K> {
             self.plan.inverse_corner_unnormalized(a, [p, p, p]);
         }
         for (pt, &vi) in self.surf_idx.iter().enumerate() {
-            for t in 0..K::TRG_DIM {
-                check[pt * K::TRG_DIM + t] += scale * (acc[t * g + vi].re * inv);
+            for t in 0..td {
+                check[pt * td + t] += scale * (acc[t * g + vi].re * inv);
             }
         }
     }
@@ -233,7 +250,7 @@ fn build_tensors<K: Kernel>(
     let g = m * m * m;
     let h = 2.0 * RAD_INNER * half / (p - 1) as f64;
     let side = 2.0 * half;
-    let kdim = K::TRG_DIM * K::SRC_DIM;
+    let kdim = kernel.trg_dim() * kernel.src_dim();
     let mut out = HashMap::with_capacity(dirs.len());
     let mut block = vec![0.0; kdim];
     // Map a wrapped grid coordinate to the displacement it represents:
@@ -552,8 +569,8 @@ impl<K: Kernel> M2lSvd<K> {
 fn build_svd_slot<K: Kernel>(kernel: &K, p: usize, dirs: &[[i32; 3]], half: f64) -> SvdSlot {
     let dc = surface_points(p, RAD_INNER, [0.0; 3], half);
     let ns = dc.len();
-    let cs = ns * K::TRG_DIM;
-    let es = ns * K::SRC_DIM;
+    let cs = ns * kernel.trg_dim();
+    let es = ns * kernel.src_dim();
     let side = 2.0 * half;
     let src_surface = |v: [i32; 3]| {
         let c = [side * v[0] as f64, side * v[1] as f64, side * v[2] as f64];
@@ -621,23 +638,24 @@ mod tests {
         let root_half = 1.0;
         let depth = 3u8;
         let level = 3u8;
+        let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
         let ns = crate::surface::num_surface_points(p);
         let equiv: Vec<f64> =
-            (0..ns * K::SRC_DIM).map(|i| ((i * 13 % 17) as f64) / 17.0 - 0.4).collect();
+            (0..ns * sd).map(|i| ((i * 13 % 17) as f64) / 17.0 - 0.4).collect();
 
         // FFT path.
         let fft = M2lFft::build(kernel, p, root_half, depth);
         let g = fft.grid_len();
-        let mut src = vec![C64::ZERO; K::SRC_DIM * g];
+        let mut src = vec![C64::ZERO; sd * g];
         fft.transform_source(&equiv, &mut src);
-        let mut acc = vec![C64::ZERO; K::TRG_DIM * g];
+        let mut acc = vec![C64::ZERO; td * g];
         fft.accumulate(level, dir, &src, &mut acc);
-        let mut check_fft = vec![0.0; ns * K::TRG_DIM];
+        let mut check_fft = vec![0.0; ns * td];
         fft.extract_check(level, &mut acc, &mut check_fft);
 
         // Dense path.
         let direct = M2lDirect::new(kernel, p, root_half, depth);
-        let mut check_dir = vec![0.0; ns * K::TRG_DIM];
+        let mut check_dir = vec![0.0; ns * td];
         direct.apply(level, dir, &equiv, &mut check_dir);
 
         let scale = check_dir.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
@@ -667,6 +685,21 @@ mod tests {
         assert_eq!(fft.tensors.len(), 3, "levels 2, 3, 4");
         for l in 2..=4 {
             assert!((fft.level_slot[l].1 - 1.0).abs() < 1e-15);
+        }
+    }
+
+    /// The Gaussian reports `homogeneity() == None` (no power law relates
+    /// scales), so it must take the per-level branch ModifiedLaplace
+    /// pioneered: one tensor slab per level, all scales exactly 1.
+    #[test]
+    fn gaussian_gets_per_level_tensors() {
+        let k = kifmm_kernels::Gaussian::new(0.8);
+        assert_eq!(k.homogeneity(), None, "Gaussian is inhomogeneous");
+        let fft = M2lFft::build(&k, 3, 1.0, 5);
+        assert_eq!(fft.tensors.len(), 4, "own tensors for levels 2, 3, 4, 5");
+        for l in 2..=5 {
+            assert_eq!(fft.level_slot[l].0, l - 2, "level {l} maps to its own slot");
+            assert!((fft.level_slot[l].1 - 1.0).abs() < 1e-15, "no rescale for level {l}");
         }
     }
 
@@ -715,16 +748,17 @@ mod tests {
     fn svd_matches_direct<K: Kernel>(kernel: &K, p: usize, dirs: &[[i32; 3]]) {
         let root_half = 1.0;
         let depth = 3u8;
+        let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
         let ns = crate::surface::num_surface_points(p);
         let equiv: Vec<f64> =
-            (0..ns * K::SRC_DIM).map(|i| ((i * 13 % 17) as f64) / 17.0 - 0.4).collect();
+            (0..ns * sd).map(|i| ((i * 13 % 17) as f64) / 17.0 - 0.4).collect();
         let svdm = M2lSvd::build(kernel, p, root_half, depth);
         let direct = M2lDirect::new(kernel, p, root_half, depth);
         for &dir in dirs {
             for level in 2..=depth {
-                let mut check_svd = vec![0.0; ns * K::TRG_DIM];
+                let mut check_svd = vec![0.0; ns * td];
                 svdm.apply(level, dir, &equiv, &mut check_svd);
-                let mut check_dir = vec![0.0; ns * K::TRG_DIM];
+                let mut check_dir = vec![0.0; ns * td];
                 direct.apply(level, dir, &equiv, &mut check_dir);
                 let scale = check_dir.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
                 for (a, b) in check_svd.iter().zip(&check_dir) {

@@ -201,11 +201,11 @@ mod tests {
     fn s2m_far_field_error<K: Kernel>(kernel: &K, order: usize) -> f64 {
         let half = 0.5;
         let srcs = points_in_box([0.0; 3], half, 40, 123);
-        let dens: Vec<f64> = (0..40 * K::SRC_DIM).map(|i| ((i * 7) % 11) as f64 / 11.0).collect();
+        let dens: Vec<f64> = (0..40 * kernel.src_dim()).map(|i| ((i * 7) % 11) as f64 / 11.0).collect();
         let ue = surface_points(order, RAD_INNER, [0.0; 3], half);
         let uc = surface_points(order, RAD_OUTER, [0.0; 3], half);
         // Check potential from sources, then invert.
-        let mut check = vec![0.0; uc.len() * K::TRG_DIM];
+        let mut check = vec![0.0; uc.len() * kernel.trg_dim()];
         kernel.p2p(&uc, &srcs, &dens, &mut check);
         let uc2ue = pinv_with_tol(&assemble(kernel, &uc, &ue), 1e-10);
         let equiv = uc2ue.matvec(&check);
@@ -216,9 +216,9 @@ mod tests {
             [2.0, 2.0, 2.0],
             [-2.2, 1.8, -1.9],
         ];
-        let mut truth = vec![0.0; far.len() * K::TRG_DIM];
+        let mut truth = vec![0.0; far.len() * kernel.trg_dim()];
         kernel.p2p(&far, &srcs, &dens, &mut truth);
-        let mut approx = vec![0.0; far.len() * K::TRG_DIM];
+        let mut approx = vec![0.0; far.len() * kernel.trg_dim()];
         kernel.p2p(&far, &ue, &equiv, &mut approx);
         let num: f64 = truth
             .iter()

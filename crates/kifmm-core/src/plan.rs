@@ -235,6 +235,7 @@ pub struct M2lChoice {
 /// the resolved plan lives in the `ablation_m2l` bench, which feeds
 /// `BENCH_m2l_ablation.json`.)
 pub fn resolve_m2l_modes<K: Kernel>(
+    kernel: &K,
     pre: &Precomputed<K>,
     tree: &Octree,
     lists: &InteractionLists,
@@ -248,13 +249,14 @@ pub fn resolve_m2l_modes<K: Kernel>(
         // No M2L ever runs; any concrete mode will do.
         return (vec![M2lMode::Fft], Vec::new());
     }
+    let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
     let ns = num_surface_points(opts.order);
-    let (es, cs) = (ns * K::SRC_DIM, ns * K::TRG_DIM);
+    let (es, cs) = (ns * sd, ns * td);
     let fft = pre.m2l_fft.as_ref().expect("Auto plans build FFT tables");
     let svd = pre.m2l_svd.as_ref().expect("Auto plans build SVD tables");
     let mut modes = vec![M2lMode::Fft; depth as usize + 1];
     let mut report = Vec::with_capacity((depth - FIRST_FMM_LEVEL + 1) as usize);
-    let hadamard = (K::TRG_DIM * K::SRC_DIM * fft.slab_len() * 8) as u64;
+    let hadamard = (td * sd * fft.slab_len() * 8) as u64;
     for level in FIRST_FMM_LEVEL..=depth {
         // Deterministic level statistics: selected targets, V pairs and
         // distinct sources — the same quantities the engine's per-mode
@@ -273,9 +275,8 @@ pub fn resolve_m2l_modes<K: Kernel>(
         needed.sort_unstable();
         needed.dedup();
         let nneeded = needed.len() as u64;
-        let fft_cost = nneeded * fft.fft_flops(K::SRC_DIM)
-            + np * hadamard
-            + nsel * fft.fft_flops(K::TRG_DIM);
+        let fft_cost =
+            nneeded * fft.fft_flops(sd) + np * hadamard + nsel * fft.fft_flops(td);
         let (slot, _) = svd.slot(level);
         let (rt, rs) = (slot.rank_trg() as u64, slot.rank_src() as u64);
         let svd_cost = 2 * rs * es as u64 * nneeded
@@ -310,22 +311,59 @@ pub fn resolve_m2l_modes<K: Kernel>(
     (modes, report)
 }
 
+/// FNV-1a of a kernel's [`Kernel::name`] — folded into [`PlanKey`] so two
+/// kernels behind the same Rust type (type-erased [`kifmm_kernels::BoxedKernel`]s,
+/// or [`kifmm_kernels::CustomKernel`] closures under one caller tag scheme) with
+/// colliding [`Kernel::id_bits`] cannot share a cached plan. `id_bits`
+/// defaults to 0 for parameterless kernels, so the parameter fingerprint
+/// alone does not identify the kernel once the *type* no longer pins it.
+pub fn kernel_name_hash(name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// The identity of a [`Plan`] inside a [`PlanCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    /// [`Kernel::id_bits`] — parameter fingerprint (the kernel *type* is
-    /// pinned by the cache's type parameter).
+    /// [`Kernel::id_bits`] — parameter fingerprint.
     pub kernel_id: u64,
+    /// [`kernel_name_hash`] of [`Kernel::name`] — distinguishes kernels
+    /// the type parameter no longer does (boxed/closure kernels).
+    pub kernel_name: u64,
     /// Surface discretization order `p`.
     pub order: usize,
     /// M2L execution mode.
     pub m2l_mode: M2lMode,
+    /// What evaluations produce (potentials vs potentials + gradients).
+    pub output: crate::evaluator::OutputSpec,
     /// Leaf capacity `s` (with the depth cap, determines tree depth).
     pub max_pts_per_leaf: usize,
     /// Octree depth cap.
     pub max_level: u8,
     /// [`geometry_hash`] of the point set.
     pub geometry: u64,
+}
+
+impl PlanKey {
+    /// Assemble the key for `(kernel, opts, geometry)`.
+    pub fn new<K: Kernel>(kernel: &K, opts: &FmmOptions, geometry: u64) -> Self {
+        PlanKey {
+            kernel_id: kernel.id_bits(),
+            kernel_name: kernel_name_hash(kernel.name()),
+            order: opts.order,
+            m2l_mode: opts.m2l_mode,
+            output: opts.output,
+            max_pts_per_leaf: opts.max_pts_per_leaf,
+            max_level: opts.max_level,
+            geometry,
+        }
+    }
 }
 
 /// Everything FMM setup produces for one `(kernel, options, point set)`:
@@ -391,7 +429,7 @@ impl<K: Kernel> Plan<K> {
         let sorted_points: Vec<Point3> =
             tree.perm.iter().map(|&i| points[i as usize]).collect();
         let active = ActiveSet::build(&tree, |_| true);
-        let (m2l_modes, m2l_report) = resolve_m2l_modes::<K>(&pre, &tree, &lists, &opts);
+        let (m2l_modes, m2l_report) = resolve_m2l_modes(&kernel, &pre, &tree, &lists, &opts);
         Ok(Plan {
             kernel,
             opts,
@@ -438,7 +476,8 @@ impl<K: Kernel> Plan<K> {
             (Arc::clone(&self.lists), self.m2l_modes.clone(), self.m2l_report.clone())
         } else {
             let lists = build_lists_sorted(&tree);
-            let (modes, report) = resolve_m2l_modes::<K>(&self.pre, &tree, &lists, &self.opts);
+            let (modes, report) =
+                resolve_m2l_modes(&self.kernel, &self.pre, &tree, &lists, &self.opts);
             (Arc::new(lists), modes, report)
         };
         let mut sorted_points = vec![[0.0f64; 3]; new_points.len()];
@@ -468,14 +507,7 @@ impl<K: Kernel> Plan<K> {
 
     /// This plan's cache identity.
     pub fn key(&self) -> PlanKey {
-        PlanKey {
-            kernel_id: self.kernel.id_bits(),
-            order: self.opts.order,
-            m2l_mode: self.opts.m2l_mode,
-            max_pts_per_leaf: self.opts.max_pts_per_leaf,
-            max_level: self.opts.max_level,
-            geometry: self.geometry,
-        }
+        PlanKey::new(&self.kernel, &self.opts, self.geometry)
     }
 
     /// [`geometry_hash`] of the point set the plan was built over.
@@ -536,8 +568,9 @@ impl<K: Kernel> Plan<K> {
     /// bound against. An estimate: dense operator and FFT-tensor sizes
     /// are computed from their dimensions, not measured.
     pub fn approx_bytes(&self) -> usize {
+        let (sd, td) = (self.kernel.src_dim(), self.kernel.trg_dim());
         let ns = crate::surface::num_surface_points(self.opts.order);
-        let (es, cs) = (ns * K::SRC_DIM, ns * K::TRG_DIM);
+        let (es, cs) = (ns * sd, ns * td);
         let depth = self.tree.depth() as usize;
         let op_levels = depth.saturating_sub(FIRST_FMM_LEVEL as usize) + 1;
         // 8 M2M + 8 L2L forward maps and 2 inversions per level, all
@@ -547,7 +580,7 @@ impl<K: Kernel> Plan<K> {
         if let Some(fft) = &self.pre.m2l_fft {
             let tensor_levels =
                 if self.kernel.homogeneity().is_some() { 1 } else { op_levels };
-            m2l += tensor_levels * 316 * K::SRC_DIM * K::TRG_DIM * fft.grid_len() * 16;
+            m2l += tensor_levels * 316 * sd * td * fft.grid_len() * 16;
         }
         if let Some(svd) = &self.pre.m2l_svd {
             m2l += svd.bytes();
@@ -603,6 +636,11 @@ impl<K: Kernel> Plan<K> {
     /// wall-clock under [`Dispatch::Pool`] (work spreads across the pool;
     /// per-thread CPU time would under-count). Flop counts come from the
     /// engine and are identical for both policies.
+    ///
+    /// Returns `(potentials, gradients, stats)`; the gradient vectors
+    /// (`trg_dim·3` interleaved per point) are produced only when the plan
+    /// was built with [`crate::OutputSpec::PotentialAndGradient`] — the
+    /// outer `Vec` is empty otherwise.
     pub fn execute(
         &self,
         densities: &[&[f64]],
@@ -610,26 +648,28 @@ impl<K: Kernel> Plan<K> {
         trace: &Tracer,
         store: &mut ExpansionStore,
         ws: &mut EngineWorkspace,
-    ) -> (Vec<Vec<f64>>, PhaseStats) {
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, PhaseStats) {
         let k = densities.len();
         assert!(k >= 1, "at least one density vector");
+        let (sd, td) = (self.kernel.src_dim(), self.kernel.trg_dim());
         for d in densities {
             assert_eq!(
                 d.len(),
-                self.num_points * K::SRC_DIM,
-                "each density vector must have SRC_DIM entries per point"
+                self.num_points * sd,
+                "each density vector must have src_dim entries per point"
             );
         }
+        let wants_grad = self.opts.output.wants_gradient();
         let mut stats = PhaseStats::new();
         let rt = trace.rank(0);
         let n = self.num_points;
         // Permute each density vector into Morton order.
         let mut dens_sorted: Vec<Vec<f64>> = Vec::with_capacity(k);
         for d in densities {
-            let mut s = vec![0.0; n * K::SRC_DIM];
+            let mut s = vec![0.0; n * sd];
             for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
-                for c in 0..K::SRC_DIM {
-                    s[sorted_i * K::SRC_DIM + c] = d[orig as usize * K::SRC_DIM + c];
+                for c in 0..sd {
+                    s[sorted_i * sd + c] = d[orig as usize * sd + c];
                 }
             }
             dens_sorted.push(s);
@@ -642,7 +682,7 @@ impl<K: Kernel> Plan<K> {
             tree: &self.tree,
             points: &self.sorted_points,
             dens: &dens_refs,
-            src_dim: K::SRC_DIM,
+            src_dim: sd,
         };
         let wall = Instant::now();
         let now = || match dispatch {
@@ -692,13 +732,21 @@ impl<K: Kernel> Plan<K> {
             }
         }
 
-        let mut pots: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n * K::TRG_DIM]).collect();
+        let mut pots: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n * td]).collect();
         let mut pot_refs: Vec<&mut [f64]> = pots.iter_mut().map(Vec::as_mut_slice).collect();
+        let mut grads: Vec<Vec<f64>> =
+            if wants_grad { (0..k).map(|_| vec![0.0; n * td * 3]).collect() } else { Vec::new() };
+        let mut grad_refs: Vec<&mut [f64]> =
+            grads.iter_mut().map(Vec::as_mut_slice).collect();
         rt.add(Counter::CellsTouched, engine.active_leaves().len() as u64);
         {
             let _span = rt.span("DownU", "u-list");
             let t0 = now();
-            let flops = engine.u_pass(&src, &mut pot_refs);
+            let flops = if wants_grad {
+                engine.u_pass_grad(&src, &mut pot_refs, &mut grad_refs)
+            } else {
+                engine.u_pass(&src, &mut pot_refs)
+            };
             stats.add_seconds(Phase::DownU, now() - t0);
             stats.add_flops(Phase::DownU, flops);
             rt.add(Counter::Flops, flops);
@@ -706,7 +754,11 @@ impl<K: Kernel> Plan<K> {
         {
             let _span = rt.span("DownW", "w-list");
             let t0 = now();
-            let flops = engine.w_pass(store, &mut pot_refs);
+            let flops = if wants_grad {
+                engine.w_pass_grad(store, &mut pot_refs, &mut grad_refs)
+            } else {
+                engine.w_pass(store, &mut pot_refs)
+            };
             stats.add_seconds(Phase::DownW, now() - t0);
             stats.add_flops(Phase::DownW, flops);
             rt.add(Counter::Flops, flops);
@@ -714,28 +766,30 @@ impl<K: Kernel> Plan<K> {
         {
             let _span = rt.span("Eval", "l2t");
             let t0 = now();
-            let flops = engine.l2t(store, &mut pot_refs);
+            let flops = if wants_grad {
+                engine.l2t_grad(store, &mut pot_refs, &mut grad_refs)
+            } else {
+                engine.l2t(store, &mut pot_refs)
+            };
             stats.add_seconds(Phase::Eval, now() - t0);
             stats.add_flops(Phase::Eval, flops);
             rt.add(Counter::Flops, flops);
         }
         drop(pot_refs);
+        drop(grad_refs);
 
-        // Un-permute each potential vector.
-        let outs = pots
-            .into_iter()
-            .map(|pot| {
-                let mut out = vec![0.0; n * K::TRG_DIM];
-                for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
-                    for c in 0..K::TRG_DIM {
-                        out[orig as usize * K::TRG_DIM + c] =
-                            pot[sorted_i * K::TRG_DIM + c];
-                    }
-                }
-                out
-            })
-            .collect();
-        (outs, stats)
+        // Un-permute each output vector back to the caller's point order.
+        let unpermute = |v: Vec<f64>, dim: usize| {
+            let mut out = vec![0.0; n * dim];
+            for (sorted_i, &orig) in self.tree.perm.iter().enumerate() {
+                out[orig as usize * dim..(orig as usize + 1) * dim]
+                    .copy_from_slice(&v[sorted_i * dim..(sorted_i + 1) * dim]);
+            }
+            out
+        };
+        let outs = pots.into_iter().map(|pot| unpermute(pot, td)).collect();
+        let grad_outs = grads.into_iter().map(|g| unpermute(g, td * 3)).collect();
+        (outs, grad_outs, stats)
     }
 
     /// Upward + downward expansions for Morton-sorted densities, without
@@ -747,7 +801,7 @@ impl<K: Kernel> Plan<K> {
             tree: &self.tree,
             points: &self.sorted_points,
             dens: &[dens],
-            src_dim: K::SRC_DIM,
+            src_dim: self.kernel.src_dim(),
         };
         let mut store = engine.new_store();
         let mut ws = EngineWorkspace::default();
@@ -771,7 +825,8 @@ impl<K: Kernel> Plan<K> {
     ) -> (&'a [Point3], &'a [f64]) {
         let node = &self.tree.nodes[ni as usize];
         let (s, e) = (node.pt_start as usize, node.pt_end as usize);
-        (&self.sorted_points[s..e], &dens[s * K::SRC_DIM..e * K::SRC_DIM])
+        let sd = self.kernel.src_dim();
+        (&self.sorted_points[s..e], &dens[s * sd..e * sd])
     }
 }
 
@@ -859,12 +914,19 @@ impl<K: Kernel> Session<K> {
     pub fn eval_many(&self, densities: &[&[f64]]) -> Vec<crate::evaluator::EvalReport> {
         let mut scratch = self.checkout();
         let (store, ws) = &mut *scratch;
-        let (pots, stats) =
+        let (pots, mut grads, stats) =
             self.plan.execute(densities, self.dispatch(), &self.trace, store, ws);
         self.pool.checkin(scratch);
+        // Gradients are per-RHS when produced, empty otherwise.
         pots.into_iter()
-            .map(|potentials| crate::evaluator::EvalReport {
+            .enumerate()
+            .map(|(q, potentials)| crate::evaluator::EvalReport {
                 potentials,
+                gradients: if grads.is_empty() {
+                    Vec::new()
+                } else {
+                    std::mem::take(&mut grads[q])
+                },
                 stats: stats.clone(),
                 trace: self.trace.clone(),
             })
@@ -968,14 +1030,7 @@ impl<K: Kernel> PlanCache<K> {
         points: &[Point3],
         opts: FmmOptions,
     ) -> Result<Arc<Plan<K>>, BuildError> {
-        let key = PlanKey {
-            kernel_id: kernel.id_bits(),
-            order: opts.order,
-            m2l_mode: opts.m2l_mode,
-            max_pts_per_leaf: opts.max_pts_per_leaf,
-            max_level: opts.max_level,
-            geometry: geometry_hash(points),
-        };
+        let key = PlanKey::new(kernel, &opts, geometry_hash(points));
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut inner =
@@ -1013,14 +1068,7 @@ impl<K: Kernel> PlanCache<K> {
         new_points: &[Point3],
     ) -> Result<Arc<Plan<K>>, BuildError> {
         let opts = *base.options();
-        let key = PlanKey {
-            kernel_id: base.kernel().id_bits(),
-            order: opts.order,
-            m2l_mode: opts.m2l_mode,
-            max_pts_per_leaf: opts.max_pts_per_leaf,
-            max_level: opts.max_level,
-            geometry: geometry_hash(new_points),
-        };
+        let key = PlanKey::new(base.kernel(), &opts, geometry_hash(new_points));
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut inner =
@@ -1337,6 +1385,54 @@ mod tests {
         let cache = PlanCache::unbounded();
         cache.get_or_plan(&ModifiedLaplace::new(1.0), &pts, opts_small()).unwrap();
         cache.get_or_plan(&ModifiedLaplace::new(2.0), &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    /// Regression for the kernel-identity hole: a `PlanCache<BoxedKernel>`
+    /// serves *type-erased* kernels, so the type parameter no longer pins
+    /// which kernel a plan was built for — and parameterless kernels all
+    /// report `id_bits() == 0`. The old key (id_bits only) made
+    /// BoxedKernel(Laplace) and BoxedKernel(LaplaceDipole) collide; the
+    /// name hash now keeps them apart.
+    #[test]
+    fn plan_cache_distinguishes_boxed_kernels_by_name() {
+        use kifmm_kernels::{BoxedKernel, LaplaceDipole};
+        let a = BoxedKernel(std::sync::Arc::new(Laplace));
+        let b = BoxedKernel(std::sync::Arc::new(LaplaceDipole));
+        // Pin the collision shape the name hash exists to break: the two
+        // erased kernels are indistinguishable by parameter fingerprint…
+        assert_eq!(a.id_bits(), b.id_bits(), "both erased kernels fingerprint to 0");
+        // …and only the folded-in name hash separates their keys.
+        let ka = PlanKey::new(&a, &opts_small(), 42);
+        let kb = PlanKey::new(&b, &opts_small(), 42);
+        assert_ne!(ka.kernel_name, kb.kernel_name);
+        assert_ne!(ka, kb, "keys must differ despite equal id_bits");
+        assert_eq!(PlanKey { kernel_name: kb.kernel_name, ..ka }, kb, "only the name separates them");
+
+        // End to end: the second kernel must MISS, not reuse the Laplace
+        // plan (whose operators would silently produce wrong physics).
+        let pts = cloud(200, 3);
+        let cache: PlanCache<BoxedKernel> = PlanCache::unbounded();
+        cache.get_or_plan(&a, &pts, opts_small()).unwrap();
+        cache.get_or_plan(&b, &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        cache.get_or_plan(&a, &pts, opts_small()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    /// `OutputSpec` is part of the plan identity: a gradient-producing
+    /// session must not reuse a potential-only plan entry (and vice
+    /// versa), since the report shapes differ.
+    #[test]
+    fn plan_cache_distinguishes_output_spec() {
+        let pts = cloud(200, 5);
+        let cache = PlanCache::unbounded();
+        cache.get_or_plan(&Laplace, &pts, opts_small()).unwrap();
+        let grad_opts = FmmOptions {
+            output: crate::evaluator::OutputSpec::PotentialAndGradient,
+            ..opts_small()
+        };
+        cache.get_or_plan(&Laplace, &pts, grad_opts).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
     }
 

@@ -26,22 +26,23 @@ impl<K: Kernel> Fmm<K> {
     /// Evaluate the potential at arbitrary `targets` (not necessarily the
     /// source points). Returns `TRG_DIM` components per target.
     pub fn evaluate_at(&self, densities: &[f64], targets: &[Point3]) -> Vec<f64> {
-        assert_eq!(densities.len(), self.num_points * K::SRC_DIM, "density length");
+        let (sd, td) = (self.kernel.src_dim(), self.kernel.trg_dim());
+        assert_eq!(densities.len(), self.num_points * sd, "density length");
         let tree = &self.tree;
 
         // Morton-sort densities and run the standard two passes.
         let mut dens = vec![0.0; densities.len()];
         for (si, &orig) in tree.perm.iter().enumerate() {
-            for c in 0..K::SRC_DIM {
-                dens[si * K::SRC_DIM + c] = densities[orig as usize * K::SRC_DIM + c];
+            for c in 0..sd {
+                dens[si * sd + c] = densities[orig as usize * sd + c];
             }
         }
         let store = self.compute_expansions(&dens);
 
-        let mut out = vec![0.0; targets.len() * K::TRG_DIM];
+        let mut out = vec![0.0; targets.len() * td];
         let domain = tree.domain;
         for (ti, &t) in targets.iter().enumerate() {
-            let slot = &mut out[ti * K::TRG_DIM..(ti + 1) * K::TRG_DIM];
+            let slot = &mut out[ti * td..(ti + 1) * td];
             // Outside the domain cube: everything is far in an unindexed
             // direction — fall back to the exact sum.
             let inside = (0..3).all(|d| (t[d] - domain.center[d]).abs() <= domain.half);

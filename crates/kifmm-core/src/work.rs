@@ -32,10 +32,10 @@ pub fn leaf_work_rates<K: Kernel>(
 ) -> Vec<f64> {
     let ns = num_surface_points(order) as f64;
     let kf = kernel.flops_per_eval() as f64;
-    let es = ns * K::SRC_DIM as f64;
-    let cs = ns * K::TRG_DIM as f64;
+    let es = ns * kernel.src_dim() as f64;
+    let cs = ns * kernel.trg_dim() as f64;
     let m3 = (2 * order).pow(3) as f64;
-    let hadamard = (K::SRC_DIM * K::TRG_DIM) as f64 * m3 * 8.0;
+    let hadamard = (kernel.src_dim() * kernel.trg_dim()) as f64 * m3 * 8.0;
     let nn = tree.num_nodes();
 
     // Box-level work spread over the box's points, accumulated down the

@@ -8,20 +8,45 @@ use crate::kernel::Kernel;
 use crate::Point3;
 use kifmm_linalg::Mat;
 
-/// Assemble the `(targets·TRG_DIM) × (sources·SRC_DIM)` kernel matrix
+/// Assemble the `(targets·trg_dim) × (sources·src_dim)` kernel matrix
 /// `K[(i,a), (j,b)] = G(x_i, y_j)[a, b]`.
 pub fn assemble<K: Kernel>(kernel: &K, targets: &[Point3], sources: &[Point3]) -> Mat {
-    let m = targets.len() * K::TRG_DIM;
-    let n = sources.len() * K::SRC_DIM;
+    let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
+    let m = targets.len() * td;
+    let n = sources.len() * sd;
     let mut out = Mat::zeros(m, n);
-    let mut block = vec![0.0; K::TRG_DIM * K::SRC_DIM];
+    let mut block = vec![0.0; td * sd];
     for (i, &x) in targets.iter().enumerate() {
         for (j, &y) in sources.iter().enumerate() {
             kernel.eval(x, y, &mut block);
-            for a in 0..K::TRG_DIM {
-                let row = i * K::TRG_DIM + a;
-                for b in 0..K::SRC_DIM {
-                    out[(row, j * K::SRC_DIM + b)] = block[a * K::SRC_DIM + b];
+            for a in 0..td {
+                let row = i * td + a;
+                for b in 0..sd {
+                    out[(row, j * sd + b)] = block[a * sd + b];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Assemble the `(targets·trg_dim·3) × (sources·src_dim)` gradient matrix
+/// `∇K[(i,t,d), (j,b)] = ∂G(x_i, y_j)[t, b]/∂x_d` — the dense reference
+/// for the FMM's gradient outputs.
+pub fn assemble_grad<K: Kernel>(kernel: &K, targets: &[Point3], sources: &[Point3]) -> Mat {
+    let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
+    let gd = td * 3;
+    let m = targets.len() * gd;
+    let n = sources.len() * sd;
+    let mut out = Mat::zeros(m, n);
+    let mut block = vec![0.0; gd * sd];
+    for (i, &x) in targets.iter().enumerate() {
+        for (j, &y) in sources.iter().enumerate() {
+            kernel.eval_grad(x, y, &mut block);
+            for a in 0..gd {
+                let row = i * gd + a;
+                for b in 0..sd {
+                    out[(row, j * sd + b)] = block[a * sd + b];
                 }
             }
         }
@@ -58,6 +83,23 @@ mod tests {
         k.p2p(&t, &s, &dens, &mut via_p2p);
         for (a, b) in via_matrix.iter().zip(&via_p2p) {
             assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn grad_matvec_equals_p2p_grad() {
+        let k = Stokes::new(0.8);
+        let t: Vec<Point3> = (0..3).map(|i| [0.1 * i as f64, 0.2, 0.3]).collect();
+        let s: Vec<Point3> = (0..4).map(|i| [1.0, 0.25 * i as f64, -0.4]).collect();
+        let dens: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).cos()).collect();
+        let m = assemble_grad(&k, &t, &s);
+        assert_eq!(m.shape(), (3 * 9, 12));
+        let via_matrix = m.matvec(&dens);
+        let mut pot = vec![0.0; 9];
+        let mut via_p2p = vec![0.0; 27];
+        k.p2p_grad(&t, &s, &dens, &mut pot, &mut via_p2p);
+        for (a, b) in via_matrix.iter().zip(&via_p2p) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
     }
 }

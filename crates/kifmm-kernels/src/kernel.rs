@@ -3,32 +3,42 @@
 use crate::Point3;
 
 /// A fundamental solution `G(x, y)` of a second-order constant-coefficient
-/// non-oscillatory elliptic PDE (the class the paper's method covers).
+/// non-oscillatory elliptic PDE (the class the paper's method covers), or
+/// more generally any smooth translation-invariant interaction kernel the
+/// equivalent-density machinery can compress (e.g. the Gaussian of
+/// kernel-matrix matvecs).
 ///
 /// The FMM interacts with the PDE *only* through this trait: pairwise
 /// evaluation ([`eval`](Kernel::eval)) and a fused particle-to-particle
-/// accumulation ([`p2p`](Kernel::p2p)). Matrix-valued kernels (Stokes)
-/// declare `SRC_DIM`/`TRG_DIM > 1` and fill a `TRG_DIM × SRC_DIM` block per
-/// point pair.
+/// accumulation ([`p2p`](Kernel::p2p)). Matrix-valued kernels (Stokes,
+/// Kelvin) declare `src_dim`/`trg_dim > 1` and fill a `trg_dim × src_dim`
+/// block per point pair. The dimensions are **runtime methods**, not
+/// associated constants, so closure-backed kernels ([`crate::CustomKernel`])
+/// with caller-chosen dimensions drive the identical pipeline — the
+/// kernel-independence claim made executable.
 ///
-/// Requirements inherited from the paper (§2): `G` satisfies the PDE away
-/// from the pole, is smooth away from the singularity, and the underlying
-/// interior/exterior Dirichlet problems are uniquely solvable — those
-/// properties are what make the equivalent-density construction valid, and
-/// they are the responsibility of the implementor.
+/// Requirements inherited from the paper (§2): `G` is smooth away from the
+/// singularity and its far field is low-rank enough for the equivalent
+/// densities to represent — for PDE kernels this follows from unique
+/// solvability of the underlying Dirichlet problems, and it is the
+/// responsibility of the implementor.
 pub trait Kernel: Clone + Send + Sync + 'static {
     /// Components of a source density (1 for scalar kernels, 3 for Stokes).
-    const SRC_DIM: usize;
+    fn src_dim(&self) -> usize;
+
     /// Components of a target potential.
-    const TRG_DIM: usize;
-    /// Human-readable name used in reports.
-    const NAME: &'static str;
+    fn trg_dim(&self) -> usize;
+
+    /// Human-readable name used in reports and folded (with
+    /// [`id_bits`](Kernel::id_bits)) into plan-cache identity.
+    fn name(&self) -> &str;
 
     /// Degree `d` with `G(λ·r) = λ^d · G(r)` when the kernel is homogeneous
-    /// (Laplace and Stokes: `−1`), or `None` (modified Laplace, whose
-    /// screening length introduces a scale). Homogeneous kernels let the
-    /// FMM precompute translation operators at one reference level and
-    /// rescale; inhomogeneous ones get per-level operators.
+    /// (Laplace and Stokes: `−1`), or `None` (modified Laplace and the
+    /// Gaussian, whose length scales break homogeneity). Homogeneous
+    /// kernels let the FMM precompute translation operators at one
+    /// reference level and rescale; inhomogeneous ones get per-level
+    /// operators.
     fn homogeneity(&self) -> Option<f64>;
 
     /// Exact flop count charged per `(target, source)` pair evaluation,
@@ -37,25 +47,44 @@ pub trait Kernel: Clone + Send + Sync + 'static {
     /// used by the paper-era Gflop/s reporting).
     fn flops_per_eval(&self) -> u64;
 
-    /// Evaluate the `TRG_DIM × SRC_DIM` kernel block for the pair `(x, y)`
+    /// Flop count charged per pair for a **fused** potential + gradient
+    /// accumulation ([`p2p_grad`](Kernel::p2p_grad)). The default models
+    /// the generic path (one block eval plus three derivative components).
+    fn flops_per_grad_eval(&self) -> u64 {
+        4 * self.flops_per_eval()
+    }
+
+    /// Evaluate the `trg_dim × src_dim` kernel block for the pair `(x, y)`
     /// into `block` (row-major). A coincident pair (`|x − y| = 0`) must
     /// produce a zero block: the N-body sums of the paper exclude the
     /// self-interaction.
     fn eval(&self, x: Point3, y: Point3, block: &mut [f64]);
 
+    /// Evaluate the target-gradient block `∇ₓG(x, y)` into `block`
+    /// (row-major, `trg_dim·3` rows × `src_dim` columns): entry
+    /// `[(t·3 + d)·src_dim + s] = ∂G[t, s]/∂x_d`. A coincident pair must
+    /// produce a zero block, matching [`eval`](Kernel::eval).
+    ///
+    /// The default is a central difference of [`eval`](Kernel::eval) with
+    /// a separation-scaled step — accurate to ~`h²` (≈1e-8 relative) and
+    /// good enough for black-box closures; analytic kernels override.
+    fn eval_grad(&self, x: Point3, y: Point3, block: &mut [f64]) {
+        central_difference_grad(self, x, y, block);
+    }
+
     /// Kernel-parameter fingerprint for cache keys: the bit patterns of
     /// every scalar parameter the translation operators depend on, folded
-    /// into one word. Parameter-free kernels return 0 (the kernel *type*
-    /// is pinned separately, so only same-type parameter collisions
-    /// matter).
+    /// into one word. Parameter-free kernels return 0 (the kernel *name*
+    /// is hashed into cache keys separately, so only same-name parameter
+    /// collisions matter).
     fn id_bits(&self) -> u64 {
         0
     }
 
     /// Accumulate `u(x_i) += Σ_j G(x_i, y_j) φ_j` for all targets.
     ///
-    /// `densities` has `SRC_DIM` interleaved components per source;
-    /// `potentials` has `TRG_DIM` per target. Implementations override this
+    /// `densities` has `src_dim` interleaved components per source;
+    /// `potentials` has `trg_dim` per target. Implementations override this
     /// with a fused loop — it is the `DownU` (dense interaction) microkernel
     /// and dominates the flop count at small `s`.
     fn p2p(
@@ -65,18 +94,19 @@ pub trait Kernel: Clone + Send + Sync + 'static {
         densities: &[f64],
         potentials: &mut [f64],
     ) {
-        debug_assert_eq!(densities.len(), sources.len() * Self::SRC_DIM);
-        debug_assert_eq!(potentials.len(), targets.len() * Self::TRG_DIM);
-        let mut block = vec![0.0; Self::TRG_DIM * Self::SRC_DIM];
+        let (sd, td) = (self.src_dim(), self.trg_dim());
+        debug_assert_eq!(densities.len(), sources.len() * sd);
+        debug_assert_eq!(potentials.len(), targets.len() * td);
+        let mut block = vec![0.0; td * sd];
         for (ti, &x) in targets.iter().enumerate() {
             for (si, &y) in sources.iter().enumerate() {
                 self.eval(x, y, &mut block);
-                for a in 0..Self::TRG_DIM {
+                for a in 0..td {
                     let mut acc = 0.0;
-                    for b in 0..Self::SRC_DIM {
-                        acc += block[a * Self::SRC_DIM + b] * densities[si * Self::SRC_DIM + b];
+                    for b in 0..sd {
+                        acc += block[a * sd + b] * densities[si * sd + b];
                     }
-                    potentials[ti * Self::TRG_DIM + a] += acc;
+                    potentials[ti * td + a] += acc;
                 }
             }
         }
@@ -103,6 +133,107 @@ pub trait Kernel: Clone + Send + Sync + 'static {
         assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
         for (d, p) in densities.iter().zip(potentials.iter_mut()) {
             self.p2p(targets, sources, d, p);
+        }
+    }
+
+    /// Fused potential **and** gradient accumulation:
+    /// `u(x_i) += Σ_j G(x_i, y_j) φ_j` into `potentials` (`trg_dim` per
+    /// target) and `∇u(x_i) += Σ_j ∇ₓG(x_i, y_j) φ_j` into `gradients`
+    /// (`trg_dim·3` per target, component-major: entry
+    /// `[i·trg_dim·3 + t·3 + d] = ∂u_t/∂x_d`).
+    ///
+    /// The default evaluates [`eval`](Kernel::eval) and
+    /// [`eval_grad`](Kernel::eval_grad) per pair; analytic kernels override
+    /// with a fused loop sharing the pair geometry.
+    fn p2p_grad(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[f64],
+        potentials: &mut [f64],
+        gradients: &mut [f64],
+    ) {
+        let (sd, td) = (self.src_dim(), self.trg_dim());
+        debug_assert_eq!(densities.len(), sources.len() * sd);
+        debug_assert_eq!(potentials.len(), targets.len() * td);
+        debug_assert_eq!(gradients.len(), targets.len() * td * 3);
+        let mut block = vec![0.0; td * sd];
+        let mut gblock = vec![0.0; td * 3 * sd];
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                self.eval(x, y, &mut block);
+                self.eval_grad(x, y, &mut gblock);
+                for a in 0..td {
+                    let mut acc = 0.0;
+                    for b in 0..sd {
+                        acc += block[a * sd + b] * densities[si * sd + b];
+                    }
+                    potentials[ti * td + a] += acc;
+                }
+                for row in 0..td * 3 {
+                    let mut acc = 0.0;
+                    for b in 0..sd {
+                        acc += gblock[row * sd + b] * densities[si * sd + b];
+                    }
+                    gradients[ti * td * 3 + row] += acc;
+                }
+            }
+        }
+    }
+
+    /// Multi-RHS [`p2p_grad`](Kernel::p2p_grad), under the same bitwise
+    /// contract as [`p2p_many`](Kernel::p2p_many): `potentials[q]` /
+    /// `gradients[q]` must match what `p2p_grad` on RHS `q` alone would
+    /// produce. The default delegates per RHS.
+    fn p2p_grad_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+        gradients: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        assert_eq!(densities.len(), gradients.len(), "one gradient vector per RHS");
+        for ((d, p), g) in densities.iter().zip(potentials.iter_mut()).zip(gradients.iter_mut())
+        {
+            self.p2p_grad(targets, sources, d, p, g);
+        }
+    }
+}
+
+/// Central-difference `∇ₓG` fallback shared by the trait default and
+/// [`crate::CustomKernel`]: step `h` scaled to the pair separation
+/// (`h = r·6e-6 ≈ ∛ε·r` balances truncation against cancellation), calling
+/// only [`Kernel::eval`].
+pub fn central_difference_grad<K: Kernel + ?Sized>(
+    kernel: &K,
+    x: Point3,
+    y: Point3,
+    block: &mut [f64],
+) {
+    let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
+    debug_assert_eq!(block.len(), td * 3 * sd);
+    let (_, _, _, r2) = displacement(x, y);
+    if r2 == 0.0 {
+        block.fill(0.0);
+        return;
+    }
+    let h = r2.sqrt() * 6e-6;
+    let mut plus = vec![0.0; td * sd];
+    let mut minus = vec![0.0; td * sd];
+    for d in 0..3 {
+        let mut xp = x;
+        xp[d] += h;
+        let mut xm = x;
+        xm[d] -= h;
+        kernel.eval(xp, y, &mut plus);
+        kernel.eval(xm, y, &mut minus);
+        let inv2h = 1.0 / (2.0 * h);
+        for t in 0..td {
+            for s in 0..sd {
+                block[(t * 3 + d) * sd + s] = (plus[t * sd + s] - minus[t * sd + s]) * inv2h;
+            }
         }
     }
 }
@@ -134,7 +265,7 @@ pub(crate) fn displacement(x: Point3, y: Point3) -> (f64, f64, f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Laplace, LaplaceDipole, ModifiedLaplace, Stokes};
+    use crate::{Gaussian, Kelvin, Laplace, LaplaceDipole, ModifiedLaplace, Stokes};
 
     /// `p2p_many` promises bitwise identity with k independent `p2p`
     /// calls — the property `eval_many` relies on. Exercised on every
@@ -143,6 +274,7 @@ mod tests {
         let nt = 7;
         let ns = 9;
         let k = 5;
+        let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
         let targets: Vec<Point3> = (0..nt)
             .map(|i| {
                 let t = i as f64;
@@ -158,14 +290,14 @@ mod tests {
         sources[4] = targets[2]; // coincident pair: the self-skip path
         let dens: Vec<Vec<f64>> = (0..k)
             .map(|q| {
-                (0..ns * K::SRC_DIM)
+                (0..ns * sd)
                     .map(|i| ((i * 7 + q * 13) % 29) as f64 / 29.0 - 0.4)
                     .collect()
             })
             .collect();
 
         // Reference: k independent p2p calls into pre-seeded outputs.
-        let seed: Vec<f64> = (0..nt * K::TRG_DIM).map(|i| (i as f64 * 0.7).sin()).collect();
+        let seed: Vec<f64> = (0..nt * td).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut expect: Vec<Vec<f64>> = (0..k).map(|_| seed.clone()).collect();
         for q in 0..k {
             kernel.p2p(&targets, &sources, &dens[q], &mut expect[q]);
@@ -179,7 +311,29 @@ mod tests {
             kernel.p2p_many(&targets, &sources, &dens_refs, &mut pot_refs);
         }
         for q in 0..k {
-            assert_eq!(got[q], expect[q], "{} RHS {q} not bitwise equal", K::NAME);
+            assert_eq!(got[q], expect[q], "{} RHS {q} not bitwise equal", kernel.name());
+        }
+
+        // The same promise for the fused gradient accumulators.
+        let gseed: Vec<f64> = (0..nt * td * 3).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut pexp: Vec<Vec<f64>> = (0..k).map(|_| seed.clone()).collect();
+        let mut gexp: Vec<Vec<f64>> = (0..k).map(|_| gseed.clone()).collect();
+        for q in 0..k {
+            kernel.p2p_grad(&targets, &sources, &dens[q], &mut pexp[q], &mut gexp[q]);
+        }
+        let mut pgot: Vec<Vec<f64>> = (0..k).map(|_| seed.clone()).collect();
+        let mut ggot: Vec<Vec<f64>> = (0..k).map(|_| gseed.clone()).collect();
+        {
+            let dens_refs: Vec<&[f64]> = dens.iter().map(Vec::as_slice).collect();
+            let mut pot_refs: Vec<&mut [f64]> =
+                pgot.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut grad_refs: Vec<&mut [f64]> =
+                ggot.iter_mut().map(Vec::as_mut_slice).collect();
+            kernel.p2p_grad_many(&targets, &sources, &dens_refs, &mut pot_refs, &mut grad_refs);
+        }
+        for q in 0..k {
+            assert_eq!(pgot[q], pexp[q], "{} grad-pot RHS {q}", kernel.name());
+            assert_eq!(ggot[q], gexp[q], "{} grad RHS {q}", kernel.name());
         }
     }
 
@@ -189,6 +343,8 @@ mod tests {
         check_p2p_many_bitwise(&ModifiedLaplace::new(1.3));
         check_p2p_many_bitwise(&Stokes::new(0.7));
         check_p2p_many_bitwise(&LaplaceDipole);
+        check_p2p_many_bitwise(&Kelvin::new(1.1, 0.3));
+        check_p2p_many_bitwise(&Gaussian::new(0.8));
     }
 
     #[test]
@@ -198,9 +354,15 @@ mod tests {
         #[derive(Clone)]
         struct Generic;
         impl Kernel for Generic {
-            const SRC_DIM: usize = 1;
-            const TRG_DIM: usize = 1;
-            const NAME: &'static str = "generic";
+            fn src_dim(&self) -> usize {
+                1
+            }
+            fn trg_dim(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &str {
+                "generic"
+            }
             fn homogeneity(&self) -> Option<f64> {
                 Some(-1.0)
             }
@@ -214,10 +376,63 @@ mod tests {
         check_p2p_many_bitwise(&Generic);
     }
 
+    /// The analytic `eval_grad` overrides must agree with the generic
+    /// central-difference fallback (which only calls `eval`).
+    fn check_grad_against_central_difference<K: Kernel>(kernel: &K, tol: f64) {
+        let (sd, td) = (kernel.src_dim(), kernel.trg_dim());
+        let x = [0.62, -0.35, 0.48];
+        let y = [-0.21, 0.4, -0.17];
+        let mut analytic = vec![0.0; td * 3 * sd];
+        kernel.eval_grad(x, y, &mut analytic);
+        let mut fd = vec![0.0; td * 3 * sd];
+        central_difference_grad(kernel, x, y, &mut fd);
+        let scale: f64 = analytic.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-30);
+        for (i, (a, b)) in analytic.iter().zip(&fd).enumerate() {
+            assert!(
+                (a - b).abs() <= tol * scale,
+                "{} grad entry {i}: analytic {a} vs central-diff {b}",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_gradients_match_central_difference() {
+        check_grad_against_central_difference(&Laplace, 1e-8);
+        check_grad_against_central_difference(&ModifiedLaplace::new(1.6), 1e-8);
+        check_grad_against_central_difference(&Stokes::new(0.9), 1e-8);
+        check_grad_against_central_difference(&Kelvin::new(1.3, 0.28), 1e-8);
+        check_grad_against_central_difference(&Gaussian::new(0.7), 1e-8);
+        // LaplaceDipole has no analytic override: the check is then the
+        // fallback against itself and pins the zero-at-coincidence contract.
+        check_grad_against_central_difference(&LaplaceDipole, 1e-12);
+    }
+
+    #[test]
+    fn grad_zero_at_coincident_pair() {
+        let mut b9 = vec![1.0; 3];
+        Laplace.eval_grad([0.3; 3], [0.3; 3], &mut b9);
+        assert!(b9.iter().all(|&v| v == 0.0));
+        let mut b = vec![1.0; 27];
+        Stokes::new(1.0).eval_grad([0.3; 3], [0.3; 3], &mut b);
+        assert!(b.iter().all(|&v| v == 0.0));
+        let mut b = vec![1.0; 27];
+        Kelvin::new(1.0, 0.3).eval_grad([0.3; 3], [0.3; 3], &mut b);
+        assert!(b.iter().all(|&v| v == 0.0));
+        let mut b = vec![1.0; 3];
+        Gaussian::new(0.5).eval_grad([0.3; 3], [0.3; 3], &mut b);
+        assert!(b.iter().all(|&v| v == 0.0));
+        let mut b = vec![1.0; 3];
+        ModifiedLaplace::new(1.0).eval_grad([0.3; 3], [0.3; 3], &mut b);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
     #[test]
     fn id_bits_distinguish_parameters() {
         assert_eq!(Laplace.id_bits(), 0);
         assert_ne!(ModifiedLaplace::new(1.0).id_bits(), ModifiedLaplace::new(2.0).id_bits());
         assert_ne!(Stokes::new(1.0).id_bits(), Stokes::new(0.5).id_bits());
+        assert_ne!(Kelvin::new(1.0, 0.3).id_bits(), Kelvin::new(1.0, 0.25).id_bits());
+        assert_ne!(Gaussian::new(0.5).id_bits(), Gaussian::new(0.6).id_bits());
     }
 }

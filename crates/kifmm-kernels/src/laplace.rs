@@ -11,9 +11,17 @@ const FOUR_PI_INV: f64 = 1.0 / (4.0 * std::f64::consts::PI);
 pub struct Laplace;
 
 impl Kernel for Laplace {
-    const SRC_DIM: usize = 1;
-    const TRG_DIM: usize = 1;
-    const NAME: &'static str = "Laplace";
+    fn src_dim(&self) -> usize {
+        1
+    }
+
+    fn trg_dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "Laplace"
+    }
 
     fn homogeneity(&self) -> Option<f64> {
         Some(-1.0)
@@ -25,10 +33,31 @@ impl Kernel for Laplace {
         12
     }
 
+    /// Fused pair: r² (8), rsqrt (1), 1/r³ (2), potential mac (3),
+    /// three gradient macs (9) ⇒ 23.
+    fn flops_per_grad_eval(&self) -> u64 {
+        23
+    }
+
     #[inline]
     fn eval(&self, x: Point3, y: Point3, block: &mut [f64]) {
         let (_, _, _, r2) = displacement(x, y);
         block[0] = if r2 == 0.0 { 0.0 } else { FOUR_PI_INV / r2.sqrt() };
+    }
+
+    /// `∂G/∂x_d = −r_d/(4π r³)`, `r = x − y`.
+    #[inline]
+    fn eval_grad(&self, x: Point3, y: Point3, block: &mut [f64]) {
+        debug_assert_eq!(block.len(), 3);
+        let (dx, dy, dz, r2) = displacement(x, y);
+        if r2 == 0.0 {
+            block.fill(0.0);
+            return;
+        }
+        let inv_r3 = FOUR_PI_INV / (r2 * r2.sqrt());
+        block[0] = -dx * inv_r3;
+        block[1] = -dy * inv_r3;
+        block[2] = -dz * inv_r3;
     }
 
     /// Per target: fill the squared-distance buffer, turn it into weights
@@ -82,6 +111,94 @@ impl Kernel for Laplace {
             }
         });
     }
+
+    /// Fused scalar loop sharing `1/r` and `1/r³` between the potential
+    /// and the three gradient components.
+    fn p2p_grad(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[f64],
+        potentials: &mut [f64],
+        gradients: &mut [f64],
+    ) {
+        debug_assert_eq!(densities.len(), sources.len());
+        debug_assert_eq!(potentials.len(), targets.len());
+        debug_assert_eq!(gradients.len(), 3 * targets.len());
+        for (ti, &x) in targets.iter().enumerate() {
+            let mut u = 0.0;
+            let (mut gx, mut gy, mut gz) = (0.0, 0.0, 0.0);
+            for (si, &y) in sources.iter().enumerate() {
+                let (dx, dy, dz, r2) = displacement(x, y);
+                if r2 == 0.0 {
+                    continue;
+                }
+                let inv_r = 1.0 / r2.sqrt();
+                let inv_r3 = inv_r / r2;
+                let q = densities[si];
+                u += q * inv_r;
+                let s = q * inv_r3;
+                gx -= dx * s;
+                gy -= dy * s;
+                gz -= dz * s;
+            }
+            potentials[ti] += FOUR_PI_INV * u;
+            gradients[3 * ti] += FOUR_PI_INV * gx;
+            gradients[3 * ti + 1] += FOUR_PI_INV * gy;
+            gradients[3 * ti + 2] += FOUR_PI_INV * gz;
+        }
+    }
+
+    /// Hoists the pair geometry (`dx,dy,dz,1/r,1/r³`; `1/r = 0` marks a
+    /// coincident pair) out of the RHS loop; each RHS then runs the exact
+    /// per-source arithmetic of [`Laplace::p2p_grad`], so results are
+    /// bit-identical per RHS.
+    fn p2p_grad_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+        gradients: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        assert_eq!(densities.len(), gradients.len(), "one gradient vector per RHS");
+        let ns = sources.len();
+        let mut geo = vec![[0.0f64; 5]; ns]; // dx, dy, dz, inv_r, inv_r3
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                let (dx, dy, dz, r2) = displacement(x, y);
+                if r2 == 0.0 {
+                    geo[si][3] = 0.0;
+                    continue;
+                }
+                let inv_r = 1.0 / r2.sqrt();
+                geo[si] = [dx, dy, dz, inv_r, inv_r / r2];
+            }
+            for ((dens, pot), grad) in
+                densities.iter().zip(potentials.iter_mut()).zip(gradients.iter_mut())
+            {
+                let mut u = 0.0;
+                let (mut gx, mut gy, mut gz) = (0.0, 0.0, 0.0);
+                for (si, g) in geo.iter().enumerate() {
+                    let [dx, dy, dz, inv_r, inv_r3] = *g;
+                    if inv_r == 0.0 {
+                        continue;
+                    }
+                    let q = dens[si];
+                    u += q * inv_r;
+                    let s = q * inv_r3;
+                    gx -= dx * s;
+                    gy -= dy * s;
+                    gz -= dz * s;
+                }
+                pot[ti] += FOUR_PI_INV * u;
+                grad[3 * ti] += FOUR_PI_INV * gx;
+                grad[3 * ti + 1] += FOUR_PI_INV * gy;
+                grad[3 * ti + 2] += FOUR_PI_INV * gz;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +221,46 @@ mod tests {
         let mut b = [1.0];
         k.eval([0.3, 0.4, 0.5], [0.3, 0.4, 0.5], &mut b);
         assert_eq!(b[0], 0.0);
+    }
+
+    #[test]
+    fn gradient_known_value() {
+        // u(x) = G(x, 0): ∇u at (r, 0, 0) is (−1/(4πr²), 0, 0).
+        let k = Laplace;
+        let mut g = [0.0; 3];
+        k.eval_grad([2.0, 0.0, 0.0], [0.0; 3], &mut g);
+        assert!((g[0] + FOUR_PI_INV / 4.0).abs() < 1e-15);
+        assert!(g[1].abs() < 1e-15 && g[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn p2p_grad_matches_eval_grad_sum() {
+        let k = Laplace;
+        let targets: Vec<Point3> =
+            (0..4).map(|i| [i as f64 * 0.2, 0.3, -0.1 * i as f64]).collect();
+        let sources: Vec<Point3> =
+            (0..6).map(|i| [1.0 + 0.1 * i as f64, -0.2, 0.5]).collect();
+        let dens: Vec<f64> = (0..6).map(|i| (i as f64).sin() + 0.2).collect();
+        let mut pot = vec![0.0; 4];
+        let mut grad = vec![0.0; 12];
+        k.p2p_grad(&targets, &sources, &dens, &mut pot, &mut grad);
+        let mut g = [0.0; 3];
+        let mut b = [0.0];
+        for (ti, &x) in targets.iter().enumerate() {
+            let (mut eu, mut eg) = (0.0, [0.0; 3]);
+            for (si, &y) in sources.iter().enumerate() {
+                k.eval(x, y, &mut b);
+                k.eval_grad(x, y, &mut g);
+                eu += b[0] * dens[si];
+                for d in 0..3 {
+                    eg[d] += g[d] * dens[si];
+                }
+            }
+            assert!((pot[ti] - eu).abs() < 1e-13);
+            for d in 0..3 {
+                assert!((grad[3 * ti + d] - eg[d]).abs() < 1e-13);
+            }
+        }
     }
 
     #[test]
@@ -150,9 +307,15 @@ mod tests {
             }
         }
         impl Kernel for Generic {
-            const SRC_DIM: usize = 1;
-            const TRG_DIM: usize = 1;
-            const NAME: &'static str = "generic-laplace";
+            fn src_dim(&self) -> usize {
+                1
+            }
+            fn trg_dim(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &str {
+                "generic-laplace"
+            }
             fn homogeneity(&self) -> Option<f64> {
                 Some(-1.0)
             }

@@ -20,9 +20,17 @@ const FOUR_PI_INV: f64 = 1.0 / (4.0 * std::f64::consts::PI);
 pub struct LaplaceDipole;
 
 impl Kernel for LaplaceDipole {
-    const SRC_DIM: usize = 3;
-    const TRG_DIM: usize = 1;
-    const NAME: &'static str = "LaplaceDipole";
+    fn src_dim(&self) -> usize {
+        3
+    }
+
+    fn trg_dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "LaplaceDipole"
+    }
 
     /// `G(λr) = λ r/(λ³ r³) = λ⁻² G(r)`.
     fn homogeneity(&self) -> Option<f64> {

@@ -41,9 +41,17 @@ impl Default for ModifiedLaplace {
 }
 
 impl Kernel for ModifiedLaplace {
-    const SRC_DIM: usize = 1;
-    const TRG_DIM: usize = 1;
-    const NAME: &'static str = "ModifiedLaplace";
+    fn src_dim(&self) -> usize {
+        1
+    }
+
+    fn trg_dim(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "ModifiedLaplace"
+    }
 
     /// `e^{−λr}` couples the kernel to the physical scale: not homogeneous.
     fn homogeneity(&self) -> Option<f64> {
@@ -53,6 +61,12 @@ impl Kernel for ModifiedLaplace {
     /// Laplace's 12 plus `λ·r` (1), `exp` (1), extra multiply (1) ⇒ 15.
     fn flops_per_eval(&self) -> u64 {
         15
+    }
+
+    /// Fused pair: r² (8), sqrt (1), exp (1), shared factors (6),
+    /// potential mac (2), three gradient macs (9) ⇒ 27.
+    fn flops_per_grad_eval(&self) -> u64 {
+        27
     }
 
     /// The operator tables depend on `λ`.
@@ -69,6 +83,23 @@ impl Kernel for ModifiedLaplace {
             let r = r2.sqrt();
             FOUR_PI_INV * (-self.lambda * r).exp() / r
         };
+    }
+
+    /// `∂G/∂x_d = −e^{−λr}(1 + λr)·r_d/(4π r³)`, `r = x − y`.
+    #[inline]
+    fn eval_grad(&self, x: Point3, y: Point3, block: &mut [f64]) {
+        debug_assert_eq!(block.len(), 3);
+        let (dx, dy, dz, r2) = displacement(x, y);
+        if r2 == 0.0 {
+            block.fill(0.0);
+            return;
+        }
+        let r = r2.sqrt();
+        let e = (-self.lambda * r).exp();
+        let s = FOUR_PI_INV * e * (1.0 + self.lambda * r) / (r2 * r);
+        block[0] = -dx * s;
+        block[1] = -dy * s;
+        block[2] = -dz * s;
     }
 
     /// Per target: fill the pair-weight buffer `w = e^{−λr}/r` (the `exp`
@@ -132,6 +163,99 @@ impl Kernel for ModifiedLaplace {
                 }
             }
         });
+    }
+
+    /// Fused scalar loop sharing `e^{−λr}` between the potential and the
+    /// three gradient components.
+    fn p2p_grad(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[f64],
+        potentials: &mut [f64],
+        gradients: &mut [f64],
+    ) {
+        debug_assert_eq!(densities.len(), sources.len());
+        debug_assert_eq!(potentials.len(), targets.len());
+        debug_assert_eq!(gradients.len(), 3 * targets.len());
+        let lambda = self.lambda;
+        for (ti, &x) in targets.iter().enumerate() {
+            let mut u = 0.0;
+            let (mut gx, mut gy, mut gz) = (0.0, 0.0, 0.0);
+            for (si, &y) in sources.iter().enumerate() {
+                let (dx, dy, dz, r2) = displacement(x, y);
+                if r2 == 0.0 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let e = (-lambda * r).exp();
+                let wp = e / r;
+                let wg = e * (1.0 + lambda * r) / (r2 * r);
+                let q = densities[si];
+                u += q * wp;
+                let s = q * wg;
+                gx -= dx * s;
+                gy -= dy * s;
+                gz -= dz * s;
+            }
+            potentials[ti] += FOUR_PI_INV * u;
+            gradients[3 * ti] += FOUR_PI_INV * gx;
+            gradients[3 * ti + 1] += FOUR_PI_INV * gy;
+            gradients[3 * ti + 2] += FOUR_PI_INV * gz;
+        }
+    }
+
+    /// Hoists the pair geometry — including the expensive `exp` — out of
+    /// the RHS loop (`pot-weight = 0` marks a coincident pair); each RHS
+    /// then runs the exact per-source arithmetic of
+    /// [`ModifiedLaplace::p2p_grad`], so results are bit-identical per RHS.
+    fn p2p_grad_many(
+        &self,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[&[f64]],
+        potentials: &mut [&mut [f64]],
+        gradients: &mut [&mut [f64]],
+    ) {
+        assert_eq!(densities.len(), potentials.len(), "one potential vector per RHS");
+        assert_eq!(densities.len(), gradients.len(), "one gradient vector per RHS");
+        let lambda = self.lambda;
+        let ns = sources.len();
+        let mut geo = vec![[0.0f64; 5]; ns]; // dx, dy, dz, e/r, e(1+λr)/r³
+        for (ti, &x) in targets.iter().enumerate() {
+            for (si, &y) in sources.iter().enumerate() {
+                let (dx, dy, dz, r2) = displacement(x, y);
+                if r2 == 0.0 {
+                    geo[si][3] = 0.0;
+                    continue;
+                }
+                let r = r2.sqrt();
+                let e = (-lambda * r).exp();
+                geo[si] = [dx, dy, dz, e / r, e * (1.0 + lambda * r) / (r2 * r)];
+            }
+            for ((dens, pot), grad) in
+                densities.iter().zip(potentials.iter_mut()).zip(gradients.iter_mut())
+            {
+                let mut u = 0.0;
+                let (mut gx, mut gy, mut gz) = (0.0, 0.0, 0.0);
+                for (si, g) in geo.iter().enumerate() {
+                    let [dx, dy, dz, wp, wg] = *g;
+                    if wp == 0.0 {
+                        continue;
+                    }
+                    let q = dens[si];
+                    u += q * wp;
+                    let s = q * wg;
+                    gx -= dx * s;
+                    gy -= dy * s;
+                    gz -= dz * s;
+                }
+                pot[ti] += FOUR_PI_INV * u;
+                grad[3 * ti] += FOUR_PI_INV * gx;
+                grad[3 * ti + 1] += FOUR_PI_INV * gy;
+                grad[3 * ti + 2] += FOUR_PI_INV * gz;
+            }
+        }
     }
 }
 

@@ -205,7 +205,7 @@ impl<K: Kernel> ParallelFmm<K> {
         // operator tables are particle-independent and shared.
         let tree_seconds = t0.elapsed().as_secs_f64();
         let pre = cache.get_or_build(&kernel, &opts, root_half, depth);
-        let (m2l_modes, _) = resolve_m2l_modes::<K>(&pre, &dtree.tree, &lists, &opts);
+        let (m2l_modes, _) = resolve_m2l_modes(&kernel, &pre, &dtree.tree, &lists, &opts);
         let t1 = Instant::now();
 
         // Exchange ghost geometry once (positions are fixed across the
@@ -340,8 +340,10 @@ impl<K: Kernel> ParallelFmm<K> {
         let k = densities.len();
         assert!(k >= 1, "at least one right-hand side");
         let n = self.local_len();
+        let (sd, td) = (self.kernel.src_dim(), self.kernel.trg_dim());
+        let wants_grad = self.opts.output.wants_gradient();
         for d in densities {
-            assert_eq!(d.len(), n * K::SRC_DIM, "density length");
+            assert_eq!(d.len(), n * sd, "density length");
         }
         let mut stats = PhaseStats::new();
         let tree = &self.dtree.tree;
@@ -353,10 +355,10 @@ impl<K: Kernel> ParallelFmm<K> {
         let dens_sorted: Vec<Vec<f64>> = densities
             .iter()
             .map(|d| {
-                let mut v = vec![0.0; n * K::SRC_DIM];
+                let mut v = vec![0.0; n * sd];
                 for (si, &orig) in tree.perm.iter().enumerate() {
-                    for c in 0..K::SRC_DIM {
-                        v[si * K::SRC_DIM + c] = d[orig as usize * K::SRC_DIM + c];
+                    for c in 0..sd {
+                        v[si * sd + c] = d[orig as usize * sd + c];
                     }
                 }
                 v
@@ -369,7 +371,7 @@ impl<K: Kernel> ParallelFmm<K> {
             tree,
             points: &self.dtree.sorted_points,
             dens: &dens_refs,
-            src_dim: K::SRC_DIM,
+            src_dim: sd,
         };
         // A panicking evaluation elsewhere poisons this mutex, but the
         // pooled Vec is never left mid-invariant (push/pop are atomic with
@@ -389,7 +391,7 @@ impl<K: Kernel> ParallelFmm<K> {
         let mut meter = CommMeter::new(comm);
         let mut dens_payload = |b: u32| -> Vec<f64> {
             let nd = &tree.nodes[b as usize];
-            let (s, e) = (nd.pt_start as usize * K::SRC_DIM, nd.pt_end as usize * K::SRC_DIM);
+            let (s, e) = (nd.pt_start as usize * sd, nd.pt_end as usize * sd);
             let mut v = Vec::with_capacity((e - s) * k);
             for dq in &dens_sorted {
                 v.extend_from_slice(&dq[s..e]);
@@ -454,7 +456,12 @@ impl<K: Kernel> ParallelFmm<K> {
         let vready: Vec<bool> = (0..tree.nodes.len())
             .map(|ni| self.lists.v[ni].iter().all(|&a| !inflight[a as usize]))
             .collect();
-        let mut pots: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n * K::TRG_DIM]).collect();
+        let mut pots: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n * td]).collect();
+        // Gradient accumulators ride alongside the potentials; both
+        // exchanges move densities/equivalents only, so the widened
+        // `td·(1+3)` output needs no new communication.
+        let mut grads: Vec<Vec<f64>> =
+            if wants_grad { (0..k).map(|_| vec![0.0; n * td * 3]).collect() } else { Vec::new() };
         rt.add(Counter::CellsTouched, engine.active_leaves().len() as u64);
         let m2l = |pred: &(dyn Fn(usize) -> bool + Sync),
                    level: u8,
@@ -545,9 +552,15 @@ impl<K: Kernel> ParallelFmm<K> {
 
         let ghost_src = GhostSources { points: &self.ghost_points, dens: &ghost_dens, nrhs: k };
         let mut pot_refs: Vec<&mut [f64]> = pots.iter_mut().map(|v| v.as_mut_slice()).collect();
+        let mut grad_refs: Vec<&mut [f64]> =
+            grads.iter_mut().map(|v| v.as_mut_slice()).collect();
         let span = rt.span("DownU", "u-list");
         let t0 = thread_cpu_time();
-        let flops = engine.u_pass(&ghost_src, &mut pot_refs);
+        let flops = if wants_grad {
+            engine.u_pass_grad(&ghost_src, &mut pot_refs, &mut grad_refs)
+        } else {
+            engine.u_pass(&ghost_src, &mut pot_refs)
+        };
         stats.add_seconds(Phase::DownU, thread_cpu_time() - t0);
         stats.add_flops(Phase::DownU, flops);
         rt.add(Counter::Flops, flops);
@@ -574,37 +587,53 @@ impl<K: Kernel> ParallelFmm<K> {
             drop(span);
             let span = rt.span("DownW", "w-list");
             let t0 = thread_cpu_time();
-            let flops = engine.w_pass(&store, &mut pot_refs);
+            let flops = if wants_grad {
+                engine.w_pass_grad(&store, &mut pot_refs, &mut grad_refs)
+            } else {
+                engine.w_pass(&store, &mut pot_refs)
+            };
             stats.add_seconds(Phase::DownW, thread_cpu_time() - t0);
             stats.add_flops(Phase::DownW, flops);
             rt.add(Counter::Flops, flops);
             drop(span);
             let span = rt.span("Eval", "l2t");
             let t0 = thread_cpu_time();
-            let flops = engine.l2t(&store, &mut pot_refs);
+            let flops = if wants_grad {
+                engine.l2t_grad(&store, &mut pot_refs, &mut grad_refs)
+            } else {
+                engine.l2t(&store, &mut pot_refs)
+            };
             stats.add_seconds(Phase::Eval, thread_cpu_time() - t0);
             stats.add_flops(Phase::Eval, flops);
             rt.add(Counter::Flops, flops);
             drop(span);
         }
         drop(pot_refs);
+        drop(grad_refs);
         self.scratch
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push((store, ws));
 
-        // Un-permute local potentials ("scatter" back to caller order).
+        // Un-permute local potentials (and gradients, when produced) —
+        // "scatter" back to caller order.
         let span = rt.span("Eval", "scatter");
+        let unpermute = |v: &[f64], dim: usize| {
+            let mut out = vec![0.0; n * dim];
+            for (si, &orig) in tree.perm.iter().enumerate() {
+                out[orig as usize * dim..(orig as usize + 1) * dim]
+                    .copy_from_slice(&v[si * dim..(si + 1) * dim]);
+            }
+            out
+        };
         let reports: Vec<EvalReport> = pots
             .into_iter()
-            .map(|pot| {
-                let mut out = vec![0.0; n * K::TRG_DIM];
-                for (si, &orig) in tree.perm.iter().enumerate() {
-                    for c in 0..K::TRG_DIM {
-                        out[orig as usize * K::TRG_DIM + c] = pot[si * K::TRG_DIM + c];
-                    }
-                }
-                EvalReport { potentials: out, stats: stats.clone(), trace: self.trace.clone() }
+            .enumerate()
+            .map(|(q, pot)| EvalReport {
+                potentials: unpermute(&pot, td),
+                gradients: if wants_grad { unpermute(&grads[q], td * 3) } else { Vec::new() },
+                stats: stats.clone(),
+                trace: self.trace.clone(),
             })
             .collect();
         drop(span);
@@ -639,11 +668,11 @@ impl<K: Kernel> Evaluator for BoundParallelFmm<'_, K> {
     }
 
     fn src_dim(&self) -> usize {
-        K::SRC_DIM
+        self.fmm.kernel.src_dim()
     }
 
     fn trg_dim(&self) -> usize {
-        K::TRG_DIM
+        self.fmm.kernel.trg_dim()
     }
 }
 

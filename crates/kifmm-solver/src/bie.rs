@@ -123,11 +123,12 @@ impl<K: Kernel> SingleLayerOperator<K> {
     /// Apply the operator: weight the density, evaluate one FMM
     /// interaction.
     pub fn apply(&self, density: &[f64]) -> Vec<f64> {
-        assert_eq!(density.len(), self.quad.len() * K::SRC_DIM);
+        let sd = self.fmm.kernel().src_dim();
+        assert_eq!(density.len(), self.quad.len() * sd);
         let weighted: Vec<f64> = density
             .iter()
             .enumerate()
-            .map(|(i, &v)| v * self.quad.weights[i / K::SRC_DIM])
+            .map(|(i, &v)| v * self.quad.weights[i / sd])
             .collect();
         self.matvecs.set(self.matvecs.get() + 1);
         self.fmm.eval(&weighted).potentials
@@ -141,10 +142,11 @@ impl<K: Kernel> SingleLayerOperator<K> {
     /// Evaluate the layer potential at off-surface points, reusing the
     /// FMM's equivalent densities (`Fmm::evaluate_at`).
     pub fn evaluate_off_surface(&self, density: &[f64], targets: &[Point3]) -> Vec<f64> {
+        let sd = self.fmm.kernel().src_dim();
         let weighted: Vec<f64> = density
             .iter()
             .enumerate()
-            .map(|(i, &v)| v * self.quad.weights[i / K::SRC_DIM])
+            .map(|(i, &v)| v * self.quad.weights[i / sd])
             .collect();
         self.fmm.evaluate_at(&weighted, targets)
     }
@@ -186,10 +188,11 @@ pub fn apply_single_layer_direct<K: Kernel>(
     quad: &SurfaceQuadrature,
     density: &[f64],
 ) -> Vec<f64> {
+    let sd = kernel.src_dim();
     let weighted: Vec<f64> = density
         .iter()
         .enumerate()
-        .map(|(i, &v)| v * quad.weights[i / K::SRC_DIM])
+        .map(|(i, &v)| v * quad.weights[i / sd])
         .collect();
     direct_eval(kernel, &quad.points, &weighted)
 }

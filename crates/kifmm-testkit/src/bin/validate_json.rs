@@ -16,6 +16,13 @@
 //! validate_json <file> --m2l-ablation      # kifmm-m2l-ablation-v1
 //!                                           # invariants: measured modes
 //!                                           # + coherent autotuner rows
+//! validate_json <file> --kernel-suite [--max-overhead R]
+//!                                           # kifmm-kernel-suite-v1
+//!                                           # invariants: a row per kernel
+//!                                           # with plausible timings and
+//!                                           # accuracy; optionally cap the
+//!                                           # gradient/potential overhead
+//!                                           # ratio (the fused-output gate)
 //! validate_json <file> --tree-build [--max-update-ratio R]
 //!                                           # kifmm-tree-build-v1
 //!                                           # invariants: every rank count
@@ -104,6 +111,21 @@ fn run(args: &[String]) -> Result<String, String> {
                  update ratio {ratio:.3})"
             ))
         }
+        Some("--kernel-suite") => {
+            let max_overhead: Option<f64> = match args.get(2).map(String::as_str) {
+                Some("--max-overhead") => {
+                    Some(args.get(3).and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+                }
+                Some(_) => return Err(usage()),
+                None => None,
+            };
+            let (rows, worst) =
+                check_kernel_suite(&doc, max_overhead).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "{path}: valid kifmm-kernel-suite-v1 summary ({rows} kernels, worst \
+                 overhead {worst:.3})"
+            ))
+        }
         Some("--chrome") => {
             let min_ranks: usize = match args.get(2) {
                 Some(v) => v.parse().map_err(|_| usage())?,
@@ -119,7 +141,8 @@ fn run(args: &[String]) -> Result<String, String> {
 fn usage() -> String {
     "usage: validate_json <file> [--bench-summary [--max-eval-messages N] | \
      --chrome [min_ranks] | --service-throughput [--max-batch-ratio R] | \
-     --m2l-ablation | --tree-build [--max-update-ratio R]]"
+     --m2l-ablation | --tree-build [--max-update-ratio R] | \
+     --kernel-suite [--max-overhead R]]"
         .to_string()
 }
 
@@ -319,6 +342,92 @@ fn check_m2l_ablation(doc: &Json) -> Result<(usize, usize), String> {
         }
     }
     Ok((cases.len(), rows))
+}
+
+/// `BENCH_kernel_suite.json` invariants: schema tag, a `kernels` array
+/// covering the full five-kernel family (the scalar, screened, and the
+/// three matrix/RBF additions), each row with positive dims and timings,
+/// an `overhead_ratio` consistent with its own timings, and accuracy
+/// columns inside the order-6 envelope (potentials ≤ 1e-3, gradients
+/// ≤ 1e-2 — gradients differentiate the representation, losing roughly
+/// one order). When `max_overhead` is given, every kernel's fused
+/// gradient eval must cost at most that multiple of its potential-only
+/// eval — the "gradients ride the same equivalents" gate. Returns
+/// (rows, worst overhead ratio).
+fn check_kernel_suite(doc: &Json, max_overhead: Option<f64>) -> Result<(usize, f64), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'schema'")?;
+    if schema != "kifmm-kernel-suite-v1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    for key in ["n", "order", "sample_targets"] {
+        let v = doc.get(key).and_then(Json::as_f64).ok_or(format!("missing numeric '{key}'"))?;
+        if v < 1.0 {
+            return Err(format!("implausible {key} = {v}"));
+        }
+    }
+    let kernels = doc.get("kernels").and_then(Json::as_arr).ok_or("missing 'kernels' array")?;
+    if kernels.len() < 5 {
+        return Err(format!("{} kernel rows (the suite sweeps all 5)", kernels.len()));
+    }
+    let mut worst = 0.0f64;
+    for (i, row) in kernels.iter().enumerate() {
+        let name = row
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or(format!("kernels[{i}] missing string 'kernel'"))?;
+        let at = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("kernels[{i}] ({name}) missing numeric '{key}'"))
+        };
+        let (sd, td) = (at("src_dim")?, at("trg_dim")?);
+        let pot_s = at("potential_seconds")?;
+        let grad_s = at("gradient_seconds")?;
+        let ratio = at("overhead_ratio")?;
+        let pot_err = at("pot_rel_err")?;
+        let grad_err = at("grad_rel_err")?;
+        row.get("homogeneous")
+            .and_then(Json::as_bool)
+            .ok_or(format!("kernels[{i}] ({name}) missing bool 'homogeneous'"))?;
+        if sd < 1.0 || td < 1.0 || pot_s <= 0.0 || grad_s <= 0.0 {
+            return Err(format!(
+                "kernels[{i}] ({name}): implausible row (dims {sd}x{td}, pot {pot_s}s, \
+                 grad {grad_s}s)"
+            ));
+        }
+        if (ratio - grad_s / pot_s).abs() > 0.01 * ratio.max(1e-9) {
+            return Err(format!(
+                "kernels[{i}] ({name}): overhead_ratio {ratio} inconsistent with \
+                 {grad_s}/{pot_s}"
+            ));
+        }
+        if !(pot_err >= 0.0 && pot_err < 1e-3) {
+            return Err(format!(
+                "kernels[{i}] ({name}): potential error {pot_err} outside the order-6 \
+                 envelope (< 1e-3)"
+            ));
+        }
+        if !(grad_err >= 0.0 && grad_err < 1e-2) {
+            return Err(format!(
+                "kernels[{i}] ({name}): gradient error {grad_err} outside the order-6 \
+                 envelope (< 1e-2)"
+            ));
+        }
+        worst = worst.max(ratio);
+    }
+    if let Some(bound) = max_overhead {
+        if worst > bound {
+            return Err(format!(
+                "gradient-overhead regression: worst fused eval took {worst:.3}× the \
+                 potential-only eval (bound {bound}) — gradients must ride the existing \
+                 equivalents, not recompute the pipeline"
+            ));
+        }
+    }
+    Ok((kernels.len(), worst))
 }
 
 /// `BENCH_service_throughput.json` invariants: schema tag, a plan-cache

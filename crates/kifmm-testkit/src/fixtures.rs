@@ -45,13 +45,14 @@ pub fn serial_reference<K: Kernel>(
 ) -> Vec<Vec<f64>> {
     let all_points: Vec<Point3> = chunks.iter().flatten().copied().collect();
     let all_dens: Vec<f64> = densities.iter().flatten().copied().collect();
+    let td = kernel.trg_dim();
     let fmm = Fmm::new(kernel, &all_points, opts);
     let all_pot = fmm.eval(&all_dens).potentials;
     // Split back per rank.
     let mut out = Vec::with_capacity(chunks.len());
     let mut cursor = 0;
     for c in chunks {
-        let len = c.len() * K::TRG_DIM;
+        let len = c.len() * td;
         out.push(all_pot[cursor..cursor + len].to_vec());
         cursor += len;
     }

@@ -61,11 +61,15 @@ pub use kifmm_trace as trace;
 pub use kifmm_tree as tree;
 
 pub use kifmm_core::{
-    direct_eval, geometry_hash, rel_l2_error, BuildError, EvalReport, Evaluator, Fmm,
-    FmmBuilder, FmmOptions, M2lChoice, M2lMode, Phase, PhaseStats, Plan, PlanCache, PlanKey,
-    Session, TreeBuild, UpdateError, PHASES, PHASE_NAMES,
+    direct_eval, direct_eval_grad, direct_eval_grad_src_trg, direct_eval_src_trg, geometry_hash,
+    kernel_name_hash, rel_l2_error, BuildError,
+    EvalReport, Evaluator, Fmm, FmmBuilder, FmmOptions, M2lChoice, M2lMode, OutputSpec, Phase,
+    PhaseStats, Plan, PlanCache, PlanKey, Session, TreeBuild, UpdateError, PHASES, PHASE_NAMES,
 };
-pub use kifmm_kernels::{Kernel, Laplace, ModifiedLaplace, Point3, Stokes};
+pub use kifmm_kernels::{
+    BoxedKernel, CustomKernel, DynKernel, Gaussian, Kelvin, Kernel, Laplace, ModifiedLaplace,
+    Point3, Stokes,
+};
 pub use kifmm_mpi::PeerTraffic;
 pub use kifmm_parallel::{BoundParallelFmm, BuildParallel, ParallelFmm};
 pub use kifmm_solver::{gmres, GmresOptions, SingleLayerOperator, SurfaceQuadrature};

@@ -19,7 +19,7 @@
 //! ```
 
 use kifmm::solver::{net_force, rigid_body_velocity, SingleLayerOperator, SurfaceQuadrature};
-use kifmm::{FmmOptions, GmresOptions, Plan, PlanCache, Stokes};
+use kifmm::{FmmOptions, GmresOptions, OutputSpec, Plan, PlanCache, Session, Stokes};
 use std::sync::Arc;
 
 const MU: f64 = 1.0;
@@ -144,10 +144,22 @@ fn main() {
 /// the row bows — genuinely non-rigid motion. Each step solves the 2×2
 /// resistance system for (edge, middle) speeds from two unit-velocity
 /// GMRES solves.
+///
+/// The plan is built with [`OutputSpec::PotentialAndGradient`] and every
+/// incremental update inherits it, so once the step's traction density is
+/// known, one fused eval returns the surface velocity *and* its gradient
+/// tensor ∇u — from which the drag/shear diagnostic reads the local shear
+/// rate per sphere and checks incompressibility (a Stokes single-layer
+/// field is divergence-free, so `tr ∇u ≈ 0` up to quadrature error).
 fn drafting_trio() {
     println!("\nthree collinear spheres (lab frame, incremental plan updates)");
     let cache = PlanCache::unbounded();
-    let opts = FmmOptions { order: 6, max_pts_per_leaf: 50, ..Default::default() };
+    let opts = FmmOptions {
+        order: 6,
+        max_pts_per_leaf: 50,
+        output: OutputSpec::PotentialAndGradient,
+        ..Default::default()
+    };
     let sep = 3.0 * RADIUS;
     // The wide horizontal row gives the root cube vertical headroom: the
     // spheres can fall several steps before leaving the first step's
@@ -179,12 +191,14 @@ fn drafting_trio() {
             Some(prev) => cache.get_or_update(prev, &quad.points).unwrap(),
         };
         let op = SingleLayerOperator::with_plan(quad.clone(), p.clone());
+        let op_plan = p.clone();
         plan = Some(p);
 
         // One resistance column: the flagged spheres translate with unit
         // velocity -z, the rest are held. Returns the upward drag
-        // coefficients measured on an edge sphere and the middle sphere.
-        let column = |movers: [bool; 3]| -> [f64; 2] {
+        // coefficients measured on an edge sphere and the middle sphere,
+        // plus the solved traction density.
+        let column = |movers: [bool; 3]| -> ([f64; 2], Vec<f64>) {
             let mut bc = Vec::with_capacity(quad.len() * 3);
             for (si, q) in quads.iter().enumerate() {
                 let u = if movers[si] { [0.0, 0.0, -1.0] } else { [0.0; 3] };
@@ -192,21 +206,65 @@ fn drafting_trio() {
             }
             let res = op.solve(&bc, GmresOptions { tol: 1e-4, max_iter: 600, restart: 80 });
             assert!(res.converged, "GMRES stalled: residual {}", res.residual);
-            [-sphere_force_z(&quad, &res.x, 0), -sphere_force_z(&quad, &res.x, 1)]
+            ([-sphere_force_z(&quad, &res.x, 0), -sphere_force_z(&quad, &res.x, 1)], res.x)
         };
-        let a = column([true, false, true]); // edges move, middle held
-        let b = column([false, true, false]); // middle moves, edges held
+        let (a, phi_a) = column([true, false, true]); // edges move, middle held
+        let (b, phi_b) = column([false, true, false]); // middle moves, edges held
         // Force balance per sphere: a_i·U_e + b_i·U_m = |F_gravity|.
         let det = a[0] * b[1] - b[0] * a[1];
         let u_edge = (g * b[1] - g * b[0]) / det;
         let u_mid = (g * a[0] - g * a[1]) / det;
+
+        // Drag/shear diagnostic from the fused gradient output. By
+        // linearity the settling flow's traction is U_e·φ_a + U_m·φ_b;
+        // one fused eval of the weighted density returns u and ∇u at
+        // every node through the gradient-carrying (and incrementally
+        // updated) plan.
+        let session = Session::new(op_plan.clone());
+        let weighted: Vec<f64> = phi_a
+            .iter()
+            .zip(&phi_b)
+            .enumerate()
+            .map(|(i, (pa, pb))| (u_edge * pa + u_mid * pb) * quad.weights[i / 3])
+            .collect();
+        let rep = session.eval(&weighted);
+        assert_eq!(rep.gradients.len(), quad.len() * 9);
+        // Incompressibility: tr ∇u = 0 analytically; the Nyström sum of
+        // the near-singular ∇G leaves a small quadrature residue.
+        let (mut div2, mut grad2) = (0.0, 0.0);
+        let mut shear = [0.0f64; 3];
+        for i in 0..quad.len() {
+            let gblk = &rep.gradients[i * 9..(i + 1) * 9];
+            let mut div = 0.0;
+            let mut e2 = 0.0;
+            for t in 0..3 {
+                div += gblk[t * 3 + t];
+                for d in 0..3 {
+                    grad2 += gblk[t * 3 + d] * gblk[t * 3 + d];
+                    let e = 0.5 * (gblk[t * 3 + d] + gblk[d * 3 + t]);
+                    e2 += e * e;
+                }
+            }
+            div2 += div * div;
+            // Local shear rate √(2 E:E), averaged per sphere below.
+            shear[i / NODES_PER_SPHERE] += (2.0 * e2).sqrt();
+        }
+        for s in &mut shear {
+            *s /= NODES_PER_SPHERE as f64;
+        }
+        let div_rel = (div2 / grad2).sqrt();
+        assert!(div_rel < 0.05, "single-layer flow must be near divergence-free: {div_rel}");
         println!(
-            "  {:>4.1}  {:>7.3}  {:>7.3}  {:>7.4}  {:>7.4}",
+            "  {:>4.1}  {:>7.3}  {:>7.3}  {:>7.4}  {:>7.4}   shear (e/m/e) \
+             {:.2}/{:.2}/{:.2}  div {div_rel:.1e}",
             step as f64 * dt,
             centers[0][2],
             centers[1][2],
             u_edge,
-            u_mid
+            u_mid,
+            shear[0],
+            shear[1],
+            shear[2]
         );
         assert!(u_mid > u_edge, "middle sphere must draft faster ({u_mid} vs {u_edge})");
         for (si, c) in centers.iter_mut().enumerate() {

@@ -117,4 +117,17 @@ KIFMM_N=30000 KIFMM_BENCH_DIR="$artifacts" \
 "$validate" "$artifacts/BENCH_tree_build.json" \
     --tree-build --max-update-ratio 0.5
 echo "tree-build gate: OK"
+
+# 10. Kernel-suite gate: the five-kernel sweep (small N) must emit a valid
+#     kifmm-kernel-suite-v1 artifact — per-kernel accuracy inside the
+#     order-6 envelope against the fused direct sum, and the fused
+#     PotentialAndGradient eval costing at most 2.5x a potential-only
+#     eval (the full-size N=40k run in EXPERIMENTS.md lands near 1.2;
+#     gradients ride the existing equivalent densities, so the overhead
+#     is only the fused near-field loops and the L2T/W gradient reads).
+KIFMM_N=8000 KIFMM_BENCH_DIR="$artifacts" \
+    cargo run -q --release --offline --example kernel_suite > /dev/null
+"$validate" "$artifacts/BENCH_kernel_suite.json" \
+    --kernel-suite --max-overhead 2.5
+echo "kernel-suite gate: OK"
 echo "verify: ALL OK"

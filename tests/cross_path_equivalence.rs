@@ -6,7 +6,7 @@
 //!
 //! Matrix: 4 kernels × 2 distributions (uniform, clustered) × 3 paths.
 
-use kifmm::{Fmm, FmmOptions, Kernel, Laplace, M2lMode, ModifiedLaplace, Stokes};
+use kifmm::{CustomKernel, Fmm, FmmOptions, Gaussian, Kelvin, Kernel, Laplace, M2lMode, ModifiedLaplace, Stokes};
 use kifmm_kernels::LaplaceDipole;
 use kifmm_testkit::{check_matches_serial_opts, check_matches_serial_tol};
 
@@ -21,7 +21,7 @@ fn clustered(n: usize, seed: u64) -> Vec<[f64; 3]> {
 /// Serial vs shared-memory pool: bit-identical on the same Fmm.
 fn check_pool_bitwise<K: Kernel>(kernel: K, pts: Vec<[f64; 3]>) {
     let n = pts.len();
-    let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 7);
+    let dens = kifmm::geom::random_densities(n, kernel.src_dim(), 7);
     let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
     let mut fmm = Fmm::new(kernel, &pts, opts);
     let serial = fmm.eval(&dens).potentials;
@@ -32,7 +32,8 @@ fn check_pool_bitwise<K: Kernel>(kernel: K, pts: Vec<[f64; 3]>) {
 
 /// Distributed P=4 vs serial reference: 1e-12 relative l2.
 fn check_distributed<K: Kernel>(kernel: K, pts: Vec<[f64; 3]>) {
-    check_matches_serial_tol(kernel, pts, 4, K::SRC_DIM, 1e-12);
+    let sd = kernel.src_dim();
+    check_matches_serial_tol(kernel, pts, 4, sd, 1e-12);
 }
 
 macro_rules! cross_path_case {
@@ -61,6 +62,71 @@ cross_path_case!(modified_laplace_uniform, ModifiedLaplace::new(1.5), uniform, 6
 cross_path_case!(modified_laplace_clustered, ModifiedLaplace::new(1.5), clustered, 600, 16);
 cross_path_case!(stokes_uniform, Stokes::default(), uniform, 450, 17);
 cross_path_case!(stokes_clustered, Stokes::default(), clustered, 450, 18);
+cross_path_case!(kelvin_uniform, Kelvin::new(1.0, 0.3), uniform, 450, 25);
+cross_path_case!(kelvin_clustered, Kelvin::new(1.0, 0.3), clustered, 450, 26);
+// Gaussian bandwidth: the equivalent-density fit's conditioning degrades
+// as σ approaches the domain size (the check matrix goes numerically
+// low-rank and the pinv amplifies cross-rank reassociation noise), so the
+// strict 1e-12 distributed gate uses a bandwidth well below the box size.
+cross_path_case!(gaussian_uniform, Gaussian::new(0.35), uniform, 600, 27);
+
+/// Clustered Gaussian: corner clusters refine the tree until the finest
+/// boxes are far smaller than σ, where the check matrix is numerically
+/// rank-deficient and the pinv amplifies reassociation noise past 1e-12.
+/// The distributed gate therefore holds the tree at a depth where boxes
+/// stay commensurate with σ (larger leaf budget); the pool path is
+/// bitwise at any depth.
+mod gaussian_clustered {
+    use super::*;
+
+    #[test]
+    fn pool_bitwise() {
+        check_pool_bitwise(Gaussian::new(0.35), clustered(600, 28));
+    }
+
+    #[test]
+    fn distributed_1e12() {
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 60, ..Default::default() };
+        check_matches_serial_opts(Gaussian::new(0.35), clustered(600, 28), 4, 1, 1e-12, opts);
+    }
+}
+
+/// Runtime closure kernels go through the same three paths as the
+/// built-ins: a `CustomKernel` whose closure shadows Laplace must hold
+/// the pool/distributed gates AND agree with native Laplace — the
+/// closure layer cannot change the math.
+mod closure_kernels {
+    use super::*;
+
+    fn shadow_laplace() -> CustomKernel {
+        CustomKernel::new("shadow-laplace", 1, 1, Some(-1.0), |x, y, block| {
+            Kernel::eval(&Laplace, x, y, block)
+        })
+    }
+
+    #[test]
+    fn pool_bitwise() {
+        check_pool_bitwise(shadow_laplace(), uniform(700, 33));
+    }
+
+    #[test]
+    fn distributed_1e12() {
+        check_distributed(shadow_laplace(), uniform(700, 33));
+    }
+
+    /// Closure-vs-native: the shadow kernel's full pipeline against the
+    /// native Laplace pipeline on identical inputs, ≤ 1e-9.
+    #[test]
+    fn closure_matches_native_laplace() {
+        let pts = uniform(900, 34);
+        let dens = kifmm::geom::random_densities(900, 1, 7);
+        let opts = FmmOptions { order: 4, max_pts_per_leaf: 20, ..Default::default() };
+        let native = Fmm::new(Laplace, &pts, opts).eval(&dens).potentials;
+        let shadow = Fmm::new(shadow_laplace(), &pts, opts).eval(&dens).potentials;
+        let err = kifmm::rel_l2_error(&shadow, &native);
+        assert!(err < 1e-9, "closure kernel must match native Laplace: {err}");
+    }
+}
 
 /// The same gates under the SVD-compressed (and autotuned) M2L: the SVD
 /// pass groups V-list pairs by direction and runs batched GEMMs, so its
@@ -76,7 +142,7 @@ mod svd_mode {
 
     fn pool_bitwise<K: Kernel>(kernel: K, pts: Vec<[f64; 3]>, mode: M2lMode) {
         let n = pts.len();
-        let dens = kifmm::geom::random_densities(n, K::SRC_DIM, 7);
+        let dens = kifmm::geom::random_densities(n, kernel.src_dim(), 7);
         let mut fmm = Fmm::new(kernel, &pts, opts(mode));
         let serial = fmm.eval(&dens).potentials;
         fmm.set_parallel_eval(true);

@@ -23,7 +23,7 @@ fn run_case<K: kifmm::Kernel>(kernel: K, all: Vec<[f64; 3]>, ranks: usize) -> Ve
     let dens: Vec<Vec<f64>> = chunks
         .iter()
         .enumerate()
-        .map(|(r, c)| kifmm::geom::random_densities(c.len(), K::SRC_DIM, r as u64))
+        .map(|(r, c)| kifmm::geom::random_densities(c.len(), kernel.src_dim(), r as u64))
         .collect();
     let opts = FmmOptions { order: 4, max_pts_per_leaf: 30, ..Default::default() };
     let serial = serial_reference(kernel.clone(), &chunks, &dens, opts);
